@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Hierarchical in-network aggregation across multiple switches (Fig. 1).
+
+The paper's opening example: hosts spread over several switches build a
+reduction tree — leaves aggregate their racks, the root aggregates the
+leaves and multicasts the result back down.  This example composes
+actual PsPIN behavioral switches (shared cycle clock, exact data path)
+and shows how densification-aware placement would look for sparse data:
+hash storage where data is sparse (leaves), array storage where it has
+densified (root) — the Sec. 7 guidance.
+
+Run:  python examples/hierarchical_fabric.py
+"""
+
+import numpy as np
+
+from repro.core.multiswitch import run_two_level_allreduce
+from repro.sparse.densify import densification_profile
+
+
+def dense_hierarchy() -> None:
+    print("Two-level dense allreduce: 4 leaf switches x 8 hosts -> root\n")
+    r = run_two_level_allreduce(
+        n_leaves=4, hosts_per_leaf=8, n_blocks=16,
+        dtype="int32", seed=1,
+    )
+    print(f"  blocks completed at root : {r.blocks_completed}")
+    print(f"  leaf->root aggregates    : {r.leaf_egress_packets} packets")
+    print(f"  root multicast           : {r.root_egress_packets} packets")
+    print(f"  end-to-end makespan      : {r.makespan_cycles:,.0f} cycles")
+    print("  numerics verified against numpy across all 32 hosts\n")
+
+
+def reproducible_hierarchy() -> None:
+    print("Reproducibility survives the hierarchy (different timing seeds):")
+    data = np.random.default_rng(0).standard_normal((16, 4, 256)).astype(np.float32)
+    outs = []
+    for seed in (7, 1234):
+        r = run_two_level_allreduce(
+            n_leaves=4, hosts_per_leaf=4, n_blocks=4, dtype="float32",
+            reproducible=True, seed=seed, data=data, verify=False,
+        )
+        outs.append(r.outputs[0])
+    identical = np.array_equal(outs[0].view(np.uint32), outs[1].view(np.uint32))
+    print(f"  bitwise identical root results: {identical}\n")
+
+
+def densification_guidance() -> None:
+    print("Why the paper stores hash at leaves, array at the root (Sec. 7):")
+    prof = densification_profile(span=512, nnz_per_host=1, fan_ins=[8, 8])
+    labels = ["host data", "after leaf (8 hosts)", "after root (64 hosts)"]
+    for label, nnz in zip(labels, prof):
+        print(f"  {label:24s}: {nnz:6.1f} nnz per 512-element bucket "
+              f"({nnz / 512:6.2%} dense)")
+    print("  -> leaves see 0.2-1.5% density (hash wins: constant memory);")
+    print("     the root sees ~12% (array wins: faster, memory affordable).")
+
+
+def main() -> None:
+    dense_hierarchy()
+    reproducible_hierarchy()
+    densification_guidance()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Scheduling, staggered sending, and the memory/bandwidth trade-off.
+
+Reproduces the Sec. 5 analysis interactively: how the scheduling-subset
+size S and the intra-block interarrival delta_c (controlled by
+staggered sending) trade bandwidth against input-buffer occupancy —
+the Fig. 5 scenarios and the Fig. 7 sweep, on both the closed-form
+models and the behavioral simulator.
+
+Run:  python examples/scheduling_policies.py
+"""
+
+from repro.core.allreduce import run_switch_allreduce
+from repro.core.config import FlareConfig
+from repro.core.models import evaluate_design
+from repro.utils.tables import ascii_table
+from repro.utils.units import bytes_to_mib
+
+
+def modeled_sweep() -> None:
+    print("Closed-form model (paper Eqs. 1-2): single-buffer aggregation,")
+    print("64 children, 64 KiB per host, subset size S swept:\n")
+    rows = []
+    for S in (1, 2, 4, 8):
+        cfg = FlareConfig(children=64, subset_size=S, data_bytes="64KiB")
+        p = evaluate_design(cfg, "single")
+        rows.append([
+            S,
+            round(p.tau, 0),
+            round(p.bandwidth_tbps, 2),
+            round(p.queue_length, 1),
+            round(bytes_to_mib(p.input_buffer_bytes), 2),
+        ])
+    print(ascii_table(
+        ["S", "tau (cycles)", "band (Tbps)", "per-core Q", "input buffers (MiB)"],
+        rows))
+    print("\nsmall S: no lock contention but bursty queues (Fig. 5 B);")
+    print("large S: balanced queues but shared-buffer contention (Eq. 2).\n")
+
+
+def staggered_vs_sequential() -> None:
+    print("Behavioral simulation: staggered vs sequential sending")
+    print("(single buffer, 8 children, 64 KiB, no arrival jitter):\n")
+    rows = []
+    for staggered in (False, True):
+        r = run_switch_allreduce(
+            "64KiB", children=8, n_clusters=2, algorithm="single",
+            staggered=staggered, jitter=0.0, seed=11,
+        )
+        rows.append([
+            "staggered" if staggered else "sequential",
+            round(r.bandwidth_tbps, 2),
+            int(r.contention_wait_cycles),
+            round(r.peak_input_buffer_bytes / 1024, 0),
+        ])
+    print(ascii_table(
+        ["sending order", "band (Tbps)", "wait (cycles)", "peak inbuf (KiB)"],
+        rows))
+    print("\nstaggered sending spreads each block's packets across the host")
+    print("window (delta_c up to delta*Z/N), dissolving the critical-section")
+    print("serialization without shrinking the scheduling subsets.\n")
+
+
+def scheduler_comparison() -> None:
+    print("Hierarchical FCFS (block-affine, local L1) vs plain FCFS")
+    print("(any core, remote-L1 penalties) — tree aggregation, 16 children:\n")
+    rows = []
+    for sched in ("hierarchical", "fcfs"):
+        r = run_switch_allreduce(
+            "32KiB", children=16, n_clusters=4, algorithm="tree",
+            scheduler=sched, seed=12,
+        )
+        rows.append([sched, round(r.bandwidth_tbps, 2),
+                     round(r.makespan_cycles, 0)])
+    print(ascii_table(["scheduler", "band (Tbps)", "makespan (cycles)"], rows))
+    print("\nplain FCFS spreads a block's packets across clusters, paying the")
+    print("up-to-25x remote-L1 access latency the paper measures on PsPIN.")
+
+
+def main() -> None:
+    modeled_sweep()
+    staggered_vs_sequential()
+    scheduler_comparison()
+
+
+if __name__ == "__main__":
+    main()

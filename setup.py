@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+``pip install -e .`` needs the ``wheel`` package to build PEP 660
+editable wheels; on fully offline machines without it, install with
+``python setup.py develop`` instead — all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

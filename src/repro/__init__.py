@@ -1,0 +1,50 @@
+"""repro — reproduction of "Flare: Flexible In-Network Allreduce" (SC '21).
+
+A production-quality Python library rebuilding the paper's full stack:
+
+* ``repro.pspin`` — behavioral model of the PsPIN programmable-switch
+  processing unit (clusters, HPUs, memories, schedulers).
+* ``repro.core`` — Flare's dense aggregation algorithms (single buffer,
+  multi buffer, tree), analytical models, staggered sending, policy,
+  and the network-manager control plane.
+* ``repro.sparse`` — the first in-network *sparse* allreduce (hash and
+  array storage, spill buffers, shard counters).
+* ``repro.network`` — an SST-like chunk-level network simulator with
+  fat-tree topologies and in-switch aggregation hooks.
+* ``repro.collectives`` — host-based baselines (ring, Rabenseifner,
+  recursive doubling, SparCML) and the in-network collectives built on
+  the network simulator.
+* ``repro.baselines`` — SwitchML and SHARP behavioral reference models.
+* ``repro.data`` — workload generators, including synthetic ResNet-50
+  gradients with bucket sparsification.
+* ``repro.figures`` — one runner per paper table/figure.
+
+Quickstart::
+
+    from repro import run_switch_allreduce
+    result = run_switch_allreduce("512KiB", children=16, n_clusters=4)
+    print(result.summary())
+"""
+
+from repro.core import (
+    FlareConfig,
+    run_switch_allreduce,
+    select_algorithm,
+    evaluate_design,
+    NetworkManager,
+)
+from repro.pspin import PsPINSwitch, SwitchConfig, CostModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FlareConfig",
+    "run_switch_allreduce",
+    "select_algorithm",
+    "evaluate_design",
+    "NetworkManager",
+    "PsPINSwitch",
+    "SwitchConfig",
+    "CostModel",
+    "__version__",
+]

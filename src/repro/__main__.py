@@ -1,0 +1,63 @@
+"""Command-line entry point: reproduce paper experiments.
+
+Usage::
+
+    python -m repro list                   # available experiments
+    python -m repro fig11                  # run one figure (paper scale)
+    python -m repro fig15 --fast           # reduced-scale smoke run
+    python -m repro all --fast             # everything
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+
+EXPERIMENTS = ("table1", "fig7", "fig10", "fig11", "fig13", "fig14", "fig15")
+
+
+def _run_one(name: str, fast: bool) -> None:
+    mod = importlib.import_module(f"repro.figures.{name}")
+    t0 = time.perf_counter()
+    result = mod.run(fast=fast)
+    elapsed = time.perf_counter() - t0
+    print(mod.render(result))
+    print(f"[{name} completed in {elapsed:.1f}s]")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the experiments of 'Flare: Flexible "
+        "In-Network Allreduce' (SC '21).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=EXPERIMENTS + ("all", "list"),
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="reduced-scale run (seconds instead of minutes)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in EXPERIMENTS:
+            mod = importlib.import_module(f"repro.figures.{name}")
+            doc = (mod.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:8s} {doc}")
+        return 0
+    targets = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for name in targets:
+        _run_one(name, args.fast)
+        if len(targets) > 1:
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

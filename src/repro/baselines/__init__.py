@@ -1,0 +1,21 @@
+"""Reference models of competing in-network reduction systems.
+
+SwitchML (NSDI'21, Tofino RMT pipeline) and SHARP (Mellanox
+fixed-function switches) are the two systems Fig. 11 compares Flare
+against; Table 1 compares thirteen systems along the three flexibility
+axes.  These behavioral models encode the published envelopes and
+constraints — they exist so the benchmark harness regenerates the
+paper's comparison lines from executable artifacts rather than
+hard-coded constants scattered through figure code.
+"""
+
+from repro.baselines.switchml import SwitchMLModel
+from repro.baselines.sharp import SHARPModel
+from repro.baselines.capability import CAPABILITY_MATRIX, capability_table
+
+__all__ = [
+    "SwitchMLModel",
+    "SHARPModel",
+    "CAPABILITY_MATRIX",
+    "capability_table",
+]

@@ -1,0 +1,60 @@
+"""Table 1: capability comparison of in-network allreduce systems.
+
+F1 — custom operators and data types; F2 — sparse data;
+F3 — reproducibility.  Values: "yes", "partial", "no", "?" (unknown),
+exactly as the paper's glyphs (filled / half / empty circle / question
+mark).  Citation keys are the paper's reference numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.tables import ascii_table
+
+
+@dataclass(frozen=True)
+class SystemCapabilities:
+    name: str
+    category: str        # fixed-function | fpga | programmable
+    reference: str       # paper citation
+    custom_ops: str      # F1
+    sparse: str          # F2
+    reproducible: str    # F3
+
+
+CAPABILITY_MATRIX: list[SystemCapabilities] = [
+    SystemCapabilities("SHArP", "fixed-function", "[9]", "no", "no", "yes"),
+    SystemCapabilities("SHARP-SAT", "fixed-function", "[16]", "no", "no", "yes"),
+    SystemCapabilities("Aries", "fixed-function", "[17]", "no", "no", "?"),
+    SystemCapabilities("Tofu-D", "fixed-function", "[18]", "no", "no", "?"),
+    SystemCapabilities("PERCS", "fixed-function", "[19]", "no", "no", "?"),
+    SystemCapabilities("Anton 2", "fixed-function", "[21]", "no", "no", "?"),
+    SystemCapabilities("NVIDIA shmem", "fixed-function", "[10]", "no", "no", "yes"),
+    SystemCapabilities("PANAMA", "fpga", "[22]", "no", "no", "yes"),
+    SystemCapabilities("NetReduce", "fpga", "[23]", "no", "no", "yes"),
+    SystemCapabilities("ATP", "programmable", "[24]", "partial", "no", "no"),
+    SystemCapabilities("SwitchML", "programmable", "[11]", "partial", "no", "yes"),
+    SystemCapabilities("OmniReduce", "programmable", "[25]", "partial", "partial", "no"),
+    SystemCapabilities("Flare", "programmable", "(this work)", "yes", "yes", "yes"),
+]
+
+
+def capability_table() -> str:
+    """Render Table 1 as text (the bench prints this)."""
+    rows = [
+        [s.name, s.category, s.reference, s.custom_ops, s.sparse, s.reproducible]
+        for s in CAPABILITY_MATRIX
+    ]
+    return ascii_table(
+        ["system", "category", "ref", "F1 custom ops", "F2 sparse", "F3 reproducible"],
+        rows,
+        title="Table 1: in-network allreduce capability comparison",
+    )
+
+
+def flare_dominates() -> bool:
+    """Invariant the tests pin down: Flare is the only full-'yes' row."""
+    full = [s for s in CAPABILITY_MATRIX if
+            (s.custom_ops, s.sparse, s.reproducible) == ("yes", "yes", "yes")]
+    return len(full) == 1 and full[0].name == "Flare"

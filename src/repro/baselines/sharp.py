@@ -1,0 +1,44 @@
+"""SHARP behavioral model (Mellanox Scalable Hierarchical Aggregation
+and Reduction Protocol).
+
+The paper's fixed-function reference (Secs. 2.1, 6.4): supports the
+standard MPI operators on integer and floating-point data, reproducible
+aggregation, no sparse support, no custom operators.  "The best
+available known data for SHARP (for a single switch) shows a 3.2 Tbps
+bandwidth (32 ports at 100Gbps), and we use this as a reference."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SHARPModel:
+    """Envelope model of a SHARP-capable switch."""
+
+    peak_tbps: float = 3.2
+    n_ports: int = 32
+    port_gbps: float = 100.0
+    supports_float: bool = True
+    supports_double: bool = True
+    supports_sparse: bool = False
+    supports_custom_ops: bool = False
+    reproducible: bool = True
+
+    def bandwidth_tbps(self, dtype_name: str) -> float:
+        """Aggregation bandwidth; the fixed pipeline is dtype-agnostic
+        across its supported set."""
+        supported = {"int8", "int16", "int32", "int64",
+                     "float16", "float32", "float64"}
+        if dtype_name not in supported:
+            return 0.0
+        return self.peak_tbps
+
+    def elements_per_second(self, dtype_name: str) -> float:
+        bw = self.bandwidth_tbps(dtype_name)
+        if bw == 0.0:
+            return 0.0
+        bits = {"int8": 8, "int16": 16, "int32": 32, "int64": 64,
+                "float16": 16, "float32": 32, "float64": 64}[dtype_name]
+        return bw * 1e12 / bits

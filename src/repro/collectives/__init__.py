@@ -1,0 +1,38 @@
+"""Host-based and in-network collectives.
+
+Two layers:
+
+* :mod:`repro.collectives.algorithms` — in-memory implementations of
+  the allreduce algorithms (ring, Rabenseifner, recursive doubling,
+  SparCML sparse) operating on real numpy arrays.  These are the golden
+  models: every schedule below moves exactly the bytes these algorithms
+  move.
+* Network *schedules* (``ring``, ``sparcml``, ``flare_dense``,
+  ``flare_sparse``) — event-driven simulations of the same algorithms on
+  :class:`repro.network.NetworkSimulator`, producing the completion
+  times and traffic volumes of Fig. 15.
+"""
+
+from repro.collectives.algorithms import (
+    ring_allreduce,
+    rabenseifner_allreduce,
+    recursive_doubling_allreduce,
+    sparcml_allreduce,
+)
+from repro.collectives.result import CollectiveResult
+from repro.collectives.ring import simulate_ring_allreduce
+from repro.collectives.sparcml import simulate_sparcml_allreduce
+from repro.collectives.flare_dense import simulate_flare_dense_allreduce
+from repro.collectives.flare_sparse import simulate_flare_sparse_allreduce
+
+__all__ = [
+    "ring_allreduce",
+    "rabenseifner_allreduce",
+    "recursive_doubling_allreduce",
+    "sparcml_allreduce",
+    "CollectiveResult",
+    "simulate_ring_allreduce",
+    "simulate_sparcml_allreduce",
+    "simulate_flare_dense_allreduce",
+    "simulate_flare_sparse_allreduce",
+]

@@ -1,0 +1,150 @@
+"""In-memory allreduce algorithm implementations.
+
+These run the *actual algorithms* on numpy arrays — each "process" is a
+list entry — and serve as golden models for the network schedules and
+as the host-based baselines' functional reference.  They deliberately
+mirror the communication structure (who combines what, in which order),
+so floating-point results match what a real MPI implementation of each
+algorithm would produce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check(arrays: list[np.ndarray]) -> int:
+    if not arrays:
+        raise ValueError("need at least one process")
+    n = len(arrays[0])
+    for a in arrays:
+        if len(a) != n:
+            raise ValueError("all processes must contribute equal-length vectors")
+    return n
+
+
+def ring_allreduce(arrays: list[np.ndarray]) -> list[np.ndarray]:
+    """Ring (Rabenseifner/bandwidth-optimal) allreduce.
+
+    Phase 1 (reduce-scatter): P-1 steps; in step s, rank i sends segment
+    (i - s) mod P to rank i+1 and accumulates the segment it receives.
+    Phase 2 (allgather): the fully reduced segments circulate P-1 steps.
+    Each rank sends 2(P-1)/P * Z elements total.
+    """
+    _check(arrays)
+    P = len(arrays)
+    if P == 1:
+        return [arrays[0].copy()]
+    work = [a.astype(a.dtype, copy=True) for a in arrays]
+    segments = [np.array_split(w, P) for w in work]
+    # Reduce-scatter.
+    for step in range(P - 1):
+        incoming = []
+        for i in range(P):
+            seg = (i - step) % P
+            incoming.append((i, ( i + 1) % P, seg))
+        for src, dst, seg in incoming:
+            segments[dst][seg] = segments[dst][seg] + segments[src][seg]
+    # After P-1 steps, rank i holds the full sum of segment (i+1) mod P.
+    # Allgather.
+    for step in range(P - 1):
+        for i in range(P):
+            seg = (i + 1 - step) % P
+            segments[(i + 1) % P][seg] = segments[i][seg].copy()
+    return [np.concatenate(segs) for segs in segments]
+
+
+def recursive_doubling_allreduce(arrays: list[np.ndarray]) -> list[np.ndarray]:
+    """Recursive doubling: log2(P) rounds of full-vector pairwise sums.
+
+    Requires a power-of-two process count (classic restriction).
+    """
+    _check(arrays)
+    P = len(arrays)
+    if P & (P - 1):
+        raise ValueError("recursive doubling needs a power-of-two process count")
+    work = [a.copy() for a in arrays]
+    dist = 1
+    while dist < P:
+        nxt = [None] * P
+        for i in range(P):
+            partner = i ^ dist
+            nxt[i] = work[i] + work[partner]
+        work = nxt
+        dist <<= 1
+    return work
+
+
+def rabenseifner_allreduce(arrays: list[np.ndarray]) -> list[np.ndarray]:
+    """Rabenseifner: recursive-halving reduce-scatter + doubling allgather."""
+    _check(arrays)
+    P = len(arrays)
+    if P & (P - 1):
+        raise ValueError("rabenseifner (halving/doubling) needs power-of-two P")
+    work = [a.copy() for a in arrays]
+    n = len(work[0])
+    # Reduce-scatter by recursive halving: track each rank's [lo, hi).
+    lo = [0] * P
+    hi = [n] * P
+    dist = P // 2
+    while dist >= 1:
+        # Pairs split their common range; the lower rank keeps the lower
+        # half.  Use pre-round copies so the pairwise exchange is
+        # symmetric and order-independent.
+        snapshot = [w.copy() for w in work]
+        for i in range(P):
+            partner = i ^ dist
+            mid = (lo[i] + hi[i]) // 2
+            if i < partner:
+                # Keep lower half; add partner's lower half.
+                work[i][lo[i]:mid] += snapshot[partner][lo[i]:mid]
+                hi[i] = mid
+            else:
+                work[i][mid:hi[i]] += snapshot[partner][mid:hi[i]]
+                lo[i] = mid
+        dist //= 2
+    # Allgather by recursive doubling.
+    dist = 1
+    while dist < P:
+        snapshot = [(w.copy(), lo[i], hi[i]) for i, w in enumerate(work)]
+        for i in range(P):
+            partner = i ^ dist
+            plo, phi = snapshot[partner][1], snapshot[partner][2]
+            work[i][plo:phi] = snapshot[partner][0][plo:phi]
+            lo[i] = min(lo[i], plo)
+            hi[i] = max(hi[i], phi)
+        dist <<= 1
+    return work
+
+
+def sparcml_allreduce(
+    sparse_inputs: list[tuple[np.ndarray, np.ndarray]],
+    span: int,
+) -> list[np.ndarray]:
+    """SparCML-style sparse allreduce (SSAR, recursive doubling).
+
+    Each process contributes ``(indices, values)``; log2(P) rounds of
+    pairwise sparse-sum exchange (index union, values added on overlap).
+    Returns the dense result per process — identical everywhere, equal
+    to the dense elementwise sum.
+    """
+    if not sparse_inputs:
+        raise ValueError("need at least one process")
+    P = len(sparse_inputs)
+    if P & (P - 1):
+        raise ValueError("SSAR recursive doubling needs power-of-two P")
+    dense = []
+    for idx, vals in sparse_inputs:
+        d = np.zeros(span, dtype=vals.dtype if len(vals) else np.float32)
+        if len(idx):
+            np.add.at(d, idx, vals)
+        dense.append(d)
+    # Sparse combine == dense sum on the union; recursive doubling of
+    # dense representations keeps the model simple while moving exactly
+    # the union sizes the schedule layer accounts for.
+    dist = 1
+    work = dense
+    while dist < P:
+        work = [work[i] + work[i ^ dist] for i in range(P)]
+        dist <<= 1
+    return work

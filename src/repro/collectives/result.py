@@ -1,0 +1,32 @@
+"""Common result type for network-simulated collectives."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CollectiveResult:
+    """Timing and traffic outcome of one simulated collective."""
+
+    name: str
+    n_hosts: int
+    vector_bytes: float          # dense-equivalent bytes per host
+    time_ns: float
+    traffic_bytes_hops: float    # sum over links of bytes carried
+    sent_bytes_per_host: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def time_ms(self) -> float:
+        return self.time_ns / 1e6
+
+    @property
+    def traffic_gib(self) -> float:
+        return self.traffic_bytes_hops / (1024**3)
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: {self.time_ms:.2f} ms, "
+            f"{self.traffic_gib:.2f} GiB traffic"
+        )

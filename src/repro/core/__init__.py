@@ -1,0 +1,80 @@
+"""Flare core: the paper's primary contribution.
+
+Dense in-network allreduce on the PsPIN switch substrate — the three
+aggregation designs of Sec. 6 (single buffer, multiple buffers, tree),
+the closed-form performance/occupancy models of Secs. 4-6, the staggered
+sending technique of Sec. 5, the algorithm-selection policy of Sec. 6.4,
+and the network-manager control plane of Sec. 4.
+"""
+
+from repro.core.config import FlareConfig
+from repro.core.ops import ReductionOp, SUM, MIN, MAX, PROD, get_op
+from repro.core.handler_base import HandlerConfig, PARENT_PORT
+from repro.core.models import (
+    ModelInputs,
+    single_buffer_model,
+    multi_buffer_model,
+    tree_model,
+    bandwidth_packets_per_cycle,
+    input_buffer_packets,
+    block_latency_cycles,
+    working_memory_buffers,
+    max_staggered_interarrival,
+    evaluate_design,
+    DesignPoint,
+)
+from repro.core.blockstate import BlockState, ChildrenBitmap
+from repro.core.buffers import BufferPool, AggregationBuffer
+from repro.core.single_buffer import SingleBufferHandler
+from repro.core.multi_buffer import MultiBufferHandler
+from repro.core.tree_buffer import TreeAggregationHandler
+from repro.core.policy import select_algorithm, ALGORITHMS
+from repro.core.staggered import staggered_schedule, sequential_schedule, arrival_stream
+from repro.core.manager import NetworkManager, ReductionTree
+from repro.core.allreduce import (
+    SwitchAllreduceResult,
+    run_switch_allreduce,
+    make_dense_blocks,
+    scale_bandwidth,
+)
+
+__all__ = [
+    "FlareConfig",
+    "ReductionOp",
+    "SUM",
+    "MIN",
+    "MAX",
+    "PROD",
+    "get_op",
+    "HandlerConfig",
+    "PARENT_PORT",
+    "ModelInputs",
+    "single_buffer_model",
+    "multi_buffer_model",
+    "tree_model",
+    "bandwidth_packets_per_cycle",
+    "input_buffer_packets",
+    "block_latency_cycles",
+    "working_memory_buffers",
+    "max_staggered_interarrival",
+    "evaluate_design",
+    "DesignPoint",
+    "BlockState",
+    "ChildrenBitmap",
+    "BufferPool",
+    "AggregationBuffer",
+    "SingleBufferHandler",
+    "MultiBufferHandler",
+    "TreeAggregationHandler",
+    "select_algorithm",
+    "ALGORITHMS",
+    "staggered_schedule",
+    "sequential_schedule",
+    "arrival_stream",
+    "NetworkManager",
+    "ReductionTree",
+    "SwitchAllreduceResult",
+    "run_switch_allreduce",
+    "make_dense_blocks",
+    "scale_bandwidth",
+]

@@ -1,0 +1,284 @@
+"""End-to-end switch-level dense allreduce driver.
+
+Ties the pieces together for one allreduce on one switch: the network
+manager computes a (single-switch) reduction tree and installs the
+chosen aggregation handler; hosts' packets are synthesized with
+staggered sending and exponential jitter; the PsPIN behavioral model
+executes them; the result reports bandwidth, memory occupancy, and the
+actual aggregated vectors (so tests verify numerics, not just timing).
+
+This driver is what the Fig. 11 benchmark runs.  Like the paper, the
+default simulates 4 clusters ("the actual PsPIN implementation only
+simulates 4 clusters") fed their fair share of line rate and scales
+bandwidth linearly to the 64-cluster design point ("because the
+clusters are organized in a shared-nothing configuration, we scale the
+results linearly with the number of deployed clusters").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import FlareConfig
+from repro.core.handler_base import HandlerConfig
+from repro.core.manager import NetworkManager
+from repro.core.ops import ReductionOp, SUM, get_op
+from repro.core.policy import AlgorithmChoice, build_handler, select_algorithm
+from repro.core.staggered import arrival_stream
+from repro.pspin.costs import CostModel, get_dtype
+from repro.pspin.packets import SwitchPacket
+from repro.pspin.switch import PsPINSwitch, SwitchConfig
+from repro.utils.rngtools import seeded_rng
+from repro.utils.units import parse_size
+
+#: The paper's full design point (Sec. 3): 64 clusters of 8 cores.
+FULL_CLUSTERS = 64
+
+
+def scale_bandwidth(sim_tbps: float, sim_clusters: int, target_clusters: int = FULL_CLUSTERS) -> float:
+    """Linear shared-nothing cluster scaling (paper Sec. 6.4)."""
+    if sim_clusters < 1:
+        raise ValueError("sim_clusters must be >= 1")
+    return sim_tbps * target_clusters / sim_clusters
+
+
+def make_dense_blocks(
+    n_hosts: int,
+    n_blocks: int,
+    n_elements: int,
+    dtype: str = "float32",
+    seed: int = 0,
+) -> np.ndarray:
+    """Random per-host block payloads, shape (hosts, blocks, elements).
+
+    Values are small integers stored in ``dtype`` so integer sums never
+    overflow for realistic host counts and float sums stay exact enough
+    to compare against a numpy golden model.
+    """
+    rng = seeded_rng(seed)
+    data = rng.integers(0, 7, size=(n_hosts, n_blocks, n_elements))
+    return data.astype(dtype)
+
+
+@dataclass
+class SwitchAllreduceResult:
+    """Outcome of one simulated switch-level allreduce."""
+
+    algorithm: str
+    data_bytes: int
+    dtype: str
+    n_children: int
+    n_blocks: int
+    sim_clusters: int
+    makespan_cycles: float
+    sim_bandwidth_tbps: float
+    bandwidth_tbps: float                 # scaled to the full design point
+    elements_per_second: float            # scaled
+    peak_input_buffer_bytes: int
+    peak_working_memory_bytes: float
+    contention_wait_cycles: float
+    icache_fills: int
+    deferred_arrivals: int
+    blocks_completed: int
+    outputs: dict[int, np.ndarray] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return (
+            f"{self.algorithm}: {self.bandwidth_tbps:.2f} Tbps "
+            f"({self.n_blocks} blocks x {self.n_children} children, "
+            f"makespan {self.makespan_cycles:.0f} cycles)"
+        )
+
+
+def run_switch_allreduce(
+    data_bytes: int | str,
+    children: int = 64,
+    algorithm: Optional[str] = None,
+    dtype: str = "float32",
+    n_clusters: int = 4,
+    cores_per_cluster: int = 8,
+    subset_size: Optional[int] = None,
+    scheduler: str = "hierarchical",
+    staggered: bool = True,
+    jitter: float = 1.0,
+    seed: int = 0,
+    reproducible: bool = False,
+    op: "str | ReductionOp" = "sum",
+    cost_model: Optional[CostModel] = None,
+    packet_bytes: int = 1024,
+    data: Optional[np.ndarray] = None,
+    cold_start: bool = True,
+    verify: bool = True,
+) -> SwitchAllreduceResult:
+    """Simulate one dense allreduce through a Flare switch.
+
+    Parameters mirror the paper's experimental knobs; see
+    :class:`repro.core.config.FlareConfig` for symbol definitions.
+    ``data`` may supply explicit payloads of shape
+    ``(children, n_blocks, elements_per_packet)``; otherwise random
+    payloads are generated.  With ``verify`` the aggregated outputs are
+    checked against a numpy golden reduction (exact for integers).
+    """
+    data_bytes = parse_size(data_bytes)
+    cost_model = cost_model or CostModel()
+    dt = get_dtype(dtype)
+    operator = get_op(op)
+
+    flare_cfg = FlareConfig(
+        n_clusters=n_clusters,
+        cores_per_cluster=cores_per_cluster,
+        children=children,
+        subset_size=subset_size,
+        packet_bytes=packet_bytes,
+        dtype_name=dtype,
+        data_bytes=data_bytes,
+        staggered=staggered,
+        reproducible=reproducible,
+        cost_model=cost_model,
+    )
+    n_blocks = flare_cfg.blocks
+    n_elements = flare_cfg.elements_per_packet
+
+    if algorithm is None:
+        choice = select_algorithm(data_bytes, reproducible=reproducible, op=operator)
+    elif algorithm.startswith("multi("):
+        choice = AlgorithmChoice("multi", int(algorithm[6:-1]), "explicit")
+    else:
+        choice = AlgorithmChoice(algorithm, 1, "explicit")
+
+    switch_cfg = SwitchConfig(
+        n_clusters=n_clusters,
+        cores_per_cluster=cores_per_cluster,
+        scheduler=scheduler,
+        subset_size=subset_size,
+        cost_model=cost_model,
+    )
+    switch = PsPINSwitch(switch_cfg)
+    if not cold_start:
+        for cluster in switch.clusters:
+            cluster.icache_load("flare-single")
+            cluster.icache_load("flare-tree")
+
+    manager = NetworkManager()
+    tree = manager.single_switch_tree(children)
+    hconf_holder: dict[int, HandlerConfig] = {}
+    installed = manager.install(
+        tree,
+        {0: switch},
+        data_bytes,
+        dtype_name=dtype,
+        reproducible=reproducible,
+        op=operator,
+        algorithm=choice.label,
+    )
+    hconf_holder[0] = installed.handler_configs[0]
+    handler_name = {
+        "single": "flare-single",
+        "multi": f"flare-multi{choice.n_buffers}",
+        "tree": "flare-tree",
+    }[choice.algorithm]
+    if not cold_start:
+        for cluster in switch.clusters:
+            cluster.icache_load(handler_name)
+
+    # ------------------------------------------------------------------
+    # Workload
+    # ------------------------------------------------------------------
+    if data is None:
+        data = make_dense_blocks(children, n_blocks, n_elements, dtype=dtype, seed=seed)
+    else:
+        expected = (children, n_blocks, n_elements)
+        if data.shape != expected:
+            raise ValueError(f"data shape {data.shape} != expected {expected}")
+
+    # Feed the simulated unit its fair share of line rate: a 4-cluster
+    # simulation of the 64-cluster switch sees 4/64 of the traffic.
+    delta_full = switch_cfg.packet_interarrival_cycles(packet_bytes)
+    delta_sim = delta_full * FULL_CLUSTERS / n_clusters
+    stream = arrival_stream(
+        n_hosts=children,
+        n_blocks=n_blocks,
+        delta=delta_sim,
+        staggered=staggered,
+        jitter=jitter,
+        seed=seed + 1,
+    )
+    allreduce_id = installed.allreduce_id
+    for sp in stream:
+        packet = SwitchPacket(
+            allreduce_id=allreduce_id,
+            block_id=sp.block,
+            port=sp.host,
+            payload=data[sp.host, sp.block],
+        )
+        switch.inject(packet, at=sp.time)
+
+    makespan = switch.run()
+
+    # ------------------------------------------------------------------
+    # Collect + verify
+    # ------------------------------------------------------------------
+    outputs: dict[int, np.ndarray] = {}
+    for _t, pkt in switch.egress:
+        outputs.setdefault(pkt.block_id, pkt.payload)
+    if verify:
+        _verify_outputs(outputs, data, operator, dtype)
+
+    payload_bytes = float(data.nbytes)
+    seconds = makespan / (cost_model.clock_ghz * 1e9) if makespan > 0 else float("inf")
+    sim_tbps = payload_bytes * 8.0 / seconds / 1e12 if makespan > 0 else 0.0
+    scaled_tbps = scale_bandwidth(sim_tbps, n_clusters)
+    elements_per_second = (
+        scale_bandwidth(payload_bytes / dt.size_bytes / seconds, n_clusters)
+        if makespan > 0
+        else 0.0
+    )
+    tel = switch.telemetry
+    handler = switch.handler(handler_name)
+    return SwitchAllreduceResult(
+        algorithm=choice.label,
+        data_bytes=data_bytes,
+        dtype=dtype,
+        n_children=children,
+        n_blocks=n_blocks,
+        sim_clusters=n_clusters,
+        makespan_cycles=makespan,
+        sim_bandwidth_tbps=sim_tbps,
+        bandwidth_tbps=scaled_tbps,
+        elements_per_second=elements_per_second,
+        peak_input_buffer_bytes=switch.memories.l2_packet.peak_bytes,
+        peak_working_memory_bytes=tel.working_memory_bytes.peak,
+        contention_wait_cycles=tel.contention_wait_cycles.value,
+        icache_fills=int(tel.icache_fills.value),
+        deferred_arrivals=int(tel.deferred_arrivals.value),
+        blocks_completed=handler.blocks_completed,
+        outputs=outputs,
+    )
+
+
+def _verify_outputs(
+    outputs: dict[int, np.ndarray],
+    data: np.ndarray,
+    operator: ReductionOp,
+    dtype: str,
+) -> None:
+    """Check every aggregated block against a numpy golden model."""
+    n_hosts, n_blocks, _ = data.shape
+    if len(outputs) != n_blocks:
+        raise AssertionError(
+            f"expected {n_blocks} aggregated blocks, got {len(outputs)}"
+        )
+    for block_id in range(n_blocks):
+        golden = data[0, block_id].copy()
+        for h in range(1, n_hosts):
+            operator.combine_into(golden, data[h, block_id])
+        got = outputs[block_id]
+        if np.issubdtype(golden.dtype, np.integer):
+            if not np.array_equal(got, golden):
+                raise AssertionError(f"block {block_id}: integer aggregation mismatch")
+        else:
+            if not np.allclose(got, golden, rtol=1e-5, atol=1e-5):
+                raise AssertionError(f"block {block_id}: float aggregation mismatch")

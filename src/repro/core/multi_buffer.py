@@ -1,0 +1,104 @@
+"""Multi-buffer aggregation (paper Sec. 6.2, Fig. 8).
+
+Each block owns up to B aggregation buffers.  A handler grabs whichever
+buffer is free *now*; if none is free but fewer than B exist it
+allocates a new one; if all B are locked it queues on the
+earliest-freeing one (the critical-section wait of Fig. 8, C1/C3).
+Contention probability drops roughly by 1/B, which is what lets
+multi-buffer recover bandwidth at intermediate message sizes where
+staggered sending cannot stretch delta_c past L (Fig. 10).
+
+The price: the handler that completes the children bitmap must fold the
+other B-1 partial buffers into one — (B-1)L extra cycles — and the block
+holds M = B working-memory buffers.
+"""
+
+from __future__ import annotations
+
+from repro.core.buffers import AggregationBuffer
+from repro.core.handler_base import AggregationHandlerBase, HandlerConfig, _BlockRecord
+from repro.pspin.switch import HandlerContext, HandlerResult
+
+
+class MultiBufferHandler(AggregationHandlerBase):
+    """B aggregation buffers per block (M = B)."""
+
+    def __init__(self, config: HandlerConfig, n_buffers: int) -> None:
+        if n_buffers < 1:
+            raise ValueError("n_buffers must be >= 1")
+        super().__init__(config)
+        self.n_buffers = n_buffers
+        self.name = f"flare-multi{n_buffers}"
+
+    def _worst_case_buffers(self) -> int:
+        return self.n_buffers
+
+    def _pick_buffer(
+        self, ctx: HandlerContext, rec: _BlockRecord, t: float, n_elements: int
+    ) -> tuple[AggregationBuffer, float]:
+        """Choose the buffer to aggregate into; returns (buffer, t).
+
+        Preference order (Fig. 8): a currently-free buffer, then a newly
+        allocated one (if under the B budget), then the one freeing
+        soonest.
+        """
+        buffers: list[AggregationBuffer] = rec.extra.setdefault("buffers", [])
+        for buf in buffers:
+            if buf.free_at <= t:
+                return buf, t
+        if len(buffers) < self.n_buffers:
+            t += ctx.costs.buffer_mgmt_cycles
+            pool = self._pool(ctx, rec.home_cluster)
+            buf = pool.allocate(n_elements, ctx.dispatch_time)
+            if buf is None:
+                # L1 exhausted: degrade to waiting on an existing buffer
+                # rather than failing the reduction.
+                if not buffers:
+                    raise MemoryError(
+                        f"L1 of cluster {rec.home_cluster} cannot fit any "
+                        f"aggregation buffer for block {rec.state.key}"
+                    )
+            else:
+                buffers.append(buf)
+                return buf, t
+        return min(buffers, key=lambda b: b.free_at), t
+
+    def _aggregate(self, ctx: HandlerContext, rec: _BlockRecord, t: float) -> HandlerResult:
+        packet = ctx.packet
+        penalty = self._remote_penalty(ctx, rec)
+        n_elements = len(packet.payload)
+
+        buf, t = self._pick_buffer(ctx, rec, t, n_elements)
+        hold = self._combine_cost(ctx, packet.payload.nbytes, penalty)
+        entry, wait = buf.acquire(t, hold)
+        t = entry + hold
+        self._write_into(buf, packet.payload)
+
+        if not rec.state.complete:
+            return HandlerResult(finish_time=t, wait_cycles=wait)
+
+        # Last handler: fold the remaining B-1 partial buffers into ours
+        # ((B-1)L extra cycles), waiting out any writer still inside its
+        # critical section.
+        buffers: list[AggregationBuffer] = rec.extra["buffers"]
+        pool = self._pool(ctx, rec.home_cluster)
+        nbytes_full = int(buf.data.nbytes)
+        for other in buffers:
+            if other is buf or not other.filled:
+                continue
+            merge_hold = self._combine_cost(ctx, nbytes_full, penalty)
+            entry, w = other.acquire(t, merge_hold)
+            wait += w
+            t = entry + merge_hold
+            self.config.op.combine_into(buf.data, other.data)
+        result_payload = buf.data.copy()
+        outputs = self._outputs_for(result_payload, packet.block_id)
+        for other in list(buffers):
+            pool.release(other, t)
+        self._finish_block(ctx, rec, t)
+        return HandlerResult(
+            finish_time=t,
+            outputs=outputs,
+            completed_block=rec.state.key,
+            wait_cycles=wait,
+        )

@@ -1,0 +1,180 @@
+"""Multi-switch (hierarchical) in-network allreduce (paper Fig. 1).
+
+Composes several PsPIN behavioral switches into the paper's recursive
+aggregation: leaf switches aggregate their hosts and forward one stream
+to a root switch, which aggregates the leaves and multicasts the fully
+reduced data back down.  All switches share one discrete-event clock,
+so end-to-end cycle counts compose, and the data path is exact — the
+root's output is checked against the numpy golden sum over every host.
+
+This is the switch-level (cycle-domain) counterpart of the chunk-level
+``repro.collectives.flare_dense`` schedule: use this one to study
+switch-internal behaviour across tree levels (e.g. sparse
+densification hitting the root, Sec. 7's "hash at the leaves, array at
+the root" guidance), and the network one for end-to-end times at scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.handler_base import HandlerConfig
+from repro.core.manager import NetworkManager
+from repro.core.ops import get_op
+from repro.core.staggered import arrival_stream
+from repro.pspin.costs import CostModel
+from repro.pspin.engine import Simulator
+from repro.pspin.packets import SwitchPacket
+from repro.pspin.switch import PsPINSwitch, SwitchConfig
+
+
+@dataclass
+class TwoLevelResult:
+    """Outcome of a two-level in-network allreduce."""
+
+    makespan_cycles: float
+    blocks_completed: int
+    outputs: dict[int, np.ndarray] = field(default_factory=dict)
+    leaf_egress_packets: int = 0
+    root_egress_packets: int = 0
+
+
+def run_two_level_allreduce(
+    n_leaves: int = 4,
+    hosts_per_leaf: int = 8,
+    n_blocks: int = 8,
+    elements_per_packet: int = 256,
+    dtype: str = "float32",
+    algorithm: str | None = None,
+    reproducible: bool = False,
+    op: str = "sum",
+    n_clusters: int = 2,
+    inter_switch_latency: float = 500.0,
+    seed: int = 0,
+    data: np.ndarray | None = None,
+    verify: bool = True,
+) -> TwoLevelResult:
+    """Aggregate across leaf switches and a root switch, end to end.
+
+    ``data`` has shape (n_leaves * hosts_per_leaf, n_blocks, elements);
+    random integers when omitted.  The root multicasts the result to its
+    children; we capture one copy per block for verification.
+    """
+    n_hosts = n_leaves * hosts_per_leaf
+    if data is None:
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 7, size=(n_hosts, n_blocks, elements_per_packet)).astype(dtype)
+
+    sim = Simulator()
+    cost_model = CostModel()
+    mk = lambda: PsPINSwitch(
+        SwitchConfig(n_clusters=n_clusters, cost_model=cost_model), sim=sim
+    )
+    leaves = {i: mk() for i in range(1, n_leaves + 1)}
+    root = mk()
+    switches: dict[int, PsPINSwitch] = {0: root, **leaves}
+
+    manager = NetworkManager()
+    tree = manager.two_level_tree(
+        hosts_per_leaf={
+            leaf_id: list(range((leaf_id - 1) * hosts_per_leaf, leaf_id * hosts_per_leaf))
+            for leaf_id in leaves
+        },
+        root_switch=0,
+    )
+    installed = manager.install(
+        tree,
+        switches,
+        data_bytes=n_blocks * elements_per_packet * data.dtype.itemsize,
+        dtype_name=dtype,
+        reproducible=reproducible,
+        op=get_op(op),
+        algorithm=algorithm,
+    )
+    allreduce_id = installed.allreduce_id
+
+    # Wire leaf egress into the root: the leaf's aggregate for block b
+    # arrives at the root on the port matching the leaf's index.
+    leaf_counters = {"packets": 0}
+
+    def make_uplink(leaf_index: int):
+        def uplink(time: float, packet: SwitchPacket) -> None:
+            leaf_counters["packets"] += 1
+            root.inject(
+                SwitchPacket(
+                    allreduce_id=allreduce_id,
+                    block_id=packet.block_id,
+                    port=leaf_index,
+                    payload=packet.payload,
+                ),
+                at=time + inter_switch_latency,
+            )
+
+        return uplink
+
+    for idx, leaf_id in enumerate(sorted(leaves)):
+        leaves[leaf_id].egress_callback = make_uplink(idx)
+
+    # Hosts inject into their leaf switch, staggered per leaf.
+    delta = SwitchConfig(n_clusters=n_clusters).packet_interarrival_cycles(
+        elements_per_packet * data.dtype.itemsize
+    ) * (64 / n_clusters)
+    for idx, leaf_id in enumerate(sorted(leaves)):
+        stream = arrival_stream(
+            n_hosts=hosts_per_leaf, n_blocks=n_blocks, delta=delta,
+            staggered=True, jitter=1.0, seed=seed + leaf_id,
+        )
+        base = idx * hosts_per_leaf
+        for sp in stream:
+            leaves[leaf_id].inject(
+                SwitchPacket(
+                    allreduce_id=allreduce_id,
+                    block_id=sp.block,
+                    port=sp.host,
+                    payload=data[base + sp.host, sp.block],
+                ),
+                at=sp.time,
+            )
+
+    sim.run()
+    makespan = sim.now
+
+    outputs: dict[int, np.ndarray] = {}
+    for _t, pkt in root.egress:
+        outputs.setdefault(pkt.block_id, pkt.payload)
+    if verify:
+        operator = get_op(op)
+        for b in range(n_blocks):
+            golden = data[0, b].copy()
+            for h in range(1, n_hosts):
+                operator.combine_into(golden, data[h, b])
+            got = outputs.get(b)
+            if got is None:
+                raise AssertionError(f"block {b} never reached the root")
+            if np.issubdtype(golden.dtype, np.integer):
+                assert np.array_equal(got, golden), f"block {b} mismatch"
+            else:
+                assert np.allclose(got, golden, rtol=1e-5), f"block {b} mismatch"
+
+    handler_names = {
+        "single": "flare-single", "tree": "flare-tree",
+    }
+    root_handler_name = None
+    for name in ("flare-single", "flare-multi2", "flare-multi4", "flare-tree"):
+        if name in root._handlers:
+            root_handler_name = name
+            break
+    blocks_done = (
+        root.handler(root_handler_name).blocks_completed
+        if root_handler_name
+        else 0
+    )
+    return TwoLevelResult(
+        makespan_cycles=makespan,
+        blocks_completed=blocks_done,
+        outputs=outputs,
+        leaf_egress_packets=leaf_counters["packets"],
+        root_egress_packets=len(root.egress),
+    )

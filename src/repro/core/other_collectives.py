@@ -1,0 +1,178 @@
+"""Other collectives on the Flare switch (paper Sec. 8).
+
+"Although we considered in this work the allreduce collective
+operation, other collectives like reduce, broadcast, and barrier can
+also be accelerated with Flare.  For example, a barrier can simply be
+implemented as an in-network allreduce with 0-bytes data."
+
+This module builds those on the same handler machinery:
+
+* **reduce** — allreduce without the downward multicast: the root
+  forwards the aggregate to the root *rank*'s port only.
+* **broadcast** — the inverse data path: one packet in, fan-out at the
+  switch (no aggregation state at all, just the multicast machinery).
+* **barrier** — a 0-element allreduce: completion of the children
+  bitmap *is* the synchronization; payloads are empty.
+* **coordination offload** — Sec. 8's Horovod deadlock note: ranks may
+  issue allreduces in different orders, so frameworks run an extra
+  agreement round on which tensor to reduce next.  Flare can host that
+  agreement as a tiny in-network reduction over per-rank ready bitmaps
+  (a bitwise-AND allreduce), which :func:`negotiate_ready_set` models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.handler_base import HandlerConfig
+from repro.core.ops import ReductionOp
+from repro.core.single_buffer import SingleBufferHandler
+from repro.core.tree_buffer import TreeAggregationHandler
+from repro.pspin.packets import SwitchPacket
+from repro.pspin.switch import PsPINSwitch, SwitchConfig
+
+
+@dataclass
+class SmallCollectiveResult:
+    """Outcome of a latency-class collective on one switch."""
+
+    name: str
+    n_children: int
+    completion_cycles: float
+    packets_out: int
+    payload: Optional[np.ndarray] = None
+
+
+def _base_switch(n_clusters: int = 1, cores_per_cluster: int = 8) -> PsPINSwitch:
+    cfg = SwitchConfig(n_clusters=n_clusters, cores_per_cluster=cores_per_cluster)
+    return PsPINSwitch(cfg)
+
+
+def run_reduce(
+    payloads: list[np.ndarray],
+    root_port: int = 0,
+    dtype: str = "float32",
+    op: "str | ReductionOp" = "sum",
+    arrival_gap: float = 4.0,
+) -> SmallCollectiveResult:
+    """In-network reduce: aggregate, deliver to the root rank only."""
+    switch = _base_switch()
+    hconf = HandlerConfig(
+        allreduce_id=1,
+        n_children=len(payloads),
+        dtype_name=dtype,
+        multicast_ports=[root_port],    # single destination = reduce
+        op=op,
+    )
+    handler = TreeAggregationHandler(hconf)
+    switch.register_handler(handler)
+    switch.parser.install_allreduce(1, handler.name)
+    for port, payload in enumerate(payloads):
+        switch.inject(
+            SwitchPacket(allreduce_id=1, block_id=0, port=port, payload=payload),
+            at=port * arrival_gap,
+        )
+    makespan = switch.run()
+    assert len(switch.egress) == 1
+    return SmallCollectiveResult(
+        name="reduce",
+        n_children=len(payloads),
+        completion_cycles=makespan,
+        packets_out=len(switch.egress),
+        payload=switch.egress[0][1].payload,
+    )
+
+
+def run_broadcast(
+    payload: np.ndarray,
+    n_children: int,
+    root_port: int = 0,
+    dtype: str = "float32",
+) -> SmallCollectiveResult:
+    """In-network broadcast: one ingress packet fans out to all ports.
+
+    Uses a single-child 'aggregation' whose multicast list is every
+    port — no reduction state, just the copy + multicast path.
+    """
+    switch = _base_switch()
+    hconf = HandlerConfig(
+        allreduce_id=1,
+        n_children=1,
+        dtype_name=dtype,
+        multicast_ports=list(range(n_children)),
+    )
+    handler = SingleBufferHandler(hconf)
+    switch.register_handler(handler)
+    switch.parser.install_allreduce(1, handler.name)
+    switch.inject(
+        SwitchPacket(allreduce_id=1, block_id=0, port=0, payload=payload), at=0.0
+    )
+    makespan = switch.run()
+    return SmallCollectiveResult(
+        name="broadcast",
+        n_children=n_children,
+        completion_cycles=makespan,
+        packets_out=len(switch.egress),
+        payload=switch.egress[0][1].payload if switch.egress else None,
+    )
+
+
+def run_barrier(n_children: int, arrival_gap: float = 2.0) -> SmallCollectiveResult:
+    """In-network barrier: a 0-byte allreduce (paper Sec. 8).
+
+    Every rank sends an empty packet; when the children bitmap fills,
+    the release multicasts back.  The completion time is the barrier
+    latency the ranks observe.
+    """
+    switch = _base_switch()
+    hconf = HandlerConfig(
+        allreduce_id=1,
+        n_children=n_children,
+        dtype_name="int8",
+        multicast_ports=list(range(n_children)),
+    )
+    handler = SingleBufferHandler(hconf)
+    switch.register_handler(handler)
+    switch.parser.install_allreduce(1, handler.name)
+    empty = np.zeros(0, dtype=np.int8)
+    for port in range(n_children):
+        switch.inject(
+            SwitchPacket(allreduce_id=1, block_id=0, port=port, payload=empty),
+            at=port * arrival_gap,
+        )
+    makespan = switch.run()
+    return SmallCollectiveResult(
+        name="barrier",
+        n_children=n_children,
+        completion_cycles=makespan,
+        packets_out=len(switch.egress),
+    )
+
+
+def negotiate_ready_set(ready_bitmaps: list[int], n_tensors: int) -> list[int]:
+    """Horovod-style coordination as an in-network bitwise-AND reduce.
+
+    Each rank contributes a bitmap of tensors it is ready to reduce; the
+    switch ANDs them; every rank receives the agreed set and processes
+    those tensors *in bit order* — a global total order that removes the
+    Sec. 8 deadlock ("each rank might issue those operations in a
+    different order, potentially leading to deadlock").
+
+    Returns the agreed tensor ids, in the deterministic order.
+    """
+    if not ready_bitmaps:
+        raise ValueError("need at least one rank")
+    if n_tensors < 1 or n_tensors > 32:
+        raise ValueError("bitmap negotiation supports 1..32 tensors per round")
+
+    def and_into(acc: np.ndarray, values: np.ndarray) -> None:
+        np.bitwise_and(acc, values, out=acc)
+
+    and_op = ReductionOp("band", and_into)
+    payloads = [np.array([b], dtype=np.int32) for b in ready_bitmaps]
+    result = run_reduce(payloads, dtype="int32", op=and_op)
+    agreed = int(result.payload[0])
+    return [t for t in range(n_tensors) if agreed & (1 << t)]

@@ -1,0 +1,107 @@
+"""Aggregation-algorithm selection (paper Sec. 6.4).
+
+"To optimize both compute and memory resources, Flare uses single
+buffer aggregation if the size of the data to be reduced is larger than
+512KiB, multi buffers with 4 buffers if larger than 256KiB, with 2
+buffers if larger than 128KiB, and tree aggregation otherwise.  When
+reproducibility of floating-point summation is required, Flare always
+uses tree aggregation."
+
+We implement that ladder literally (``paper`` mode).  The contention
+model of Sec. 6.2 — B*delta_c >= L makes B buffers contention-free —
+would instead assign multi(2) to (256, 512] KiB and multi(4) to
+(128, 256] KiB (the *larger* B compensating the *smaller* delta_c);
+``model`` mode selects that way.  Both are exposed because the paper's
+prose and its own Eq.-2-based reasoning disagree by a swap of the two
+multi-buffer bands (documented in DESIGN.md); the bandwidth difference
+between the two assignments is the (B-1)L/P merge overhead, well under
+2% at P=64.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import FlareConfig
+from repro.core.ops import ReductionOp, get_op
+from repro.utils.units import KIB, parse_size
+
+#: Algorithm identifiers used across handlers, models, and experiments.
+ALGORITHMS = ("single", "multi(2)", "multi(4)", "tree")
+
+
+@dataclass(frozen=True)
+class AlgorithmChoice:
+    """A selected aggregation design."""
+
+    algorithm: str          # "single" | "multi" | "tree"
+    n_buffers: int          # B (1 for single, irrelevant for tree)
+    reason: str
+
+    @property
+    def label(self) -> str:
+        if self.algorithm == "multi":
+            return f"multi({self.n_buffers})"
+        return self.algorithm
+
+
+def select_algorithm(
+    data_bytes: int | str,
+    reproducible: bool = False,
+    op: "str | ReductionOp" = "sum",
+    mode: str = "paper",
+) -> AlgorithmChoice:
+    """Pick the aggregation design for a reduction of ``data_bytes``.
+
+    Parameters
+    ----------
+    data_bytes:
+        Size of the data each host contributes (Z * element size).
+    reproducible:
+        Request bitwise-reproducible floating-point aggregation (F3);
+        forces tree aggregation.
+    op:
+        The reduction operator; non-commutative or non-associative
+        custom operators force tree aggregation too, since only the
+        fixed combine structure gives them well-defined semantics.
+    mode:
+        ``"paper"`` (Sec. 6.4 ladder as written) or ``"model"``
+        (Eq.-2-consistent band assignment) — see module docstring.
+    """
+    size = parse_size(data_bytes)
+    operator = get_op(op)
+    if reproducible:
+        return AlgorithmChoice("tree", 0, "reproducibility requested (F3)")
+    if not (operator.commutative and operator.associative):
+        return AlgorithmChoice(
+            "tree", 0, f"operator {operator.name!r} needs a fixed combine structure"
+        )
+    if mode not in ("paper", "model"):
+        raise ValueError(f"unknown policy mode {mode!r}")
+    if size > 512 * KIB:
+        return AlgorithmChoice("single", 1, "staggered sending covers delta_c >= L")
+    if size > 256 * KIB:
+        b = 4 if mode == "paper" else 2
+        return AlgorithmChoice("multi", b, f"{mode} ladder band (256KiB, 512KiB]")
+    if size > 128 * KIB:
+        b = 2 if mode == "paper" else 4
+        return AlgorithmChoice("multi", b, f"{mode} ladder band (128KiB, 256KiB]")
+    return AlgorithmChoice("tree", 0, "small data: contention-free regardless of delta_c")
+
+
+def build_handler(choice: AlgorithmChoice, handler_config) -> "object":
+    """Instantiate the handler object for a choice.
+
+    Imports locally to avoid a cycle (handlers import core modules).
+    """
+    from repro.core.multi_buffer import MultiBufferHandler
+    from repro.core.single_buffer import SingleBufferHandler
+    from repro.core.tree_buffer import TreeAggregationHandler
+
+    if choice.algorithm == "single":
+        return SingleBufferHandler(handler_config)
+    if choice.algorithm == "multi":
+        return MultiBufferHandler(handler_config, choice.n_buffers)
+    if choice.algorithm == "tree":
+        return TreeAggregationHandler(handler_config)
+    raise ValueError(f"unknown algorithm {choice.algorithm!r}")

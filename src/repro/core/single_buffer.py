@@ -1,0 +1,74 @@
+"""Single-buffer aggregation (paper Sec. 6.1, Fig. 6).
+
+All packets of a block accumulate into one shared aggregation buffer
+under a critical section.  The first handler to run copies its payload
+in; every later one adds element-wise; the one that completes the
+children bitmap reads the result back and emits it.
+
+Contention behaviour: the lock is the buffer's ``free_at`` timestamp,
+acquired in dispatch (FCFS) order.  A handler that finds the buffer
+locked spins — its core stays busy for the wait plus the aggregation,
+exactly the red-box behaviour of Fig. 6 — so with S cores per subset and
+intra-block interarrival below the service time, the average service
+time degrades to ``L (S-1)/2`` (Eq. 2), which is what caps single-buffer
+bandwidth for small messages (Fig. 7, Fig. 11).
+
+Floating-point caveat: values are added in *lock acquisition order*,
+i.e. packet dispatch order.  Across runs with different arrival
+interleavings the fp32 sum is NOT bitwise stable — this design does not
+provide reproducibility (use tree aggregation, Sec. 6.3).
+"""
+
+from __future__ import annotations
+
+from repro.core.buffers import AggregationBuffer
+from repro.core.handler_base import AggregationHandlerBase, HandlerConfig, _BlockRecord
+from repro.pspin.switch import HandlerContext, HandlerResult
+
+
+class SingleBufferHandler(AggregationHandlerBase):
+    """One aggregation buffer per block (M = 1)."""
+
+    name = "flare-single"
+
+    def __init__(self, config: HandlerConfig) -> None:
+        super().__init__(config)
+
+    def _aggregate(self, ctx: HandlerContext, rec: _BlockRecord, t: float) -> HandlerResult:
+        packet = ctx.packet
+        pool = self._pool(ctx, rec.home_cluster)
+        penalty = self._remote_penalty(ctx, rec)
+        n_elements = len(packet.payload)
+
+        buf: AggregationBuffer | None = rec.extra.get("buffer")
+        if buf is None:
+            t += ctx.costs.buffer_mgmt_cycles
+            buf = pool.allocate(n_elements, ctx.dispatch_time)
+            if buf is None:
+                raise MemoryError(
+                    f"L1 of cluster {rec.home_cluster} cannot fit an aggregation "
+                    f"buffer of {n_elements} elements; bound in-flight blocks "
+                    f"(paper Sec. 4.3) or use more clusters"
+                )
+            rec.extra["buffer"] = buf
+
+        # Critical section: copy-in for the first packet, operator-combine
+        # for later ones; both take L (Fig. 6 shows equal-length boxes —
+        # RI5CY load/compute/store dominates either way).
+        hold = self._combine_cost(ctx, packet.payload.nbytes, penalty)
+        entry, wait = buf.acquire(t, hold)
+        t = entry + hold
+        self._write_into(buf, packet.payload)
+
+        if rec.state.complete:
+            result_payload = buf.data.copy()
+            outputs = self._outputs_for(result_payload, packet.block_id)
+            pool.release(buf, t)
+            self._finish_block(ctx, rec, t)
+            return HandlerResult(
+                finish_time=t,
+                outputs=outputs,
+                completed_block=rec.state.key,
+                wait_cycles=wait,
+            )
+        return HandlerResult(finish_time=t, wait_cycles=wait)

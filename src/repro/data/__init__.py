@@ -1,0 +1,20 @@
+"""Workload generation: dense vectors, sparse vectors, and synthetic
+ResNet-50 gradients with bucket sparsification (the Fig. 15 workload).
+"""
+
+from repro.data.resnet50 import (
+    RESNET50_LAYER_SHAPES,
+    resnet50_parameter_count,
+    synthetic_gradients,
+    GradientWorkload,
+)
+from repro.data.buckets import bucket_top1_sparsify, bucket_union_counts
+
+__all__ = [
+    "RESNET50_LAYER_SHAPES",
+    "resnet50_parameter_count",
+    "synthetic_gradients",
+    "GradientWorkload",
+    "bucket_top1_sparsify",
+    "bucket_union_counts",
+]

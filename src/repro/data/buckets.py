@@ -1,0 +1,68 @@
+"""Bucket top-1 sparsification (the Fig. 15 SparCML configuration).
+
+"For sparse allreduces, the data is split in buckets of 512 values, and
+one single value is sent for each bucket (~0.2% density)."
+
+Top-1 selection keeps the largest-magnitude element of each bucket.
+Because workers share curvature (see :mod:`repro.data.resnet50`), their
+selected positions partially coincide — :func:`bucket_union_counts`
+measures exactly how much, which is the input the network-level sparse
+collectives need to size their per-level messages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def bucket_top1_sparsify(
+    vector: np.ndarray, bucket_span: int = 512
+) -> tuple[np.ndarray, np.ndarray]:
+    """Keep the max-|value| element of each bucket.
+
+    Returns global ``(indices, values)``, one entry per (non-empty)
+    bucket.  The tail bucket may be shorter than ``bucket_span``.
+    """
+    if bucket_span < 1:
+        raise ValueError("bucket_span must be >= 1")
+    n = len(vector)
+    n_full = n // bucket_span
+    indices = []
+    values = []
+    if n_full:
+        head = vector[: n_full * bucket_span].reshape(n_full, bucket_span)
+        arg = np.abs(head).argmax(axis=1)
+        rows = np.arange(n_full)
+        indices.append(rows * bucket_span + arg)
+        values.append(head[rows, arg])
+    tail = vector[n_full * bucket_span :]
+    if len(tail):
+        a = int(np.abs(tail).argmax())
+        indices.append(np.array([n_full * bucket_span + a]))
+        values.append(np.array([tail[a]]))
+    idx = np.concatenate(indices).astype(np.int64)
+    return idx, np.concatenate(values).astype(vector.dtype)
+
+
+def bucket_union_counts(
+    per_host_indices: list[np.ndarray],
+    group_sizes: list[int],
+) -> list[float]:
+    """Mean distinct-index count when grouping hosts ``group_sizes`` at
+    a time (e.g. [1, 8, 64] for host / leaf / root levels).
+
+    Groups are consecutive host ranges, mirroring how racks partition
+    hosts on the fat tree.  Returns mean union size per group for each
+    level, in the same units as the index arrays (absolute positions).
+    """
+    n_hosts = len(per_host_indices)
+    out: list[float] = []
+    for g in group_sizes:
+        if g < 1 or n_hosts % g != 0:
+            raise ValueError(f"group size {g} must divide host count {n_hosts}")
+        unions = []
+        for start in range(0, n_hosts, g):
+            u = np.unique(np.concatenate(per_host_indices[start : start + g]))
+            unions.append(len(u))
+        out.append(float(np.mean(unions)))
+    return out

@@ -1,0 +1,176 @@
+"""Synthetic ResNet-50 gradient traces (paper Sec. 7.1 substitution).
+
+The paper gathers the data exchanged during a real SparCML ResNet-50
+training iteration on 64 nodes ("Each host works on a 100MiB vector of
+floating point values").  We cannot re-run that training, so this
+module generates the closest synthetic equivalent:
+
+* the *true* ResNet-50 parameter tensor shapes (25.56M parameters,
+  102.2 MiB of fp32 — the paper's "100MiB vector"), laid out layer by
+  layer;
+* per-layer gradient scales following the heavy-tailed distribution
+  gradient norms exhibit across depth (earlier conv layers and BN
+  parameters carry larger per-element magnitudes than the huge fc /
+  late conv tensors);
+* per-host noise so workers agree on *where* gradients are large
+  (shared curvature) but differ in values — which is what makes top-k
+  selections partially overlap across workers, the property that
+  drives densification (Sec. 7) and hence Fig. 15's traffic numbers.
+
+DESIGN.md documents why this preserves the relevant behaviour: Fig. 15
+depends on data volume (matched exactly), density after bucket top-1
+selection (matched exactly: 1/512), and cross-host index overlap
+(controlled here via ``shared_fraction``, reported as a sensitivity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rngtools import seeded_rng
+
+#: (name, shape) for every parameter tensor of ResNet-50 (He et al.,
+#: CVPR'16), in forward order: conv1, 4 stages of bottleneck blocks
+#: [3, 4, 6, 3] with their projection shortcuts, then the classifier.
+#: BatchNorm weight+bias pairs follow each conv.  Totals 25,557,032
+#: parameters == 102.2 MiB of fp32.
+RESNET50_LAYER_SHAPES: list[tuple[str, tuple[int, ...]]] = []
+
+
+def _conv(name, out_c, in_c, k):
+    RESNET50_LAYER_SHAPES.append((name, (out_c, in_c, k, k)))
+    RESNET50_LAYER_SHAPES.append((name + ".bn.weight", (out_c,)))
+    RESNET50_LAYER_SHAPES.append((name + ".bn.bias", (out_c,)))
+
+
+def _bottleneck(stage, block, in_c, mid_c, out_c, downsample):
+    prefix = f"layer{stage}.{block}"
+    _conv(f"{prefix}.conv1", mid_c, in_c, 1)
+    _conv(f"{prefix}.conv2", mid_c, mid_c, 3)
+    _conv(f"{prefix}.conv3", out_c, mid_c, 1)
+    if downsample:
+        _conv(f"{prefix}.downsample", out_c, in_c, 1)
+
+
+def _build_resnet50():
+    _conv("conv1", 64, 3, 7)
+    cfg = [(1, 3, 64, 64, 256), (2, 4, 256, 128, 512),
+           (3, 6, 512, 256, 1024), (4, 3, 1024, 512, 2048)]
+    for stage, blocks, in_c, mid_c, out_c in cfg:
+        for b in range(blocks):
+            _bottleneck(stage, b, in_c if b == 0 else out_c, mid_c, out_c, b == 0)
+    RESNET50_LAYER_SHAPES.append(("fc.weight", (1000, 2048)))
+    RESNET50_LAYER_SHAPES.append(("fc.bias", (1000,)))
+
+
+_build_resnet50()
+
+
+def resnet50_parameter_count() -> int:
+    """Total parameters across all tensors (25,557,032)."""
+    return int(sum(int(np.prod(shape)) for _n, shape in RESNET50_LAYER_SHAPES))
+
+
+@dataclass
+class GradientWorkload:
+    """Per-host flat gradient vectors plus layout metadata."""
+
+    gradients: np.ndarray          # shape (n_hosts, n_params), float32
+    layer_offsets: list[tuple[str, int, int]]   # (name, start, end)
+    shared_fraction: float
+
+    @property
+    def n_hosts(self) -> int:
+        return self.gradients.shape[0]
+
+    @property
+    def n_params(self) -> int:
+        return self.gradients.shape[1]
+
+    @property
+    def bytes_per_host(self) -> int:
+        return self.n_params * 4
+
+
+def _layer_layout(n_params: int | None):
+    offsets: list[tuple[str, int, int]] = []
+    pos = 0
+    for name, shape in RESNET50_LAYER_SHAPES:
+        size = int(np.prod(shape))
+        offsets.append((name, pos, pos + size))
+        pos += size
+    total = pos
+    if n_params is not None:
+        total = min(total, int(n_params))
+        offsets = [(n, s, min(e, total)) for n, s, e in offsets if s < total]
+    return offsets, total
+
+
+def _layer_scales(offsets, total, scale, rng) -> np.ndarray:
+    layer_scale = np.empty(total, dtype=np.float32)
+    for _name, s, e in offsets:
+        size = e - s
+        layer_scale[s:e] = np.float32(
+            scale * np.exp(rng.normal(0.0, 1.0)) / np.sqrt(max(size, 1)) * 1e3
+        )
+    return layer_scale
+
+
+def iter_host_gradients(
+    n_hosts: int = 64,
+    seed: int = 0,
+    shared_fraction: float = 0.7,
+    scale: float = 1.0,
+    n_params: int | None = None,
+):
+    """Yield ``(host_id, gradient_vector)`` one host at a time.
+
+    Streaming variant of :func:`synthetic_gradients` for full-scale runs:
+    64 hosts x 100 MiB would otherwise hold ~6.4 GB resident, while the
+    Fig. 15 pipeline only needs one host's vector at a time (it keeps
+    the sparsified indices and discards the dense data).
+    """
+    if not 0 <= shared_fraction <= 1:
+        raise ValueError("shared_fraction must be in [0, 1]")
+    rng = seeded_rng(seed)
+    offsets, total = _layer_layout(n_params)
+    layer_scale = _layer_scales(offsets, total, scale, rng)
+    shared = rng.standard_normal(total).astype(np.float32) * layer_scale
+    for h in range(n_hosts):
+        noise = rng.standard_normal(total).astype(np.float32)
+        noise *= layer_scale
+        yield h, shared_fraction * shared + (1.0 - shared_fraction) * noise
+
+
+def synthetic_gradients(
+    n_hosts: int = 64,
+    seed: int = 0,
+    shared_fraction: float = 0.7,
+    scale: float = 1.0,
+    n_params: int | None = None,
+) -> GradientWorkload:
+    """Generate per-host ResNet-50-shaped gradient vectors.
+
+    Model: grad_h = shared_fraction * G + (1 - shared_fraction) * N_h,
+    where G is a common heavy-tailed component (shared curvature across
+    data-parallel workers on i.i.d. minibatches) and N_h is per-host
+    noise; each layer gets a log-normal magnitude scale.
+
+    ``n_params`` truncates the model for fast tests; None uses the full
+    25.56M parameters (~100 MiB per host — allocate accordingly).
+    """
+    offsets, _total = _layer_layout(n_params)
+    rows = [
+        vec
+        for _h, vec in iter_host_gradients(
+            n_hosts=n_hosts, seed=seed, shared_fraction=shared_fraction,
+            scale=scale, n_params=n_params,
+        )
+    ]
+    return GradientWorkload(
+        gradients=np.stack(rows),
+        layer_offsets=offsets,
+        shared_fraction=shared_fraction,
+    )

@@ -1,0 +1,63 @@
+"""Figure 10: modeled bandwidth and memory for all four aggregation
+designs at S=C across data sizes 64..512 KiB.
+
+Paper shapes: tree is flat at ~optimal bandwidth; multi(4) recovers
+before multi(2) before single as staggered sending gains room; at
+512 KiB single edges ahead (no buffer-management overhead); memory is
+single < multi(2) < multi(4) ~ tree, all a few MiB at most.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import FlareConfig
+from repro.core.models import evaluate_design
+from repro.utils.tables import series_block
+from repro.utils.units import bytes_to_mib, parse_size
+
+SIZES = ("64KiB", "128KiB", "256KiB", "512KiB")
+DESIGNS = (("single", 1), ("multi", 2), ("multi", 4), ("tree", 1))
+
+
+@dataclass
+class Fig10Result:
+    sizes: list[str] = field(default_factory=list)
+    bandwidth: dict = field(default_factory=dict)     # label -> [Tbps]
+    memory: dict = field(default_factory=dict)        # label -> [MiB]
+
+
+def run(fast: bool = False) -> Fig10Result:
+    result = Fig10Result(sizes=list(SIZES))
+    for algo, b in DESIGNS:
+        bws, mems = [], []
+        label = None
+        for size in SIZES:
+            cfg = FlareConfig(children=64, subset_size=8, data_bytes=parse_size(size))
+            point = evaluate_design(cfg, algo, n_buffers=b)
+            label = point.algorithm
+            bws.append(point.bandwidth_tbps)
+            # Total memory: input buffers + working memory, the paper's
+            # "Memory (MiB)" panel aggregates what the reduction holds.
+            mems.append(bytes_to_mib(point.working_memory_bytes))
+        result.bandwidth[label] = bws
+        result.memory[label] = mems
+    return result
+
+
+def render(result: Fig10Result) -> str:
+    top = series_block(
+        "Figure 10 (left): modeled bandwidth (Tbps), S=C",
+        "size", result.sizes,
+        {k: [round(v, 2) for v in vs] for k, vs in result.bandwidth.items()},
+    )
+    bottom = series_block(
+        "Figure 10 (right): modeled working memory (MiB)",
+        "size", result.sizes,
+        {k: [round(v, 3) for v in vs] for k, vs in result.memory.items()},
+    )
+    return top + "\n\n" + bottom
+
+
+if __name__ == "__main__":
+    print(render(run()))

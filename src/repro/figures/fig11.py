@@ -1,0 +1,105 @@
+"""Figure 11: simulated switch bandwidth vs data size (left) and
+elements/second per data type (right), against SwitchML and SHARP.
+
+Left panel (int32, sizes 1 KiB .. 1 MiB): only tree aggregation beats
+SwitchML's 1.6 Tbps at small sizes (cold i-cache + contention hurt
+single/multi); single buffer wins at >= 512 KiB, exceeding SHARP's
+3.2 Tbps line.
+
+Right panel (1 MiB): Flare's SIMD cores double the element rate for
+int16 and quadruple it for int8; SwitchML is flat (fixed elements per
+packet) and absent for float.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.sharp import SHARPModel
+from repro.baselines.switchml import SwitchMLModel
+from repro.core.allreduce import run_switch_allreduce
+from repro.utils.tables import series_block
+from repro.utils.units import parse_size
+
+#: Full mode stops at 512 KiB: the open-loop driver's working-memory
+#: admission stalls make the 1 MiB tree point pathologically slow to
+#: simulate; the curves are flat past 512 KiB (see EXPERIMENTS.md).
+SIZES_FULL = ("1KiB", "4KiB", "64KiB", "512KiB")
+SIZES_FAST = ("1KiB", "4KiB", "64KiB")
+DTYPES = ("int32", "int16", "int8", "float32")
+
+
+@dataclass
+class Fig11Result:
+    sizes: list[str] = field(default_factory=list)
+    bandwidth: dict = field(default_factory=dict)       # algo -> [Tbps]
+    switchml_tbps: float = 1.6
+    sharp_tbps: float = 3.2
+    dtypes: list[str] = field(default_factory=list)
+    elements_per_s: dict = field(default_factory=dict)  # system -> [el/s]
+
+
+def run(fast: bool = False, seed: int = 0) -> Fig11Result:
+    sizes = SIZES_FAST if fast else SIZES_FULL
+    children = 16 if fast else 64
+    n_clusters = 2 if fast else 4
+    result = Fig11Result(sizes=list(sizes))
+    switchml = SwitchMLModel()
+    sharp = SHARPModel()
+    result.switchml_tbps = switchml.bandwidth_tbps("int32")
+    result.sharp_tbps = sharp.bandwidth_tbps("int32")
+
+    for algo in ("single", "multi(4)", "tree"):
+        bws = []
+        for size in sizes:
+            r = run_switch_allreduce(
+                parse_size(size),
+                children=children,
+                n_clusters=n_clusters,
+                algorithm=algo,
+                dtype="int32",
+                seed=seed,
+                cold_start=True,
+            )
+            bws.append(r.bandwidth_tbps)
+        result.bandwidth[algo] = bws
+
+    # Right panel: elements/s at a large size per dtype (paper: 1 MiB;
+    # 512 KiB here, already on the flat part of the curve).
+    big = "64KiB" if fast else "512KiB"
+    result.dtypes = list(DTYPES)
+    flare_rates, switchml_rates = [], []
+    for dtype in DTYPES:
+        r = run_switch_allreduce(
+            parse_size(big),
+            children=children,
+            n_clusters=n_clusters,
+            algorithm="single",
+            dtype=dtype,
+            seed=seed,
+            cold_start=False,
+        )
+        flare_rates.append(r.elements_per_second)
+        switchml_rates.append(switchml.elements_per_second(dtype))
+    result.elements_per_s = {"Flare": flare_rates, "SwitchML": switchml_rates}
+    return result
+
+
+def render(result: Fig11Result) -> str:
+    series = {k: [round(v, 2) for v in vs] for k, vs in result.bandwidth.items()}
+    series["SwitchML (ref)"] = [round(result.switchml_tbps, 2)] * len(result.sizes)
+    series["SHARP (ref)"] = [round(result.sharp_tbps, 2)] * len(result.sizes)
+    left = series_block(
+        "Figure 11 (left): simulated bandwidth (Tbps), int32",
+        "size", result.sizes, series,
+    )
+    right = series_block(
+        "Figure 11 (right): elements aggregated per second (largest size)",
+        "dtype", result.dtypes,
+        {k: [f"{v:.2e}" for v in vs] for k, vs in result.elements_per_s.items()},
+    )
+    return left + "\n\n" + right
+
+
+if __name__ == "__main__":
+    print(render(run()))

@@ -1,0 +1,66 @@
+"""Figure 13: modeled sparse-allreduce bandwidth, hash vs array storage,
+for 64..512 KiB sparsified data at 10% density, all four designs.
+
+Paper shapes: sparse bandwidth sits well below the dense ~4 Tbps
+(costlier per-element handling + 8 B/element wire format); array
+storage outruns hash storage; the algorithm ordering mirrors the dense
+Fig. 10 (tree best at small sizes, single catching up with size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import FlareConfig
+from repro.sparse.models import sparse_design_point
+from repro.utils.tables import series_block
+from repro.utils.units import parse_size
+
+SIZES = ("64KiB", "256KiB", "512KiB")
+DESIGNS = (("single", 1), ("multi", 2), ("multi", 4), ("tree", 1))
+DENSITY = 0.10
+
+
+@dataclass
+class Fig13Result:
+    sizes: list[str] = field(default_factory=list)
+    density: float = DENSITY
+    #: bandwidth[storage][algorithm] -> [Tbps] aligned with sizes
+    bandwidth: dict = field(default_factory=dict)
+
+
+def run(fast: bool = False) -> Fig13Result:
+    result = Fig13Result(sizes=list(SIZES))
+    for storage in ("hash", "array"):
+        per_algo: dict[str, list[float]] = {}
+        for algo, b in DESIGNS:
+            bws = []
+            label = None
+            for size in SIZES:
+                cfg = FlareConfig(
+                    children=64, subset_size=8, data_bytes=parse_size(size)
+                )
+                point = sparse_design_point(cfg, algo, storage, DENSITY, n_buffers=b)
+                label = point.algorithm
+                bws.append(point.bandwidth_tbps)
+            per_algo[label] = bws
+        result.bandwidth[storage] = per_algo
+    return result
+
+
+def render(result: Fig13Result) -> str:
+    blocks = []
+    for storage, per_algo in result.bandwidth.items():
+        blocks.append(
+            series_block(
+                f"Figure 13: modeled sparse bandwidth (Tbps), {storage} storage, "
+                f"density {result.density:.0%}",
+                "size (sparsified)", result.sizes,
+                {k: [round(v, 2) for v in vs] for k, vs in per_algo.items()},
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+if __name__ == "__main__":
+    print(render(run()))

@@ -1,0 +1,76 @@
+"""Figure 7: single-buffer aggregation — modeled bandwidth, input-buffer
+occupancy, and working-memory occupancy, for S=1 vs S=C at 8/64/512 KiB.
+
+Paper shapes to reproduce:
+* S=1 sustains ~4.1 Tbps at every size but costs ~32 MiB of input
+  buffers at 8 KiB;
+* S=C collapses to ~1.2 Tbps at 8 KiB (buffer contention) and recovers
+  to ~4.1 Tbps by 512 KiB (staggered sending stretches delta_c past L);
+* working memory stays well under 1 MiB everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import FlareConfig
+from repro.core.models import evaluate_design
+from repro.utils.tables import ascii_table
+from repro.utils.units import bytes_to_mib, format_size, parse_size
+
+SIZES = ("8KiB", "64KiB", "512KiB")
+
+
+@dataclass
+class Fig7Result:
+    sizes: list[str] = field(default_factory=list)
+    #: series[S][metric] -> list aligned with sizes
+    series: dict = field(default_factory=dict)
+
+
+def run(fast: bool = False) -> Fig7Result:
+    """Evaluate the Fig. 7 model grid (closed-form; fast already)."""
+    result = Fig7Result(sizes=list(SIZES))
+    for label, subset in (("S=1", 1), ("S=C", 8)):
+        bw, inbuf, wmem = [], [], []
+        for size in SIZES:
+            cfg = FlareConfig(
+                children=64,
+                subset_size=subset,
+                data_bytes=parse_size(size),
+            )
+            point = evaluate_design(cfg, "single")
+            bw.append(point.bandwidth_tbps)
+            inbuf.append(bytes_to_mib(point.input_buffer_bytes))
+            wmem.append(bytes_to_mib(point.working_memory_bytes))
+        result.series[label] = {
+            "bandwidth_tbps": bw,
+            "input_buffer_mib": inbuf,
+            "working_memory_mib": wmem,
+        }
+    return result
+
+
+def render(result: Fig7Result) -> str:
+    rows = []
+    for i, size in enumerate(result.sizes):
+        row = [size]
+        for label in ("S=1", "S=C"):
+            s = result.series[label]
+            row += [
+                round(s["bandwidth_tbps"][i], 2),
+                round(s["input_buffer_mib"][i], 2),
+                round(s["working_memory_mib"][i], 3),
+            ]
+        rows.append(row)
+    return ascii_table(
+        ["size",
+         "S=1 band(Tbps)", "S=1 inbuf(MiB)", "S=1 wmem(MiB)",
+         "S=C band(Tbps)", "S=C inbuf(MiB)", "S=C wmem(MiB)"],
+        rows,
+        title="Figure 7: single-buffer aggregation (modeled)",
+    )
+
+
+if __name__ == "__main__":
+    print(render(run()))

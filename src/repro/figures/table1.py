@@ -1,0 +1,23 @@
+"""Table 1: the capability comparison (qualitative)."""
+
+from __future__ import annotations
+
+from repro.baselines.capability import CAPABILITY_MATRIX, capability_table, flare_dominates
+
+
+def run(fast: bool = False):
+    """Returns the capability matrix (no simulation involved)."""
+    return CAPABILITY_MATRIX
+
+
+def render(_result=None) -> str:
+    return capability_table()
+
+
+def verify() -> bool:
+    """Flare must be the unique system providing F1+F2+F3."""
+    return flare_dominates()
+
+
+if __name__ == "__main__":
+    print(render())

@@ -1,0 +1,24 @@
+"""SST-equivalent network simulator (paper Sec. 7.1, Fig. 15).
+
+The paper extends SST so switches can modify in-transit packets and
+evaluates host-based vs in-network allreduce on a simulated 64-node
+2-level fat tree.  This package rebuilds that substrate at chunk
+granularity: links with store-and-forward serialization and busy
+queues, a generalized two-level fat-tree topology with deterministic
+ECMP-style spine selection, and per-link traffic accounting (the
+bytes x hops quantity Fig. 15's right panel reports).
+"""
+
+from repro.network.links import Link
+from repro.network.topology import FatTreeTopology, NodeId
+from repro.network.simulator import NetworkSimulator, TrafficStats
+from repro.network.trees import embed_reduction_tree
+
+__all__ = [
+    "Link",
+    "FatTreeTopology",
+    "NodeId",
+    "NetworkSimulator",
+    "TrafficStats",
+    "embed_reduction_tree",
+]

@@ -1,0 +1,53 @@
+"""Point-to-point link model.
+
+A link serializes messages at its line rate and adds a fixed
+propagation + switching latency.  Serialization state is a
+``busy_until`` timestamp: transmissions queue FIFO behind one another,
+which is how congestion manifests at chunk granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Link:
+    """A directed link between two nodes."""
+
+    src: str
+    dst: str
+    gbps: float = 100.0
+    latency_ns: float = 250.0
+    busy_until: float = 0.0
+    bytes_carried: float = field(default=0.0, compare=False)
+    messages_carried: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.gbps <= 0:
+            raise ValueError("link rate must be positive")
+
+    @property
+    def bytes_per_ns(self) -> float:
+        return self.gbps * 1e9 / 8.0 / 1e9
+
+    def serialization_ns(self, nbytes: float) -> float:
+        return nbytes / self.bytes_per_ns
+
+    def transmit(self, nbytes: float, when: float) -> float:
+        """Queue ``nbytes`` at time ``when``; returns arrival time at dst.
+
+        The head of the message leaves when the link frees; arrival is
+        after full serialization plus propagation (store-and-forward).
+        """
+        if nbytes < 0:
+            raise ValueError("negative message size")
+        start = max(when, self.busy_until)
+        self.busy_until = start + self.serialization_ns(nbytes)
+        self.bytes_carried += nbytes
+        self.messages_carried += 1
+        return self.busy_until + self.latency_ns
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.src, self.dst)

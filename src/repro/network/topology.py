@@ -1,0 +1,155 @@
+"""Two-level fat-tree topology (paper Sec. 7.1).
+
+The paper evaluates on "a simulated 2-level fat tree network built with
+8-port 100Gbps switches, connecting 64 nodes".  A radix-exact 2-level
+tree of true 8-port switches cannot reach 64 hosts (16 leaves x 4 hosts
+would need 16-port spines), so — as documented in DESIGN.md — we default
+to XGFT(2; 8,8; 1,4): 8 leaf switches with 8 hosts each, 4 spine
+switches, every leaf wired to every spine.  Hop counts, which drive the
+traffic metric, match any 2-level tree: host-leaf-host within a rack,
+host-leaf-spine-leaf-host across racks.
+
+Node naming: hosts ``h<i>``, leaves ``l<j>``, spines ``s<k>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.links import Link
+
+NodeId = str
+
+
+@dataclass(frozen=True)
+class FatTreeParams:
+    n_hosts: int = 64
+    hosts_per_leaf: int = 8
+    n_spines: int = 4
+    link_gbps: float = 100.0
+    link_latency_ns: float = 250.0
+
+
+class FatTreeTopology:
+    """Two-level fat tree with full leaf-spine bipartite wiring."""
+
+    def __init__(
+        self,
+        n_hosts: int = 64,
+        hosts_per_leaf: int = 8,
+        n_spines: int = 4,
+        link_gbps: float = 100.0,
+        link_latency_ns: float = 250.0,
+    ) -> None:
+        if n_hosts % hosts_per_leaf != 0:
+            raise ValueError("hosts_per_leaf must divide n_hosts")
+        if n_spines < 1:
+            raise ValueError("need at least one spine")
+        self.n_hosts = n_hosts
+        self.hosts_per_leaf = hosts_per_leaf
+        self.n_leaves = n_hosts // hosts_per_leaf
+        self.n_spines = n_spines
+        self.link_gbps = link_gbps
+        self.link_latency_ns = link_latency_ns
+        self._links: dict[tuple[NodeId, NodeId], Link] = {}
+        for h in range(n_hosts):
+            leaf = self.leaf_of(f"h{h}")
+            self._add_duplex(f"h{h}", leaf)
+        for l in range(self.n_leaves):
+            for s in range(n_spines):
+                self._add_duplex(f"l{l}", f"s{s}")
+
+    def _add_duplex(self, a: NodeId, b: NodeId) -> None:
+        for src, dst in ((a, b), (b, a)):
+            self._links[(src, dst)] = Link(
+                src, dst, gbps=self.link_gbps, latency_ns=self.link_latency_ns
+            )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def hosts(self) -> list[NodeId]:
+        return [f"h{i}" for i in range(self.n_hosts)]
+
+    @property
+    def leaves(self) -> list[NodeId]:
+        return [f"l{i}" for i in range(self.n_leaves)]
+
+    @property
+    def spines(self) -> list[NodeId]:
+        return [f"s{i}" for i in range(self.n_spines)]
+
+    def leaf_of(self, host: NodeId) -> NodeId:
+        idx = int(host[1:])
+        if not 0 <= idx < self.n_hosts:
+            raise ValueError(f"unknown host {host}")
+        return f"l{idx // self.hosts_per_leaf}"
+
+    def hosts_under(self, leaf: NodeId) -> list[NodeId]:
+        j = int(leaf[1:])
+        base = j * self.hosts_per_leaf
+        return [f"h{i}" for i in range(base, base + self.hosts_per_leaf)]
+
+    def link(self, src: NodeId, dst: NodeId) -> Link:
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            raise ValueError(f"no link {src} -> {dst}") from None
+
+    def links(self) -> list[Link]:
+        return list(self._links.values())
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def spine_for(self, src: NodeId, dst: NodeId) -> NodeId:
+        """Deterministic ECMP: hash the (src, dst) pair onto a spine."""
+        return f"s{(hash((src, dst)) & 0x7FFFFFFF) % self.n_spines}"
+
+    def route(self, src: NodeId, dst: NodeId) -> list[NodeId]:
+        """Node path src -> ... -> dst (inclusive).
+
+        Up-down routing: climb from the source to the lowest common
+        level, cross one spine if the endpoints sit under different
+        leaves, descend to the destination.
+        """
+        if src == dst:
+            return [src]
+        path = [src]
+        # Climb: where is the source attached at leaf level?
+        if src.startswith("h"):
+            at = self.leaf_of(src)
+            path.append(at)
+        else:
+            at = src
+        # Destination's leaf (or itself, if a switch).
+        dst_leaf = self.leaf_of(dst) if dst.startswith("h") else dst
+        if at.startswith("l"):
+            if dst.startswith("s"):
+                path.append(dst)
+                return path
+            if at != dst_leaf:
+                path.append(self.spine_for(src, dst))
+                path.append(dst_leaf)
+        elif at.startswith("s"):
+            if dst_leaf.startswith("s"):
+                raise ValueError(f"no spine-to-spine path ({src} -> {dst})")
+            path.append(dst_leaf)
+        else:
+            raise ValueError(f"cannot route {src} -> {dst}")
+        if dst.startswith("h"):
+            path.append(dst)
+        # Drop a duplicate when dst was already the leaf we climbed to.
+        deduped = [path[0]]
+        for node in path[1:]:
+            if node != deduped[-1]:
+                deduped.append(node)
+        return deduped
+
+    def path_links(self, src: NodeId, dst: NodeId) -> list[Link]:
+        nodes = self.route(src, dst)
+        return [self.link(a, b) for a, b in zip(nodes, nodes[1:])]
+
+    def hop_count(self, src: NodeId, dst: NodeId) -> int:
+        return len(self.route(src, dst)) - 1

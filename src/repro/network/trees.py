@@ -1,0 +1,50 @@
+"""Reduction-tree embedding into the fat-tree topology (paper Sec. 4).
+
+For in-network allreduce the network manager picks a spine as the tree
+root; every leaf switch aggregates its local hosts and forwards one
+stream to the root, which aggregates the leaves and multicasts back
+down.  This module computes that embedding for a
+:class:`repro.network.topology.FatTreeTopology`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.topology import FatTreeTopology, NodeId
+
+
+@dataclass(frozen=True)
+class EmbeddedTree:
+    """A reduction tree mapped onto topology nodes."""
+
+    root: NodeId                         # spine switch
+    leaves: tuple[NodeId, ...]           # leaf switches, in order
+    hosts_of: dict[NodeId, tuple[NodeId, ...]]  # leaf -> its hosts
+
+    @property
+    def fan_ins(self) -> list[int]:
+        """Per-level child counts, hosts upward (for densification)."""
+        per_leaf = len(next(iter(self.hosts_of.values())))
+        return [per_leaf, len(self.leaves)]
+
+    def all_hosts(self) -> list[NodeId]:
+        out: list[NodeId] = []
+        for leaf in self.leaves:
+            out.extend(self.hosts_of[leaf])
+        return out
+
+
+def embed_reduction_tree(
+    topology: FatTreeTopology, root_spine: int = 0
+) -> EmbeddedTree:
+    """Embed the canonical two-level reduction tree.
+
+    All hosts participate; each leaf aggregates its rack, spine
+    ``root_spine`` aggregates the leaves.
+    """
+    if not 0 <= root_spine < topology.n_spines:
+        raise ValueError(f"spine s{root_spine} does not exist")
+    leaves = tuple(topology.leaves)
+    hosts_of = {leaf: tuple(topology.hosts_under(leaf)) for leaf in leaves}
+    return EmbeddedTree(root=f"s{root_spine}", leaves=leaves, hosts_of=hosts_of)

@@ -1,0 +1,52 @@
+"""A PsPIN cluster: HPUs + L1 TCDM + DMA + instruction cache state.
+
+Clusters are shared-nothing for Flare's purposes (the paper scales the
+4-cluster RTL simulation linearly to 64 clusters on that basis), so the
+cluster object owns everything a block's aggregation touches: the L1
+scratchpad where its buffers live and the i-cache that must hold the
+handler image before the first packet runs at full speed.
+"""
+
+from __future__ import annotations
+
+from repro.pspin.hpu import HPU
+from repro.pspin.memory import MemoryAccounting, MemoryRegion
+
+
+class Cluster:
+    """One cluster of ``cores_per_cluster`` HPUs with a private L1."""
+
+    def __init__(self, cluster_id: int, cores_per_cluster: int, l1_bytes: int = 1024 * 1024) -> None:
+        self.cluster_id = cluster_id
+        self.hpus: list[HPU] = [
+            HPU(hpu_id=cluster_id * cores_per_cluster + i, cluster_id=cluster_id)
+            for i in range(cores_per_cluster)
+        ]
+        self.l1 = MemoryRegion(f"L1[{cluster_id}]", l1_bytes)
+        #: Handler images currently resident in the 4 KiB i-cache.
+        self._icache: set[str] = set()
+
+    def icache_warm(self, handler_name: str) -> bool:
+        """True if the handler image is already resident."""
+        return handler_name in self._icache
+
+    def icache_load(self, handler_name: str) -> None:
+        """Load a handler image (evicting nothing — Flare installs one
+        aggregation handler per switch; multi-handler eviction would only
+        matter for workloads this reproduction does not model)."""
+        self._icache.add(handler_name)
+
+    def icache_flush(self) -> None:
+        """Drop all resident images (used to re-create cold-start runs)."""
+        self._icache.clear()
+
+    def free_hpu(self, now: float) -> HPU | None:
+        """Earliest-indexed free HPU, or None."""
+        for hpu in self.hpus:
+            if hpu.is_free(now):
+                return hpu
+        return None
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.hpus)

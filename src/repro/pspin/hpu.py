@@ -1,0 +1,55 @@
+"""Handler Processing Unit (HPU).
+
+Each HPU is one RI5CY core executing sPIN handlers to completion —
+"to avoid expensive context switches, PsPIN handlers are never suspended
+and terminate only after the packet has been processed" (Sec. 6.1).
+The behavioral model therefore reduces an HPU to a ``busy_until``
+timestamp plus utilization accounting; all cost arithmetic lives in the
+handlers and the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class HPU:
+    """One handler processing unit.
+
+    Attributes
+    ----------
+    hpu_id:
+        Global core index (0 .. K-1).
+    cluster_id:
+        Cluster this core belongs to (hpu_id // cores_per_cluster).
+    busy_until:
+        Absolute cycle at which the current handler retires; the core is
+        free iff ``busy_until <= now``.
+    """
+
+    hpu_id: int
+    cluster_id: int
+    busy_until: float = 0.0
+    #: True while a handler's continuation decision is outstanding: the
+    #: core may extend itself at ``busy_until`` (tree merges), so no
+    #: dispatcher may claim it until the decision event has run — even
+    #: if another event fires at exactly the same timestamp first.
+    pending_decision: bool = field(default=False, compare=False)
+    handlers_run: int = field(default=0, compare=False)
+    busy_cycles: float = field(default=0.0, compare=False)
+
+    def is_free(self, now: float) -> bool:
+        return self.busy_until <= now and not self.pending_decision
+
+    def occupy(self, start: float, finish: float) -> None:
+        """Mark the core busy for [start, finish)."""
+        if finish < start:
+            raise ValueError(f"handler finishes before it starts ({finish} < {start})")
+        if start < self.busy_until:
+            raise RuntimeError(
+                f"HPU {self.hpu_id} double-booked: start {start} < busy_until {self.busy_until}"
+            )
+        self.busy_until = finish
+        self.handlers_run += 1
+        self.busy_cycles += finish - start

@@ -1,0 +1,94 @@
+"""Memory capacity and occupancy accounting.
+
+Models the three memories the paper manages explicitly (Sec. 3-4):
+
+* **L2 packet memory** (4 MiB): input buffers — packets occupy it from
+  arrival until their handler completes (queueing time + service time).
+* **L1 TCDM** (1 MiB per cluster): working memory — aggregation buffers
+  live here for the lifetime of a block.
+* **L2 handler memory** (4 MiB) and **L2 program memory** (32 KiB) are
+  tracked for completeness (handler state / code images).
+
+Occupancy is tracked as a time-weighted series so experiments can report
+both the peak (what must fit) and the average (what Little's law
+predicts) — Fig. 7's "Inp. Buff." and "Work. Mem." panels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class MemoryRegion:
+    """A byte-accounted memory region with peak/time-weighted tracking."""
+
+    def __init__(self, name: str, capacity_bytes: int) -> None:
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self.used_bytes = 0
+        self.peak_bytes = 0
+        self._weighted_sum = 0.0   # integral of used_bytes over time
+        self._last_time = 0.0
+        self.alloc_failures = 0
+
+    def _advance(self, now: float) -> None:
+        if now > self._last_time:
+            self._weighted_sum += self.used_bytes * (now - self._last_time)
+            self._last_time = now
+
+    def allocate(self, nbytes: int, now: float) -> bool:
+        """Reserve ``nbytes``; returns False (and counts a failure) if full.
+
+        The paper's behaviour on exhaustion is network-specific ("the
+        packet is dropped or congestion is notified", Sec. 3 fn. 2); the
+        caller decides, we only account.
+        """
+        if nbytes < 0:
+            raise ValueError("negative allocation")
+        self._advance(now)
+        if self.used_bytes + nbytes > self.capacity_bytes:
+            self.alloc_failures += 1
+            return False
+        self.used_bytes += nbytes
+        self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+        return True
+
+    def release(self, nbytes: int, now: float) -> None:
+        """Return ``nbytes`` to the region."""
+        self._advance(now)
+        if nbytes > self.used_bytes:
+            raise ValueError(
+                f"{self.name}: releasing {nbytes} B but only {self.used_bytes} B in use"
+            )
+        self.used_bytes -= nbytes
+
+    def average_bytes(self, now: float) -> float:
+        """Time-weighted average occupancy up to ``now``."""
+        self._advance(now)
+        if self._last_time == 0:
+            return 0.0
+        return self._weighted_sum / self._last_time
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+
+@dataclass
+class MemoryAccounting:
+    """The PsPIN memory map (paper Sec. 3 / Fig. 2 defaults)."""
+
+    l2_packet: MemoryRegion = field(
+        default_factory=lambda: MemoryRegion("L2 packet", 4 * 1024 * 1024)
+    )
+    l2_handler: MemoryRegion = field(
+        default_factory=lambda: MemoryRegion("L2 handler", 4 * 1024 * 1024)
+    )
+    l2_program: MemoryRegion = field(
+        default_factory=lambda: MemoryRegion("L2 program", 32 * 1024)
+    )
+
+    @staticmethod
+    def l1_tcdm() -> MemoryRegion:
+        """A fresh per-cluster 1 MiB L1 scratchpad region."""
+        return MemoryRegion("L1 TCDM", 1024 * 1024)

@@ -1,0 +1,344 @@
+"""Full PsPIN switch assembly and event loop glue.
+
+The switch wires together the parser, the packet scheduler, the clusters
+and the memories, and drives handler execution through the discrete-event
+engine.  Aggregation *logic* (what a handler does with a packet and what
+it costs) is supplied by handler objects from ``repro.core`` (dense) and
+``repro.sparse`` — the switch only provides the substrate, mirroring how
+sPIN separates the NIC/switch architecture from user handlers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol
+
+from repro.pspin.cluster import Cluster
+from repro.pspin.costs import CostModel
+from repro.pspin.engine import Simulator
+from repro.pspin.memory import MemoryAccounting
+from repro.pspin.packets import SwitchPacket
+from repro.pspin.parser import PacketParser
+from repro.pspin.scheduler import FCFSScheduler, HierarchicalFCFSScheduler
+from repro.pspin.telemetry import Telemetry
+
+
+@dataclass
+class SwitchConfig:
+    """Dimensions and policies of one PsPIN switch.
+
+    Defaults follow the paper's target design point (Sec. 3): 64 clusters
+    of 8 HPUs within a 180 mm^2 processing-unit area budget, 64 ports at
+    100 Gbps.  The paper's RTL simulations use 4 clusters and scale
+    linearly ("the clusters are organized in a shared-nothing
+    configuration"); set ``n_clusters=4`` and use
+    ``repro.core.allreduce.scale_bandwidth`` to do the same.
+    """
+
+    n_clusters: int = 64
+    cores_per_cluster: int = 8
+    n_ports: int = 64
+    port_gbps: float = 100.0
+    scheduler: str = "hierarchical"  # "hierarchical" | "fcfs"
+    subset_size: Optional[int] = None  # S; defaults to cores_per_cluster
+    cost_model: CostModel = field(default_factory=CostModel)
+    l1_bytes: int = 1024 * 1024
+    drop_on_full: bool = False
+
+    @property
+    def n_cores(self) -> int:
+        return self.n_clusters * self.cores_per_cluster
+
+    @property
+    def line_rate_bytes_per_cycle(self) -> float:
+        """Aggregate ingress line rate in bytes/cycle at the 1 GHz clock."""
+        bits_per_second = self.n_ports * self.port_gbps * 1e9
+        return bits_per_second / 8.0 / (self.cost_model.clock_ghz * 1e9)
+
+    def packet_interarrival_cycles(self, packet_bytes: int) -> float:
+        """delta: mean cycles between packet arrivals at full line rate."""
+        return packet_bytes / self.line_rate_bytes_per_cycle
+
+
+@dataclass
+class HandlerContext:
+    """Everything a handler may consult while processing one packet."""
+
+    switch: "PsPINSwitch"
+    packet: SwitchPacket
+    cluster: Cluster
+    hpu_id: int
+    dispatch_time: float   # when the core picked the packet up
+    start_time: float      # dispatch_time + i-cache fill penalty (if any)
+
+    @property
+    def costs(self) -> CostModel:
+        return self.switch.config.cost_model
+
+
+@dataclass
+class HandlerResult:
+    """What one handler invocation did.
+
+    ``finish_time`` is absolute (cycles); the HPU is busy from dispatch
+    to finish, *including* any cycles spent spinning on a critical
+    section (PsPIN handlers are never suspended, Sec. 6.1).
+
+    ``continuation``, if set, is invoked when ``finish_time`` is reached
+    and may return a further :class:`HandlerResult` that *extends* the
+    same handler on the same core.  Tree aggregation needs this: whether
+    a handler climbs the merge tree depends on which sibling buffer
+    filled *last*, which is only known at its own finish time, not at
+    dispatch time (Sec. 6.3: "the computation on the next level of the
+    tree is carried only if a core finds available data in both
+    buffers").
+    """
+
+    finish_time: float
+    outputs: list[SwitchPacket] = field(default_factory=list)
+    completed_block: Optional[tuple[int, int]] = None
+    wait_cycles: float = 0.0
+    continuation: Optional[Callable[[float], Optional["HandlerResult"]]] = None
+
+
+class Handler(Protocol):
+    """Aggregation-handler interface (the sPIN 'packet handler')."""
+
+    name: str
+
+    def process(self, ctx: HandlerContext) -> HandlerResult: ...
+
+
+class PsPINSwitch:
+    """Behavioral PsPIN switch: inject packets, run, read telemetry.
+
+    Typical use::
+
+        sw = PsPINSwitch(SwitchConfig(n_clusters=4))
+        sw.register_handler(SingleBufferHandler(...))
+        sw.parser.install_allreduce(allreduce_id=1, handler="flare-single")
+        for t, pkt in arrivals:
+            sw.inject(pkt, at=t)
+        makespan = sw.run()
+    """
+
+    #: Poll interval for packets stalled on working-memory admission.
+    WORKING_MEMORY_RETRY_CYCLES = 1024.0
+
+    def __init__(self, config: SwitchConfig, sim: Optional[Simulator] = None) -> None:
+        if config.subset_size is None:
+            config.subset_size = config.cores_per_cluster
+        self.config = config
+        self.sim = sim or Simulator()
+        self.clusters = [
+            Cluster(i, config.cores_per_cluster, config.l1_bytes)
+            for i in range(config.n_clusters)
+        ]
+        self._hpus = [hpu for cl in self.clusters for hpu in cl.hpus]
+        if config.scheduler == "hierarchical":
+            self.scheduler = HierarchicalFCFSScheduler(self._hpus, config.subset_size)
+        elif config.scheduler == "fcfs":
+            self.scheduler = FCFSScheduler(self._hpus)
+        else:
+            raise ValueError(f"unknown scheduler {config.scheduler!r}")
+        self.parser = PacketParser()
+        self.memories = MemoryAccounting()
+        self.telemetry = Telemetry()
+        self._handlers: dict[str, Handler] = {}
+        self.egress: list[tuple[float, SwitchPacket]] = []
+        self.egress_callback: Optional[Callable[[float, SwitchPacket], None]] = None
+        self._first_arrival: Optional[float] = None
+        self._last_completion: float = 0.0
+        #: Packets held at the ingress by back-pressure, FIFO.
+        self._admission_queue: deque[SwitchPacket] = deque()
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def register_handler(self, handler: Handler) -> None:
+        """Install a handler image (control-plane operation, Sec. 4)."""
+        self._handlers[handler.name] = handler
+
+    def handler(self, name: str) -> Handler:
+        return self._handlers[name]
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def inject(self, packet: SwitchPacket, at: float) -> None:
+        """Schedule a packet arrival at absolute cycle ``at``."""
+        self.sim.schedule_at(at, self._on_arrival, packet)
+
+    def _on_arrival(self, packet: SwitchPacket) -> None:
+        now = self.sim.now
+        packet.arrival_time = now
+        if self._first_arrival is None:
+            self._first_arrival = now
+        self.telemetry.packets_in.add(1)
+        self.telemetry.bytes_in.add(packet.wire_bytes)
+        handler_name = self.parser.classify(packet)
+        if handler_name is None:
+            # Bypass: straight to routing, no processing-unit involvement.
+            self._emit(now, packet)
+            return
+        if not self.memories.l2_packet.allocate(packet.wire_bytes, now):
+            # Input buffers full.  The paper leaves the reaction to the
+            # surrounding network ("the packet is dropped or congestion
+            # is notified before filling the buffer", Sec. 3 fn. 2):
+            # dropping exercises the retransmission path; otherwise we
+            # model credit-based back-pressure: the packet waits at the
+            # ingress (upstream link holds it) and is admitted FIFO as
+            # soon as a buffer frees — one event per admission, so a
+            # saturated run costs O(packets), not O(packets x retries).
+            if self.config.drop_on_full:
+                self.telemetry.dropped_packets.add(1)
+            else:
+                self.telemetry.deferred_arrivals.add(1)
+                self._admission_queue.append(packet)
+                # Undo the ingress accounting; admission will re-count.
+                self.telemetry.packets_in.add(-1)
+                self.telemetry.bytes_in.add(-packet.wire_bytes)
+            return
+        packet._handler_name = handler_name  # type: ignore[attr-defined]
+        self.scheduler.enqueue(packet)
+        self.telemetry.queued_packets.record(now, self.scheduler.queued())
+        self.telemetry.input_buffer_bytes.record(now, self.memories.l2_packet.used_bytes)
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        now = self.sim.now
+        for hpu, packet in self.scheduler.dispatch(now):
+            cluster = self.clusters[hpu.cluster_id]
+            handler_name: str = packet._handler_name  # type: ignore[attr-defined]
+            handler = self._handlers[handler_name]
+            start = now
+            if not cluster.icache_warm(handler_name):
+                cluster.icache_load(handler_name)
+                start += self.config.cost_model.icache_fill_cycles
+                self.telemetry.icache_fills.add(1)
+            ctx = HandlerContext(
+                switch=self,
+                packet=packet,
+                cluster=cluster,
+                hpu_id=hpu.hpu_id,
+                dispatch_time=now,
+                start_time=start,
+            )
+            try:
+                result = handler.process(ctx)
+            except Exception as exc:
+                if type(exc).__name__ == "WorkingMemoryStall":
+                    # Working memory cannot admit this block yet: the
+                    # packet stays in its input buffer and re-queues; the
+                    # core burns the check cost and frees shortly.  This
+                    # is the switch-side face of the Sec. 4.3 in-flight
+                    # block bound.
+                    # Back off roughly one aggregation time: memory frees
+                    # at block-completion granularity, so finer polling
+                    # only burns core cycles and simulator events.
+                    retry_at = now + self.WORKING_MEMORY_RETRY_CYCLES
+                    hpu.occupy(now, retry_at)
+                    self.telemetry.stalled_admissions.add(1)
+                    self.scheduler.enqueue(packet)
+                    self.sim.schedule_at(retry_at, self._dispatch, priority=0)
+                    continue
+                raise
+            if result.finish_time < start:
+                raise RuntimeError(
+                    f"handler {handler_name} finished before it started "
+                    f"({result.finish_time} < {start})"
+                )
+            hpu.occupy(now, result.finish_time)
+            hpu.pending_decision = result.continuation is not None
+            self.telemetry.handler_invocations.add(1)
+            self.telemetry.busy_cycles.add(result.finish_time - now)
+            self.telemetry.contention_wait_cycles.add(result.wait_cycles)
+            self.sim.schedule_at(
+                result.finish_time, self._on_completion, hpu, packet, result, False,
+                priority=0,
+            )
+        self.telemetry.queued_packets.record(now, self.scheduler.queued())
+
+    def _on_completion(
+        self,
+        hpu,
+        packet: SwitchPacket,
+        result: HandlerResult,
+        buffer_released: bool,
+    ) -> None:
+        now = self.sim.now
+        if not buffer_released:
+            # The input buffer is held for queueing + service time of the
+            # *packet handler*; tree-merge extensions operate on working
+            # memory only.
+            self.memories.l2_packet.release(packet.wire_bytes, now)
+            self.telemetry.input_buffer_bytes.record(
+                now, self.memories.l2_packet.used_bytes
+            )
+        if result.completed_block is not None:
+            self.scheduler.release_block(result.completed_block)
+        for out in result.outputs:
+            self._emit(now, out)
+        extended = False
+        hpu.pending_decision = False
+        if result.continuation is not None:
+            # The continuation must run before anything else can claim
+            # this core: a tree merge extends the same HPU (dispatchers
+            # were held off by ``pending_decision`` until this point).
+            next_result = result.continuation(now)
+            if next_result is not None:
+                hpu.occupy(now, next_result.finish_time)
+                hpu.pending_decision = next_result.continuation is not None
+                self.telemetry.busy_cycles.add(next_result.finish_time - now)
+                self.telemetry.contention_wait_cycles.add(next_result.wait_cycles)
+                self.sim.schedule_at(
+                    next_result.finish_time,
+                    self._on_completion,
+                    hpu,
+                    packet,
+                    next_result,
+                    True,
+                    priority=0,
+                )
+                extended = True
+        if not buffer_released:
+            # Freed space admits back-pressured packets (FIFO); safe now
+            # that the core's extension (if any) is booked.
+            while self._admission_queue:
+                head = self._admission_queue[0]
+                if head.wire_bytes > self.memories.l2_packet.free_bytes:
+                    break
+                self._admission_queue.popleft()
+                self._on_arrival(head)
+        if not extended:
+            self._last_completion = now
+        self._dispatch()
+
+    def _emit(self, time: float, packet: SwitchPacket) -> None:
+        self.telemetry.packets_out.add(1)
+        self.telemetry.bytes_out.add(packet.wire_bytes)
+        if self.egress_callback is not None:
+            self.egress_callback(time, packet)
+        else:
+            self.egress.append((time, packet))
+
+    # ------------------------------------------------------------------
+    # Execution / reporting
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None) -> float:
+        """Run to quiescence (or ``until``); returns the makespan in cycles.
+
+        Makespan is measured from the first packet arrival to the last
+        handler completion, which is what the paper's bandwidth numbers
+        (payload volume / time) divide by.
+        """
+        self.sim.run(until=until)
+        if self._first_arrival is None:
+            return 0.0
+        return max(self._last_completion - self._first_arrival, 0.0)
+
+    def achieved_tbps(self) -> float:
+        """Ingress goodput over the measured makespan."""
+        makespan = max(self._last_completion - (self._first_arrival or 0.0), 0.0)
+        return self.telemetry.achieved_tbps(makespan, self.config.cost_model.clock_ghz)

@@ -1,0 +1,230 @@
+"""Switch-level sparse allreduce driver (Fig. 13/14 simulated results).
+
+Mirrors :func:`repro.core.allreduce.run_switch_allreduce` for the sparse
+path: generates a sparse workload at a target density, packetizes it
+with the Sec. 7 rules, pushes it through the PsPIN switch with the
+sparse handler, and reports bandwidth (of *sparsified* bytes), per-block
+storage memory, and the extra traffic caused by hash spilling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.staggered import arrival_stream
+from repro.pspin.costs import CostModel
+from repro.pspin.packets import SwitchPacket
+from repro.pspin.switch import PsPINSwitch, SwitchConfig
+from repro.sparse.formats import SparseWorkload, make_sparse_workload, packetize_block
+from repro.sparse.handlers import SparseAggregationHandler, SparseHandlerConfig
+from repro.sparse.models import SPARSE_ELEMENT_BYTES
+from repro.utils.units import parse_size
+
+FULL_CLUSTERS = 64
+
+
+@dataclass
+class SparseAllreduceResult:
+    """Outcome of one simulated sparse allreduce on one switch."""
+
+    storage: str
+    density: float
+    data_bytes: int                  # sparsified bytes per host (approx)
+    n_children: int
+    n_blocks: int
+    sim_clusters: int
+    feasible: bool
+    makespan_cycles: float = 0.0
+    sim_bandwidth_tbps: float = 0.0
+    bandwidth_tbps: float = 0.0
+    block_memory_bytes: int = 0
+    ingress_payload_bytes: int = 0
+    egress_payload_bytes: int = 0
+    ideal_egress_bytes: int = 0
+    spilled_bytes: int = 0
+    #: (actual egress - ideal egress) / ideal egress * 100: how much
+    #: more traffic leaves the switch than perfect aggregation would
+    #: produce ("for 20% data density, spilling doubles the network
+    #: traffic" == ~100%).
+    extra_traffic_pct: float = 0.0
+    contention_wait_cycles: float = 0.0
+    blocks_completed: int = 0
+    infeasible_reason: str = ""
+    outputs: dict[int, np.ndarray] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        if not self.feasible:
+            return f"sparse-{self.storage} d={self.density:.0%}: INFEASIBLE ({self.infeasible_reason})"
+        return (
+            f"sparse-{self.storage} d={self.density:.0%}: "
+            f"{self.bandwidth_tbps:.2f} Tbps, block mem "
+            f"{self.block_memory_bytes / 1024:.1f} KiB, extra traffic "
+            f"{self.extra_traffic_pct:.0f}%"
+        )
+
+
+def run_sparse_switch_allreduce(
+    data_bytes: int | str,
+    density: float,
+    storage: str = "hash",
+    children: int = 64,
+    n_clusters: int = 4,
+    cores_per_cluster: int = 8,
+    dtype: str = "float32",
+    correlation: float = 0.0,
+    seed: int = 0,
+    packet_bytes: int = 1024,
+    hash_slots_factor: float = 4.0,
+    cost_model: Optional[CostModel] = None,
+    workload: Optional[SparseWorkload] = None,
+    jitter: float = 1.0,
+    verify: bool = True,
+) -> SparseAllreduceResult:
+    """Simulate one sparse allreduce through a Flare switch.
+
+    ``data_bytes`` is the *sparsified* per-host volume (indices +
+    values), matching the paper's "Data Size (Sparsified)" axes.
+    """
+    data_bytes = parse_size(data_bytes)
+    cost_model = cost_model or CostModel()
+    elements_per_packet = max(1, packet_bytes // SPARSE_ELEMENT_BYTES)
+    n_blocks = max(1, data_bytes // (elements_per_packet * SPARSE_ELEMENT_BYTES))
+
+    if workload is None:
+        workload = make_sparse_workload(
+            n_hosts=children,
+            n_blocks=n_blocks,
+            elements_per_packet=elements_per_packet,
+            density=density,
+            dtype=dtype,
+            seed=seed,
+            correlation=correlation,
+        )
+    n_blocks = workload.n_blocks
+
+    switch_cfg = SwitchConfig(
+        n_clusters=n_clusters,
+        cores_per_cluster=cores_per_cluster,
+        cost_model=cost_model,
+    )
+    switch = PsPINSwitch(switch_cfg)
+    hconf = SparseHandlerConfig(
+        allreduce_id=1,
+        n_children=children,
+        storage=storage,
+        density=density,
+        dtype_name=dtype,
+        packet_bytes=packet_bytes,
+        hash_slots_factor=hash_slots_factor,
+    )
+    handler = SparseAggregationHandler(hconf)
+    switch.register_handler(handler)
+    switch.parser.install_allreduce(1, handler.name)
+
+    # Arrival schedule: blocks staggered like the dense driver; a block's
+    # shards from one host go back-to-back.
+    delta_full = switch_cfg.packet_interarrival_cycles(packet_bytes)
+    delta_sim = delta_full * FULL_CLUSTERS / n_clusters
+    stream = arrival_stream(
+        n_hosts=children,
+        n_blocks=n_blocks,
+        delta=delta_sim,
+        staggered=True,
+        jitter=jitter,
+        seed=seed + 1,
+    )
+    ingress_payload = 0
+    for sp in stream:
+        chunks = packetize_block(
+            workload.blocks[sp.host][sp.block], elements_per_packet
+        )
+        for i, chunk in enumerate(chunks):
+            pkt = SwitchPacket(
+                allreduce_id=1,
+                block_id=chunk.block_id,
+                port=sp.host,
+                payload=chunk.values,
+                indices=chunk.indices,
+                last_of_block=chunk.last_of_block,
+                shard_count=chunk.shard_count,
+            )
+            ingress_payload += chunk.wire_bytes
+            switch.inject(pkt, at=sp.time + i * delta_sim)
+
+    try:
+        makespan = switch.run()
+    except MemoryError as exc:
+        return SparseAllreduceResult(
+            storage=storage,
+            density=density,
+            data_bytes=data_bytes,
+            n_children=children,
+            n_blocks=n_blocks,
+            sim_clusters=n_clusters,
+            feasible=False,
+            block_memory_bytes=_probe_block_memory(hconf),
+            infeasible_reason=str(exc).split(";")[0],
+        )
+
+    # Reassemble per-block outputs (final result + spill packets).
+    dense_out: dict[int, np.ndarray] = {}
+    egress_payload = 0
+    for _t, pkt in switch.egress:
+        acc = dense_out.setdefault(
+            pkt.block_id, np.zeros(workload.block_span, dtype=dtype)
+        )
+        np.add.at(acc, pkt.indices, pkt.payload)
+        egress_payload += int(pkt.indices.nbytes + pkt.payload.nbytes)
+    # Ideal egress: the fully aggregated union of each block, once.
+    ideal_egress = 0
+    for b in range(n_blocks):
+        union = set()
+        for h in range(workload.n_hosts):
+            union.update(workload.blocks[h][b].indices.tolist())
+        ideal_egress += len(union) * SPARSE_ELEMENT_BYTES
+    if verify:
+        for b in range(n_blocks):
+            golden = workload.golden_dense_sum(b)
+            got = dense_out.get(b)
+            if got is None:
+                raise AssertionError(f"block {b} never completed")
+            if not np.allclose(got[: len(golden)], golden, rtol=1e-5, atol=1e-5):
+                raise AssertionError(f"block {b}: sparse aggregation mismatch")
+
+    seconds = makespan / (cost_model.clock_ghz * 1e9) if makespan > 0 else float("inf")
+    sim_tbps = ingress_payload * 8.0 / seconds / 1e12 if makespan > 0 else 0.0
+    spilled = handler.spilled_bytes_total
+    return SparseAllreduceResult(
+        storage=storage,
+        density=density,
+        data_bytes=data_bytes,
+        n_children=children,
+        n_blocks=n_blocks,
+        sim_clusters=n_clusters,
+        feasible=True,
+        makespan_cycles=makespan,
+        sim_bandwidth_tbps=sim_tbps,
+        bandwidth_tbps=sim_tbps * FULL_CLUSTERS / n_clusters,
+        block_memory_bytes=handler.peak_block_memory,
+        ingress_payload_bytes=ingress_payload,
+        egress_payload_bytes=egress_payload,
+        ideal_egress_bytes=ideal_egress,
+        spilled_bytes=spilled,
+        extra_traffic_pct=(
+            100.0 * max(0, egress_payload - ideal_egress) / ideal_egress
+            if ideal_egress
+            else 0.0
+        ),
+        contention_wait_cycles=switch.telemetry.contention_wait_cycles.value,
+        blocks_completed=handler.blocks_completed,
+        outputs=dense_out,
+    )
+
+
+def _probe_block_memory(hconf: SparseHandlerConfig) -> int:
+    """Storage footprint for reporting even when the run is infeasible."""
+    handler = SparseAggregationHandler(hconf)
+    return handler._make_storage().memory_bytes

@@ -1,0 +1,223 @@
+"""Hash-table block storage with a spill buffer (paper Sec. 7).
+
+"Flare stores the data and the indexes in a hash table.  To avoid
+expensive collision resolution, when there is a collision, the colliding
+element is put in a spill buffer.  When the spill buffer is full, the
+spilled data is immediately sent to the next switch (or to the hosts)."
+
+The behavioral model is a single-probe open table: an element hashes to
+exactly one slot.  If the slot is empty it claims it; if the slot holds
+the *same* index the values aggregate; if it holds a different index the
+element spills.  Spilled elements are unaggregated extra traffic — the
+quantity Fig. 14's right panel reports.
+
+Memory per block is constant in the data density (table slots x 8 B +
+spill buffer), which is the hash backend's selling point at high
+sparsity; the cost is the spill traffic as the aggregated block's
+distinct-index count approaches the table size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Wire bytes per (index, value) element (int32 index + 4-byte value).
+ELEMENT_BYTES = 8
+
+
+def _slot_of(indices: np.ndarray, n_slots: int) -> np.ndarray:
+    """Deterministic multiplicative hash (Knuth) into table slots."""
+    return ((indices.astype(np.uint64) * np.uint64(2654435761)) % np.uint64(n_slots)).astype(
+        np.int64
+    )
+
+
+@dataclass
+class SpillEvent:
+    """One spill-buffer flush: elements forwarded unaggregated.
+
+    Carries the actual (indices, values) so downstream consumers (the
+    parent switch, or the verifying test) can still fold them in — the
+    data is extra *traffic*, never lost information.
+    """
+
+    indices: np.ndarray
+    values: np.ndarray
+
+    @property
+    def n_elements(self) -> int:
+        return int(len(self.indices))
+
+    @property
+    def bytes(self) -> int:
+        return self.n_elements * ELEMENT_BYTES
+
+
+class HashStorage:
+    """Per-block aggregation state backed by a single-probe hash table."""
+
+    kind = "hash"
+
+    def __init__(
+        self,
+        n_slots: int,
+        dtype: str = "float32",
+        spill_capacity: int = 128,
+        op=None,
+    ) -> None:
+        if n_slots < 1:
+            raise ValueError("n_slots must be >= 1")
+        if spill_capacity < 1:
+            raise ValueError("spill_capacity must be >= 1")
+        self.n_slots = n_slots
+        self.spill_capacity = spill_capacity
+        self._keys = np.full(n_slots, -1, dtype=np.int64)
+        self._values = np.zeros(n_slots, dtype=dtype)
+        self._op = op
+        self._spill_indices: list[int] = []
+        self._spill_values: list = []
+        self.spill_events: list[SpillEvent] = []
+        self.spilled_elements = 0
+        self.inserted_elements = 0
+
+    # ------------------------------------------------------------------
+    def insert(self, indices: np.ndarray, values: np.ndarray) -> list[SpillEvent]:
+        """Insert one packet's elements; returns any spill flushes.
+
+        Elements are processed in packet order (the handler holds the
+        block's critical section, so inserts are serialized).  When the
+        packet's indices are unique — always true for Flare packets,
+        since a host's block contribution has unique positions — the
+        batch is resolved vectorized; duplicate indices or a custom
+        operator fall back to the exact sequential path.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        vals = np.asarray(values)
+        if self._op is not None or len(idx) != len(np.unique(idx)):
+            return self._insert_sequential(idx, vals)
+        self.inserted_elements += len(idx)
+        slots = _slot_of(idx, self.n_slots)
+        keys_at = self._keys[slots]
+        empty = keys_at == -1
+        same = keys_at == idx
+        # Same-key aggregation: each matching slot appears once (table
+        # keys are unique and the packet's indices are unique).
+        hit = np.where(same)[0]
+        self._values[slots[hit]] += vals[hit]
+        # Empty slots: first packet element targeting a slot claims it;
+        # later ones (intra-packet slot collisions) spill.
+        cand = np.where(empty)[0]
+        _u, first_pos = np.unique(slots[cand], return_index=True)
+        winners = cand[first_pos]
+        self._keys[slots[winners]] = idx[winners]
+        self._values[slots[winners]] = vals[winners]
+        losers = np.setdiff1d(cand, winners, assume_unique=True)
+        spill = np.concatenate([np.where(~(empty | same))[0], losers])
+        spill.sort()
+        flushed: list[SpillEvent] = []
+        if len(spill):
+            self._spill_indices.extend(int(i) for i in idx[spill])
+            self._spill_values.extend(vals[spill])
+            self.spilled_elements += len(spill)
+            while len(self._spill_indices) >= self.spill_capacity:
+                flushed.append(self._flush_chunk(self.spill_capacity))
+        self.spill_events.extend(flushed)
+        return flushed
+
+    def _insert_sequential(self, idx: np.ndarray, vals: np.ndarray) -> list[SpillEvent]:
+        flushed: list[SpillEvent] = []
+        slots = _slot_of(idx, self.n_slots)
+        for i, slot, val in zip(idx, slots, vals):
+            self.inserted_elements += 1
+            key = self._keys[slot]
+            if key == -1:
+                self._keys[slot] = i
+                self._values[slot] = val
+            elif key == i:
+                if self._op is None:
+                    self._values[slot] += val
+                else:
+                    acc = self._values[slot : slot + 1]
+                    self._op.combine_into(acc, np.asarray([val]))
+            else:
+                self._spill_indices.append(int(i))
+                self._spill_values.append(val)
+                self.spilled_elements += 1
+                if len(self._spill_indices) >= self.spill_capacity:
+                    flushed.append(self._flush_spill())
+        self.spill_events.extend(flushed)
+        return flushed
+
+    def _flush_chunk(self, n: int) -> SpillEvent:
+        event = SpillEvent(
+            indices=np.array(self._spill_indices[:n], dtype=np.int32),
+            values=np.array(self._spill_values[:n], dtype=self._values.dtype),
+        )
+        del self._spill_indices[:n]
+        del self._spill_values[:n]
+        return event
+
+    def _flush_spill(self) -> SpillEvent:
+        event = SpillEvent(
+            indices=np.array(self._spill_indices, dtype=np.int32),
+            values=np.array(self._spill_values, dtype=self._values.dtype),
+        )
+        self._spill_indices.clear()
+        self._spill_values.clear()
+        return event
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> tuple[np.ndarray, np.ndarray, SpillEvent | None]:
+        """Drain the table (+ any residual spill) at block completion.
+
+        Returns ``(indices, values, residual_spill)`` where the residual
+        spill covers elements still in the buffer (they ride along with
+        the final result packet rather than a dedicated flush).
+        """
+        mask = self._keys != -1
+        indices = self._keys[mask].astype(np.int32)
+        values = self._values[mask].copy()
+        order = np.argsort(indices, kind="stable")
+        indices, values = indices[order], values[order]
+        residual: SpillEvent | None = None
+        if self._spill_indices:
+            residual = SpillEvent(
+                indices=np.array(self._spill_indices, dtype=np.int32),
+                values=np.array(self._spill_values, dtype=self._values.dtype),
+            )
+            # Residual spilled elements merge into the output where the
+            # index already exists, otherwise append (the *next* switch
+            # would aggregate them; merging here models the final-hop
+            # host doing it, keeping numerics exact).
+            out = dict(zip(indices.tolist(), values.tolist()))
+            for idx, val in zip(self._spill_indices, self._spill_values):
+                if idx in out:
+                    out[idx] = out[idx] + val
+                else:
+                    out[idx] = val
+            items = sorted(out.items())
+            indices = np.array([k for k, _ in items], dtype=np.int32)
+            values = np.array([v for _, v in items], dtype=self._values.dtype)
+            self._spill_indices.clear()
+            self._spill_values.clear()
+        return indices, values, residual
+
+    # ------------------------------------------------------------------
+    @property
+    def memory_bytes(self) -> int:
+        """Resident bytes: keys + values + spill buffer budget."""
+        return int(
+            self._keys.nbytes
+            + self._values.nbytes
+            + self.spill_capacity * ELEMENT_BYTES
+        )
+
+    @property
+    def occupied_slots(self) -> int:
+        return int((self._keys != -1).sum())
+
+    @property
+    def spilled_bytes(self) -> int:
+        return self.spilled_elements * ELEMENT_BYTES

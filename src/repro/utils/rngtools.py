@@ -1,0 +1,32 @@
+"""Deterministic random-number-generation helpers.
+
+Every stochastic component (exponential packet arrivals, sparse index
+generation, synthetic gradients) takes an explicit seed or Generator so
+that simulations are reproducible run-to-run — which matters doubly for
+a paper whose F3 flexibility axis *is* reproducibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def seeded_rng(seed: int | np.random.Generator | None = 0) -> np.random.Generator:
+    """Return a ``numpy.random.Generator``.
+
+    Accepts an existing Generator (returned unchanged), an integer seed,
+    or ``None`` for OS entropy (discouraged outside exploratory use).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int, n: int) -> list[np.random.Generator]:
+    """Spawn ``n`` independent generators from one seed.
+
+    Uses ``SeedSequence.spawn`` so child streams are statistically
+    independent — one per simulated host, for example.
+    """
+    ss = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in ss.spawn(n)]

@@ -1,0 +1,52 @@
+"""Plain-text table rendering for benchmark harness output.
+
+Every figure runner prints its series the way the paper's plots read
+(one row per x value, one column per series) so paper-vs-measured
+comparison is a visual diff, without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str | None = None) -> str:
+    """Render rows as a fixed-width ASCII table.
+
+    >>> print(ascii_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+----
+    1 | 2.5
+    """
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def series_block(title: str, x_label: str, xs: Sequence[Any], series: dict[str, Sequence[Any]]) -> str:
+    """Render named series against a shared x-axis (paper-figure style)."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i] for name in series])
+    return ascii_table(headers, rows, title=title)

@@ -1,0 +1,100 @@
+"""Unit constants and conversions.
+
+The switch model is clocked at 1 GHz (paper Sec. 3), so one cycle is one
+nanosecond.  Bandwidths in the paper are reported in Tbps (terabits per
+second); memory in KiB/MiB.  These helpers make every conversion explicit
+so no magic factors of 8 or 1024 hide in model code.
+"""
+
+from __future__ import annotations
+
+#: Binary size units (bytes).
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: Link/switch rate units (bits per second).
+GBPS = 1e9
+TBPS = 1e12
+
+#: Switch clock (Hz).  One cycle == one nanosecond at 1 GHz.
+CLOCK_HZ = 1e9
+
+
+def bytes_per_cycle_to_tbps(bytes_per_cycle: float, clock_hz: float = CLOCK_HZ) -> float:
+    """Convert a switch-internal rate (bytes/cycle) to Tbps.
+
+    >>> round(bytes_per_cycle_to_tbps(512.0), 3)   # 512 B/cycle at 1 GHz
+    4.096
+    """
+    return bytes_per_cycle * clock_hz * 8.0 / TBPS
+
+
+def tbps_to_bytes_per_ns(tbps: float) -> float:
+    """Convert Tbps to bytes per nanosecond (== bytes/cycle at 1 GHz)."""
+    return tbps * TBPS / 8.0 / 1e9
+
+
+def gbps_to_bytes_per_ns(gbps: float) -> float:
+    """Convert Gbps to bytes per nanosecond."""
+    return gbps * GBPS / 8.0 / 1e9
+
+
+def bytes_to_kib(n: float) -> float:
+    """Bytes -> KiB."""
+    return n / KIB
+
+
+def bytes_to_mib(n: float) -> float:
+    """Bytes -> MiB."""
+    return n / MIB
+
+
+def bytes_to_gib(n: float) -> float:
+    """Bytes -> GiB."""
+    return n / GIB
+
+
+_SIZE_SUFFIXES = {
+    "B": 1,
+    "KIB": KIB,
+    "KB": 1000,
+    "MIB": MIB,
+    "MB": 1000 * 1000,
+    "GIB": GIB,
+    "GB": 1000 * 1000 * 1000,
+}
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a human-readable size such as ``"512KiB"`` into bytes.
+
+    Integers/floats pass through (rounded).  Parsing is case-insensitive
+    and tolerates whitespace between the number and the suffix.
+
+    >>> parse_size("1KiB"), parse_size("1 MiB"), parse_size(42)
+    (1024, 1048576, 42)
+    """
+    if isinstance(text, (int, float)):
+        return int(text)
+    s = text.strip().upper().replace(" ", "")
+    for suffix in sorted(_SIZE_SUFFIXES, key=len, reverse=True):
+        if s.endswith(suffix):
+            num = s[: -len(suffix)]
+            return int(float(num) * _SIZE_SUFFIXES[suffix])
+    return int(float(s))
+
+
+def format_size(n: float) -> str:
+    """Format a byte count with a binary suffix, e.g. ``524288 -> '512KiB'``.
+
+    >>> format_size(512 * 1024)
+    '512KiB'
+    """
+    for unit, div in (("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if abs(n) >= div:
+            value = n / div
+            if value == int(value):
+                return f"{int(value)}{unit}"
+            return f"{value:.2f}{unit}"
+    return f"{int(n)}B"

@@ -1,0 +1,64 @@
+"""Tests for the SwitchML / SHARP reference models and Table 1."""
+
+import pytest
+
+from repro.baselines.capability import CAPABILITY_MATRIX, capability_table, flare_dominates
+from repro.baselines.sharp import SHARPModel
+from repro.baselines.switchml import SwitchMLModel
+
+
+def test_switchml_published_envelope():
+    m = SwitchMLModel()
+    assert m.bandwidth_tbps("int32") == pytest.approx(1.6)
+    assert m.usable_ports == 16 and m.n_ports == 64
+
+
+def test_switchml_rejects_floats():
+    m = SwitchMLModel()
+    assert m.bandwidth_tbps("float32") == 0.0
+    assert m.elements_per_second("float32") == 0.0
+
+
+def test_switchml_flat_element_rate_across_widths():
+    """Fixed elements/packet: int8 gains nothing (unlike Flare SIMD)."""
+    m = SwitchMLModel()
+    assert (
+        m.elements_per_second("int32")
+        == m.elements_per_second("int16")
+        == m.elements_per_second("int8")
+    )
+    # ~5e10 elements/s at 1.6 Tbps of 32-bit slots.
+    assert m.elements_per_second("int32") == pytest.approx(5e10)
+
+
+def test_switchml_recirculation_divides_bandwidth():
+    m = SwitchMLModel()
+    assert m.bandwidth_tbps("int32", recirculations=2) == pytest.approx(0.8)
+    with pytest.raises(ValueError):
+        m.bandwidth_tbps("int32", recirculations=0)
+
+
+def test_sharp_published_envelope():
+    m = SHARPModel()
+    assert m.bandwidth_tbps("float32") == pytest.approx(3.2)
+    assert m.bandwidth_tbps("float64") == pytest.approx(3.2)  # unlike Flare
+    assert m.bandwidth_tbps("complex64") == 0.0
+    assert m.elements_per_second("float32") == pytest.approx(1e11)
+
+
+def test_capability_matrix_matches_table1():
+    assert len(CAPABILITY_MATRIX) == 13
+    assert flare_dominates()
+    by_name = {s.name: s for s in CAPABILITY_MATRIX}
+    # Spot checks against the paper's glyphs.
+    assert by_name["SwitchML"].custom_ops == "partial"
+    assert by_name["SwitchML"].sparse == "no"
+    assert by_name["OmniReduce"].sparse == "partial"
+    assert by_name["SHArP"].reproducible == "yes"
+    assert by_name["Aries"].reproducible == "?"
+
+
+def test_capability_table_renders_all_rows():
+    text = capability_table()
+    for s in CAPABILITY_MATRIX:
+        assert s.name in text

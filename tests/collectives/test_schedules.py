@@ -1,0 +1,120 @@
+"""Tests for the network-simulated collective schedules (Fig. 15
+machinery) at reduced scale."""
+
+import math
+
+import pytest
+
+from repro.collectives import (
+    simulate_flare_dense_allreduce,
+    simulate_flare_sparse_allreduce,
+    simulate_ring_allreduce,
+    simulate_sparcml_allreduce,
+)
+from repro.collectives.sparcml import sparcml_round_bytes
+from repro.network.topology import FatTreeTopology
+from repro.network.trees import embed_reduction_tree
+from repro.utils.units import MIB
+
+
+def _topo(n_hosts=16, hosts_per_leaf=4, n_spines=2):
+    return FatTreeTopology(n_hosts=n_hosts, hosts_per_leaf=hosts_per_leaf,
+                           n_spines=n_spines)
+
+
+def test_ring_time_close_to_bandwidth_bound():
+    """Pipelined ring ~ 2 Z (P-1)/P / link_rate."""
+    Z = 16 * MIB
+    r = simulate_ring_allreduce(_topo(), Z)
+    bound_ns = 2 * Z * 15 / 16 / 12.5
+    assert bound_ns <= r.time_ns <= 1.35 * bound_ns
+
+
+def test_ring_traffic_scales_with_hops():
+    Z = 4 * MIB
+    r = simulate_ring_allreduce(_topo(), Z)
+    # 2(P-1) steps x P segments; intra-rack hops = 2, one cross-rack
+    # edge per rack boundary = 4 hops.
+    seg = Z / 16
+    steps = 2 * 15
+    expected = seg * steps * (12 * 2 + 4 * 4)
+    assert r.traffic_bytes_hops == pytest.approx(expected, rel=0.01)
+
+
+def test_flare_dense_halves_ring_traffic_and_time():
+    Z = 16 * MIB
+    ring = simulate_ring_allreduce(_topo(), Z)
+    flare = simulate_flare_dense_allreduce(_topo(), Z, chunk_bytes=256 * 1024)
+    assert flare.time_ns < 0.7 * ring.time_ns
+    assert flare.traffic_bytes_hops < 0.7 * ring.traffic_bytes_hops
+
+
+def test_flare_dense_traffic_exact():
+    """Every host sends Z up (1 hop) + leaf->root (1) + root->leaf (1)
+    + leaf->host (1): Z*(hosts*2 + leaves*2) bytes-hops."""
+    Z = 4 * MIB
+    t = _topo()
+    r = simulate_flare_dense_allreduce(t, Z, chunk_bytes=MIB)
+    expected = Z * (16 + 4 + 4 + 16)
+    assert r.traffic_bytes_hops == pytest.approx(expected, rel=0.01)
+
+
+def test_sparcml_round_sizes_shrink_then_grow():
+    sizes = sparcml_round_bytes(16, total_elements=1e6, bucket_span=512,
+                                nnz_per_bucket=1.0)
+    k = len(sizes) // 2
+    assert len(sizes) == 2 * int(math.log2(16))
+    # Allgather sizes double each round.
+    ag = sizes[k:]
+    for a, b in zip(ag, ag[1:]):
+        assert b == pytest.approx(2 * a, rel=0.01)
+
+
+def test_sparcml_dense_switch_caps_sizes():
+    no_switch = sparcml_round_bytes(16, 1e6, 512, 400.0, dense_switch=False)
+    switched = sparcml_round_bytes(16, 1e6, 512, 400.0, dense_switch=True)
+    assert sum(switched) <= sum(no_switch)
+    # With 400/512 survivors the sparse encoding (8 B) always exceeds
+    # dense (4 B), so every round must be dense-capped.
+    assert all(s <= n for s, n in zip(switched, no_switch))
+
+
+def test_sparcml_completes_and_reports():
+    r = simulate_sparcml_allreduce(_topo(), total_elements=2**20)
+    assert r.time_ns > 0
+    assert len(r.extra["round_bytes"]) == 8
+    assert r.traffic_bytes_hops > 0
+
+
+def test_sparcml_needs_power_of_two():
+    with pytest.raises(ValueError):
+        sparcml_round_bytes(12, 1e6, 512, 1.0)
+
+
+def test_flare_sparse_beats_sparcml_and_dense():
+    """The headline Fig. 15 ordering at small scale."""
+    t = _topo
+    elements = float(2**22)   # 16 MiB dense
+    dense = simulate_flare_dense_allreduce(t(), elements * 4, chunk_bytes=256 * 1024)
+    sparcml = simulate_sparcml_allreduce(t(), elements)
+    sparse = simulate_flare_sparse_allreduce(t(), elements)
+    assert sparse.time_ns < sparcml.time_ns
+    assert sparse.time_ns < dense.time_ns
+    assert sparse.traffic_bytes_hops < sparcml.traffic_bytes_hops
+    assert sparse.traffic_bytes_hops < dense.traffic_bytes_hops
+
+
+def test_flare_sparse_level_bytes_densify():
+    r = simulate_flare_sparse_allreduce(_topo(), float(2**22))
+    assert r.extra["host_bytes"] < r.extra["leaf_bytes"] < r.extra["root_bytes"]
+
+
+def test_embed_reduction_tree():
+    t = _topo()
+    tree = embed_reduction_tree(t, root_spine=1)
+    assert tree.root == "s1"
+    assert len(tree.leaves) == 4
+    assert tree.fan_ins == [4, 4]
+    assert len(tree.all_hosts()) == 16
+    with pytest.raises(ValueError):
+        embed_reduction_tree(t, root_spine=9)

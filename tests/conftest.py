@@ -1,0 +1,17 @@
+"""Shared test configuration.
+
+Hypothesis: disable deadlines globally (simulation-backed properties
+have variable per-example cost, and flaky deadline failures are worse
+than slightly slower suites) and cap example counts to keep the suite
+under a minute.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=50,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

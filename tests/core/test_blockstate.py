@@ -1,0 +1,96 @@
+"""Tests for block completion tracking: bitmap, shard counters."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.blockstate import BlockState, ChildrenBitmap, ShardTracker
+
+
+def test_bitmap_completes_after_all_ports():
+    b = ChildrenBitmap(3)
+    assert not b.complete
+    assert b.mark(0) and b.mark(2)
+    assert not b.complete
+    assert b.mark(1)
+    assert b.complete
+
+
+def test_bitmap_detects_retransmission():
+    b = ChildrenBitmap(2)
+    assert b.mark(0) is True
+    assert b.mark(0) is False  # duplicate must not be aggregated again
+    assert b.count == 1
+
+
+def test_bitmap_port_range_checked():
+    b = ChildrenBitmap(2)
+    with pytest.raises(ValueError):
+        b.mark(2)
+    with pytest.raises(ValueError):
+        b.mark(-1)
+
+
+def test_bitmap_needs_at_least_one_child():
+    with pytest.raises(ValueError):
+        ChildrenBitmap(0)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=7), min_size=0, max_size=50))
+def test_property_bitmap_complete_iff_all_ports_seen(marks):
+    b = ChildrenBitmap(8)
+    aggregated = sum(b.mark(p) for p in marks)
+    assert b.complete == (set(marks) == set(range(8)))
+    # Each port contributes exactly once regardless of duplicates.
+    assert aggregated == len(set(marks))
+
+
+def test_shard_tracker_waits_for_announced_count():
+    t = ShardTracker()
+    t.on_packet(last_of_block=False, shard_count=0)
+    assert not t.complete
+    t.on_packet(last_of_block=True, shard_count=3)
+    assert not t.complete           # announced 3, got 2
+    t.on_packet(last_of_block=False, shard_count=0)
+    assert t.complete
+
+
+def test_shard_tracker_single_packet_block():
+    t = ShardTracker()
+    t.on_packet(last_of_block=True, shard_count=1)
+    assert t.complete
+
+
+def test_shard_tracker_rejects_conflicting_counts():
+    t = ShardTracker()
+    t.on_packet(last_of_block=True, shard_count=2)
+    with pytest.raises(ValueError):
+        t.on_packet(last_of_block=True, shard_count=3)
+
+
+def test_blockstate_sparse_completion():
+    s = BlockState(key=(1, 0), n_children=2)
+    # Child 0 sends 2 shards; child 1 sends an empty block (1 shard).
+    s.mark_sparse(0, last_of_block=False, shard_count=0)
+    assert not s.complete
+    s.mark_sparse(1, last_of_block=True, shard_count=1)
+    assert not s.complete
+    s.mark_sparse(0, last_of_block=True, shard_count=2)
+    assert s.complete
+
+
+def test_blockstate_sparse_out_of_order_last_packet():
+    """The 'last' packet (carrying the count) may arrive first."""
+    s = BlockState(key=(1, 0), n_children=1)
+    s.mark_sparse(0, last_of_block=True, shard_count=3)
+    assert not s.complete
+    s.mark_sparse(0, last_of_block=False, shard_count=0)
+    s.mark_sparse(0, last_of_block=False, shard_count=0)
+    assert s.complete
+
+
+def test_blockstate_dense():
+    s = BlockState(key=(1, 0), n_children=2)
+    assert s.mark_dense(0)
+    assert not s.mark_dense(0)
+    assert s.mark_dense(1)
+    assert s.complete

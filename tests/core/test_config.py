@@ -1,0 +1,59 @@
+"""Tests for FlareConfig validation and derived symbols."""
+
+import pytest
+
+from repro.core.config import FlareConfig
+from repro.pspin.costs import CostModel
+
+
+def test_size_strings_accepted():
+    cfg = FlareConfig(data_bytes="64KiB", packet_bytes="1KiB")
+    assert cfg.data_bytes == 65536
+    assert cfg.packet_bytes == 1024
+
+
+def test_blocks_round_up():
+    cfg = FlareConfig(data_bytes=1500, packet_bytes=1024)
+    assert cfg.blocks == 2
+
+
+def test_subset_defaults_to_cluster_width():
+    cfg = FlareConfig(cores_per_cluster=8)
+    assert cfg.subset_size == 8
+
+
+def test_invalid_values_rejected():
+    with pytest.raises(ValueError):
+        FlareConfig(data_bytes=0)
+    with pytest.raises(ValueError):
+        FlareConfig(children=0)
+    with pytest.raises(ValueError):
+        _ = FlareConfig(feed=-1.0).delta
+
+
+def test_dtype_and_elements():
+    cfg = FlareConfig(dtype_name="int16", packet_bytes=1024)
+    assert cfg.elements_per_packet == 512
+    assert cfg.dtype.size_bytes == 2
+
+
+def test_fp64_rejected_at_config_level():
+    cfg = FlareConfig(dtype_name="float64")
+    with pytest.raises(ValueError, match="float64"):
+        _ = cfg.dtype
+
+
+def test_custom_clock_scales_delta():
+    cm = CostModel(clock_ghz=2.0)
+    cfg = FlareConfig(cost_model=cm, feed="line")
+    # Twice the clock -> same byte rate is fewer bytes *per cycle* ->
+    # smaller interarrival in cycles? delta = bytes / (bytes/cycle):
+    # bytes/cycle halves at 2 GHz for fixed Gbps, so delta doubles.
+    base = FlareConfig(feed="line")
+    assert cfg.delta == pytest.approx(2 * base.delta)
+
+
+def test_barrier_sized_config():
+    """0-byte-style tiny reductions still produce >= 1 block."""
+    cfg = FlareConfig(data_bytes=1, packet_bytes=1024)
+    assert cfg.blocks == 1

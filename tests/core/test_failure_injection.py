@@ -1,0 +1,160 @@
+"""Failure injection: packet loss, retransmission, and buffer pressure.
+
+Paper Sec. 4.1: "if a packet is lost, a timeout is triggered in the
+host, that retransmits the packet.  To manage retransmissions, Flare
+can use a bitmap (with one bit per port) rather than a counter."  These
+tests drive the full switch through loss/duplicate/overload scenarios
+and check that results stay exact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.handler_base import HandlerConfig
+from repro.core.multi_buffer import MultiBufferHandler
+from repro.core.single_buffer import SingleBufferHandler
+from repro.core.tree_buffer import TreeAggregationHandler
+from repro.pspin.packets import SwitchPacket
+from repro.pspin.switch import PsPINSwitch, SwitchConfig
+
+
+def _switch(**kw):
+    cfg = SwitchConfig(n_clusters=1, cores_per_cluster=4, **kw)
+    cfg.cost_model.icache_fill_cycles = 0.0
+    return PsPINSwitch(cfg)
+
+
+def _drive(handler_factory, events, n_children, dtype="int32"):
+    """events: list of (time, port, payload, retransmission?)."""
+    sw = _switch()
+    handler = handler_factory(
+        HandlerConfig(allreduce_id=1, n_children=n_children, dtype_name=dtype)
+    )
+    sw.register_handler(handler)
+    sw.parser.install_allreduce(1, handler.name)
+    for t, port, payload, retx in events:
+        sw.inject(
+            SwitchPacket(
+                allreduce_id=1, block_id=0, port=port, payload=payload,
+                is_retransmission=retx,
+            ),
+            at=t,
+        )
+    sw.run()
+    return sw, handler
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda c: SingleBufferHandler(c),
+        lambda c: MultiBufferHandler(c, 2),
+        lambda c: TreeAggregationHandler(c),
+    ],
+    ids=["single", "multi", "tree"],
+)
+def test_lost_then_retransmitted_packet(factory):
+    """Port 1's packet 'lost' (delivered late as a retransmission after
+    a timeout) — the reduction completes exactly once, exactly right."""
+    a = np.full(8, 3, dtype=np.int32)
+    b = np.full(8, 4, dtype=np.int32)
+    events = [
+        (0.0, 0, a, False),
+        # port 1's original never arrives; host times out and resends:
+        (50_000.0, 1, b, True),
+    ]
+    sw, handler = _drive(factory, events, n_children=2)
+    assert handler.blocks_completed == 1
+    np.testing.assert_array_equal(sw.egress[0][1].payload, a + b)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda c: SingleBufferHandler(c),
+        lambda c: MultiBufferHandler(c, 2),
+        lambda c: TreeAggregationHandler(c),
+    ],
+    ids=["single", "multi", "tree"],
+)
+def test_spurious_duplicate_before_completion(factory):
+    """A duplicate (retransmitted although the original arrived) must
+    not be double-counted — the Sec. 4.1 bitmap property."""
+    a = np.full(8, 3, dtype=np.int32)
+    b = np.full(8, 4, dtype=np.int32)
+    events = [
+        (0.0, 0, a, False),
+        (10.0, 0, a, True),       # duplicate of port 0
+        (20.0, 1, b, False),
+    ]
+    sw, handler = _drive(factory, events, n_children=2)
+    np.testing.assert_array_equal(sw.egress[0][1].payload, a + b)
+    assert handler.duplicates_dropped == 1
+
+
+def test_many_duplicates_storm():
+    """A retransmission storm (every packet sent 4x) still reduces
+    exactly once per child."""
+    rng = np.random.default_rng(5)
+    payloads = [rng.integers(0, 50, 16).astype(np.int32) for _ in range(4)]
+    events = []
+    t = 0.0
+    for rep in range(4):
+        for port in range(4):
+            events.append((t, port, payloads[port], rep > 0))
+            t += 7.0
+    sw, handler = _drive(lambda c: TreeAggregationHandler(c), events, n_children=4)
+    golden = np.sum(np.stack(payloads), axis=0)
+    np.testing.assert_array_equal(sw.egress[0][1].payload, golden)
+    assert handler.duplicates_dropped == 12
+
+
+def test_input_buffer_overload_with_backpressure_stays_exact():
+    """Shrink the L2 packet memory so arrivals defer; the aggregation
+    result must still be exact once everything drains."""
+    sw = _switch(drop_on_full=False)
+    sw.memories.l2_packet.capacity_bytes = 3 * (1024 + 16)
+    handler = SingleBufferHandler(
+        HandlerConfig(allreduce_id=1, n_children=8, dtype_name="int32")
+    )
+    sw.register_handler(handler)
+    sw.parser.install_allreduce(1, handler.name)
+    payloads = [np.full(256, p + 1, dtype=np.int32) for p in range(8)]
+    for p, payload in enumerate(payloads):
+        sw.inject(
+            SwitchPacket(allreduce_id=1, block_id=0, port=p, payload=payload),
+            at=float(p),
+        )
+    sw.run()
+    assert sw.telemetry.deferred_arrivals.value > 0
+    np.testing.assert_array_equal(
+        sw.egress[0][1].payload, np.sum(np.stack(payloads), axis=0)
+    )
+
+
+def test_drop_mode_loses_packets_until_retransmitted():
+    """With drop-on-full, a dropped child packet stalls the block until
+    the host retransmits — then the reduction completes correctly."""
+    sw = _switch(drop_on_full=True)
+    sw.memories.l2_packet.capacity_bytes = 1 * (1024 + 16)
+    handler = SingleBufferHandler(
+        HandlerConfig(allreduce_id=1, n_children=2, dtype_name="int32")
+    )
+    sw.register_handler(handler)
+    sw.parser.install_allreduce(1, handler.name)
+    a = np.full(256, 5, dtype=np.int32)
+    b = np.full(256, 9, dtype=np.int32)
+    sw.inject(SwitchPacket(allreduce_id=1, block_id=0, port=0, payload=a), at=0.0)
+    sw.inject(SwitchPacket(allreduce_id=1, block_id=0, port=1, payload=b), at=0.0)
+    sw.run()
+    assert sw.telemetry.dropped_packets.value == 1
+    assert handler.blocks_completed == 0          # stalled
+    # Host timeout fires, retransmission arrives when space exists.
+    sw.inject(
+        SwitchPacket(allreduce_id=1, block_id=0, port=1, payload=b,
+                     is_retransmission=True),
+        at=sw.sim.now + 10_000.0,
+    )
+    sw.run()
+    assert handler.blocks_completed == 1
+    np.testing.assert_array_equal(sw.egress[0][1].payload, a + b)

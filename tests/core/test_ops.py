@@ -1,0 +1,54 @@
+"""Tests for reduction operators (F1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.ops import BUILTIN_OPS, MAX, MIN, PROD, SUM, ReductionOp, get_op
+
+
+def test_builtin_registry():
+    assert set(BUILTIN_OPS) == {"sum", "min", "max", "prod"}
+    assert get_op("sum") is SUM
+    custom = ReductionOp("mine", lambda a, v: None)
+    assert get_op(custom) is custom
+    with pytest.raises(ValueError):
+        get_op("xor")
+
+
+def test_sum_combines_in_place():
+    acc = np.array([1.0, 2.0])
+    SUM.combine_into(acc, np.array([10.0, 20.0]))
+    np.testing.assert_array_equal(acc, [11.0, 22.0])
+
+
+def test_min_max_prod():
+    acc = np.array([3, 7], dtype=np.int32)
+    MIN.combine_into(acc, np.array([5, 2], dtype=np.int32))
+    np.testing.assert_array_equal(acc, [3, 2])
+    MAX.combine_into(acc, np.array([9, 0], dtype=np.int32))
+    np.testing.assert_array_equal(acc, [9, 2])
+    PROD.combine_into(acc, np.array([2, 3], dtype=np.int32))
+    np.testing.assert_array_equal(acc, [18, 6])
+
+
+def test_prod_marks_extra_cost():
+    """RMT hardware cannot multiply; on Flare it is just a costlier op."""
+    assert PROD.cycles_factor > SUM.cycles_factor
+
+
+def test_algebraic_flags_default_true():
+    assert SUM.commutative and SUM.associative
+
+
+@given(
+    st.lists(st.integers(-100, 100), min_size=1, max_size=20),
+    st.sampled_from(["sum", "min", "max"]),
+)
+def test_property_builtin_ops_match_numpy(values, op_name):
+    op = get_op(op_name)
+    ref = {"sum": np.sum, "min": np.min, "max": np.max}[op_name]
+    acc = np.array([values[0]], dtype=np.int64)
+    for v in values[1:]:
+        op.combine_into(acc, np.array([v], dtype=np.int64))
+    assert acc[0] == ref(values)

@@ -1,0 +1,74 @@
+"""Tests for the Sec. 8 extension collectives."""
+
+import numpy as np
+import pytest
+
+from repro.core.other_collectives import (
+    negotiate_ready_set,
+    run_barrier,
+    run_broadcast,
+    run_reduce,
+)
+
+
+def test_reduce_delivers_to_root_only():
+    payloads = [np.full(8, h + 1, dtype=np.int32) for h in range(4)]
+    r = run_reduce(payloads, root_port=2)
+    assert r.packets_out == 1
+    np.testing.assert_array_equal(r.payload, np.full(8, 10, dtype=np.int32))
+
+
+def test_reduce_with_min_operator():
+    payloads = [np.array([5, 1], dtype=np.int32), np.array([2, 9], dtype=np.int32)]
+    r = run_reduce(payloads, op="min")
+    np.testing.assert_array_equal(r.payload, [2, 1])
+
+
+def test_broadcast_fans_out_to_every_port():
+    data = np.arange(16, dtype=np.float32)
+    r = run_broadcast(data, n_children=6)
+    assert r.packets_out == 6
+    np.testing.assert_array_equal(r.payload, data)
+
+
+def test_barrier_is_zero_byte_allreduce():
+    r = run_barrier(n_children=8)
+    assert r.packets_out == 8          # release reaches every rank
+    assert r.completion_cycles > 0
+    # No payload moves: the bitmap completion is the synchronization.
+
+
+def test_barrier_latency_grows_with_arrival_spread():
+    tight = run_barrier(n_children=8, arrival_gap=1.0)
+    loose = run_barrier(n_children=8, arrival_gap=100.0)
+    assert loose.completion_cycles > tight.completion_cycles
+
+
+def test_negotiate_ready_set_intersects():
+    # Rank 0 ready for tensors {0,1,3}; rank 1 for {1,3}; rank 2 {1,2,3}.
+    agreed = negotiate_ready_set([0b1011, 0b1010, 0b1110], n_tensors=4)
+    assert agreed == [1, 3]
+
+
+def test_negotiate_ready_set_empty_intersection():
+    assert negotiate_ready_set([0b01, 0b10], n_tensors=2) == []
+
+
+def test_negotiate_validates():
+    with pytest.raises(ValueError):
+        negotiate_ready_set([], 4)
+    with pytest.raises(ValueError):
+        negotiate_ready_set([1], 40)
+
+
+def test_negotiation_order_is_deterministic():
+    """The agreed set comes back in bit order for every permutation of
+    rank bitmaps — the total order that prevents the Horovod deadlock."""
+    bitmaps = [0b1111, 0b0111, 0b1110]
+    import itertools
+
+    results = {
+        tuple(negotiate_ready_set(list(p), 4))
+        for p in itertools.permutations(bitmaps)
+    }
+    assert results == {(1, 2)}

@@ -1,0 +1,69 @@
+"""Structural property tests for the tree-aggregation merge structure."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.tree_buffer import PairTree
+
+
+def test_small_trees():
+    t1 = PairTree(1)
+    assert t1.root == (0, 0)
+    t2 = PairTree(2)
+    assert t2.root == (1, 0)
+    assert t2.sibling((0, 0)) == (0, 1)
+    assert t2.parent((0, 0)) == (1, 0)
+    assert t2.parent(t2.root) is None
+
+
+def test_p3_promotion_structure():
+    t = PairTree(3)
+    assert t.root_level == 2
+    # Leaf 2 has no sibling at level 0 -> promotes.
+    assert t.sibling((0, 2)) is None
+    assert t.parent((0, 2)) == (1, 1)
+    assert t.merge_count() == 2
+
+
+def test_p64_paper_design_point():
+    t = PairTree(64)
+    assert t.root_level == 6
+    assert t.merge_count() == 63
+    assert t.level_count(0) == 64
+    assert t.level_count(6) == 1
+
+
+def test_invalid_leaf_count():
+    with pytest.raises(ValueError):
+        PairTree(0)
+
+
+@given(st.integers(1, 300))
+def test_property_merge_count_is_p_minus_1(P):
+    """Exactly P-1 pairwise merges reduce P buffers to one — the count
+    behind tau = (P-1)L/P (Sec. 6.3)."""
+    assert PairTree(P).merge_count() == P - 1
+
+
+@given(st.integers(2, 300))
+def test_property_every_leaf_reaches_the_root(P):
+    t = PairTree(P)
+    for leaf in range(P):
+        node = (0, leaf)
+        steps = 0
+        while t.parent(node) is not None:
+            node = t.parent(node)
+            steps += 1
+            assert steps <= t.root_level
+        assert node == t.root
+
+
+@given(st.integers(2, 200))
+def test_property_siblings_are_mutual(P):
+    t = PairTree(P)
+    for level in range(t.root_level):
+        for j in range(t.level_count(level)):
+            sib = t.sibling((level, j))
+            if sib is not None:
+                assert t.sibling(sib) == (level, j)
+                assert t.parent(sib) == t.parent((level, j))

@@ -1,0 +1,66 @@
+"""Tests for bucket top-1 sparsification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.buckets import bucket_top1_sparsify, bucket_union_counts
+
+
+def test_top1_picks_largest_magnitude():
+    v = np.array([1.0, -9.0, 2.0, 0.5, 3.0, -1.0], dtype=np.float32)
+    idx, vals = bucket_top1_sparsify(v, bucket_span=3)
+    np.testing.assert_array_equal(idx, [1, 4])
+    np.testing.assert_array_equal(vals, [-9.0, 3.0])
+
+
+def test_top1_handles_ragged_tail():
+    v = np.array([1.0, 2.0, 3.0, -7.0, 5.0], dtype=np.float32)
+    idx, vals = bucket_top1_sparsify(v, bucket_span=2)
+    np.testing.assert_array_equal(idx, [1, 3, 4])
+    np.testing.assert_array_equal(vals, [2.0, -7.0, 5.0])
+
+
+def test_top1_density_is_one_per_bucket():
+    rng = np.random.default_rng(0)
+    v = rng.standard_normal(512 * 100).astype(np.float32)
+    idx, _ = bucket_top1_sparsify(v, 512)
+    assert len(idx) == 100
+    # One index inside each bucket window.
+    assert np.all(idx // 512 == np.arange(100))
+
+
+def test_top1_validates_span():
+    with pytest.raises(ValueError):
+        bucket_top1_sparsify(np.ones(4), bucket_span=0)
+
+
+def test_union_counts_levels():
+    per_host = [np.array([0, 5]), np.array([0, 7]), np.array([1, 5]), np.array([0, 5])]
+    host, pair, all4 = bucket_union_counts(per_host, [1, 2, 4])
+    assert host == 2.0
+    assert pair == pytest.approx((3 + 3) / 2)
+    assert all4 == 4.0
+
+
+def test_union_counts_validates_group_size():
+    with pytest.raises(ValueError):
+        bucket_union_counts([np.array([0])] * 4, [3])
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(1, 300), span=st.integers(1, 64), seed=st.integers(0, 99))
+def test_property_top1_one_per_full_bucket(n, span, seed):
+    rng = np.random.default_rng(seed)
+    v = rng.standard_normal(n).astype(np.float32)
+    # Ensure no exact zeros confuse the magnitude comparison.
+    v[v == 0] = 1.0
+    idx, vals = bucket_top1_sparsify(v, span)
+    expected = -(-n // span)
+    assert len(idx) == expected
+    np.testing.assert_array_equal(vals, v[idx])
+    # Selected element is the max-|.| of its bucket.
+    for i, x in zip(idx, vals):
+        b = i // span
+        window = v[b * span : min(n, (b + 1) * span)]
+        assert abs(x) == pytest.approx(np.max(np.abs(window)))

@@ -1,0 +1,71 @@
+"""Tests for the synthetic ResNet-50 gradient workload."""
+
+import numpy as np
+import pytest
+
+from repro.data.resnet50 import (
+    RESNET50_LAYER_SHAPES,
+    GradientWorkload,
+    iter_host_gradients,
+    resnet50_parameter_count,
+    synthetic_gradients,
+)
+
+
+def test_parameter_count_matches_resnet50():
+    """He et al.'s ResNet-50 has 25.56M parameters (~100 MiB fp32) —
+    the paper's '100MiB vector of floating point values'."""
+    n = resnet50_parameter_count()
+    assert n == 25_557_032
+    # 102.2 MB == 97.5 MiB — the paper's "100MiB" reads as decimal MB.
+    assert 95 <= n * 4 / 2**20 <= 100
+    assert 100 <= n * 4 / 1e6 <= 105
+
+
+def test_layer_inventory_shape():
+    names = [n for n, _ in RESNET50_LAYER_SHAPES]
+    assert names[0] == "conv1"
+    assert names[-1] == "fc.bias"
+    # 53 convs + 53 BN weight/bias pairs + fc weight/bias.
+    convs = [n for n in names if not n.endswith((".weight", ".bias"))]
+    assert len(convs) == 53
+
+
+def test_synthetic_gradients_shape_and_determinism():
+    w1 = synthetic_gradients(n_hosts=4, seed=5, n_params=10_000)
+    w2 = synthetic_gradients(n_hosts=4, seed=5, n_params=10_000)
+    assert isinstance(w1, GradientWorkload)
+    assert w1.gradients.shape == (4, 10_000)
+    assert w1.gradients.dtype == np.float32
+    np.testing.assert_array_equal(w1.gradients, w2.gradients)
+
+
+def test_shared_fraction_controls_correlation():
+    lo = synthetic_gradients(n_hosts=2, seed=1, shared_fraction=0.1, n_params=50_000)
+    hi = synthetic_gradients(n_hosts=2, seed=1, shared_fraction=0.9, n_params=50_000)
+
+    def corr(w):
+        return np.corrcoef(w.gradients[0], w.gradients[1])[0, 1]
+
+    assert corr(hi) > corr(lo)
+    assert corr(hi) > 0.5
+
+
+def test_shared_fraction_validated():
+    with pytest.raises(ValueError):
+        synthetic_gradients(n_hosts=2, shared_fraction=1.5, n_params=1000)
+
+
+def test_iter_matches_batch_api():
+    batch = synthetic_gradients(n_hosts=3, seed=9, n_params=5_000)
+    for h, vec in iter_host_gradients(n_hosts=3, seed=9, n_params=5_000):
+        np.testing.assert_array_equal(vec, batch.gradients[h])
+
+
+def test_layer_offsets_partition_the_vector():
+    w = synthetic_gradients(n_hosts=1, seed=0, n_params=100_000)
+    prev_end = 0
+    for _name, s, e in w.layer_offsets:
+        assert s == prev_end
+        prev_end = e
+    assert prev_end == w.n_params

@@ -1,0 +1,81 @@
+"""Smoke tests for the figure runners (fast modes) — the full shape
+assertions live in benchmarks/; these ensure run()/render() stay
+executable and structurally sound."""
+
+import importlib
+
+import pytest
+
+
+@pytest.mark.parametrize("name", ["fig7", "fig10", "fig13", "table1"])
+def test_model_figures_run_and_render(name):
+    mod = importlib.import_module(f"repro.figures.{name}")
+    result = mod.run(fast=True)
+    text = mod.render(result)
+    assert "Figure" in text or "Table" in text
+    assert len(text.splitlines()) > 3
+
+
+def test_fig7_structure():
+    from repro.figures import fig7
+
+    r = fig7.run()
+    assert set(r.series) == {"S=1", "S=C"}
+    for s in r.series.values():
+        assert len(s["bandwidth_tbps"]) == len(r.sizes) == 3
+
+
+def test_fig10_structure():
+    from repro.figures import fig10
+
+    r = fig10.run()
+    assert set(r.bandwidth) == {"single", "multi(2)", "multi(4)", "tree"}
+    assert set(r.memory) == set(r.bandwidth)
+
+
+def test_fig11_fast_smoke():
+    from repro.figures import fig11
+
+    r = fig11.run(fast=True)
+    assert r.sizes == ["1KiB", "4KiB", "64KiB"]
+    assert set(r.bandwidth) == {"single", "multi(4)", "tree"}
+    assert r.elements_per_s["SwitchML"][-1] == 0.0   # float unsupported
+    text = fig11.render(r)
+    assert "SHARP" in text and "SwitchML" in text
+
+
+def test_fig13_structure():
+    from repro.figures import fig13
+
+    r = fig13.run()
+    assert set(r.bandwidth) == {"hash", "array"}
+    for per_algo in r.bandwidth.values():
+        assert set(per_algo) == {"single", "multi(2)", "multi(4)", "tree"}
+
+
+def test_fig14_fast_smoke():
+    from repro.figures import fig14
+
+    r = fig14.run(fast=True)
+    assert r.densities == [0.20, 0.10, 0.01]
+    assert not r.results["array"][-1].feasible
+    assert "does not fit" in fig14.render(r)
+
+
+def test_fig15_fast_smoke():
+    from repro.figures import fig15
+
+    r = fig15.run(fast=True)
+    assert len(r.results) == 4
+    names = [x.name for x in r.results]
+    assert names[0].startswith("host-dense")
+    assert r.by_name("Flare sparse").time_ns < r.by_name("host-dense").time_ns
+    with pytest.raises(KeyError):
+        r.by_name("nonexistent")
+    assert "Figure 15" in fig15.render(r)
+
+
+def test_table1_verify():
+    from repro.figures import table1
+
+    assert table1.verify()

@@ -1,0 +1,82 @@
+"""Tests for links and the chunk-level network simulator."""
+
+import pytest
+
+from repro.network.links import Link
+from repro.network.simulator import Message, NetworkSimulator
+from repro.network.topology import FatTreeTopology
+
+
+def test_link_serialization_and_latency():
+    # 100 Gbps = 12.5 B/ns; 12500 B serializes in 1000 ns.
+    link = Link("a", "b", gbps=100.0, latency_ns=250.0)
+    arrival = link.transmit(12500, when=0.0)
+    assert arrival == pytest.approx(1250.0)
+    assert link.bytes_carried == 12500
+
+
+def test_link_queues_fifo():
+    link = Link("a", "b", gbps=100.0, latency_ns=0.0)
+    a1 = link.transmit(12500, when=0.0)
+    a2 = link.transmit(12500, when=0.0)   # queued behind the first
+    assert a2 == pytest.approx(a1 + 1000.0)
+
+
+def test_link_validates():
+    with pytest.raises(ValueError):
+        Link("a", "b", gbps=0)
+    link = Link("a", "b")
+    with pytest.raises(ValueError):
+        link.transmit(-1, 0.0)
+
+
+def test_message_delivery_and_traffic_accounting():
+    topo = FatTreeTopology(n_hosts=16, hosts_per_leaf=4, n_spines=2)
+    net = NetworkSimulator(topo)
+    delivered = []
+    net.on_deliver("h5", lambda m, t: delivered.append((m.tag, t)))
+    net.send(Message("h0", "h5", nbytes=1000.0, tag=("x",)), at=0.0)
+    net.run()
+    assert delivered and delivered[0][0] == ("x",)
+    # h0 and h5 are in different racks: 4 hops -> 4x bytes counted.
+    assert net.traffic.bytes_hops == pytest.approx(4000.0)
+
+
+def test_intra_rack_traffic_counts_two_hops():
+    topo = FatTreeTopology(n_hosts=16, hosts_per_leaf=4, n_spines=2)
+    net = NetworkSimulator(topo)
+    net.on_deliver("h1", lambda m, t: None)
+    net.send(Message("h0", "h1", nbytes=500.0), at=0.0)
+    net.run()
+    assert net.traffic.bytes_hops == pytest.approx(1000.0)
+
+
+def test_interceptor_consumes_in_transit_messages():
+    topo = FatTreeTopology(n_hosts=16, hosts_per_leaf=4, n_spines=2)
+    net = NetworkSimulator(topo)
+    eaten = []
+
+    def interceptor(sim, msg, now):
+        eaten.append(msg.tag)
+        return True
+
+    net.intercept("l0", interceptor)
+    net.on_deliver("h1", lambda m, t: pytest.fail("should have been intercepted"))
+    net.send(Message("h0", "h1", nbytes=100.0, tag=("to-eat",)), at=0.0)
+    net.run()
+    assert eaten == [("to-eat",)]
+
+
+def test_contention_serializes_shared_link():
+    """Two hosts in one rack sending to the same remote host share the
+    destination's leaf->host link."""
+    topo = FatTreeTopology(n_hosts=16, hosts_per_leaf=4, n_spines=1)
+    net = NetworkSimulator(topo)
+    arrivals = []
+    net.on_deliver("h8", lambda m, t: arrivals.append(t))
+    nbytes = 125000.0   # 10 us serialization at 100 Gbps
+    net.send(Message("h0", "h8", nbytes), at=0.0)
+    net.send(Message("h1", "h8", nbytes), at=0.0)
+    net.run()
+    assert len(arrivals) == 2
+    assert arrivals[1] - arrivals[0] >= 10000.0 * 0.99

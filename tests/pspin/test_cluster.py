@@ -1,0 +1,49 @@
+"""Tests for the cluster model (HPUs, i-cache, L1)."""
+
+import pytest
+
+from repro.pspin.cluster import Cluster
+from repro.pspin.hpu import HPU
+
+
+def test_cluster_owns_contiguous_hpu_ids():
+    c = Cluster(cluster_id=2, cores_per_cluster=4)
+    assert [h.hpu_id for h in c.hpus] == [8, 9, 10, 11]
+    assert all(h.cluster_id == 2 for h in c.hpus)
+    assert c.n_cores == 4
+
+
+def test_icache_lifecycle():
+    c = Cluster(0, 2)
+    assert not c.icache_warm("flare-tree")
+    c.icache_load("flare-tree")
+    assert c.icache_warm("flare-tree")
+    c.icache_flush()
+    assert not c.icache_warm("flare-tree")
+
+
+def test_free_hpu_picks_earliest_free():
+    c = Cluster(0, 3)
+    c.hpus[0].busy_until = 100.0
+    free = c.free_hpu(now=50.0)
+    assert free is not None and free.hpu_id == 1
+    for h in c.hpus:
+        h.busy_until = 100.0
+    assert c.free_hpu(now=50.0) is None
+
+
+def test_l1_capacity_default_1mib():
+    c = Cluster(0, 8)
+    assert c.l1.capacity_bytes == 1024 * 1024
+
+
+def test_hpu_occupy_guards():
+    h = HPU(hpu_id=0, cluster_id=0)
+    h.occupy(0.0, 10.0)
+    assert h.busy_cycles == 10.0
+    with pytest.raises(RuntimeError, match="double-booked"):
+        h.occupy(5.0, 20.0)
+    with pytest.raises(ValueError):
+        h.occupy(20.0, 15.0)
+    assert not h.is_free(5.0)
+    assert h.is_free(10.0)

@@ -1,0 +1,60 @@
+"""Tests for the calibrated cycle-cost model."""
+
+import pytest
+
+from repro.pspin.costs import CostModel, DTYPES, get_dtype
+
+
+def test_fp32_packet_aggregation_is_1024_cycles():
+    """Paper calibration: 4 cycles per fp32 element, 256 elements/KiB."""
+    cm = CostModel()
+    assert cm.aggregation_cycles(1024, DTYPES["float32"]) == 1024.0
+
+
+def test_dma_copy_is_64_cycles_per_kib():
+    cm = CostModel()
+    assert cm.copy_cycles(1024) == 64.0
+    assert cm.copy_cycles(2048) == 128.0
+
+
+def test_simd_dtypes_scale_element_rate():
+    """int16 aggregates 2x and int8 4x the elements of int32 per cycle."""
+    cm = CostModel()
+    cycles = {
+        name: cm.aggregation_cycles(1024, DTYPES[name])
+        for name in ("int32", "int16", "int8")
+    }
+    # 1 KiB carries 256/512/1024 elements; equal per-byte rate means
+    # equal packet cost but 2x/4x the elements.
+    assert cycles["int32"] == cycles["int16"] == cycles["int8"] == 1024.0
+    assert DTYPES["int16"].elements_per_kib == 2 * DTYPES["int32"].elements_per_kib
+    assert DTYPES["int8"].elements_per_kib == 4 * DTYPES["int32"].elements_per_kib
+
+
+def test_float64_is_rejected_with_guidance():
+    with pytest.raises(ValueError, match="float64"):
+        get_dtype("float64")
+
+
+def test_unknown_dtype_rejected():
+    with pytest.raises(ValueError, match="unknown dtype"):
+        get_dtype("complex128")
+
+
+def test_sparse_insert_costs():
+    cm = CostModel()
+    assert cm.sparse_insert_cycles(10, "hash") == 10 * cm.hash_cycles_per_element
+    assert cm.sparse_insert_cycles(10, "array") == 10 * cm.array_cycles_per_element
+    with pytest.raises(ValueError):
+        cm.sparse_insert_cycles(1, "btree")
+
+
+def test_cycles_to_ns_at_1ghz_is_identity():
+    cm = CostModel(clock_ghz=1.0)
+    assert cm.cycles_to_ns(1024) == 1024.0
+
+
+def test_hash_costs_more_than_array_per_element():
+    """Sec. 7: hash storage trades bandwidth for density-independence."""
+    cm = CostModel()
+    assert cm.hash_cycles_per_element > cm.array_cycles_per_element

@@ -1,0 +1,105 @@
+"""Tests for the discrete-event simulator core."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pspin.engine import Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(5.0, order.append, "c")
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(3.0, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 5.0
+
+
+def test_simultaneous_events_are_fifo_stable():
+    sim = Simulator()
+    order = []
+    for label in "abcde":
+        sim.schedule(2.0, order.append, label)
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_schedule_from_callback():
+    sim = Simulator()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert seen == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_cancel_skips_event():
+    sim = Simulator()
+    hits = []
+    ev = sim.schedule(1.0, hits.append, "x")
+    sim.schedule(2.0, hits.append, "y")
+    ev.cancel()
+    sim.run()
+    assert hits == ["y"]
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+    hits = []
+    sim.schedule(1.0, hits.append, 1)
+    sim.schedule(10.0, hits.append, 2)
+    sim.run(until=5.0)
+    assert hits == [1]
+    assert sim.now == 5.0
+    sim.run()
+    assert hits == [1, 2]
+
+
+def test_step_returns_false_when_idle():
+    sim = Simulator()
+    assert sim.step() is False
+    sim.schedule(1.0, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_pending_counts_live_events():
+    sim = Simulator()
+    ev1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending == 2
+    ev1.cancel()
+    assert sim.pending == 1
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=200))
+def test_property_arbitrary_delays_execute_sorted(delays):
+    sim = Simulator()
+    seen = []
+    for d in delays:
+        sim.schedule(d, lambda t=d: seen.append(t))
+    sim.run()
+    assert seen == sorted(delays)
+    assert sim.events_processed == len(delays)

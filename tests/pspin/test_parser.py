@@ -1,0 +1,57 @@
+"""Tests for the packet parser / match-rule table."""
+
+import numpy as np
+
+from repro.pspin.packets import SwitchPacket
+from repro.pspin.parser import MatchRule, PacketParser
+
+
+def _pkt(allreduce_id=1, block_id=0, port=0):
+    return SwitchPacket(
+        allreduce_id=allreduce_id,
+        block_id=block_id,
+        port=port,
+        payload=np.zeros(4, dtype=np.float32),
+    )
+
+
+def test_unmatched_packet_bypasses_processing():
+    parser = PacketParser()
+    assert parser.classify(_pkt()) is None
+
+
+def test_allreduce_rule_matches_only_its_id():
+    parser = PacketParser()
+    parser.install_allreduce(7, handler="flare-tree")
+    assert parser.classify(_pkt(allreduce_id=7)) == "flare-tree"
+    assert parser.classify(_pkt(allreduce_id=8)) is None
+
+
+def test_priority_order_wins():
+    parser = PacketParser()
+    parser.install(MatchRule("low", lambda p: True, "generic", priority=100))
+    parser.install(MatchRule("high", lambda p: p.allreduce_id == 1, "specific", priority=1))
+    assert parser.classify(_pkt(allreduce_id=1)) == "specific"
+    assert parser.classify(_pkt(allreduce_id=2)) == "generic"
+
+
+def test_uninstall_removes_rule():
+    parser = PacketParser()
+    parser.install_allreduce(3)
+    assert parser.uninstall("allreduce-3") is True
+    assert parser.classify(_pkt(allreduce_id=3)) is None
+    assert parser.uninstall("allreduce-3") is False
+
+
+def test_packet_wire_bytes_include_header():
+    p = _pkt()
+    assert p.wire_bytes == p.payload.nbytes + 16
+    sp = SwitchPacket(
+        allreduce_id=1,
+        block_id=0,
+        port=0,
+        payload=np.zeros(4, dtype=np.float32),
+        indices=np.zeros(4, dtype=np.int32),
+    )
+    assert sp.is_sparse
+    assert sp.wire_bytes == 16 + 16 + 16

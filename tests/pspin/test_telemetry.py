@@ -1,0 +1,57 @@
+"""Tests for telemetry gauges and counters."""
+
+import pytest
+
+from repro.pspin.telemetry import Counter, DeltaGauge, GaugeSeries, Telemetry
+
+
+def test_gauge_peak_and_mean():
+    g = GaugeSeries("g")
+    g.record(0.0, 10.0)
+    g.record(5.0, 0.0)
+    assert g.peak == 10.0
+    assert g.mean(until=10.0) == pytest.approx(5.0)
+    assert g.current == 0.0
+
+
+def test_gauge_rejects_backwards_time():
+    g = GaugeSeries("g")
+    g.record(5.0, 1.0)
+    with pytest.raises(ValueError):
+        g.record(4.0, 2.0)
+
+
+def test_delta_gauge_tolerates_out_of_order_events():
+    g = DeltaGauge("wm")
+    g.add(10.0, +100.0)   # allocation recorded late
+    g.add(0.0, +50.0)
+    g.add(5.0, -50.0)
+    assert g.peak == 100.0
+    assert g.current == 100.0
+    # Profile: 50 for t in [0,5), 0 for [5,10) -> mean over 10 = 25.
+    assert g.mean() == pytest.approx(25.0)
+
+
+def test_delta_gauge_cache_invalidates_on_new_events():
+    g = DeltaGauge("wm")
+    g.add(0.0, 10.0)
+    assert g.peak == 10.0
+    g.add(1.0, 20.0)
+    assert g.peak == 30.0
+
+
+def test_counter_add():
+    c = Counter()
+    c.add(2)
+    c.add(3.5)
+    assert c.value == 5.5
+
+
+def test_utilization_and_goodput():
+    t = Telemetry()
+    t.busy_cycles.add(500.0)
+    t.bytes_in.add(1024)
+    assert t.utilization(n_cores=10, makespan_cycles=100.0) == pytest.approx(0.5)
+    # 1 KiB over 1024 cycles at 1 GHz = 1 B/ns = 8 Gb/s = 0.008 Tbps.
+    assert t.achieved_tbps(1024.0) == pytest.approx(0.008)
+    assert t.achieved_tbps(0.0) == 0.0

@@ -1,0 +1,80 @@
+"""Tests for densification analytics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sparse.densify import (
+    densification_profile,
+    density_after,
+    expected_hash_collision_fraction,
+    expected_spill_fraction,
+    expected_union,
+)
+
+
+def test_union_single_host_is_nnz():
+    assert expected_union(512, 1, 1) == pytest.approx(1.0)
+    assert expected_union(512, 10, 1) == pytest.approx(10.0, rel=1e-6)
+
+
+def test_union_bucket_top1_64_hosts():
+    """The Fig. 15 setting: 1-of-512 buckets, 64 workers -> ~60 distinct
+    survivors per bucket (11.7% density)."""
+    u = expected_union(512, 1, 64)
+    assert u == pytest.approx(60.2, abs=0.5)
+    assert density_after(512, 1, 64) == pytest.approx(0.1176, abs=0.002)
+
+
+def test_union_saturates_at_span():
+    assert expected_union(10, 5, 1000) == pytest.approx(10.0, rel=1e-6)
+
+
+def test_profile_levels():
+    prof = densification_profile(512, 1, [8, 8])
+    assert len(prof) == 3
+    assert prof[0] == 1.0
+    assert prof[1] < prof[2] <= 512
+
+
+def test_profile_validates_fan_in():
+    with pytest.raises(ValueError):
+        densification_profile(512, 1, [0])
+
+
+def test_union_validates():
+    with pytest.raises(ValueError):
+        expected_union(0, 1, 4)
+    with pytest.raises(ValueError):
+        expected_union(16, 20, 4)
+    with pytest.raises(ValueError):
+        expected_union(16, 1, -1)
+
+
+def test_collision_fraction_monotone_in_keys():
+    f1 = expected_hash_collision_fraction(10, 256)
+    f2 = expected_hash_collision_fraction(200, 256)
+    f3 = expected_hash_collision_fraction(2000, 256)
+    assert 0 <= f1 < f2 < f3 < 1
+
+
+def test_collision_fraction_edge_cases():
+    assert expected_hash_collision_fraction(0, 256) == 0.0
+    with pytest.raises(ValueError):
+        expected_hash_collision_fraction(10, 0)
+
+
+def test_spill_fraction_grows_with_aggregated_density():
+    """More hosts -> denser aggregate -> more distinct keys -> spill."""
+    few = expected_spill_fraction(640, 128, 2, 512)
+    many = expected_spill_fraction(640, 128, 64, 512)
+    assert many > few
+
+
+@given(
+    span=st.integers(8, 4096),
+    hosts=st.integers(1, 256),
+)
+def test_property_union_bounds(span, hosts):
+    nnz = max(1, span // 10)
+    u = expected_union(span, nnz, hosts)
+    assert nnz - 1e-9 <= u <= min(span, nnz * hosts) + 1e-9

@@ -1,0 +1,140 @@
+"""Tests for sparse formats and packetization rules (Sec. 7, Fig. 12)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse.formats import (
+    SparseBlock,
+    make_sparse_workload,
+    packetize_block,
+    sparsify_dense,
+    split_into_blocks,
+)
+
+
+def test_sparsify_dense_round_trip():
+    dense = np.array([0, 3, 0, 0, 7, 0, 1], dtype=np.float32)
+    idx, vals = sparsify_dense(dense)
+    np.testing.assert_array_equal(idx, [1, 4, 6])
+    np.testing.assert_array_equal(vals, [3, 7, 1])
+
+
+def test_split_into_blocks_covers_every_window():
+    idx = np.array([0, 5, 9, 10, 22], dtype=np.int32)
+    vals = np.arange(5, dtype=np.float32) + 1
+    blocks = split_into_blocks(idx, vals, total_span=24, block_span=8)
+    assert len(blocks) == 3
+    np.testing.assert_array_equal(blocks[0].indices, [0, 5])
+    np.testing.assert_array_equal(blocks[1].indices, [1, 2])   # 9, 10 rel. 8
+    np.testing.assert_array_equal(blocks[2].indices, [6])      # 22 rel. 16
+    # Ragged tail span.
+    assert blocks[2].span == 8
+    blocks = split_into_blocks(idx, vals, total_span=23, block_span=8)
+    assert blocks[2].span == 7
+
+
+def test_split_handles_empty_vector():
+    blocks = split_into_blocks(
+        np.array([], dtype=np.int32), np.array([], dtype=np.float32), 16, 8
+    )
+    assert len(blocks) == 2
+    assert all(b.nnz == 0 for b in blocks)
+
+
+def test_block_validates_indices():
+    with pytest.raises(ValueError, match="span"):
+        SparseBlock(0, span=4, indices=np.array([5]), values=np.array([1.0]))
+    with pytest.raises(ValueError, match="align"):
+        SparseBlock(0, span=8, indices=np.array([1, 2]), values=np.array([1.0]))
+
+
+def test_packetize_respects_block_split_rule():
+    """A block with more non-zeros than a packet holds becomes shards,
+    with the shard count on the last one."""
+    block = SparseBlock(
+        0, span=32,
+        indices=np.arange(10, dtype=np.int32),
+        values=np.ones(10, dtype=np.float32),
+    )
+    chunks = packetize_block(block, max_elements=4)
+    assert [c.n_elements for c in chunks] == [4, 4, 2]
+    assert [c.last_of_block for c in chunks] == [False, False, True]
+    assert all(c.shard_count == 3 for c in chunks)
+
+
+def test_packetize_empty_block_still_sends_header():
+    """Paper: 'we still send a packet with no elements'."""
+    block = SparseBlock(
+        0, span=8, indices=np.array([], dtype=np.int32),
+        values=np.array([], dtype=np.float32),
+    )
+    chunks = packetize_block(block, max_elements=4)
+    assert len(chunks) == 1
+    assert chunks[0].n_elements == 0
+    assert chunks[0].last_of_block and chunks[0].shard_count == 1
+
+
+def test_chunk_wire_bytes():
+    block = SparseBlock(
+        0, span=8, indices=np.array([1, 2], dtype=np.int32),
+        values=np.array([1.0, 2.0], dtype=np.float32),
+    )
+    (chunk,) = packetize_block(block, max_elements=4)
+    assert chunk.wire_bytes == 2 * 8   # 4 B index + 4 B value each
+
+
+def test_workload_density_and_span():
+    wl = make_sparse_workload(
+        n_hosts=8, n_blocks=10, elements_per_packet=128, density=0.1, seed=3
+    )
+    assert wl.block_span == 1280
+    mean_nnz = np.mean([b.nnz for host in wl.blocks for b in host])
+    assert mean_nnz == pytest.approx(128, rel=0.15)
+
+
+def test_workload_correlation_shrinks_union():
+    def union_size(corr):
+        wl = make_sparse_workload(4, 6, 64, 0.1, seed=5, correlation=corr)
+        total = 0
+        for b in range(6):
+            u = set()
+            for h in range(4):
+                u.update(wl.blocks[h][b].indices.tolist())
+            total += len(u)
+        return total
+
+    assert union_size(0.9) < union_size(0.0)
+
+
+def test_workload_golden_sum_matches_dense():
+    wl = make_sparse_workload(3, 2, 16, 0.5, seed=9)
+    golden = wl.golden_dense_sum(0)
+    manual = sum(wl.blocks[h][0].to_dense(np.float32) for h in range(3))
+    np.testing.assert_allclose(golden, manual)
+
+
+def test_workload_rejects_bad_params():
+    with pytest.raises(ValueError):
+        make_sparse_workload(2, 2, 16, density=0.0)
+    with pytest.raises(ValueError):
+        make_sparse_workload(2, 2, 16, density=0.5, correlation=2.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    nnz=st.integers(0, 40),
+    span=st.integers(40, 200),
+    max_elements=st.integers(1, 16),
+)
+def test_property_packetize_partition(nnz, span, max_elements):
+    """Shards partition the block: no element lost or duplicated."""
+    rng = np.random.default_rng(nnz * 1000 + span)
+    idx = np.sort(rng.choice(span, size=nnz, replace=False)).astype(np.int32)
+    block = SparseBlock(0, span=span, indices=idx,
+                        values=np.ones(nnz, dtype=np.float32))
+    chunks = packetize_block(block, max_elements)
+    got = np.concatenate([c.indices for c in chunks]) if chunks else np.array([])
+    np.testing.assert_array_equal(np.sort(got), idx)
+    assert sum(c.last_of_block for c in chunks) == 1
+    assert chunks[-1].shard_count == len(chunks)

@@ -1,0 +1,77 @@
+"""Tests for unit conversions and table rendering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.tables import ascii_table, series_block
+from repro.utils.units import (
+    bytes_per_cycle_to_tbps,
+    bytes_to_gib,
+    bytes_to_kib,
+    bytes_to_mib,
+    format_size,
+    gbps_to_bytes_per_ns,
+    parse_size,
+    tbps_to_bytes_per_ns,
+)
+
+
+def test_parse_size_variants():
+    assert parse_size("1KiB") == 1024
+    assert parse_size("1 MiB") == 1024**2
+    assert parse_size("2GiB") == 2 * 1024**3
+    assert parse_size("1kb") == 1000
+    assert parse_size("512") == 512
+    assert parse_size(4096) == 4096
+    assert parse_size(2.5) == 2
+
+
+def test_format_size():
+    assert format_size(512 * 1024) == "512KiB"
+    assert format_size(1024**2) == "1MiB"
+    assert format_size(100) == "100B"
+    assert format_size(1536) == "1.50KiB"
+
+
+@given(st.integers(0, 2**40))
+def test_property_parse_format_round_trip(n):
+    assert parse_size(format_size(n)) == pytest.approx(n, rel=0.01, abs=8)
+
+
+def test_rate_conversions():
+    assert bytes_per_cycle_to_tbps(512.0) == pytest.approx(4.096)
+    assert tbps_to_bytes_per_ns(4.096) == pytest.approx(512.0)
+    assert gbps_to_bytes_per_ns(100.0) == pytest.approx(12.5)
+
+
+def test_byte_unit_helpers():
+    assert bytes_to_kib(2048) == 2
+    assert bytes_to_mib(3 * 1024**2) == 3
+    assert bytes_to_gib(1024**3) == 1
+
+
+def test_ascii_table_alignment():
+    text = ascii_table(["name", "x"], [["a", 1], ["bb", 2.5]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("name")
+    assert "2.5" in lines[3]
+
+
+def test_series_block():
+    text = series_block("T", "size", ["1K", "2K"], {"a": [1, 2], "b": [3, 4]})
+    assert text.splitlines()[0] == "T"
+    assert "1K" in text and "4" in text
+
+
+def test_rngtools():
+    from repro.utils.rngtools import seeded_rng, spawn_rngs
+
+    a, b = seeded_rng(3), seeded_rng(3)
+    assert a.integers(0, 100) == b.integers(0, 100)
+    gen = seeded_rng(a)
+    assert gen is a
+    streams = spawn_rngs(7, 4)
+    assert len(streams) == 4
+    vals = {g.integers(0, 1 << 30) for g in streams}
+    assert len(vals) == 4   # independent streams
