@@ -16,7 +16,7 @@ Run:  python examples/custom_operators.py
 
 import numpy as np
 
-from repro import run_switch_allreduce
+from repro import Communicator
 from repro.core.ops import ReductionOp
 
 
@@ -32,11 +32,14 @@ def absmax(acc: np.ndarray, values: np.ndarray) -> None:
 
 
 def main() -> None:
-    # 1. Integer product — trivially available as a built-in op.
-    r = run_switch_allreduce(
-        "4KiB", children=4, n_clusters=1, algorithm="single",
-        dtype="int32", op="prod", seed=1,
-    )
+    comm = Communicator(n_hosts=4, n_clusters=1)
+
+    # 1. Integer product — trivially available as a built-in op.  Only
+    #    the switch-level algorithm declares custom_ops/prod support,
+    #    so "auto" routes there.
+    r = comm.allreduce(
+        "4KiB", op="prod", aggregation="single", dtype="int32", seed=1
+    ).raw
     print(f"int32 product     : {r.blocks_completed} blocks verified, "
           f"{r.bandwidth_tbps:.2f} Tbps")
 
@@ -47,10 +50,9 @@ def main() -> None:
         commutative=True, associative=True,
     )
     data = np.full((4, 4, 1024), 100, dtype=np.int8)   # saturates at 127
-    r = run_switch_allreduce(
-        4 * 1024, children=4, n_clusters=1, algorithm="single",
-        dtype="int8", op=sat8, data=data, seed=2, verify=False,
-    )
+    r = comm.allreduce(
+        data, op=sat8, aggregation="single", seed=2, verify=False
+    ).raw
     out = r.outputs[0]
     assert np.all(out == 127), "saturation must clamp at int8 max"
     print(f"saturating int8   : clamps at 127 as specified, "
@@ -64,13 +66,13 @@ def main() -> None:
 
     choice = select_algorithm("4MiB", op=am)
     print(f"absmax policy     : {choice.label} ({choice.reason})")
-    r = run_switch_allreduce(
-        "8KiB", children=8, n_clusters=1, algorithm="tree",
-        dtype="float32", op=am, seed=3, verify=False,
-    )
     from repro.core.allreduce import make_dense_blocks
 
+    comm8 = Communicator(n_hosts=8, n_clusters=1)
     data = make_dense_blocks(8, 8, 256, dtype="float32", seed=3)
+    r = comm8.allreduce(
+        data, op=am, aggregation="tree", seed=3, verify=False
+    ).raw
     # golden absmax over hosts:
     g = data[0, 0].copy()
     for h in range(1, 8):

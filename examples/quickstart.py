@@ -1,17 +1,18 @@
 #!/usr/bin/env python3
-"""Quickstart: one in-network allreduce through a Flare switch.
+"""Quickstart: the unified Communicator API.
 
-Sets up the control plane (network manager computes a reduction tree
-and installs handlers), streams staggered host traffic through the
-PsPIN behavioral switch, verifies the aggregated result against numpy,
-and prints the performance counters the paper reasons about.
+One object fronts every allreduce in the library: the Communicator
+resolves a request against the algorithm registry (capability
+matching), plans it once (reduction tree, handler selection, memory
+sizing), caches the plan, and executes it — here with real payloads
+that are verified against numpy.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import run_switch_allreduce, select_algorithm
+from repro import Communicator
 from repro.core.allreduce import make_dense_blocks
 
 
@@ -19,35 +20,52 @@ def main() -> None:
     data_size = "256KiB"      # per-host contribution
     children = 16             # hosts under this switch
 
-    # The Sec. 6.4 policy picks the aggregation design from the size.
-    choice = select_algorithm(data_size)
-    print(f"policy picked {choice.label!r}: {choice.reason}")
+    comm = Communicator(n_hosts=children, n_clusters=4)
 
-    # Supply explicit data so we can check the numerics ourselves.
-    # (run_switch_allreduce also self-verifies against numpy.)
+    # "auto" runs capability matching over the registry; for a dense
+    # request the in-network switch-level algorithm wins, and inside it
+    # the Sec. 6.4 policy picks the aggregation design from the size.
+    plan = comm.plan(nbytes=data_size)
+    print(plan.describe())
+    print()
+
+    # Supply explicit data so we can check the numerics ourselves
+    # (the switch-level backend also self-verifies against numpy).
     n_blocks = 256 * 1024 // 1024          # 1 KiB packets
     data = make_dense_blocks(children, n_blocks, 256, dtype="float32", seed=7)
 
-    result = run_switch_allreduce(
-        data_size,
-        children=children,
-        n_clusters=4,          # simulate 4 clusters, scale to 64 (paper method)
-        data=data,
-        seed=7,
-    )
+    result = comm.allreduce(data, seed=7)
+    raw = result.raw                       # native switch-level counters
 
     print(result.summary())
-    print(f"  bandwidth          : {result.bandwidth_tbps:.2f} Tbps "
-          f"(scaled from {result.sim_clusters} simulated clusters)")
-    print(f"  makespan           : {result.makespan_cycles:,.0f} cycles @ 1 GHz")
-    print(f"  peak input buffers : {result.peak_input_buffer_bytes / 1024:.0f} KiB")
-    print(f"  peak working memory: {result.peak_working_memory_bytes / 1024:.0f} KiB")
-    print(f"  contention wait    : {result.contention_wait_cycles:,.0f} cycles")
+    print(f"  algorithm          : {result.algorithm} ({raw.algorithm})")
+    print(f"  bandwidth          : {raw.bandwidth_tbps:.2f} Tbps "
+          f"(scaled from {raw.sim_clusters} simulated clusters)")
+    print(f"  makespan           : {raw.makespan_cycles:,.0f} cycles @ 1 GHz")
+    print(f"  peak input buffers : {raw.peak_input_buffer_bytes / 1024:.0f} KiB")
+    print(f"  peak working memory: {raw.peak_working_memory_bytes / 1024:.0f} KiB")
 
     # Independent check of one block.
     golden = data[:, 0, :].sum(axis=0)
-    np.testing.assert_allclose(result.outputs[0], golden, rtol=1e-5)
-    print("block 0 matches the numpy golden sum — aggregation is exact.")
+    np.testing.assert_allclose(raw.outputs[0], golden, rtol=1e-5)
+    print("block 0 matches the numpy golden sum — aggregation is exact.\n")
+
+    # The production steady state: repeat the same shape.  Planning is
+    # skipped — the cached plan goes straight to the data plane.
+    for step in range(3):
+        comm.allreduce(data, seed=step)
+    info = comm.cache_info()
+    print(f"4 executions, plan cache: {info.hits} hits / {info.misses} miss "
+          f"(planning ran {comm.plans_built}x)\n")
+
+    # Non-blocking issue: overlap two collectives and gather both.
+    futures = [
+        comm.iallreduce(data, seed=11),
+        comm.iallreduce("64KiB", algorithm="ring"),
+    ]
+    for f in futures:
+        print(f"iallreduce[{f.algorithm}] -> {f.result().summary()}")
+    comm.close()
 
 
 if __name__ == "__main__":

@@ -10,7 +10,7 @@ models and the behavioral simulator.
 Run:  python examples/scheduling_policies.py
 """
 
-from repro.core.allreduce import run_switch_allreduce
+from repro import Communicator
 from repro.core.config import FlareConfig
 from repro.core.models import evaluate_design
 from repro.utils.tables import ascii_table
@@ -41,12 +41,13 @@ def modeled_sweep() -> None:
 def staggered_vs_sequential() -> None:
     print("Behavioral simulation: staggered vs sequential sending")
     print("(single buffer, 8 children, 64 KiB, no arrival jitter):\n")
+    comm = Communicator(n_hosts=8, n_clusters=2)
     rows = []
     for staggered in (False, True):
-        r = run_switch_allreduce(
-            "64KiB", children=8, n_clusters=2, algorithm="single",
+        r = comm.allreduce(
+            "64KiB", algorithm="flare_switch", aggregation="single",
             staggered=staggered, jitter=0.0, seed=11,
-        )
+        ).raw
         rows.append([
             "staggered" if staggered else "sequential",
             round(r.bandwidth_tbps, 2),
@@ -64,12 +65,13 @@ def staggered_vs_sequential() -> None:
 def scheduler_comparison() -> None:
     print("Hierarchical FCFS (block-affine, local L1) vs plain FCFS")
     print("(any core, remote-L1 penalties) — tree aggregation, 16 children:\n")
+    comm = Communicator(n_hosts=16, n_clusters=4)
     rows = []
     for sched in ("hierarchical", "fcfs"):
-        r = run_switch_allreduce(
-            "32KiB", children=16, n_clusters=4, algorithm="tree",
+        r = comm.allreduce(
+            "32KiB", algorithm="flare_switch", aggregation="tree",
             scheduler=sched, seed=12,
-        )
+        ).raw
         rows.append([sched, round(r.bandwidth_tbps, 2),
                      round(r.makespan_cycles, 0)])
     print(ascii_table(["scheduler", "band (Tbps)", "makespan (cycles)"], rows))

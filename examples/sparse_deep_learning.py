@@ -19,16 +19,9 @@ This example runs the whole pipeline at laptop scale:
 Run:  python examples/sparse_deep_learning.py
 """
 
-import numpy as np
-
-from repro.collectives import (
-    simulate_flare_sparse_allreduce,
-    simulate_sparcml_allreduce,
-)
+from repro import Communicator
 from repro.data.buckets import bucket_top1_sparsify, bucket_union_counts
 from repro.data.resnet50 import synthetic_gradients
-from repro.network.topology import FatTreeTopology
-from repro.sparse.allreduce import run_sparse_switch_allreduce
 from repro.sparse.densify import expected_union
 
 BUCKET = 512
@@ -63,21 +56,26 @@ def main() -> None:
     # 3. In-switch aggregation: hash vs array storage
     # ------------------------------------------------------------------
     print("switch-level sparse aggregation (64 KiB sparsified per host):")
+    switch_comm = Communicator(n_hosts=N_WORKERS, n_clusters=2)
     for storage in ("hash", "array"):
-        r = run_sparse_switch_allreduce(
-            "64KiB", density=0.1, storage=storage, children=N_WORKERS,
-            n_clusters=2, seed=3,
-        )
+        r = switch_comm.allreduce(
+            "64KiB", algorithm="flare_switch_sparse", sparse=True,
+            density=0.1, storage=storage, seed=3,
+        ).raw
         print("  " + r.summary())
     print()
 
     # ------------------------------------------------------------------
     # 4. End to end on the fat tree: SparCML vs Flare sparse
     # ------------------------------------------------------------------
-    topo = lambda: FatTreeTopology(n_hosts=64, hosts_per_leaf=8, n_spines=4)
+    comm = Communicator(n_hosts=64, hosts_per_leaf=8, n_spines=4)
     elements = 8_000_000.0
-    sparcml = simulate_sparcml_allreduce(topo(), elements, bucket_span=BUCKET)
-    flare = simulate_flare_sparse_allreduce(topo(), elements, bucket_span=BUCKET)
+    sparcml = comm.allreduce(
+        elements * 4, algorithm="sparcml", sparse=True, bucket_span=BUCKET
+    )
+    flare = comm.allreduce(
+        elements * 4, algorithm="flare_sparse", sparse=True, bucket_span=BUCKET
+    )
     print("64-node fat tree, 32 MiB dense-equivalent per host:")
     for r in (sparcml, flare):
         print("  " + r.summary())

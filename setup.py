@@ -1,11 +1,27 @@
-"""Setuptools shim.
+"""Packaging metadata.
 
 ``pip install -e .`` needs the ``wheel`` package to build PEP 660
 editable wheels; on fully offline machines without it, install with
-``python setup.py develop`` instead — all metadata lives in
-``pyproject.toml``.
+``python setup.py develop`` instead.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="flare-repro",
+    version="1.1.0",
+    description=(
+        "Reproduction of 'Flare: Flexible In-Network Allreduce' (SC '21): "
+        "PsPIN switch model, dense/sparse in-network allreduce, unified "
+        "Communicator API"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "flare-repro=repro.__main__:main",
+        ],
+    },
+)

@@ -1,7 +1,28 @@
 """repro — reproduction of "Flare: Flexible In-Network Allreduce" (SC '21).
 
-A production-quality Python library rebuilding the paper's full stack:
+A production-quality Python library rebuilding the paper's full stack
+behind one front door, :class:`repro.comm.Communicator`::
 
+    from repro import Communicator
+
+    comm = Communicator(n_hosts=16)
+    result = comm.allreduce("512KiB")                  # capability-matched
+    result = comm.allreduce("512KiB", algorithm="ring")
+    future = comm.iallreduce("512KiB")                 # non-blocking
+    print(future.result().summary())
+
+Every allreduce flavor is an entry in the algorithm registry
+(``repro.comm.register_algorithm``) with declared capabilities —
+dense/sparse, supported operators, reproducibility, in-network vs
+host-based — and runs through the same plan/execute pipeline:
+``comm.plan(request)`` performs tree construction, handler selection,
+and message sizing once; the cached plan then executes any number of
+collectives of that shape.
+
+Layers:
+
+* ``repro.comm`` — the unified Communicator API: algorithm registry,
+  plan cache, futures.
 * ``repro.pspin`` — behavioral model of the PsPIN programmable-switch
   processing unit (clusters, HPUs, memories, schedulers).
 * ``repro.core`` — Flare's dense aggregation algorithms (single buffer,
@@ -17,13 +38,13 @@ A production-quality Python library rebuilding the paper's full stack:
 * ``repro.baselines`` — SwitchML and SHARP behavioral reference models.
 * ``repro.data`` — workload generators, including synthetic ResNet-50
   gradients with bucket sparsification.
-* ``repro.figures`` — one runner per paper table/figure.
+* ``repro.figures`` — one runner per paper table/figure
+  (``python -m repro <figure>``; ``python -m repro bench <algorithm>``
+  drives any registered algorithm).
 
-Quickstart::
-
-    from repro import run_switch_allreduce
-    result = run_switch_allreduce("512KiB", children=16, n_clusters=4)
-    print(result.summary())
+The pre-registry entry points (``run_switch_allreduce``,
+``simulate_*_allreduce``) remain as deprecation shims over the
+registry.
 """
 
 from repro.core import (
@@ -34,10 +55,24 @@ from repro.core import (
     NetworkManager,
 )
 from repro.pspin import PsPINSwitch, SwitchConfig, CostModel
+from repro.comm import (
+    AlgorithmCaps,
+    CollectiveRequest,
+    CollectiveResult,
+    Communicator,
+    available_algorithms,
+    register_algorithm,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Communicator",
+    "CollectiveRequest",
+    "CollectiveResult",
+    "AlgorithmCaps",
+    "register_algorithm",
+    "available_algorithms",
     "FlareConfig",
     "run_switch_allreduce",
     "select_algorithm",

@@ -1,11 +1,18 @@
-"""Command-line entry point: reproduce paper experiments.
+"""Command-line entry point: paper experiments and the algorithm bench.
 
 Usage::
 
     python -m repro list                   # available experiments
+    python -m repro algorithms             # registered allreduce algorithms
     python -m repro fig11                  # run one figure (paper scale)
     python -m repro fig15 --fast           # reduced-scale smoke run
     python -m repro all --fast             # everything
+    python -m repro bench ring --size 1MiB --hosts 16 --repeat 3
+
+``bench`` drives any registered algorithm through the unified
+:class:`repro.comm.Communicator`, re-executing the cached plan to show
+the plan/execute split at work.  (Also installed as the ``flare-repro``
+console script.)
 """
 
 from __future__ import annotations
@@ -27,31 +34,120 @@ def _run_one(name: str, fast: bool) -> None:
     print(f"[{name} completed in {elapsed:.1f}s]")
 
 
+def _cmd_list() -> int:
+    for name in EXPERIMENTS:
+        mod = importlib.import_module(f"repro.figures.{name}")
+        doc = (mod.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:8s} {doc}")
+    return 0
+
+
+def _cmd_algorithms() -> int:
+    from repro.comm import Communicator
+    from repro.utils.tables import ascii_table
+
+    rows = []
+    for a in Communicator.algorithms():
+        rows.append([
+            a["name"],
+            "x" if a["dense"] else "",
+            "x" if a["sparse"] else "",
+            "in-network" if a["in_network"] else "host",
+            "x" if a["reproducible"] else "",
+            ",".join(a["ops"]) + ("+custom" if a["custom_ops"] else ""),
+            a["priority"],
+        ])
+    print(ascii_table(
+        ["algorithm", "dense", "sparse", "where", "repro", "ops", "prio"],
+        rows,
+        title="Registered allreduce algorithms (priority drives 'auto')",
+    ))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.comm import CommError, Communicator
+
+    comm = Communicator(
+        n_hosts=args.hosts,
+        n_clusters=args.clusters,
+    )
+    kwargs = dict(
+        op=args.op,
+        algorithm=args.algorithm,
+        sparse=args.sparse,
+        density=args.density,
+        reproducible=args.reproducible,
+    )
+    try:
+        plan = comm.plan(nbytes=args.size, **kwargs)
+    except CommError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print("hint: 'python -m repro algorithms' lists registered "
+              "algorithms and their capabilities", file=sys.stderr)
+        return 2
+    print(plan.describe())
+    print()
+    for i in range(args.repeat):
+        t0 = time.perf_counter()
+        result = comm.allreduce(args.size, seed=args.seed + i, **kwargs)
+        wall = time.perf_counter() - t0
+        print(f"run {i + 1}/{args.repeat}: {result.summary()}  "
+              f"[wall {wall * 1e3:.0f} ms]")
+    info = comm.cache_info()
+    print(f"\nplan cache: {info.hits} hits / {info.misses} misses "
+          f"(planning ran {comm.plans_built}x for {plan.executions} executions)")
+    comm.close()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce the experiments of 'Flare: Flexible "
         "In-Network Allreduce' (SC '21).",
     )
-    parser.add_argument(
-        "experiment",
-        choices=EXPERIMENTS + ("all", "list"),
-        help="which table/figure to regenerate",
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("algorithms", help="list registered allreduce algorithms")
+
+    for name in EXPERIMENTS + ("all",):
+        p = sub.add_parser(name, help=f"run {name}" if name != "all" else "run everything")
+        p.add_argument(
+            "--fast",
+            action="store_true",
+            help="reduced-scale run (seconds instead of minutes)",
+        )
+
+    bench = sub.add_parser(
+        "bench", help="drive any registered algorithm via the Communicator"
     )
-    parser.add_argument(
-        "--fast",
-        action="store_true",
-        help="reduced-scale run (seconds instead of minutes)",
-    )
+    bench.add_argument("algorithm", help="registry name, or 'auto'")
+    bench.add_argument("--size", default="64KiB", help="per-host bytes (default 64KiB)")
+    bench.add_argument("--hosts", type=int, default=16)
+    bench.add_argument("--clusters", type=int, default=2,
+                       help="simulated PsPIN clusters for switch-level algorithms")
+    bench.add_argument("--op", default="sum", choices=("sum", "min", "max", "prod"))
+    bench.add_argument("--sparse", action="store_true")
+    bench.add_argument("--density", type=float, default=None,
+                       help="non-zero fraction (default 0.1 with --sparse)")
+    bench.add_argument("--reproducible", action="store_true")
+    bench.add_argument("--repeat", type=int, default=3,
+                       help="executions of the (cached) plan")
+    bench.add_argument("--seed", type=int, default=0)
+
     args = parser.parse_args(argv)
 
-    if args.experiment == "list":
-        for name in EXPERIMENTS:
-            mod = importlib.import_module(f"repro.figures.{name}")
-            doc = (mod.__doc__ or "").strip().splitlines()[0]
-            print(f"{name:8s} {doc}")
-        return 0
-    targets = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "algorithms":
+        return _cmd_algorithms()
+    if args.command == "bench":
+        if args.density is None:
+            args.density = 0.1 if args.sparse else 1.0
+        return _cmd_bench(args)
+    targets = EXPERIMENTS if args.command == "all" else (args.command,)
     for name in targets:
         _run_one(name, args.fast)
         if len(targets) > 1:

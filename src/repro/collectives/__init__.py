@@ -11,6 +11,10 @@ Two layers:
   ``flare_sparse``) — event-driven simulations of the same algorithms on
   :class:`repro.network.NetworkSimulator`, producing the completion
   times and traffic volumes of Fig. 15.
+
+All of them are registered in the :mod:`repro.comm` algorithm registry;
+the ``simulate_*`` entry points below remain as deprecation shims
+delegating there.  Prefer ``repro.comm.Communicator``.
 """
 
 from repro.collectives.algorithms import (

@@ -15,6 +15,8 @@ adds pipeline depth, not bandwidth loss).
 
 from __future__ import annotations
 
+import warnings
+
 from repro.collectives.result import CollectiveResult
 from repro.network.simulator import Message, NetworkSimulator
 from repro.network.trees import EmbeddedTree, embed_reduction_tree
@@ -28,7 +30,41 @@ def simulate_flare_dense_allreduce(
     agg_latency_ns_per_chunk: float = 2000.0,
     tree: EmbeddedTree | None = None,
 ) -> CollectiveResult:
-    """Simulate one Flare in-network dense allreduce."""
+    """Simulate one Flare in-network dense allreduce.
+
+    .. deprecated::
+        Thin shim over the :mod:`repro.comm` registry ("flare_dense"
+        algorithm); prefer ``Communicator.allreduce``.
+    """
+    warnings.warn(
+        "simulate_flare_dense_allreduce is deprecated; use repro.comm."
+        "Communicator.allreduce(..., algorithm='flare_dense') instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.comm import legacy_execute
+
+    return legacy_execute(
+        "flare_dense",
+        nbytes=vector_bytes,
+        n_hosts=topology.n_hosts,
+        params={
+            "topology": topology,
+            "chunk_bytes": chunk_bytes,
+            "agg_latency_ns_per_chunk": agg_latency_ns_per_chunk,
+            "tree": tree,
+        },
+    )
+
+
+def _simulate_flare_dense_allreduce(
+    topology: FatTreeTopology,
+    vector_bytes: float,
+    chunk_bytes: float = 1024 * 1024,
+    agg_latency_ns_per_chunk: float = 2000.0,
+    tree: EmbeddedTree | None = None,
+) -> CollectiveResult:
+    """Flare in-network dense schedule implementation."""
     net = NetworkSimulator(topology)
     tree = tree or embed_reduction_tree(topology)
     hosts = tree.all_hosts()

@@ -15,6 +15,8 @@ synthetic ResNet-50 gradient data.
 
 from __future__ import annotations
 
+import warnings
+
 from repro.collectives.result import CollectiveResult
 from repro.network.simulator import Message, NetworkSimulator
 from repro.network.trees import EmbeddedTree, embed_reduction_tree
@@ -54,7 +56,48 @@ def simulate_flare_sparse_allreduce(
     level_bytes: tuple[float, float, float] | None = None,
     tree: EmbeddedTree | None = None,
 ) -> CollectiveResult:
-    """Simulate one Flare in-network sparse allreduce."""
+    """Simulate one Flare in-network sparse allreduce.
+
+    .. deprecated::
+        Thin shim over the :mod:`repro.comm` registry ("flare_sparse"
+        algorithm); prefer ``Communicator.allreduce(..., sparse=True)``.
+    """
+    warnings.warn(
+        "simulate_flare_sparse_allreduce is deprecated; use repro.comm."
+        "Communicator.allreduce(..., algorithm='flare_sparse') instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.comm import legacy_execute
+
+    return legacy_execute(
+        "flare_sparse",
+        nbytes=total_elements * 4,
+        n_hosts=topology.n_hosts,
+        sparse=True,
+        params={
+            "topology": topology,
+            "bucket_span": bucket_span,
+            "nnz_per_bucket": nnz_per_bucket,
+            "n_chunks": n_chunks,
+            "agg_latency_ns_per_chunk": agg_latency_ns_per_chunk,
+            "level_bytes": level_bytes,
+            "tree": tree,
+        },
+    )
+
+
+def _simulate_flare_sparse_allreduce(
+    topology: FatTreeTopology,
+    total_elements: float,
+    bucket_span: int = 512,
+    nnz_per_bucket: float = 1.0,
+    n_chunks: int = 64,
+    agg_latency_ns_per_chunk: float = 4000.0,
+    level_bytes: tuple[float, float, float] | None = None,
+    tree: EmbeddedTree | None = None,
+) -> CollectiveResult:
+    """Flare in-network sparse schedule implementation."""
     net = NetworkSimulator(topology)
     tree = tree or embed_reduction_tree(topology)
     hosts = tree.all_hosts()

@@ -1,8 +1,17 @@
-"""Common result type for network-simulated collectives."""
+"""Common result type for simulated collectives.
+
+:class:`CollectiveResult` is the one result shape every algorithm in
+the registry (:mod:`repro.comm`) returns: the network schedules fill it
+directly, while the switch-level PsPIN drivers wrap their native result
+(kept in :attr:`CollectiveResult.raw`) so detailed counters stay
+reachable through the unified API.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from repro.utils.units import MIB
 
 
 @dataclass
@@ -16,6 +25,13 @@ class CollectiveResult:
     traffic_bytes_hops: float    # sum over links of bytes carried
     sent_bytes_per_host: float = 0.0
     extra: dict = field(default_factory=dict)
+    #: Registry algorithm that produced this result ("" for direct calls).
+    algorithm: str = ""
+    #: Reduction operator name.
+    op: str = "sum"
+    #: Native backend result (e.g. ``SwitchAllreduceResult``) when the
+    #: algorithm has a richer result type than this common shape.
+    raw: object = None
 
     @property
     def time_ms(self) -> float:
@@ -26,7 +42,10 @@ class CollectiveResult:
         return self.traffic_bytes_hops / (1024**3)
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.name}: {self.time_ms:.2f} ms, "
             f"{self.traffic_gib:.2f} GiB traffic"
         )
+        if self.sent_bytes_per_host > 0:
+            text += f", {self.sent_bytes_per_host / MIB:.2f} MiB sent/host"
+        return text

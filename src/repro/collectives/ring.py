@@ -14,6 +14,8 @@ time ~2 Z / link_rate rather than 2(P-1) full latencies.
 
 from __future__ import annotations
 
+import warnings
+
 from repro.collectives.result import CollectiveResult
 from repro.network.simulator import Message, NetworkSimulator
 from repro.network.topology import FatTreeTopology
@@ -26,6 +28,38 @@ def simulate_ring_allreduce(
     host_reduce_bytes_per_ns: float = 0.0,
 ) -> CollectiveResult:
     """Simulate one ring allreduce over all hosts of the topology.
+
+    .. deprecated::
+        Thin shim over the :mod:`repro.comm` registry ("ring"
+        algorithm); prefer ``Communicator.allreduce``.
+    """
+    warnings.warn(
+        "simulate_ring_allreduce is deprecated; use repro.comm."
+        "Communicator.allreduce(..., algorithm='ring') instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.comm import legacy_execute
+
+    return legacy_execute(
+        "ring",
+        nbytes=vector_bytes,
+        n_hosts=topology.n_hosts,
+        params={
+            "topology": topology,
+            "sub_chunk_bytes": sub_chunk_bytes,
+            "host_reduce_bytes_per_ns": host_reduce_bytes_per_ns,
+        },
+    )
+
+
+def _simulate_ring_allreduce(
+    topology: FatTreeTopology,
+    vector_bytes: float,
+    sub_chunk_bytes: float = 128 * 1024,
+    host_reduce_bytes_per_ns: float = 0.0,
+) -> CollectiveResult:
+    """Ring-allreduce schedule implementation.
 
     Each Z/P segment is further cut into sub-chunks; a rank forwards
     sub-chunk k of step s+1 as soon as it has received sub-chunk k of

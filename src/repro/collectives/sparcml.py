@@ -17,6 +17,7 @@ expected non-zeros.  The Fig. 15 driver feeds the bucket-top-1 profile
 from __future__ import annotations
 
 import math
+import warnings
 
 from repro.collectives.result import CollectiveResult
 from repro.network.simulator import Message, NetworkSimulator
@@ -77,17 +78,56 @@ def simulate_sparcml_allreduce(
 ) -> CollectiveResult:
     """Simulate SSAR over all hosts of the topology.
 
+    .. deprecated::
+        Thin shim over the :mod:`repro.comm` registry ("sparcml"
+        algorithm); prefer ``Communicator.allreduce(..., sparse=True)``.
+    """
+    warnings.warn(
+        "simulate_sparcml_allreduce is deprecated; use repro.comm."
+        "Communicator.allreduce(..., algorithm='sparcml') instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.comm import legacy_execute
+
+    return legacy_execute(
+        "sparcml",
+        nbytes=total_elements * DENSE_ELEMENT_BYTES,
+        n_hosts=topology.n_hosts,
+        sparse=True,
+        params={
+            "topology": topology,
+            "bucket_span": bucket_span,
+            "nnz_per_bucket": nnz_per_bucket,
+            "dense_switch": dense_switch,
+            "host_reduce_bytes_per_ns": host_reduce_bytes_per_ns,
+        },
+    )
+
+
+def _simulate_sparcml_allreduce(
+    topology: FatTreeTopology,
+    total_elements: float,
+    bucket_span: int = 512,
+    nnz_per_bucket: float = 1.0,
+    dense_switch: bool = True,
+    host_reduce_bytes_per_ns: float = 2.5,
+    round_bytes: list[float] | None = None,
+) -> CollectiveResult:
+    """SSAR schedule implementation.
+
     ``host_reduce_bytes_per_ns`` charges host-side sparse summation per
     received byte during the reduce-scatter rounds (default 2.5 B/ns ~
     2.5 GB/s): merging sparse (index, value) streams is CPU-bound in
     SparCML's own evaluation, unlike the streaming dense adds of the
     ring, so it is *not* defaulted to free.  Allgather rounds only copy
-    and are not charged.
+    and are not charged.  ``round_bytes`` lets a plan inject the
+    per-round sizes it computed once.
     """
     net = NetworkSimulator(topology)
     hosts = topology.hosts
     P = len(hosts)
-    sizes = sparcml_round_bytes(
+    sizes = round_bytes if round_bytes is not None else sparcml_round_bytes(
         P, total_elements, bucket_span, nnz_per_bucket, dense_switch
     )
     k = len(sizes) // 2

@@ -1,0 +1,116 @@
+"""repro.comm — the unified communicator API.
+
+The library's primary entry point: an algorithm registry with declared
+capabilities, plan/execute separation with an LRU plan cache, and the
+:class:`Communicator` facade with blocking (``allreduce``) and
+non-blocking (``iallreduce``) collectives.
+
+Importing this package registers every built-in algorithm::
+
+    from repro.comm import Communicator
+
+    comm = Communicator(n_hosts=16)
+    print(comm.allreduce("256KiB").summary())
+
+Legacy per-algorithm entry points (``run_switch_allreduce``,
+``simulate_*_allreduce``) remain as deprecation shims that delegate
+here via :func:`legacy_execute`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.collectives.result import CollectiveResult
+from repro.comm.communicator import Communicator, EXECUTE_KEYS
+from repro.comm.future import CollectiveFuture, wait_all
+from repro.comm.plan import (
+    CacheInfo,
+    CollectivePlan,
+    PlanCache,
+    PlannedExecution,
+    build_plan,
+)
+from repro.comm.registry import (
+    AlgorithmCaps,
+    AlgorithmEntry,
+    CapabilityError,
+    CommError,
+    UnknownAlgorithmError,
+    available_algorithms,
+    get_algorithm,
+    iter_algorithms,
+    match_algorithms,
+    register_algorithm,
+    rejection_reasons,
+    resolve,
+    unregister_algorithm,
+)
+from repro.comm.request import CollectiveRequest
+from repro.core.ops import ReductionOp
+
+# Importing the backends populates the registry with the built-ins.
+import repro.comm.backends  # noqa: F401  (import for side effect)
+
+
+def legacy_execute(
+    algorithm: str,
+    *,
+    nbytes: Union[int, float, str],
+    n_hosts: int,
+    op: Union[str, ReductionOp] = "sum",
+    dtype: str = "float32",
+    reproducible: bool = False,
+    sparse: bool = False,
+    density: float = 1.0,
+    params: Optional[dict] = None,
+    payloads: Optional[object] = None,
+    execute_args: Optional[dict] = None,
+) -> CollectiveResult:
+    """One-shot plan+execute used by the deprecation shims.
+
+    Bypasses capability validation and the plan cache: legacy call
+    sites already chose their algorithm and execute exactly once.
+    """
+    request = CollectiveRequest(
+        nbytes=nbytes,
+        n_hosts=n_hosts,
+        op=op,
+        dtype=dtype,
+        algorithm=algorithm,
+        reproducible=reproducible,
+        sparse=sparse,
+        density=density,
+        params=dict(params or {}),
+    )
+    plan = build_plan(request, get_algorithm(algorithm))
+    return plan.execute(payloads, **(execute_args or {}))
+
+
+__all__ = [
+    "Communicator",
+    "CollectiveRequest",
+    "CollectiveResult",
+    "CollectivePlan",
+    "CollectiveFuture",
+    "PlanCache",
+    "PlannedExecution",
+    "CacheInfo",
+    "AlgorithmCaps",
+    "AlgorithmEntry",
+    "CommError",
+    "UnknownAlgorithmError",
+    "CapabilityError",
+    "register_algorithm",
+    "unregister_algorithm",
+    "get_algorithm",
+    "available_algorithms",
+    "iter_algorithms",
+    "match_algorithms",
+    "rejection_reasons",
+    "resolve",
+    "build_plan",
+    "legacy_execute",
+    "wait_all",
+    "EXECUTE_KEYS",
+]

@@ -1,0 +1,614 @@
+"""Registered algorithm backends.
+
+Adapts every allreduce implementation in the repository to the
+plan/execute contract of :mod:`repro.comm`:
+
+* host-based in-memory algorithms (``rabenseifner``,
+  ``recursive_doubling``) from :mod:`repro.collectives.algorithms`,
+  costed with an alpha-beta model;
+* network-schedule simulations (``ring``, ``sparcml``,
+  ``flare_dense``, ``flare_sparse``) from :mod:`repro.collectives`;
+* switch-level PsPIN drivers (``flare_switch``,
+  ``flare_switch_sparse``) from :mod:`repro.core.allreduce` and
+  :mod:`repro.sparse.allreduce`.
+
+Planners do the one-time work — topology shaping, reduction-tree
+embedding, per-round/level message sizing, Sec. 6.4 handler selection —
+and return a runner that only executes the data plane.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.collectives.algorithms import (
+    rabenseifner_allreduce,
+    recursive_doubling_allreduce,
+)
+from repro.collectives.flare_dense import _simulate_flare_dense_allreduce
+from repro.collectives.flare_sparse import (
+    _simulate_flare_sparse_allreduce,
+    sparse_level_bytes,
+)
+from repro.collectives.result import CollectiveResult
+from repro.collectives.ring import _simulate_ring_allreduce
+from repro.collectives.sparcml import _simulate_sparcml_allreduce, sparcml_round_bytes
+from repro.comm.plan import PlannedExecution
+from repro.comm.registry import AlgorithmCaps, register_algorithm
+from repro.comm.request import DENSE_ELEMENT_BYTES, CollectiveRequest
+from repro.core.allreduce import plan_switch_allreduce
+from repro.network.topology import FatTreeTopology
+from repro.network.trees import embed_reduction_tree
+from repro.pspin.costs import CostModel, get_dtype
+from repro.sparse.allreduce import _run_sparse_switch_allreduce
+from repro.utils.rngtools import seeded_rng
+from repro.utils.units import gbps_to_bytes_per_ns
+
+
+# ----------------------------------------------------------------------
+# Topology handling
+# ----------------------------------------------------------------------
+def _default_hosts_per_leaf(n_hosts: int) -> int:
+    for d in (8, 4, 2):
+        if n_hosts % d == 0 and n_hosts > d:
+            return d
+    return n_hosts
+
+
+class _TopologySource:
+    """Fresh fat-tree instances for every execution of a plan.
+
+    Link serialization state (``busy_until``) is mutated by a run, so
+    each execution gets its own topology built from the planned shape.
+    An explicitly supplied topology object (the legacy-shim path) is
+    honoured for the first execution and cloned afterwards.
+    """
+
+    def __init__(self, request: CollectiveRequest) -> None:
+        p = request.params
+        self._explicit = p.get("topology")
+        if self._explicit is not None:
+            t = self._explicit
+            self._kwargs = dict(
+                n_hosts=t.n_hosts,
+                hosts_per_leaf=t.hosts_per_leaf,
+                n_spines=t.n_spines,
+                link_gbps=t.link_gbps,
+                link_latency_ns=t.link_latency_ns,
+            )
+        else:
+            n_hosts = request.n_hosts
+            self._kwargs = dict(
+                n_hosts=n_hosts,
+                hosts_per_leaf=p.get("hosts_per_leaf")
+                or _default_hosts_per_leaf(n_hosts),
+                n_spines=p.get("n_spines", 4),
+                link_gbps=p.get("link_gbps", 100.0),
+                link_latency_ns=p.get("link_latency_ns", 250.0),
+            )
+
+    @property
+    def shape(self) -> FatTreeTopology:
+        """A topology for plan-time inspection (tree embedding, sizing)."""
+        if self._explicit is not None:
+            return self._explicit
+        return FatTreeTopology(**self._kwargs)
+
+    def fresh(self) -> FatTreeTopology:
+        if self._explicit is not None:
+            topo, self._explicit = self._explicit, None
+            return topo
+        return FatTreeTopology(**self._kwargs)
+
+    def describe(self) -> dict:
+        return dict(self._kwargs)
+
+
+# ----------------------------------------------------------------------
+# Host-based in-memory algorithms (alpha-beta costed)
+# ----------------------------------------------------------------------
+def _link_model(request: CollectiveRequest) -> tuple[float, float]:
+    """(alpha ns, beta bytes/ns) from the same params the fat-tree
+    backends honor, so cross-algorithm comparisons share one fabric."""
+    p = request.params
+    return (
+        p.get("link_latency_ns", 250.0),
+        gbps_to_bytes_per_ns(p.get("link_gbps", 100.0)),
+    )
+
+
+def _inmemory_payloads(
+    request: CollectiveRequest, payloads, n_elements: int, seed: int
+) -> list[np.ndarray]:
+    if payloads is None:
+        rng = seeded_rng(seed)
+        data = rng.integers(0, 7, size=(request.n_hosts, n_elements))
+        return list(data.astype(request.dtype))
+    arrays = [np.asarray(a) for a in payloads]
+    if len(arrays) != request.n_hosts:
+        raise ValueError(
+            f"got {len(arrays)} payloads for {request.n_hosts} hosts"
+        )
+    for i, a in enumerate(arrays):
+        if a.size != n_elements:
+            raise ValueError(
+                f"payload {i} has {a.size} elements; this plan was sized "
+                f"for {n_elements} — plan the new shape instead of reusing "
+                "this one"
+            )
+    return arrays
+
+
+def _plan_inmemory(
+    request: CollectiveRequest,
+    label: str,
+    algorithm_fn,
+    bytes_per_host: float,
+    time_ns: float,
+    rounds: int,
+) -> PlannedExecution:
+    # numpy-native: the in-memory algorithms support any numpy dtype,
+    # including float64, which the switch cost model refuses.
+    dtype_size = np.dtype(request.dtype).itemsize
+    n_elements = max(1, int(request.nbytes) // dtype_size)
+
+    def runner(payloads, overrides) -> CollectiveResult:
+        arrays = _inmemory_payloads(
+            request, payloads, n_elements, overrides.get("seed", 0)
+        )
+        outputs = algorithm_fn(arrays)
+        if overrides.get("verify", True):
+            golden = arrays[0].astype(np.float64)
+            for a in arrays[1:]:
+                golden = golden + a.astype(np.float64)
+            np.testing.assert_allclose(
+                outputs[0].astype(np.float64), golden, rtol=1e-5, atol=1e-5
+            )
+        return CollectiveResult(
+            name=f"host-dense ({label})",
+            n_hosts=request.n_hosts,
+            vector_bytes=float(arrays[0].nbytes),
+            time_ns=time_ns,
+            traffic_bytes_hops=bytes_per_host * request.n_hosts,
+            sent_bytes_per_host=bytes_per_host,
+            extra={"rounds": rounds, "output": outputs[0]},
+        )
+
+    return PlannedExecution(
+        runner=runner,
+        setup={
+            "rounds": rounds,
+            "bytes_per_host": bytes_per_host,
+            "elements": n_elements,
+            "modeled_time_ns": time_ns,
+        },
+    )
+
+
+@register_algorithm(
+    "rabenseifner",
+    caps=AlgorithmCaps(
+        dense=True,
+        reproducible=True,
+        ops=("sum",),
+        power_of_two_hosts=True,
+        min_hosts=2,
+        priority=20,
+        description="host-based recursive halving/doubling, exact in-memory "
+        "reduction with alpha-beta cost model",
+    ),
+)
+def _plan_rabenseifner(request: CollectiveRequest) -> PlannedExecution:
+    P = request.n_hosts
+    k = int(math.log2(P))
+    z = float(request.nbytes)
+    alpha, beta = _link_model(request)
+    bytes_per_host = 2.0 * (P - 1) / P * z
+    time_ns = 2 * k * alpha + bytes_per_host / beta
+    return _plan_inmemory(
+        request, "rabenseifner", rabenseifner_allreduce, bytes_per_host,
+        time_ns, rounds=2 * k,
+    )
+
+
+@register_algorithm(
+    "recursive_doubling",
+    caps=AlgorithmCaps(
+        dense=True,
+        reproducible=True,
+        ops=("sum",),
+        power_of_two_hosts=True,
+        min_hosts=2,
+        priority=15,
+        description="host-based recursive doubling (latency-optimal, "
+        "full-vector exchanges), exact in-memory reduction",
+    ),
+)
+def _plan_recursive_doubling(request: CollectiveRequest) -> PlannedExecution:
+    P = request.n_hosts
+    k = int(math.log2(P))
+    z = float(request.nbytes)
+    alpha, beta = _link_model(request)
+    bytes_per_host = k * z
+    time_ns = k * (alpha + z / beta)
+    return _plan_inmemory(
+        request, "recursive-doubling", recursive_doubling_allreduce,
+        bytes_per_host, time_ns, rounds=k,
+    )
+
+
+# ----------------------------------------------------------------------
+# Network-schedule simulations
+# ----------------------------------------------------------------------
+_SIMULATION_ONLY_REASON = (
+    "is a timing/traffic simulation and does not reduce payload values; "
+    "pass a byte size instead, or use an executing algorithm "
+    "(flare_switch, rabenseifner, recursive_doubling)"
+)
+
+
+def _simulation_only(request: CollectiveRequest, payloads) -> Optional[str]:
+    """`payload_rejects` hook shared by all timing-only backends."""
+    return _SIMULATION_ONLY_REASON
+
+
+def _reject_payloads(name: str, payloads) -> None:
+    """Timing/traffic simulations never touch payload values.
+
+    Silently discarding user data would contradict the Communicator's
+    payload contract, so refuse it loudly (defense in depth behind the
+    ``payload_rejects`` hook, for direct ``plan.execute`` misuse).
+    """
+    if payloads is not None:
+        raise ValueError(f"algorithm {name!r} {_SIMULATION_ONLY_REASON}")
+
+
+@register_algorithm(
+    "ring",
+    payload_rejects=_simulation_only,
+    caps=AlgorithmCaps(
+        dense=True,
+        reproducible=True,
+        ops=("*",),
+        min_hosts=2,
+        priority=10,
+        description="host-based pipelined ring on the fat-tree simulator "
+        "(the Fig. 15 dense baseline)",
+    ),
+)
+def _plan_ring(request: CollectiveRequest) -> PlannedExecution:
+    source = _TopologySource(request)
+    p = request.params
+    sub_chunk_bytes = p.get("sub_chunk_bytes", 128 * 1024)
+    host_reduce = p.get("host_reduce_bytes_per_ns", 0.0)
+    seg_bytes = request.nbytes / request.n_hosts
+
+    def runner(payloads, overrides) -> CollectiveResult:
+        _reject_payloads("ring", payloads)
+        return _simulate_ring_allreduce(
+            source.fresh(),
+            request.nbytes,
+            sub_chunk_bytes=sub_chunk_bytes,
+            host_reduce_bytes_per_ns=host_reduce,
+        )
+
+    return PlannedExecution(
+        runner=runner,
+        setup={
+            "topology": source.describe(),
+            "segment_bytes": seg_bytes,
+            "steps": 2 * (request.n_hosts - 1),
+        },
+    )
+
+
+@register_algorithm(
+    "sparcml",
+    payload_rejects=_simulation_only,
+    caps=AlgorithmCaps(
+        dense=False,
+        sparse=True,
+        ops=("sum",),
+        power_of_two_hosts=True,
+        min_hosts=2,
+        priority=30,
+        description="SparCML split sparse allreduce (SSAR halving/doubling) "
+        "on the fat-tree simulator",
+    ),
+)
+def _plan_sparcml(request: CollectiveRequest) -> PlannedExecution:
+    source = _TopologySource(request)
+    p = request.params
+    total_elements = request.total_elements
+    bucket_span = p.get("bucket_span", 512)
+    nnz_per_bucket = p.get("nnz_per_bucket", 1.0)
+    dense_switch = p.get("dense_switch", True)
+    host_reduce = p.get("host_reduce_bytes_per_ns", 2.5)
+    round_bytes = sparcml_round_bytes(
+        request.n_hosts, total_elements, bucket_span, nnz_per_bucket, dense_switch
+    )
+
+    def runner(payloads, overrides) -> CollectiveResult:
+        _reject_payloads("sparcml", payloads)
+        return _simulate_sparcml_allreduce(
+            source.fresh(),
+            total_elements,
+            bucket_span=bucket_span,
+            nnz_per_bucket=nnz_per_bucket,
+            dense_switch=dense_switch,
+            host_reduce_bytes_per_ns=host_reduce,
+            round_bytes=round_bytes,
+        )
+
+    return PlannedExecution(
+        runner=runner,
+        setup={
+            "topology": source.describe(),
+            "rounds": len(round_bytes),
+            "round_bytes": round_bytes,
+        },
+    )
+
+
+@register_algorithm(
+    "flare_dense",
+    payload_rejects=_simulation_only,
+    caps=AlgorithmCaps(
+        dense=True,
+        in_network=True,
+        ops=("*",),
+        min_hosts=2,
+        priority=40,
+        description="Flare in-network dense allreduce on the fat-tree "
+        "simulator (each host sends/receives Z once)",
+    ),
+)
+def _plan_flare_dense(request: CollectiveRequest) -> PlannedExecution:
+    source = _TopologySource(request)
+    p = request.params
+    chunk_bytes = p.get("chunk_bytes", 1024 * 1024)
+    agg_latency = p.get("agg_latency_ns_per_chunk", 2000.0)
+    tree = p.get("tree") or embed_reduction_tree(source.shape)
+
+    def runner(payloads, overrides) -> CollectiveResult:
+        _reject_payloads("flare_dense", payloads)
+        return _simulate_flare_dense_allreduce(
+            source.fresh(),
+            request.nbytes,
+            chunk_bytes=chunk_bytes,
+            agg_latency_ns_per_chunk=agg_latency,
+            tree=tree,
+        )
+
+    return PlannedExecution(
+        runner=runner,
+        setup={
+            "topology": source.describe(),
+            "tree_root": tree.root,
+            "tree_fan_ins": tree.fan_ins,
+            "n_chunks": max(1, int(round(request.nbytes / chunk_bytes))),
+        },
+    )
+
+
+@register_algorithm(
+    "flare_sparse",
+    payload_rejects=_simulation_only,
+    caps=AlgorithmCaps(
+        dense=False,
+        sparse=True,
+        in_network=True,
+        ops=("sum",),
+        min_hosts=2,
+        priority=45,
+        description="Flare in-network sparse allreduce on the fat-tree "
+        "simulator with level-by-level densification",
+    ),
+)
+def _plan_flare_sparse(request: CollectiveRequest) -> PlannedExecution:
+    source = _TopologySource(request)
+    p = request.params
+    total_elements = request.total_elements
+    bucket_span = p.get("bucket_span", 512)
+    nnz_per_bucket = p.get("nnz_per_bucket", 1.0)
+    n_chunks = p.get("n_chunks", 64)
+    agg_latency = p.get("agg_latency_ns_per_chunk", 4000.0)
+    shape = source.shape
+    tree = p.get("tree") or embed_reduction_tree(shape)
+    level_bytes = p.get("level_bytes") or sparse_level_bytes(
+        shape, total_elements, bucket_span, nnz_per_bucket
+    )
+
+    def runner(payloads, overrides) -> CollectiveResult:
+        _reject_payloads("flare_sparse", payloads)
+        return _simulate_flare_sparse_allreduce(
+            source.fresh(),
+            total_elements,
+            bucket_span=bucket_span,
+            nnz_per_bucket=nnz_per_bucket,
+            n_chunks=n_chunks,
+            agg_latency_ns_per_chunk=agg_latency,
+            level_bytes=level_bytes,
+            tree=tree,
+        )
+
+    return PlannedExecution(
+        runner=runner,
+        setup={
+            "topology": source.describe(),
+            "tree_root": tree.root,
+            "level_bytes": tuple(level_bytes),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Switch-level PsPIN drivers
+# ----------------------------------------------------------------------
+def _pick(overrides: dict, keys: tuple[str, ...]) -> dict:
+    return {k: overrides[k] for k in keys if k in overrides}
+
+
+def _switch_payload_rejects(
+    request: CollectiveRequest, payloads
+) -> Optional[str]:
+    """Can the PsPIN switch path execute these concrete payloads?
+
+    The switch streams whole packets, so per-host data must divide
+    into ``elements_per_packet`` chunks and use a dtype the cost model
+    prices.  Auto selection falls through to a host-based executing
+    algorithm when this rejects.
+    """
+    try:
+        dt = get_dtype(request.dtype)
+    except ValueError as exc:
+        return str(exc)
+    packet_bytes = request.params.get("packet_bytes", 1024)
+    epp = max(1, packet_bytes // dt.size_bytes)
+    arr = np.asarray(payloads)
+    if arr.ndim == 3:
+        if arr.shape[2] != epp:
+            return (
+                f"payload packets carry {arr.shape[2]} elements; switch "
+                f"packets of {packet_bytes} B {request.dtype} carry {epp}"
+            )
+        return None
+    per_host = arr[0].size
+    if per_host % epp:
+        return (
+            f"per-host payload of {per_host} elements does not divide "
+            f"into whole {epp}-element packets"
+        )
+    return None
+
+
+@register_algorithm(
+    "flare_switch",
+    payload_rejects=_switch_payload_rejects,
+    caps=AlgorithmCaps(
+        dense=True,
+        in_network=True,
+        reproducible=True,
+        ops=("*",),
+        custom_ops=True,
+        min_hosts=1,
+        priority=50,
+        description="switch-level dense allreduce on the PsPIN behavioral "
+        "model (paper Secs. 4-6; reproducible via tree aggregation, any "
+        "operator via sPIN handlers)",
+    ),
+)
+def _plan_flare_switch(request: CollectiveRequest) -> PlannedExecution:
+    p = request.params
+    splan = plan_switch_allreduce(
+        int(request.nbytes),
+        children=request.n_hosts,
+        algorithm=p.get("aggregation"),
+        dtype=request.dtype,
+        n_clusters=p.get("n_clusters", 4),
+        cores_per_cluster=p.get("cores_per_cluster", 8),
+        subset_size=p.get("subset_size"),
+        scheduler=p.get("scheduler", "hierarchical"),
+        staggered=p.get("staggered", True),
+        reproducible=request.reproducible,
+        op=request.op,
+        cost_model=p.get("cost_model"),
+        packet_bytes=p.get("packet_bytes", 1024),
+    )
+    clock_ghz = splan.flare_cfg.cost_model.clock_ghz
+
+    def runner(payloads: Optional[np.ndarray], overrides) -> CollectiveResult:
+        r = splan.execute(
+            data=payloads,
+            **_pick(overrides, ("seed", "jitter", "cold_start", "verify")),
+        )
+        return CollectiveResult(
+            name=f"Flare switch ({r.algorithm})",
+            n_hosts=request.n_hosts,
+            vector_bytes=float(r.data_bytes),
+            time_ns=r.makespan_cycles / clock_ghz,
+            # One switch: ingress is the only wire segment modeled.
+            traffic_bytes_hops=float(r.data_bytes) * request.n_hosts,
+            sent_bytes_per_host=float(r.data_bytes),
+            extra={
+                "bandwidth_tbps": r.bandwidth_tbps,
+                "elements_per_second": r.elements_per_second,
+                "makespan_cycles": r.makespan_cycles,
+                "outputs": r.outputs,
+            },
+            raw=r,
+        )
+
+    return PlannedExecution(runner=runner, setup=splan.describe())
+
+
+@register_algorithm(
+    "flare_switch_sparse",
+    payload_rejects=_simulation_only,
+    caps=AlgorithmCaps(
+        dense=False,
+        sparse=True,
+        in_network=True,
+        ops=("sum",),
+        min_hosts=1,
+        priority=35,
+        description="switch-level sparse allreduce on the PsPIN behavioral "
+        "model (paper Sec. 7; hash or array storage, spill accounting)",
+    ),
+)
+def _plan_flare_switch_sparse(request: CollectiveRequest) -> PlannedExecution:
+    p = request.params
+    kwargs = dict(
+        density=request.density,
+        storage=p.get("storage", "hash"),
+        children=request.n_hosts,
+        n_clusters=p.get("n_clusters", 4),
+        cores_per_cluster=p.get("cores_per_cluster", 8),
+        dtype=request.dtype,
+        correlation=p.get("correlation", 0.0),
+        packet_bytes=p.get("packet_bytes", 1024),
+        hash_slots_factor=p.get("hash_slots_factor", 4.0),
+        cost_model=p.get("cost_model"),
+        workload=p.get("workload"),
+    )
+    clock_ghz = (kwargs["cost_model"] or CostModel()).clock_ghz
+
+    def runner(payloads, overrides) -> CollectiveResult:
+        _reject_payloads("flare_switch_sparse", payloads)
+        r = _run_sparse_switch_allreduce(
+            int(request.nbytes),
+            **kwargs,
+            **_pick(overrides, ("seed", "jitter", "verify")),
+        )
+        time_ns = r.makespan_cycles / clock_ghz
+        return CollectiveResult(
+            name=f"Flare switch sparse ({r.storage})",
+            n_hosts=request.n_hosts,
+            vector_bytes=float(request.nbytes) / request.density
+            * DENSE_ELEMENT_BYTES / 8.0,
+            time_ns=time_ns,
+            traffic_bytes_hops=float(
+                r.ingress_payload_bytes + r.egress_payload_bytes
+            ),
+            sent_bytes_per_host=float(request.nbytes),
+            extra={
+                "bandwidth_tbps": r.bandwidth_tbps,
+                "feasible": r.feasible,
+                "block_memory_bytes": r.block_memory_bytes,
+                "extra_traffic_pct": r.extra_traffic_pct,
+            },
+            raw=r,
+        )
+
+    return PlannedExecution(
+        runner=runner,
+        setup={
+            "storage": kwargs["storage"],
+            "density": request.density,
+            "children": request.n_hosts,
+            "sim_clusters": kwargs["n_clusters"],
+        },
+    )

@@ -1,0 +1,265 @@
+"""The `Communicator` facade — the library's front door.
+
+One NCCL/torch.distributed-style object serving every allreduce flavor
+in the repository through a single request/result shape::
+
+    comm = Communicator(n_hosts=16)
+    result = comm.allreduce("1MiB")                      # auto-selected
+    result = comm.allreduce("1MiB", algorithm="ring")    # explicit
+    future = comm.iallreduce("1MiB")                     # non-blocking
+    ...
+    future.result()
+
+Plans are cached by request shape (LRU), so the production steady
+state — the same allreduce issued every iteration — performs tree
+construction, handler selection, and message sizing exactly once.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.collectives.result import CollectiveResult
+from repro.comm.future import CollectiveFuture
+from repro.comm.plan import CacheInfo, CollectivePlan, PlanCache, build_plan
+from repro.comm.registry import iter_algorithms, resolve
+from repro.comm.request import CollectiveRequest
+from repro.core.ops import ReductionOp
+
+#: Keyword arguments of ``allreduce``/``iallreduce`` that tune a single
+#: execution rather than the plan (excluded from the cache key).
+EXECUTE_KEYS = frozenset({"seed", "jitter", "cold_start", "verify"})
+
+
+class Communicator:
+    """Issues collectives over a fixed set of participants.
+
+    Parameters
+    ----------
+    n_hosts:
+        Default participant count (payload-carrying calls infer it from
+        the payload's leading dimension instead).
+    hosts_per_leaf, n_spines:
+        Fat-tree shape used by the network-schedule algorithms.
+    n_clusters, cores_per_cluster:
+        Simulated switch dimensions for the PsPIN-level algorithms.
+    plan_cache_size:
+        LRU capacity of the plan cache.
+    max_workers:
+        Worker threads backing :meth:`iallreduce`.
+    """
+
+    def __init__(
+        self,
+        n_hosts: int = 64,
+        *,
+        hosts_per_leaf: Optional[int] = None,
+        n_spines: int = 4,
+        n_clusters: int = 4,
+        cores_per_cluster: int = 8,
+        plan_cache_size: int = 64,
+        max_workers: int = 4,
+    ) -> None:
+        if n_hosts < 1:
+            raise ValueError("n_hosts must be >= 1")
+        self.n_hosts = n_hosts
+        self._defaults: dict = {
+            "n_spines": n_spines,
+            "n_clusters": n_clusters,
+            "cores_per_cluster": cores_per_cluster,
+        }
+        if hosts_per_leaf is not None:
+            self._defaults["hosts_per_leaf"] = hosts_per_leaf
+        self._cache = PlanCache(plan_cache_size)
+        self.plans_built = 0
+        self._max_workers = max_workers
+        self._pool: Optional[concurrent.futures.ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Request construction
+    # ------------------------------------------------------------------
+    def make_request(
+        self,
+        data,
+        *,
+        op: Union[str, ReductionOp] = "sum",
+        algorithm: str = "auto",
+        dtype: Optional[str] = None,
+        reproducible: bool = False,
+        sparse: bool = False,
+        density: float = 1.0,
+        n_hosts: Optional[int] = None,
+        **params,
+    ) -> tuple[CollectiveRequest, Optional[np.ndarray]]:
+        """Normalize ``data`` into a (request, payloads) pair.
+
+        ``data`` is either a size (int/"64KiB" — size-only simulation)
+        or per-host payloads (ndarray / sequence of arrays with the
+        host dimension first — the values are actually reduced).
+        """
+        payloads: Optional[np.ndarray] = None
+        if isinstance(data, np.ndarray) or (
+            isinstance(data, (list, tuple))
+            and len(data) > 0
+            and isinstance(data[0], np.ndarray)
+        ):
+            payloads = np.asarray(data)
+            if payloads.ndim < 2:
+                raise ValueError(
+                    "payload arrays need shape (n_hosts, ...); got "
+                    f"{payloads.shape}"
+                )
+            inferred_hosts = payloads.shape[0]
+            if n_hosts is not None and n_hosts != inferred_hosts:
+                raise ValueError(
+                    f"n_hosts={n_hosts} contradicts payload shape "
+                    f"{payloads.shape}"
+                )
+            n_hosts = inferred_hosts
+            nbytes: Union[int, float, str] = payloads[0].nbytes
+            if dtype is None:
+                dtype = str(payloads.dtype)
+        else:
+            nbytes = data
+        request = CollectiveRequest(
+            nbytes=nbytes,
+            n_hosts=n_hosts if n_hosts is not None else self.n_hosts,
+            op=op,
+            dtype=dtype or "float32",
+            algorithm=algorithm,
+            reproducible=reproducible,
+            sparse=sparse,
+            density=density,
+            params={**self._defaults, **params},
+        )
+        return request, payloads
+
+    # ------------------------------------------------------------------
+    # Plan / execute
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        request: Optional[CollectiveRequest] = None,
+        /,
+        payloads: Optional[np.ndarray] = None,
+        **kwargs,
+    ) -> CollectivePlan:
+        """Resolve and plan ``request``, consulting the plan cache.
+
+        Accepts either a prebuilt :class:`CollectiveRequest` or the
+        keyword form ``comm.plan(nbytes=..., algorithm=...)``.
+        ``payloads`` (when the caller has them) steer auto selection to
+        an algorithm that can actually execute them.
+        """
+        if request is None:
+            data = kwargs.pop("nbytes", None) or kwargs.pop("data", None)
+            if data is None:
+                raise TypeError("plan() needs a request or nbytes=...")
+            for key in EXECUTE_KEYS:      # execute-time knobs never shape a plan
+                kwargs.pop(key, None)
+            request, inferred = self.make_request(data, **kwargs)
+            if payloads is None:
+                payloads = inferred
+        entry = resolve(request, payloads)
+
+        def factory() -> CollectivePlan:
+            self.plans_built += 1
+            return build_plan(request, entry)
+
+        key = (entry.name,) + request.signature()
+        return self._cache.get_or_build(key, factory)
+
+    def allreduce(
+        self,
+        data,
+        op: Union[str, ReductionOp] = "sum",
+        algorithm: str = "auto",
+        **kwargs,
+    ) -> CollectiveResult:
+        """Blocking allreduce; returns the unified result."""
+        execute_args = {k: kwargs.pop(k) for k in tuple(kwargs) if k in EXECUTE_KEYS}
+        request, payloads = self.make_request(
+            data, op=op, algorithm=algorithm, **kwargs
+        )
+        plan = self.plan(request, payloads=payloads)
+        return plan.execute(payloads, **execute_args)
+
+    def iallreduce(
+        self,
+        data,
+        op: Union[str, ReductionOp] = "sum",
+        algorithm: str = "auto",
+        **kwargs,
+    ) -> CollectiveFuture:
+        """Non-blocking allreduce; returns a future immediately.
+
+        Planning happens on the issuing thread (so capability errors
+        raise synchronously and the plan cache is warmed); the data
+        plane runs on the worker pool.
+        """
+        execute_args = {k: kwargs.pop(k) for k in tuple(kwargs) if k in EXECUTE_KEYS}
+        request, payloads = self.make_request(
+            data, op=op, algorithm=algorithm, **kwargs
+        )
+        plan = self.plan(request, payloads=payloads)
+        inner = self._executor().submit(plan.execute, payloads, **execute_args)
+        return CollectiveFuture(inner, request, plan.algorithm)
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def cache_info(self) -> CacheInfo:
+        """Plan-cache counters (hits == executions that skipped planning)."""
+        return self._cache.info()
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    @staticmethod
+    def algorithms() -> list[dict]:
+        """Registry listing: name + declared capabilities per algorithm."""
+        out = []
+        for entry in iter_algorithms():
+            caps = entry.caps
+            out.append(
+                {
+                    "name": entry.name,
+                    "dense": caps.dense,
+                    "sparse": caps.sparse,
+                    "in_network": caps.in_network,
+                    "reproducible": caps.reproducible,
+                    "ops": caps.ops,
+                    "custom_ops": caps.custom_ops,
+                    "power_of_two_hosts": caps.power_of_two_hosts,
+                    "priority": caps.priority,
+                    "description": caps.description,
+                }
+            )
+        return out
+
+    def _executor(self) -> concurrent.futures.ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix="repro-comm",
+                )
+            return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (waits for in-flight collectives)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "Communicator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,60 @@
+"""Futures for non-blocking collectives.
+
+``Communicator.iallreduce`` returns a :class:`CollectiveFuture`
+immediately; the collective executes on the communicator's worker pool,
+so several collectives can be issued back to back and overlapped —
+the NCCL/torch.distributed ``async_op`` usage pattern.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Callable, Optional, Sequence
+
+from repro.collectives.result import CollectiveResult
+from repro.comm.request import CollectiveRequest
+
+
+class CollectiveFuture:
+    """Handle to one in-flight collective."""
+
+    def __init__(
+        self,
+        inner: concurrent.futures.Future,
+        request: CollectiveRequest,
+        algorithm: str,
+    ) -> None:
+        self._inner = inner
+        self.request = request
+        self.algorithm = algorithm
+
+    def result(self, timeout: Optional[float] = None) -> CollectiveResult:
+        """Block until the collective completes and return its result."""
+        return self._inner.result(timeout=timeout)
+
+    def wait(self, timeout: Optional[float] = None) -> "CollectiveFuture":
+        """MPI-style wait; returns self for chaining."""
+        self._inner.result(timeout=timeout)
+        return self
+
+    def done(self) -> bool:
+        return self._inner.done()
+
+    def running(self) -> bool:
+        return self._inner.running()
+
+    def cancel(self) -> bool:
+        return self._inner.cancel()
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        return self._inner.exception(timeout=timeout)
+
+    def add_done_callback(self, fn: Callable[["CollectiveFuture"], None]) -> None:
+        self._inner.add_done_callback(lambda _f: fn(self))
+
+
+def wait_all(
+    futures: Sequence[CollectiveFuture], timeout: Optional[float] = None
+) -> list[CollectiveResult]:
+    """Wait for every future (issue order) and return their results."""
+    return [f.result(timeout=timeout) for f in futures]

@@ -1,0 +1,134 @@
+"""Plan/execute separation and the LRU plan cache.
+
+Planning — algorithm resolution, tree construction, handler selection,
+message sizing — happens once per request *shape*; execution happens
+per collective.  :class:`PlanCache` keys plans on
+:meth:`CollectiveRequest.signature`, so the production steady state
+(the same allreduce issued every training iteration) pays the planning
+cost exactly once and every later call goes straight to the data plane.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, NamedTuple, Optional
+
+from repro.collectives.result import CollectiveResult
+from repro.comm.registry import AlgorithmCaps, AlgorithmEntry
+from repro.comm.request import CollectiveRequest
+
+#: ``runner(payloads, overrides) -> CollectiveResult`` — the execute-time
+#: closure a planner returns; ``overrides`` carries per-execution knobs
+#: (seed, jitter, verify, ...) that do not affect the plan.
+Runner = Callable[[Optional[object], dict], CollectiveResult]
+
+
+@dataclass
+class PlannedExecution:
+    """What a planner hands back: a runner plus setup metadata."""
+
+    runner: Runner
+    setup: dict = field(default_factory=dict)
+
+
+@dataclass
+class CollectivePlan:
+    """A planned collective, executable many times.
+
+    ``setup`` records what planning decided (tree shape, handler,
+    per-round sizes, memory estimates) for introspection; ``executions``
+    counts data-plane runs of this plan.
+    """
+
+    request: CollectiveRequest
+    algorithm: str
+    caps: AlgorithmCaps
+    setup: dict
+    _planned: PlannedExecution
+    executions: int = 0
+
+    def execute(self, payloads: Optional[object] = None, **overrides) -> CollectiveResult:
+        """Run the collective once; planning work is *not* repeated."""
+        result = self._planned.runner(payloads, overrides)
+        result.algorithm = self.algorithm
+        result.op = self.request.op_name
+        self.executions += 1
+        return result
+
+    def describe(self) -> str:
+        lines = [f"plan: {self.algorithm} ({self.caps.description or 'no description'})"]
+        for key, value in sorted(self.setup.items()):
+            lines.append(f"  {key}: {value}")
+        return "\n".join(lines)
+
+
+def build_plan(request: CollectiveRequest, entry: AlgorithmEntry) -> CollectivePlan:
+    """Invoke ``entry``'s planner on ``request`` (the expensive step)."""
+    planned = entry.planner(request)
+    return CollectivePlan(
+        request=request,
+        algorithm=entry.name,
+        caps=entry.caps,
+        setup=dict(planned.setup),
+        _planned=planned,
+    )
+
+
+class CacheInfo(NamedTuple):
+    hits: int
+    misses: int
+    evictions: int
+    currsize: int
+    maxsize: int
+
+
+class PlanCache:
+    """Thread-safe LRU cache of :class:`CollectivePlan` by request shape."""
+
+    def __init__(self, maxsize: int = 64) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._plans: OrderedDict[tuple, CollectivePlan] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get_or_build(
+        self, key: tuple, factory: Callable[[], CollectivePlan]
+    ) -> CollectivePlan:
+        """Return the cached plan for ``key``, building it on a miss."""
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self.hits += 1
+                self._plans.move_to_end(key)
+                return plan
+        # Build outside the lock: planning may be slow, and concurrent
+        # misses on the same key just do the work twice (last one wins).
+        plan = factory()
+        with self._lock:
+            self.misses += 1
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.maxsize:
+                self._plans.popitem(last=False)
+                self.evictions += 1
+        return plan
+
+    def info(self) -> CacheInfo:
+        with self._lock:
+            return CacheInfo(
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
+                currsize=len(self._plans),
+                maxsize=self.maxsize,
+            )
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()

@@ -1,0 +1,202 @@
+"""Algorithm registry with declared capabilities.
+
+Every allreduce implementation in the repository — host-based in-memory
+algorithms, network-schedule simulations, and the switch-level PsPIN
+drivers — registers here under a stable name with an
+:class:`AlgorithmCaps` declaration.  ``algorithm="auto"`` requests are
+resolved by *capability matching*: filter the registry down to entries
+that support the request (dense/sparse, operator, reproducibility,
+host-count constraints), then pick the highest-priority survivor.  This
+generalizes the Sec. 6.4 size ladder of
+:func:`repro.core.policy.select_algorithm` — which still picks the
+aggregation *design* inside the switch-level backend — up to the level
+of whole collectives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.comm.request import CollectiveRequest
+
+
+class CommError(Exception):
+    """Base error of the communicator layer."""
+
+
+class UnknownAlgorithmError(CommError, KeyError):
+    """Requested algorithm name is not registered."""
+
+    def __str__(self) -> str:  # KeyError would repr-quote the message
+        return self.args[0] if self.args else ""
+
+
+class CapabilityError(CommError):
+    """No registered algorithm (or the named one) supports the request."""
+
+
+@dataclass(frozen=True)
+class AlgorithmCaps:
+    """Declared capabilities of one registered algorithm.
+
+    ``ops`` lists supported built-in operator names, with ``"*"``
+    meaning every built-in; ``custom_ops`` additionally admits
+    user-defined :class:`~repro.core.ops.ReductionOp` handlers (F1).
+    ``priority`` ranks candidates during ``auto`` selection (higher
+    wins); in-network algorithms outrank host-based ones, mirroring the
+    paper's wire-efficiency argument.
+    """
+
+    dense: bool = True
+    sparse: bool = False
+    in_network: bool = False
+    reproducible: bool = False
+    ops: tuple[str, ...] = ("sum",)
+    custom_ops: bool = False
+    power_of_two_hosts: bool = False
+    min_hosts: int = 1
+    priority: int = 0
+    description: str = ""
+
+    def rejects(self, request: CollectiveRequest) -> Optional[str]:
+        """Why this algorithm cannot serve ``request`` (None = it can)."""
+        if request.sparse and not self.sparse:
+            return "sparse payloads unsupported"
+        if not request.sparse and not self.dense:
+            return "dense payloads unsupported"
+        if request.reproducible and not self.reproducible:
+            return "cannot guarantee bitwise reproducibility"
+        if request.custom_op:
+            if not self.custom_ops:
+                return f"custom operator {request.op_name!r} unsupported"
+        elif "*" not in self.ops and request.op_name not in self.ops:
+            return f"operator {request.op_name!r} unsupported"
+        if request.n_hosts < self.min_hosts:
+            return f"needs at least {self.min_hosts} hosts"
+        if self.power_of_two_hosts and request.n_hosts & (request.n_hosts - 1):
+            return "needs a power-of-two host count"
+        return None
+
+
+@dataclass(frozen=True)
+class AlgorithmEntry:
+    """A registered algorithm: name, capabilities, planner."""
+
+    name: str
+    caps: AlgorithmCaps
+    #: ``planner(request) -> PlannedExecution`` — performs all one-time
+    #: setup (tree construction, handler selection, message sizing).
+    planner: Callable[[CollectiveRequest], "object"]
+    #: Optional ``(request, payloads) -> reason | None`` — why this
+    #: algorithm cannot execute the given concrete payloads (shape or
+    #: dtype constraints the declarative caps cannot express).  ``None``
+    #: means payloads are accepted; entries without a hook accept any.
+    payload_rejects: Optional[
+        Callable[[CollectiveRequest, object], Optional[str]]
+    ] = None
+
+
+_REGISTRY: dict[str, AlgorithmEntry] = {}
+
+
+def register_algorithm(
+    name: str,
+    *,
+    caps: AlgorithmCaps,
+    payload_rejects: Optional[Callable] = None,
+) -> Callable:
+    """Decorator registering a planner function as algorithm ``name``.
+
+    Usage::
+
+        @register_algorithm("ring", caps=AlgorithmCaps(...))
+        def plan_ring(request: CollectiveRequest) -> PlannedExecution:
+            ...
+    """
+
+    def decorate(planner: Callable) -> Callable:
+        if name in _REGISTRY:
+            raise ValueError(f"algorithm {name!r} is already registered")
+        _REGISTRY[name] = AlgorithmEntry(
+            name=name, caps=caps, planner=planner, payload_rejects=payload_rejects
+        )
+        return planner
+
+    return decorate
+
+
+def unregister_algorithm(name: str) -> None:
+    """Remove a registration (mainly for tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_algorithm(name: str) -> AlgorithmEntry:
+    """Look up a registered algorithm by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownAlgorithmError(
+            f"unknown algorithm {name!r}; registered: {available_algorithms()}"
+        ) from None
+
+
+def available_algorithms() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def iter_algorithms() -> Iterator[AlgorithmEntry]:
+    for name in available_algorithms():
+        yield _REGISTRY[name]
+
+
+def match_algorithms(request: CollectiveRequest) -> list[AlgorithmEntry]:
+    """Entries that support ``request``, best (highest priority) first."""
+    matches = [e for e in _REGISTRY.values() if e.caps.rejects(request) is None]
+    matches.sort(key=lambda e: (-e.caps.priority, e.name))
+    return matches
+
+
+def rejection_reasons(request: CollectiveRequest) -> dict[str, str]:
+    """name -> why it was rejected, for every non-matching entry."""
+    out = {}
+    for entry in iter_algorithms():
+        reason = entry.caps.rejects(request)
+        if reason is not None:
+            out[entry.name] = reason
+    return out
+
+
+def resolve(
+    request: CollectiveRequest, payloads: Optional[object] = None
+) -> AlgorithmEntry:
+    """Pick the algorithm serving ``request``.
+
+    An explicit ``request.algorithm`` is validated against its declared
+    capabilities; ``"auto"`` runs capability matching and returns the
+    highest-priority candidate.  When concrete ``payloads`` accompany
+    the request, each candidate's ``payload_rejects`` hook is consulted
+    too, so auto selection never lands on an algorithm that cannot
+    execute the actual data (wrong shape/dtype, or simulation-only).
+    """
+    if request.algorithm != "auto":
+        entry = get_algorithm(request.algorithm)
+        reason = entry.caps.rejects(request)
+        if reason is None and payloads is not None and entry.payload_rejects:
+            reason = entry.payload_rejects(request, payloads)
+        if reason is not None:
+            raise CapabilityError(
+                f"algorithm {entry.name!r} cannot serve this request: {reason}"
+            )
+        return entry
+    payload_rejected: dict[str, str] = {}
+    for entry in match_algorithms(request):
+        if payloads is not None and entry.payload_rejects:
+            reason = entry.payload_rejects(request, payloads)
+            if reason is not None:
+                payload_rejected[entry.name] = reason
+                continue
+        return entry
+    reasons = {**rejection_reasons(request), **payload_rejected}
+    detail = "; ".join(f"{n}: {r}" for n, r in sorted(reasons.items()))
+    raise CapabilityError(f"no registered algorithm supports this request ({detail})")

@@ -1,0 +1,134 @@
+"""Unified collective request type.
+
+A :class:`CollectiveRequest` describes *what* should be reduced — size,
+participant count, operator, flexibility requirements (F1 custom ops,
+F2 sparse, F3 reproducible) — plus algorithm-specific knobs in
+``params``.  It deliberately excludes payload values: two requests with
+the same shape are the same request, which is what makes the plan cache
+(:mod:`repro.comm.plan`) effective in the production steady state of
+repeated identical allreduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Union
+
+#: fp32 wire size used to convert dense-equivalent bytes to elements
+#: for the host-sparse size models (single definition, shared with the
+#: SparCML schedule).
+from repro.collectives.sparcml import DENSE_ELEMENT_BYTES
+from repro.core.ops import BUILTIN_OPS, ReductionOp, get_op
+from repro.utils.units import parse_size
+
+
+@dataclass
+class CollectiveRequest:
+    """One collective's shape, independent of its payload values.
+
+    Attributes
+    ----------
+    nbytes:
+        Dense-equivalent bytes contributed per host (accepts "64KiB"
+        style strings).
+    n_hosts:
+        Number of participating hosts (the reduction fan-in).
+    collective:
+        Collective kind; only ``"allreduce"`` is implemented today, the
+        field exists so future collectives share the same front door.
+    op:
+        Reduction operator — a built-in name or a custom
+        :class:`~repro.core.ops.ReductionOp` (flexibility axis F1).
+    dtype:
+        Element type name.
+    algorithm:
+        Registry algorithm name, or ``"auto"`` for capability-based
+        selection.
+    reproducible:
+        Require bitwise-reproducible aggregation (F3).
+    sparse / density:
+        Sparse payload (F2) and its non-zero fraction.
+    params:
+        Algorithm-specific knobs, passed to the planner verbatim.
+    """
+
+    nbytes: Union[int, float, str]
+    n_hosts: int
+    collective: str = "allreduce"
+    op: Union[str, ReductionOp] = "sum"
+    dtype: str = "float32"
+    algorithm: str = "auto"
+    reproducible: bool = False
+    sparse: bool = False
+    density: float = 1.0
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.nbytes = float(parse_size(self.nbytes))
+        if self.nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        if self.n_hosts < 1:
+            raise ValueError("n_hosts must be >= 1")
+        if not 0.0 < self.density <= 1.0:
+            raise ValueError("density must be in (0, 1]")
+
+    # ------------------------------------------------------------------
+    @property
+    def operator(self) -> ReductionOp:
+        return get_op(self.op)
+
+    @property
+    def op_name(self) -> str:
+        return self.operator.name
+
+    @property
+    def custom_op(self) -> bool:
+        """True when ``op`` is not one of the built-in operators."""
+        operator = self.operator
+        return BUILTIN_OPS.get(operator.name) is not operator
+
+    @property
+    def total_elements(self) -> float:
+        """Dense vector length implied by ``nbytes`` (fp32 elements)."""
+        return self.nbytes / DENSE_ELEMENT_BYTES
+
+    # ------------------------------------------------------------------
+    def signature(self) -> tuple:
+        """Hashable shape key for the plan cache.
+
+        Payload-independent: repeated allreduces of the same shape map
+        to the same signature regardless of the data they carry.
+        """
+        operator = self.operator
+        op_key: Any = operator.name
+        if self.custom_op:
+            op_key = (operator.name, id(operator))
+        return (
+            self.collective,
+            self.algorithm,
+            self.nbytes,
+            self.n_hosts,
+            op_key,
+            self.dtype,
+            self.reproducible,
+            self.sparse,
+            self.density,
+            _freeze(self.params),
+        )
+
+
+def _freeze(value: Any) -> Any:
+    """Recursively convert ``value`` into something hashable.
+
+    Containers become tuples; objects without a natural hash key (cost
+    models, explicit topologies, workloads) degrade to identity, which
+    keeps the cache correct (same object -> same plan) at the price of
+    a miss when an equal-but-distinct object is passed.
+    """
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, (str, bytes, int, float, bool)) or value is None:
+        return value
+    return (type(value).__name__, id(value))

@@ -32,7 +32,9 @@ from repro.core.policy import select_algorithm, ALGORITHMS
 from repro.core.staggered import staggered_schedule, sequential_schedule, arrival_stream
 from repro.core.manager import NetworkManager, ReductionTree
 from repro.core.allreduce import (
+    SwitchAllreducePlan,
     SwitchAllreduceResult,
+    plan_switch_allreduce,
     run_switch_allreduce,
     make_dense_blocks,
     scale_bandwidth,
@@ -73,7 +75,9 @@ __all__ = [
     "arrival_stream",
     "NetworkManager",
     "ReductionTree",
+    "SwitchAllreducePlan",
     "SwitchAllreduceResult",
+    "plan_switch_allreduce",
     "run_switch_allreduce",
     "make_dense_blocks",
     "scale_bandwidth",

@@ -7,6 +7,13 @@ staggered sending and exponential jitter; the PsPIN behavioral model
 executes them; the result reports bandwidth, memory occupancy, and the
 actual aggregated vectors (so tests verify numerics, not just timing).
 
+The driver is split plan/execute (the :mod:`repro.comm` contract):
+:func:`plan_switch_allreduce` performs the one-time control-plane work —
+configuration, Sec. 6.4 algorithm selection, reduction-tree
+construction, arrival-rate sizing — and the returned
+:class:`SwitchAllreducePlan` can then :meth:`~SwitchAllreducePlan.execute`
+many allreduces of that shape, each on a fresh simulated switch.
+
 This driver is what the Fig. 11 benchmark runs.  Like the paper, the
 default simulates 4 clusters ("the actual PsPIN implementation only
 simulates 4 clusters") fed their fair share of line rate and scales
@@ -17,16 +24,16 @@ results linearly with the number of deployed clusters").
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
 from repro.core.config import FlareConfig
-from repro.core.handler_base import HandlerConfig
-from repro.core.manager import NetworkManager
-from repro.core.ops import ReductionOp, SUM, get_op
-from repro.core.policy import AlgorithmChoice, build_handler, select_algorithm
+from repro.core.manager import NetworkManager, ReductionTree
+from repro.core.ops import ReductionOp, get_op
+from repro.core.policy import AlgorithmChoice, select_algorithm
 from repro.core.staggered import arrival_stream
 from repro.pspin.costs import CostModel, get_dtype
 from repro.pspin.packets import SwitchPacket
@@ -42,6 +49,8 @@ def scale_bandwidth(sim_tbps: float, sim_clusters: int, target_clusters: int = F
     """Linear shared-nothing cluster scaling (paper Sec. 6.4)."""
     if sim_clusters < 1:
         raise ValueError("sim_clusters must be >= 1")
+    if target_clusters < 1:
+        raise ValueError("target_clusters must be >= 1")
     return sim_tbps * target_clusters / sim_clusters
 
 
@@ -93,6 +102,242 @@ class SwitchAllreduceResult:
         )
 
 
+@dataclass
+class SwitchAllreducePlan:
+    """One planned switch-level allreduce shape, executable many times.
+
+    Everything request-shape-dependent is computed exactly once — the
+    :class:`FlareConfig`, the Sec. 6.4 aggregation-design choice, the
+    switch configuration, the reduction tree, and the fair-share arrival
+    rate.  :meth:`execute` instantiates a fresh simulated switch (the
+    data plane is stateful) and runs one allreduce through it.
+    """
+
+    flare_cfg: FlareConfig
+    switch_cfg: SwitchConfig
+    choice: AlgorithmChoice
+    tree: ReductionTree
+    handler_name: str
+    operator: ReductionOp
+    delta_sim: float          # fair-share packet interarrival (cycles)
+    executions: int = 0
+
+    @property
+    def n_blocks(self) -> int:
+        return self.flare_cfg.blocks
+
+    @property
+    def elements_per_packet(self) -> int:
+        return self.flare_cfg.elements_per_packet
+
+    def describe(self) -> dict:
+        """Plan metadata (what the network manager decided)."""
+        return {
+            "aggregation": self.choice.label,
+            "reason": self.choice.reason,
+            "handler": self.handler_name,
+            "children": self.flare_cfg.children,
+            "blocks": self.n_blocks,
+            "elements_per_packet": self.elements_per_packet,
+            "sim_clusters": self.switch_cfg.n_clusters,
+            "delta_sim_cycles": self.delta_sim,
+        }
+
+    def execute(
+        self,
+        data: Optional[np.ndarray] = None,
+        *,
+        seed: int = 0,
+        jitter: float = 1.0,
+        cold_start: bool = True,
+        verify: bool = True,
+    ) -> SwitchAllreduceResult:
+        """Run one allreduce of the planned shape.
+
+        ``data`` may supply explicit payloads of shape
+        ``(children, n_blocks, elements_per_packet)`` (a 2-D
+        ``(children, n_blocks * elements_per_packet)`` array is
+        reshaped); otherwise random payloads are generated from
+        ``seed``.  With ``verify`` the aggregated outputs are checked
+        against a numpy golden reduction (exact for integers).
+        """
+        cfg = self.flare_cfg
+        children = cfg.children
+        n_blocks, n_elements = self.n_blocks, self.elements_per_packet
+
+        switch = PsPINSwitch(self.switch_cfg)
+        if not cold_start:
+            for cluster in switch.clusters:
+                cluster.icache_load("flare-single")
+                cluster.icache_load("flare-tree")
+
+        manager = NetworkManager()
+        installed = manager.install(
+            self.tree,
+            {self.tree.root_switch: switch},
+            cfg.data_bytes,
+            dtype_name=cfg.dtype_name,
+            reproducible=cfg.reproducible,
+            op=self.operator,
+            algorithm=self.choice.label,
+        )
+        if not cold_start:
+            for cluster in switch.clusters:
+                cluster.icache_load(self.handler_name)
+
+        # --------------------------------------------------------------
+        # Workload
+        # --------------------------------------------------------------
+        if data is None:
+            data = make_dense_blocks(
+                children, n_blocks, n_elements, dtype=cfg.dtype_name, seed=seed
+            )
+        else:
+            expected = (children, n_blocks, n_elements)
+            if data.ndim == 2 and data.shape == (children, n_blocks * n_elements):
+                data = data.reshape(expected)
+            if data.shape != expected:
+                raise ValueError(f"data shape {data.shape} != expected {expected}")
+
+        stream = arrival_stream(
+            n_hosts=children,
+            n_blocks=n_blocks,
+            delta=self.delta_sim,
+            staggered=cfg.staggered,
+            jitter=jitter,
+            seed=seed + 1,
+        )
+        allreduce_id = installed.allreduce_id
+        for sp in stream:
+            packet = SwitchPacket(
+                allreduce_id=allreduce_id,
+                block_id=sp.block,
+                port=sp.host,
+                payload=data[sp.host, sp.block],
+            )
+            switch.inject(packet, at=sp.time)
+
+        makespan = switch.run()
+        self.executions += 1
+
+        # --------------------------------------------------------------
+        # Collect + verify
+        # --------------------------------------------------------------
+        outputs: dict[int, np.ndarray] = {}
+        for _t, pkt in switch.egress:
+            outputs.setdefault(pkt.block_id, pkt.payload)
+        if verify:
+            _verify_outputs(outputs, data, self.operator, cfg.dtype_name)
+
+        cost_model = cfg.cost_model
+        dt = get_dtype(cfg.dtype_name)
+        n_clusters = self.switch_cfg.n_clusters
+        payload_bytes = float(data.nbytes)
+        seconds = makespan / (cost_model.clock_ghz * 1e9) if makespan > 0 else float("inf")
+        sim_tbps = payload_bytes * 8.0 / seconds / 1e12 if makespan > 0 else 0.0
+        scaled_tbps = scale_bandwidth(sim_tbps, n_clusters)
+        elements_per_second = (
+            scale_bandwidth(payload_bytes / dt.size_bytes / seconds, n_clusters)
+            if makespan > 0
+            else 0.0
+        )
+        tel = switch.telemetry
+        handler = switch.handler(self.handler_name)
+        return SwitchAllreduceResult(
+            algorithm=self.choice.label,
+            data_bytes=cfg.data_bytes,
+            dtype=cfg.dtype_name,
+            n_children=children,
+            n_blocks=n_blocks,
+            sim_clusters=n_clusters,
+            makespan_cycles=makespan,
+            sim_bandwidth_tbps=sim_tbps,
+            bandwidth_tbps=scaled_tbps,
+            elements_per_second=elements_per_second,
+            peak_input_buffer_bytes=switch.memories.l2_packet.peak_bytes,
+            peak_working_memory_bytes=tel.working_memory_bytes.peak,
+            contention_wait_cycles=tel.contention_wait_cycles.value,
+            icache_fills=int(tel.icache_fills.value),
+            deferred_arrivals=int(tel.deferred_arrivals.value),
+            blocks_completed=handler.blocks_completed,
+            outputs=outputs,
+        )
+
+
+def plan_switch_allreduce(
+    data_bytes: int | str,
+    children: int = 64,
+    algorithm: Optional[str] = None,
+    dtype: str = "float32",
+    n_clusters: int = 4,
+    cores_per_cluster: int = 8,
+    subset_size: Optional[int] = None,
+    scheduler: str = "hierarchical",
+    staggered: bool = True,
+    reproducible: bool = False,
+    op: "str | ReductionOp" = "sum",
+    cost_model: Optional[CostModel] = None,
+    packet_bytes: int = 1024,
+) -> SwitchAllreducePlan:
+    """Plan one dense allreduce shape through a Flare switch.
+
+    Parameters mirror the paper's experimental knobs; see
+    :class:`repro.core.config.FlareConfig` for symbol definitions.
+    """
+    data_bytes = parse_size(data_bytes)
+    cost_model = cost_model or CostModel()
+    operator = get_op(op)
+
+    flare_cfg = FlareConfig(
+        n_clusters=n_clusters,
+        cores_per_cluster=cores_per_cluster,
+        children=children,
+        subset_size=subset_size,
+        packet_bytes=packet_bytes,
+        dtype_name=dtype,
+        data_bytes=data_bytes,
+        staggered=staggered,
+        reproducible=reproducible,
+        cost_model=cost_model,
+    )
+
+    if algorithm is None:
+        choice = select_algorithm(data_bytes, reproducible=reproducible, op=operator)
+    elif algorithm.startswith("multi("):
+        choice = AlgorithmChoice("multi", int(algorithm[6:-1]), "explicit")
+    else:
+        choice = AlgorithmChoice(algorithm, 1, "explicit")
+    handler_name = {
+        "single": "flare-single",
+        "multi": f"flare-multi{choice.n_buffers}",
+        "tree": "flare-tree",
+    }[choice.algorithm]
+
+    switch_cfg = SwitchConfig(
+        n_clusters=n_clusters,
+        cores_per_cluster=cores_per_cluster,
+        scheduler=scheduler,
+        subset_size=subset_size,
+        cost_model=cost_model,
+    )
+    tree = NetworkManager().single_switch_tree(children)
+
+    # Feed the simulated unit its fair share of line rate: a 4-cluster
+    # simulation of the 64-cluster switch sees 4/64 of the traffic.
+    delta_full = switch_cfg.packet_interarrival_cycles(packet_bytes)
+    delta_sim = delta_full * FULL_CLUSTERS / n_clusters
+
+    return SwitchAllreducePlan(
+        flare_cfg=flare_cfg,
+        switch_cfg=switch_cfg,
+        choice=choice,
+        tree=tree,
+        handler_name=handler_name,
+        operator=operator,
+        delta_sim=delta_sim,
+    )
+
+
 def run_switch_allreduce(
     data_bytes: int | str,
     children: int = 64,
@@ -115,148 +360,45 @@ def run_switch_allreduce(
 ) -> SwitchAllreduceResult:
     """Simulate one dense allreduce through a Flare switch.
 
-    Parameters mirror the paper's experimental knobs; see
-    :class:`repro.core.config.FlareConfig` for symbol definitions.
-    ``data`` may supply explicit payloads of shape
-    ``(children, n_blocks, elements_per_packet)``; otherwise random
-    payloads are generated.  With ``verify`` the aggregated outputs are
-    checked against a numpy golden reduction (exact for integers).
+    .. deprecated::
+        Thin shim over the :mod:`repro.comm` registry ("flare_switch"
+        algorithm); prefer ``Communicator.allreduce`` or
+        :func:`plan_switch_allreduce` for repeated executions.
     """
-    data_bytes = parse_size(data_bytes)
-    cost_model = cost_model or CostModel()
-    dt = get_dtype(dtype)
-    operator = get_op(op)
-
-    flare_cfg = FlareConfig(
-        n_clusters=n_clusters,
-        cores_per_cluster=cores_per_cluster,
-        children=children,
-        subset_size=subset_size,
-        packet_bytes=packet_bytes,
-        dtype_name=dtype,
-        data_bytes=data_bytes,
-        staggered=staggered,
-        reproducible=reproducible,
-        cost_model=cost_model,
+    warnings.warn(
+        "run_switch_allreduce is deprecated; use repro.comm.Communicator"
+        ".allreduce(..., algorithm='flare_switch') instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    n_blocks = flare_cfg.blocks
-    n_elements = flare_cfg.elements_per_packet
+    from repro.comm import legacy_execute
 
-    if algorithm is None:
-        choice = select_algorithm(data_bytes, reproducible=reproducible, op=operator)
-    elif algorithm.startswith("multi("):
-        choice = AlgorithmChoice("multi", int(algorithm[6:-1]), "explicit")
-    else:
-        choice = AlgorithmChoice(algorithm, 1, "explicit")
-
-    switch_cfg = SwitchConfig(
-        n_clusters=n_clusters,
-        cores_per_cluster=cores_per_cluster,
-        scheduler=scheduler,
-        subset_size=subset_size,
-        cost_model=cost_model,
-    )
-    switch = PsPINSwitch(switch_cfg)
-    if not cold_start:
-        for cluster in switch.clusters:
-            cluster.icache_load("flare-single")
-            cluster.icache_load("flare-tree")
-
-    manager = NetworkManager()
-    tree = manager.single_switch_tree(children)
-    hconf_holder: dict[int, HandlerConfig] = {}
-    installed = manager.install(
-        tree,
-        {0: switch},
-        data_bytes,
-        dtype_name=dtype,
-        reproducible=reproducible,
-        op=operator,
-        algorithm=choice.label,
-    )
-    hconf_holder[0] = installed.handler_configs[0]
-    handler_name = {
-        "single": "flare-single",
-        "multi": f"flare-multi{choice.n_buffers}",
-        "tree": "flare-tree",
-    }[choice.algorithm]
-    if not cold_start:
-        for cluster in switch.clusters:
-            cluster.icache_load(handler_name)
-
-    # ------------------------------------------------------------------
-    # Workload
-    # ------------------------------------------------------------------
-    if data is None:
-        data = make_dense_blocks(children, n_blocks, n_elements, dtype=dtype, seed=seed)
-    else:
-        expected = (children, n_blocks, n_elements)
-        if data.shape != expected:
-            raise ValueError(f"data shape {data.shape} != expected {expected}")
-
-    # Feed the simulated unit its fair share of line rate: a 4-cluster
-    # simulation of the 64-cluster switch sees 4/64 of the traffic.
-    delta_full = switch_cfg.packet_interarrival_cycles(packet_bytes)
-    delta_sim = delta_full * FULL_CLUSTERS / n_clusters
-    stream = arrival_stream(
+    result = legacy_execute(
+        "flare_switch",
+        nbytes=parse_size(data_bytes),
         n_hosts=children,
-        n_blocks=n_blocks,
-        delta=delta_sim,
-        staggered=staggered,
-        jitter=jitter,
-        seed=seed + 1,
-    )
-    allreduce_id = installed.allreduce_id
-    for sp in stream:
-        packet = SwitchPacket(
-            allreduce_id=allreduce_id,
-            block_id=sp.block,
-            port=sp.host,
-            payload=data[sp.host, sp.block],
-        )
-        switch.inject(packet, at=sp.time)
-
-    makespan = switch.run()
-
-    # ------------------------------------------------------------------
-    # Collect + verify
-    # ------------------------------------------------------------------
-    outputs: dict[int, np.ndarray] = {}
-    for _t, pkt in switch.egress:
-        outputs.setdefault(pkt.block_id, pkt.payload)
-    if verify:
-        _verify_outputs(outputs, data, operator, dtype)
-
-    payload_bytes = float(data.nbytes)
-    seconds = makespan / (cost_model.clock_ghz * 1e9) if makespan > 0 else float("inf")
-    sim_tbps = payload_bytes * 8.0 / seconds / 1e12 if makespan > 0 else 0.0
-    scaled_tbps = scale_bandwidth(sim_tbps, n_clusters)
-    elements_per_second = (
-        scale_bandwidth(payload_bytes / dt.size_bytes / seconds, n_clusters)
-        if makespan > 0
-        else 0.0
-    )
-    tel = switch.telemetry
-    handler = switch.handler(handler_name)
-    return SwitchAllreduceResult(
-        algorithm=choice.label,
-        data_bytes=data_bytes,
+        op=op,
         dtype=dtype,
-        n_children=children,
-        n_blocks=n_blocks,
-        sim_clusters=n_clusters,
-        makespan_cycles=makespan,
-        sim_bandwidth_tbps=sim_tbps,
-        bandwidth_tbps=scaled_tbps,
-        elements_per_second=elements_per_second,
-        peak_input_buffer_bytes=switch.memories.l2_packet.peak_bytes,
-        peak_working_memory_bytes=tel.working_memory_bytes.peak,
-        contention_wait_cycles=tel.contention_wait_cycles.value,
-        icache_fills=int(tel.icache_fills.value),
-        deferred_arrivals=int(tel.deferred_arrivals.value),
-        blocks_completed=handler.blocks_completed,
-        outputs=outputs,
+        reproducible=reproducible,
+        params={
+            "aggregation": algorithm,
+            "n_clusters": n_clusters,
+            "cores_per_cluster": cores_per_cluster,
+            "subset_size": subset_size,
+            "scheduler": scheduler,
+            "staggered": staggered,
+            "cost_model": cost_model,
+            "packet_bytes": packet_bytes,
+        },
+        payloads=data,
+        execute_args={
+            "seed": seed,
+            "jitter": jitter,
+            "cold_start": cold_start,
+            "verify": verify,
+        },
     )
+    return result.raw
 
 
 def _verify_outputs(

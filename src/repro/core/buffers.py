@@ -17,7 +17,7 @@ and the run telemetry, producing Fig. 7's working-memory series.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

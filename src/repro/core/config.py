@@ -69,6 +69,15 @@ class FlareConfig:
             raise ValueError("packet_bytes and data_bytes must be positive")
         if self.children < 1:
             raise ValueError("children must be >= 1")
+        # Fail on a bad feed at construction, not lazily inside `delta`.
+        if isinstance(self.feed, str):
+            if self.feed not in ("line", "balanced"):
+                raise ValueError(
+                    f"unknown feed policy {self.feed!r}; "
+                    "expected 'line', 'balanced', or an explicit delta in cycles"
+                )
+        elif self.feed <= 0:
+            raise ValueError("explicit delta must be positive")
 
     # ------------------------------------------------------------------
     # Derived symbols

@@ -20,7 +20,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.handler_base import HandlerConfig
 from repro.core.manager import NetworkManager
 from repro.core.ops import get_op
 from repro.core.staggered import arrival_stream
@@ -69,9 +68,12 @@ def run_two_level_allreduce(
 
     sim = Simulator()
     cost_model = CostModel()
-    mk = lambda: PsPINSwitch(
-        SwitchConfig(n_clusters=n_clusters, cost_model=cost_model), sim=sim
-    )
+
+    def mk() -> PsPINSwitch:
+        return PsPINSwitch(
+            SwitchConfig(n_clusters=n_clusters, cost_model=cost_model), sim=sim
+        )
+
     leaves = {i: mk() for i in range(1, n_leaves + 1)}
     root = mk()
     switches: dict[int, PsPINSwitch] = {0: root, **leaves}
@@ -158,9 +160,6 @@ def run_two_level_allreduce(
             else:
                 assert np.allclose(got, golden, rtol=1e-5), f"block {b} mismatch"
 
-    handler_names = {
-        "single": "flare-single", "tree": "flare-tree",
-    }
     root_handler_name = None
     for name in ("flare-single", "flare-multi2", "flare-multi4", "flare-tree"):
         if name in root._handlers:

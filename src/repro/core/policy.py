@@ -22,7 +22,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.config import FlareConfig
 from repro.core.ops import ReductionOp, get_op
 from repro.utils.units import KIB, parse_size
 

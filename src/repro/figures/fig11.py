@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 
 from repro.baselines.sharp import SHARPModel
 from repro.baselines.switchml import SwitchMLModel
-from repro.core.allreduce import run_switch_allreduce
+from repro.comm import Communicator
 from repro.utils.tables import series_block
 from repro.utils.units import parse_size
 
@@ -49,18 +49,18 @@ def run(fast: bool = False, seed: int = 0) -> Fig11Result:
     result.switchml_tbps = switchml.bandwidth_tbps("int32")
     result.sharp_tbps = sharp.bandwidth_tbps("int32")
 
+    comm = Communicator(n_hosts=children, n_clusters=n_clusters)
     for algo in ("single", "multi(4)", "tree"):
         bws = []
         for size in sizes:
-            r = run_switch_allreduce(
+            r = comm.allreduce(
                 parse_size(size),
-                children=children,
-                n_clusters=n_clusters,
-                algorithm=algo,
+                algorithm="flare_switch",
+                aggregation=algo,
                 dtype="int32",
                 seed=seed,
                 cold_start=True,
-            )
+            ).raw
             bws.append(r.bandwidth_tbps)
         result.bandwidth[algo] = bws
 
@@ -70,15 +70,14 @@ def run(fast: bool = False, seed: int = 0) -> Fig11Result:
     result.dtypes = list(DTYPES)
     flare_rates, switchml_rates = [], []
     for dtype in DTYPES:
-        r = run_switch_allreduce(
+        r = comm.allreduce(
             parse_size(big),
-            children=children,
-            n_clusters=n_clusters,
-            algorithm="single",
+            algorithm="flare_switch",
+            aggregation="single",
             dtype=dtype,
             seed=seed,
             cold_start=False,
-        )
+        ).raw
         flare_rates.append(r.elements_per_second)
         switchml_rates.append(switchml.elements_per_second(dtype))
     result.elements_per_s = {"Flare": flare_rates, "SwitchML": switchml_rates}

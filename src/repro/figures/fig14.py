@@ -13,7 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.sparse.allreduce import SparseAllreduceResult, run_sparse_switch_allreduce
+from repro.comm import Communicator
+from repro.sparse.allreduce import SparseAllreduceResult
 from repro.utils.tables import ascii_table
 
 DENSITIES = (0.20, 0.10, 0.01)
@@ -39,19 +40,20 @@ def run(fast: bool = False, seed: int = 0, correlation: float = 0.0) -> Fig14Res
     children = 16 if fast else 64
     n_clusters = 2 if fast else 4
     out = Fig14Result(densities=list(DENSITIES))
+    comm = Communicator(n_hosts=children, n_clusters=n_clusters)
     for storage in ("hash", "array"):
         rs: list[SparseAllreduceResult] = []
         for density in DENSITIES:
             rs.append(
-                run_sparse_switch_allreduce(
+                comm.allreduce(
                     size,
+                    algorithm="flare_switch_sparse",
+                    sparse=True,
                     density=density,
                     storage=storage,
-                    children=children,
-                    n_clusters=n_clusters,
-                    seed=seed,
                     correlation=correlation,
-                )
+                    seed=seed,
+                ).raw
             )
         out.results[storage] = rs
     return out

@@ -19,16 +19,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.collectives import (
-    simulate_flare_dense_allreduce,
-    simulate_flare_sparse_allreduce,
-    simulate_ring_allreduce,
-    simulate_sparcml_allreduce,
-)
 from repro.collectives.result import CollectiveResult
+from repro.comm import Communicator
 from repro.data.buckets import bucket_top1_sparsify, bucket_union_counts
 from repro.data.resnet50 import iter_host_gradients, resnet50_parameter_count
-from repro.network.topology import FatTreeTopology
 from repro.utils.tables import ascii_table
 from repro.utils.units import MIB
 
@@ -75,17 +69,18 @@ def run(fast: bool = False, seed: int = 0, shared_fraction: float = 0.7) -> Fig1
     n_buckets = total_elements / BUCKET
     eff_union_per_bucket = root_nnz / n_buckets
 
-    topo = lambda: FatTreeTopology(n_hosts=n_hosts, hosts_per_leaf=8, n_spines=4)
+    comm = Communicator(n_hosts=n_hosts, hosts_per_leaf=8, n_spines=4)
     results = [
-        simulate_ring_allreduce(topo(), vector_bytes),
-        simulate_flare_dense_allreduce(topo(), vector_bytes),
-        simulate_sparcml_allreduce(
-            topo(), total_elements, bucket_span=BUCKET,
+        comm.allreduce(vector_bytes, algorithm="ring"),
+        comm.allreduce(vector_bytes, algorithm="flare_dense"),
+        comm.allreduce(
+            vector_bytes, algorithm="sparcml", sparse=True,
+            bucket_span=BUCKET,
             nnz_per_bucket=_invert_union(BUCKET, eff_union_per_bucket, n_hosts),
         ),
-        simulate_flare_sparse_allreduce(
-            topo(), total_elements, bucket_span=BUCKET,
-            level_bytes=level_bytes,
+        comm.allreduce(
+            vector_bytes, algorithm="flare_sparse", sparse=True,
+            bucket_span=BUCKET, level_bytes=level_bytes,
         ),
     ]
     return Fig15Result(

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from repro.core.config import FlareConfig
 from repro.core.models import evaluate_design
 from repro.utils.tables import ascii_table
-from repro.utils.units import bytes_to_mib, format_size, parse_size
+from repro.utils.units import bytes_to_mib, parse_size
 
 SIZES = ("8KiB", "64KiB", "512KiB")
 

@@ -15,7 +15,7 @@ ones — exactly the capability the authors added to SST.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.network.topology import FatTreeTopology, NodeId

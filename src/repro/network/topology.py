@@ -55,9 +55,9 @@ class FatTreeTopology:
         for h in range(n_hosts):
             leaf = self.leaf_of(f"h{h}")
             self._add_duplex(f"h{h}", leaf)
-        for l in range(self.n_leaves):
+        for leaf_idx in range(self.n_leaves):
             for s in range(n_spines):
-                self._add_duplex(f"l{l}", f"s{s}")
+                self._add_duplex(f"l{leaf_idx}", f"s{s}")
 
     def _add_duplex(self, a: NodeId, b: NodeId) -> None:
         for src, dst in ((a, b), (b, a)):

@@ -10,7 +10,7 @@ handler image before the first packet runs at full speed.
 from __future__ import annotations
 
 from repro.pspin.hpu import HPU
-from repro.pspin.memory import MemoryAccounting, MemoryRegion
+from repro.pspin.memory import MemoryRegion
 
 
 class Cluster:

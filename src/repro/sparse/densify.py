@@ -18,7 +18,6 @@ is the special case nnz=1, s=512 applied per bucket.
 
 from __future__ import annotations
 
-import math
 
 
 def expected_union(span: int, nnz_per_host: float, n_hosts: int) -> float:

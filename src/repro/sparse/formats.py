@@ -20,7 +20,7 @@ allreduce dtype; each pair costs 8 bytes on the wire for fp32/int32.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -30,7 +30,7 @@ from repro.pspin.packets import SwitchPacket
 from repro.pspin.switch import HandlerContext, HandlerResult
 from repro.sparse.array_storage import ArrayStorage
 from repro.sparse.hash_storage import HashStorage
-from repro.sparse.models import SPARSE_ELEMENT_BYTES, sparse_elements_per_packet
+from repro.sparse.models import sparse_elements_per_packet
 
 PARENT_PORT = -1
 

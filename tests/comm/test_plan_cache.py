@@ -1,0 +1,117 @@
+"""Plan/execute split: cache hits skip planning, LRU eviction works."""
+
+import pytest
+
+from repro.comm import (
+    AlgorithmCaps,
+    Communicator,
+    PlanCache,
+    PlannedExecution,
+    register_algorithm,
+    unregister_algorithm,
+)
+from repro.collectives.result import CollectiveResult
+
+
+@pytest.fixture
+def counting_algorithm():
+    """Register an algorithm that counts planner and runner invocations."""
+    counts = {"planned": 0, "executed": 0}
+
+    @register_algorithm(
+        "test_counting",
+        caps=AlgorithmCaps(dense=True, ops=("sum",), description="counter"),
+    )
+    def plan_counting(request):
+        counts["planned"] += 1
+
+        def runner(payloads, overrides):
+            counts["executed"] += 1
+            return CollectiveResult(
+                name="counting",
+                n_hosts=request.n_hosts,
+                vector_bytes=request.nbytes,
+                time_ns=1.0,
+                traffic_bytes_hops=0.0,
+            )
+
+        return PlannedExecution(runner=runner, setup={"planned": True})
+
+    yield counts
+    unregister_algorithm("test_counting")
+
+
+def test_cached_plan_skips_planning(counting_algorithm):
+    comm = Communicator(n_hosts=4)
+    for _ in range(5):
+        comm.allreduce("1KiB", algorithm="test_counting")
+    info = comm.cache_info()
+    # Planning ran once; four executions were pure cache hits.
+    assert counting_algorithm["planned"] == 1
+    assert counting_algorithm["executed"] == 5
+    assert info.misses == 1 and info.hits == 4
+    assert comm.plans_built == 1
+
+
+def test_shape_change_is_a_cache_miss(counting_algorithm):
+    comm = Communicator(n_hosts=4)
+    comm.allreduce("1KiB", algorithm="test_counting")
+    comm.allreduce("2KiB", algorithm="test_counting")
+    comm.allreduce("1KiB", algorithm="test_counting")   # back to cached shape
+    assert counting_algorithm["planned"] == 2
+    assert comm.cache_info().hits == 1
+
+
+def test_plan_execute_counter(counting_algorithm):
+    comm = Communicator(n_hosts=4)
+    plan = comm.plan(nbytes="1KiB", algorithm="test_counting")
+    assert plan.executions == 0
+    plan.execute()
+    plan.execute()
+    assert plan.executions == 2
+    # comm.allreduce of the same shape reuses the *same* plan object.
+    comm.allreduce("1KiB", algorithm="test_counting")
+    assert plan.executions == 3
+
+
+def test_lru_eviction(counting_algorithm):
+    comm = Communicator(n_hosts=4, plan_cache_size=2)
+    comm.allreduce("1KiB", algorithm="test_counting")
+    comm.allreduce("2KiB", algorithm="test_counting")
+    comm.allreduce("3KiB", algorithm="test_counting")   # evicts 1KiB
+    comm.allreduce("1KiB", algorithm="test_counting")   # replanned
+    info = comm.cache_info()
+    assert info.evictions >= 1
+    assert counting_algorithm["planned"] == 4
+
+
+def test_plan_cache_direct():
+    cache = PlanCache(maxsize=2)
+    built = []
+
+    def make(tag):
+        def factory():
+            built.append(tag)
+            return tag  # PlanCache is agnostic to the stored value
+
+        return factory
+
+    assert cache.get_or_build(("a",), make("a")) == "a"
+    assert cache.get_or_build(("a",), make("a2")) == "a"
+    assert built == ["a"]
+    cache.get_or_build(("b",), make("b"))
+    cache.get_or_build(("c",), make("c"))
+    info = cache.info()
+    assert info.currsize == 2 and info.evictions == 1
+    with pytest.raises(ValueError):
+        PlanCache(maxsize=0)
+
+
+def test_switch_plan_reuse_is_consistent():
+    """Re-executing a cached switch-level plan reproduces the result."""
+    comm = Communicator(n_hosts=4, n_clusters=1)
+    r1 = comm.allreduce("4KiB", algorithm="flare_switch", seed=5)
+    r2 = comm.allreduce("4KiB", algorithm="flare_switch", seed=5)
+    assert comm.cache_info().hits == 1
+    assert r1.raw.makespan_cycles == r2.raw.makespan_cycles
+    assert r1.raw.blocks_completed == r2.raw.blocks_completed

@@ -1,0 +1,135 @@
+"""Registry: registration, capability matching, resolution errors."""
+
+import pytest
+
+from repro.comm import (
+    AlgorithmCaps,
+    CapabilityError,
+    PlannedExecution,
+    UnknownAlgorithmError,
+    available_algorithms,
+    get_algorithm,
+    match_algorithms,
+    register_algorithm,
+    rejection_reasons,
+    resolve,
+    unregister_algorithm,
+)
+from repro.comm.request import CollectiveRequest
+from repro.core.ops import ReductionOp
+
+
+def _request(**kw):
+    defaults = dict(nbytes=1024, n_hosts=8)
+    defaults.update(kw)
+    return CollectiveRequest(**defaults)
+
+
+BUILTINS = {
+    "ring",
+    "rabenseifner",
+    "recursive_doubling",
+    "sparcml",
+    "flare_dense",
+    "flare_sparse",
+    "flare_switch",
+    "flare_switch_sparse",
+}
+
+
+def test_builtins_registered():
+    assert BUILTINS <= set(available_algorithms())
+
+
+def test_get_unknown_algorithm_raises_with_listing():
+    with pytest.raises(UnknownAlgorithmError, match="unknown algorithm 'nope'"):
+        get_algorithm("nope")
+
+
+def test_register_and_unregister_custom_algorithm():
+    caps = AlgorithmCaps(dense=True, description="test-only")
+
+    @register_algorithm("test_noop", caps=caps)
+    def plan_noop(request):
+        return PlannedExecution(runner=lambda payloads, overrides: None)
+
+    try:
+        entry = get_algorithm("test_noop")
+        assert entry.caps.description == "test-only"
+        # Double registration under the same name is an error.
+        with pytest.raises(ValueError, match="already registered"):
+            register_algorithm("test_noop", caps=caps)(plan_noop)
+    finally:
+        unregister_algorithm("test_noop")
+    with pytest.raises(UnknownAlgorithmError):
+        get_algorithm("test_noop")
+
+
+def test_capability_matching_dense_vs_sparse():
+    dense = {e.name for e in match_algorithms(_request())}
+    sparse = {e.name for e in match_algorithms(_request(sparse=True, density=0.1))}
+    assert "ring" in dense and "flare_switch" in dense
+    assert "sparcml" not in dense and "flare_sparse" not in dense
+    assert sparse & {"sparcml", "flare_sparse", "flare_switch_sparse"} == {
+        "sparcml", "flare_sparse", "flare_switch_sparse",
+    }
+    assert "ring" not in sparse
+
+
+def test_capability_matching_reproducible():
+    names = {e.name for e in match_algorithms(_request(reproducible=True))}
+    assert "flare_switch" in names          # tree aggregation (F3)
+    assert "rabenseifner" in names          # fixed combine structure
+    assert "flare_dense" not in names       # arrival-order aggregation
+
+
+def test_capability_matching_power_of_two_hosts():
+    names = {e.name for e in match_algorithms(_request(n_hosts=6))}
+    assert "rabenseifner" not in names and "recursive_doubling" not in names
+    assert "ring" in names
+    reasons = rejection_reasons(_request(n_hosts=6))
+    assert "power-of-two" in reasons["rabenseifner"]
+
+
+def test_custom_op_routes_to_switch_only():
+    op = ReductionOp("xor-ish", lambda a, v: None)
+    names = {e.name for e in match_algorithms(_request(op=op))}
+    assert names == {"flare_switch"}
+
+
+def test_resolve_auto_prefers_in_network():
+    entry = resolve(_request())
+    assert entry.name == "flare_switch"
+    entry = resolve(_request(sparse=True, density=0.1))
+    assert entry.name == "flare_sparse"
+
+
+def test_resolve_explicit_checks_capabilities():
+    with pytest.raises(CapabilityError, match="sparse payloads unsupported"):
+        resolve(_request(algorithm="ring", sparse=True, density=0.5))
+    with pytest.raises(CapabilityError, match="reproducibility"):
+        resolve(_request(algorithm="flare_dense", reproducible=True))
+
+
+def test_resolve_no_candidate_reports_reasons():
+    # Sparse + reproducible: nothing declares both today.
+    with pytest.raises(CapabilityError, match="no registered algorithm"):
+        resolve(_request(sparse=True, density=0.5, reproducible=True))
+
+
+def test_request_validation():
+    with pytest.raises(ValueError, match="nbytes"):
+        CollectiveRequest(nbytes=0, n_hosts=4)
+    with pytest.raises(ValueError, match="n_hosts"):
+        CollectiveRequest(nbytes=64, n_hosts=0)
+    with pytest.raises(ValueError, match="density"):
+        CollectiveRequest(nbytes=64, n_hosts=4, density=0.0)
+
+
+def test_request_signature_ignores_payload_but_not_shape():
+    a = _request().signature()
+    b = _request().signature()
+    c = _request(nbytes=2048).signature()
+    d = _request(params={"scheduler": "fcfs"}).signature()
+    assert a == b
+    assert a != c and a != d

@@ -5,7 +5,6 @@ K=512 cores, C=8, P=64 children, 1 KiB fp32 packets (L=1024 cycles),
 line rate delta=1.28 cycles/packet.
 """
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st
@@ -26,7 +25,7 @@ from repro.core.models import (
     tree_buffers_per_block,
     tree_tau,
 )
-from repro.utils.units import KIB, MIB
+from repro.utils.units import MIB
 
 
 def _cfg(data="512KiB", S=8, staggered=True, children=64):

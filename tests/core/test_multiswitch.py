@@ -2,7 +2,6 @@
 (paper Fig. 1)."""
 
 import numpy as np
-import pytest
 
 from repro.core.multiswitch import run_two_level_allreduce
 

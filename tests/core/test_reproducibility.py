@@ -9,7 +9,6 @@ in arrival order and is therefore *not* bitwise stable.
 import itertools
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.handler_base import HandlerConfig

@@ -1,6 +1,5 @@
 """Tests for staggered sending and arrival-stream synthesis (Sec. 5)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 

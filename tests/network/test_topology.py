@@ -59,7 +59,7 @@ def test_route_links_exist():
     t = _topo()
     for dst in ("h1", "h8", "l3", "s0"):
         links = t.path_links("h0", dst)
-        assert all(l.gbps == 100.0 for l in links)
+        assert all(link.gbps == 100.0 for link in links)
 
 
 def test_ecmp_spine_selection_is_deterministic():

@@ -1,7 +1,6 @@
 """Integration tests for the sparse switch-level allreduce (Fig. 13/14
 driver) at reduced scale."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import FlareConfig
