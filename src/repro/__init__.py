@@ -31,7 +31,9 @@ Layers:
 * ``repro.sparse`` — the first in-network *sparse* allreduce (hash and
   array storage, spill buffers, shard counters).
 * ``repro.network`` — an SST-like chunk-level network simulator with
-  fat-tree topologies and in-switch aggregation hooks.
+  pluggable topologies (fat tree, XGFT, dragonfly, torus, multi-rail),
+  routing policies (shortest / seeded ECMP / congestion-adaptive),
+  aggregation-tree planning, and in-switch aggregation hooks.
 * ``repro.collectives`` — host-based baselines (ring, Rabenseifner,
   recursive doubling, SparCML) and the in-network collectives built on
   the network simulator.

@@ -4,15 +4,20 @@ Usage::
 
     python -m repro list                   # available experiments
     python -m repro algorithms             # registered allreduce algorithms
+    python -m repro topologies             # built-in topology families
     python -m repro fig11                  # run one figure (paper scale)
     python -m repro fig15 --fast           # reduced-scale smoke run
     python -m repro all --fast             # everything
     python -m repro bench ring --size 1MiB --hosts 16 --repeat 3
+    python -m repro bench ring --topology dragonfly --routing adaptive
+    python -m repro bench flare_dense --topology torus \
+        --topo-params dim_x=4,dim_y=4,hosts_per_switch=2
 
 ``bench`` drives any registered algorithm through the unified
 :class:`repro.comm.Communicator`, re-executing the cached plan to show
-the plan/execute split at work.  (Also installed as the ``flare-repro``
-console script.)
+the plan/execute split at work; ``--topology``/``--routing`` swap the
+wiring and the path-selection policy under any network-simulated
+algorithm.  (Also installed as the ``flare-repro`` console script.)
 """
 
 from __future__ import annotations
@@ -65,12 +70,94 @@ def _cmd_algorithms() -> int:
     return 0
 
 
+def _cmd_topologies() -> int:
+    from repro.comm import Communicator
+    from repro.network import available_routers, available_topologies, build_topology
+    from repro.utils.tables import ascii_table
+
+    rows = []
+    for family in available_topologies():
+        topo = build_topology(family)
+        params = ", ".join(
+            f"{k}={v}" for k, v in topo.describe().items()
+            if k not in ("link_gbps", "link_latency_ns")
+        )
+        algos = [
+            a["name"]
+            for a in Communicator.algorithms()
+            if "*" in a["topologies"] or family in a["topologies"]
+        ]
+        rows.append([family, params, len(topo.hosts), len(topo.switches),
+                     ",".join(algos)])
+    print(ascii_table(
+        ["family", "default parameters", "hosts", "switches", "algorithms"],
+        rows,
+        title="Built-in topology families (bench --topology <family> "
+        "--topo-params k=v,...)",
+    ))
+    print(f"routing policies: {', '.join(available_routers())} "
+          "(bench --routing <policy>)")
+    return 0
+
+
+def _parse_topo_params(text: str) -> dict:
+    """Parse "k=v,k=v" with ints, floats, bools, and AxB tuples."""
+    out: dict = {}
+    if not text:
+        return out
+    for item in text.split(","):
+        key, _, raw = item.partition("=")
+        if not _:
+            raise ValueError(f"--topo-params entries are k=v, got {item!r}")
+        value: object
+        if raw.lower() in ("true", "false"):
+            value = raw.lower() == "true"
+        elif "x" in raw and all(p.isdigit() for p in raw.split("x")):
+            value = tuple(int(p) for p in raw.split("x"))
+        else:
+            try:
+                value = int(raw)
+            except ValueError:
+                try:
+                    value = float(raw)
+                except ValueError:
+                    value = raw
+        out[key.strip()] = value
+    return out
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.comm import CommError, Communicator
+
+    topology = None
+    if args.topology is not None:
+        from repro.network import build_topology
+
+        topo_params = _parse_topo_params(args.topo_params or "")
+        if args.topology in ("fat-tree", "multi-rail") and "n_hosts" not in topo_params:
+            topo_params["n_hosts"] = args.hosts
+            if args.topology == "fat-tree" and "hosts_per_leaf" not in topo_params:
+                from repro.comm.backends import _default_hosts_per_leaf
+
+                hpl = _default_hosts_per_leaf(args.hosts)
+                topo_params["hosts_per_leaf"] = hpl
+                topo_params.setdefault("n_spines", min(4, hpl))
+        try:
+            topology = build_topology(args.topology, **topo_params)
+        except (TypeError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if topology.n_hosts != args.hosts:
+            print(f"[topology {args.topology} wires {topology.n_hosts} hosts; "
+                  f"using that instead of --hosts {args.hosts}]")
+            args.hosts = topology.n_hosts
 
     comm = Communicator(
         n_hosts=args.hosts,
         n_clusters=args.clusters,
+        topology=topology,
+        routing=args.routing,
+        routing_seed=args.seed,
     )
     kwargs = dict(
         op=args.op,
@@ -111,6 +198,7 @@ def main(argv: list[str] | None = None) -> int:
 
     sub.add_parser("list", help="list available experiments")
     sub.add_parser("algorithms", help="list registered allreduce algorithms")
+    sub.add_parser("topologies", help="list built-in topology families")
 
     for name in EXPERIMENTS + ("all",):
         p = sub.add_parser(name, help=f"run {name}" if name != "all" else "run everything")
@@ -136,6 +224,15 @@ def main(argv: list[str] | None = None) -> int:
     bench.add_argument("--repeat", type=int, default=3,
                        help="executions of the (cached) plan")
     bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--topology", default=None,
+                       help="topology family for network-simulated algorithms "
+                       "(see 'topologies'; default: the paper's fat tree)")
+    bench.add_argument("--topo-params", default=None, metavar="K=V,...",
+                       help="topology constructor parameters, e.g. "
+                       "dim_x=4,dim_y=4 or down=8x8,up=1x4")
+    bench.add_argument("--routing", default=None,
+                       choices=("shortest", "ecmp", "adaptive"),
+                       help="path-selection policy (default: ecmp)")
 
     args = parser.parse_args(argv)
 
@@ -143,6 +240,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "algorithms":
         return _cmd_algorithms()
+    if args.command == "topologies":
+        return _cmd_topologies()
     if args.command == "bench":
         if args.density is None:
             args.density = 0.1 if args.sparse else 1.0

@@ -1,11 +1,17 @@
-"""In-network dense allreduce on the fat tree (Fig. 15, "Flare Dense").
+"""In-network dense allreduce on the network simulator (Fig. 15,
+"Flare Dense").
 
-Hosts stream their vector as chunks to the leaf switch; each leaf
-aggregates a chunk once all its hosts delivered it and forwards one
-aggregated chunk to the root spine; the root aggregates the leaves and
-multicasts the result down the tree.  Every host therefore sends Z and
-receives Z — the 2x wire saving over host-based ring (which moves ~2Z
-per host) that Sec. 1 derives.
+Hosts stream their vector as chunks to their edge switch; each tree
+switch aggregates a chunk once all its children (attached hosts and
+child switches) delivered it and forwards one aggregated chunk to its
+parent; the root aggregates and multicasts the result down the tree.
+Every host therefore sends Z and receives Z — the 2x wire saving over
+host-based ring (which moves ~2Z per host) that Sec. 1 derives.
+
+The schedule runs over *any* :class:`repro.network.trees.AggregationTree`
+— the classic two-level fat-tree embedding, a deep XGFT, a BFS tree
+over a dragonfly or torus — under any routing policy; tree edges are
+always single topology links, so hop accounting stays exact.
 
 The per-chunk aggregation latency at a switch defaults to the PsPIN
 model's cost for the chunk (1 ns/byte/core spread over the cores a
@@ -19,16 +25,16 @@ import warnings
 
 from repro.collectives.result import CollectiveResult
 from repro.network.simulator import Message, NetworkSimulator
-from repro.network.trees import EmbeddedTree, embed_reduction_tree
-from repro.network.topology import FatTreeTopology
+from repro.network.trees import AggregationTree, EmbeddedTree, as_aggregation_tree
+from repro.network.topology import Topology
 
 
 def simulate_flare_dense_allreduce(
-    topology: FatTreeTopology,
+    topology: Topology,
     vector_bytes: float,
     chunk_bytes: float = 1024 * 1024,
     agg_latency_ns_per_chunk: float = 2000.0,
-    tree: EmbeddedTree | None = None,
+    tree: "EmbeddedTree | AggregationTree | None" = None,
 ) -> CollectiveResult:
     """Simulate one Flare in-network dense allreduce.
 
@@ -58,57 +64,54 @@ def simulate_flare_dense_allreduce(
 
 
 def _simulate_flare_dense_allreduce(
-    topology: FatTreeTopology,
+    topology: Topology,
     vector_bytes: float,
     chunk_bytes: float = 1024 * 1024,
     agg_latency_ns_per_chunk: float = 2000.0,
-    tree: EmbeddedTree | None = None,
+    tree: "EmbeddedTree | AggregationTree | None" = None,
+    router=None,
+    routing_seed: int = 0,
 ) -> CollectiveResult:
-    """Flare in-network dense schedule implementation."""
-    net = NetworkSimulator(topology)
-    tree = tree or embed_reduction_tree(topology)
-    hosts = tree.all_hosts()
+    """Flare in-network dense schedule over an aggregation tree."""
+    net = NetworkSimulator(topology, router=router, routing_seed=routing_seed)
+    atree = as_aggregation_tree(tree, topology)
+    hosts = atree.all_hosts()
     P = len(hosts)
     n_chunks = max(1, int(round(vector_bytes / chunk_bytes)))
     actual_chunk = vector_bytes / n_chunks
 
-    leaf_counts: dict[tuple[str, int], int] = {}
-    root_counts: dict[int, int] = {}
+    up_counts: dict[tuple[str, int], int] = {}
     host_received: dict[str, int] = {h: 0 for h in hosts}
     done_hosts = 0
     finish_time = [0.0]
 
-    def on_leaf(leaf: str):
-        hosts_here = len(tree.hosts_of[leaf])
+    def send_down(switch: str, chunk: int, at: float) -> None:
+        for kid in atree.children_of.get(switch, ()):
+            net.send(Message(switch, kid, actual_chunk, tag=("down", chunk)), at=at)
+        for h in atree.hosts_of.get(switch, ()):
+            net.send(Message(switch, h, actual_chunk, tag=("down", chunk)), at=at)
+
+    def on_switch(switch: str):
+        fan_in = atree.fan_in(switch)
+        parent = atree.parent_of(switch)
 
         def deliver(msg: Message, now: float) -> None:
             direction, chunk = msg.tag[0], msg.tag[1]
             if direction == "up":
-                key = (leaf, chunk)
-                leaf_counts[key] = leaf_counts.get(key, 0) + 1
-                if leaf_counts[key] == hosts_here:
-                    net.send(
-                        Message(leaf, tree.root, actual_chunk, tag=("up", chunk)),
-                        at=now + agg_latency_ns_per_chunk,
-                    )
-            else:  # downward multicast to this rack's hosts
-                for h in tree.hosts_of[leaf]:
-                    net.send(
-                        Message(leaf, h, actual_chunk, tag=("down", chunk)),
-                        at=now,
-                    )
+                key = (switch, chunk)
+                up_counts[key] = up_counts.get(key, 0) + 1
+                if up_counts[key] == fan_in:
+                    if parent is None:   # root: turn around, multicast
+                        send_down(switch, chunk, now + agg_latency_ns_per_chunk)
+                    else:
+                        net.send(
+                            Message(switch, parent, actual_chunk, tag=("up", chunk)),
+                            at=now + agg_latency_ns_per_chunk,
+                        )
+            else:   # downward multicast continues through the subtree
+                send_down(switch, chunk, now)
 
         return deliver
-
-    def on_root(msg: Message, now: float) -> None:
-        _direction, chunk = msg.tag[0], msg.tag[1]
-        root_counts[chunk] = root_counts.get(chunk, 0) + 1
-        if root_counts[chunk] == len(tree.leaves):
-            for leaf in tree.leaves:
-                net.send(
-                    Message(tree.root, leaf, actual_chunk, tag=("down", chunk)),
-                    at=now + agg_latency_ns_per_chunk,
-                )
 
     def on_host(host: str):
         def deliver(msg: Message, now: float) -> None:
@@ -120,16 +123,15 @@ def _simulate_flare_dense_allreduce(
 
         return deliver
 
-    for leaf in tree.leaves:
-        net.on_deliver(leaf, on_leaf(leaf))
-    net.on_deliver(tree.root, on_root)
+    for switch in atree.switches():
+        net.on_deliver(switch, on_switch(switch))
     for h in hosts:
         net.on_deliver(h, on_host(h))
 
     for h in hosts:
-        leaf = topology.leaf_of(h)
+        attach = atree.attach_of(h)
         for c in range(n_chunks):
-            net.send(Message(h, leaf, actual_chunk, tag=("up", c)), at=0.0)
+            net.send(Message(h, attach, actual_chunk, tag=("up", c)), at=0.0)
     net.run()
     if done_hosts != P:
         raise RuntimeError(f"flare dense incomplete: {done_hosts}/{P}")
@@ -140,5 +142,10 @@ def _simulate_flare_dense_allreduce(
         time_ns=finish_time[0],
         traffic_bytes_hops=net.traffic.bytes_hops,
         sent_bytes_per_host=vector_bytes,
-        extra={"n_chunks": n_chunks},
+        extra={
+            "n_chunks": n_chunks,
+            "tree_root": atree.root,
+            "tree_depth": atree.depth(),
+            **net.traffic_extra(),
+        },
     )

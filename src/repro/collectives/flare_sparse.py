@@ -1,16 +1,20 @@
-"""In-network sparse allreduce on the fat tree (Fig. 15, "Flare Sparse").
+"""In-network sparse allreduce on the network simulator (Fig. 15,
+"Flare Sparse").
 
 Same tree pipeline as the dense version, but message sizes shrink with
 sparsity and grow with densification level by level: hosts send their
-sparsified vectors (nnz x 8 B), leaves forward the rack union, the root
-multicasts the global union.  This captures the two effects Fig. 15
-credits Flare sparse with: far fewer bytes than dense in-network
-allreduce, and far fewer hops than host-based sparse (each datum
-crosses the tree once instead of bouncing between hosts log P times).
+sparsified vectors (nnz x 8 B), each tree switch forwards the union of
+its subtree, the root multicasts the global union.  This captures the
+two effects Fig. 15 credits Flare sparse with: far fewer bytes than
+dense in-network allreduce, and far fewer hops than host-based sparse
+(each datum crosses the tree once instead of bouncing between hosts
+log P times).
 
-Per-level sizes come from the densification model; the Fig. 15 driver
-can instead pass exact per-level non-zero counts measured from the
-synthetic ResNet-50 gradient data.
+Per-switch sizes come from the densification model applied to each
+switch's *subtree host count*, which generalizes the fat tree's
+(host, leaf, root) ladder to trees of any depth over any topology; the
+Fig. 15 driver can instead pass exact per-level non-zero counts
+measured from the synthetic ResNet-50 gradient data.
 """
 
 from __future__ import annotations
@@ -19,20 +23,21 @@ import warnings
 
 from repro.collectives.result import CollectiveResult
 from repro.network.simulator import Message, NetworkSimulator
-from repro.network.trees import EmbeddedTree, embed_reduction_tree
-from repro.network.topology import FatTreeTopology
+from repro.network.trees import AggregationTree, EmbeddedTree, as_aggregation_tree
+from repro.network.topology import Topology
 from repro.sparse.densify import expected_union
 
 SPARSE_ELEMENT_BYTES = 8
 
 
 def sparse_level_bytes(
-    topology: FatTreeTopology,
+    topology,
     total_elements: float,
     bucket_span: int = 512,
     nnz_per_bucket: float = 1.0,
 ) -> tuple[float, float, float]:
-    """(host, leaf, root) per-stream bytes under the bucket model."""
+    """(host, leaf, root) per-stream bytes under the bucket model, for
+    the two-level fat tree."""
     n_buckets = total_elements / bucket_span
     hosts_per_leaf = topology.hosts_per_leaf
     n_hosts = topology.n_hosts
@@ -46,15 +51,37 @@ def sparse_level_bytes(
     )
 
 
+def sparse_tree_bytes(
+    tree: AggregationTree,
+    total_elements: float,
+    bucket_span: int = 512,
+    nnz_per_bucket: float = 1.0,
+) -> tuple[float, dict[str, float]]:
+    """(host bytes, per-switch upstream bytes) for any aggregation tree.
+
+    A switch forwards the expected index union over the hosts of its
+    subtree; the root's value is also the downstream multicast size.
+    """
+    n_buckets = total_elements / bucket_span
+    host_bytes = n_buckets * nnz_per_bucket * SPARSE_ELEMENT_BYTES
+    up_bytes = {
+        s: n_buckets
+        * expected_union(bucket_span, nnz_per_bucket, tree.subtree_hosts(s))
+        * SPARSE_ELEMENT_BYTES
+        for s in tree.switches()
+    }
+    return host_bytes, up_bytes
+
+
 def simulate_flare_sparse_allreduce(
-    topology: FatTreeTopology,
+    topology: Topology,
     total_elements: float,
     bucket_span: int = 512,
     nnz_per_bucket: float = 1.0,
     n_chunks: int = 64,
     agg_latency_ns_per_chunk: float = 4000.0,
     level_bytes: tuple[float, float, float] | None = None,
-    tree: EmbeddedTree | None = None,
+    tree: "EmbeddedTree | AggregationTree | None" = None,
 ) -> CollectiveResult:
     """Simulate one Flare in-network sparse allreduce.
 
@@ -88,65 +115,76 @@ def simulate_flare_sparse_allreduce(
 
 
 def _simulate_flare_sparse_allreduce(
-    topology: FatTreeTopology,
+    topology: Topology,
     total_elements: float,
     bucket_span: int = 512,
     nnz_per_bucket: float = 1.0,
     n_chunks: int = 64,
     agg_latency_ns_per_chunk: float = 4000.0,
     level_bytes: tuple[float, float, float] | None = None,
-    tree: EmbeddedTree | None = None,
+    tree: "EmbeddedTree | AggregationTree | None" = None,
+    router=None,
+    routing_seed: int = 0,
 ) -> CollectiveResult:
-    """Flare in-network sparse schedule implementation."""
-    net = NetworkSimulator(topology)
-    tree = tree or embed_reduction_tree(topology)
-    hosts = tree.all_hosts()
+    """Flare in-network sparse schedule over an aggregation tree."""
+    net = NetworkSimulator(topology, router=router, routing_seed=routing_seed)
+    atree = as_aggregation_tree(tree, topology)
+    hosts = atree.all_hosts()
     P = len(hosts)
-    if level_bytes is None:
-        level_bytes = sparse_level_bytes(
-            topology, total_elements, bucket_span, nnz_per_bucket
+    if level_bytes is not None:
+        # The measured (host, leaf, root) ladder only describes a
+        # two-level tree; deeper/shallower trees use the subtree model.
+        if atree.depth() != 2:
+            raise ValueError(
+                "level_bytes describes a two-level tree; this tree has "
+                f"depth {atree.depth()} — pass bucket parameters instead"
+            )
+        host_bytes, leaf_b, root_b = level_bytes
+        up_bytes = {
+            s: (root_b if atree.parent_of(s) is None else leaf_b)
+            for s in atree.switches()
+        }
+    else:
+        host_bytes, up_bytes = sparse_tree_bytes(
+            atree, total_elements, bucket_span, nnz_per_bucket
         )
-    host_bytes, leaf_bytes, root_bytes = level_bytes
+    down_bytes = up_bytes[atree.root]
     host_chunk = host_bytes / n_chunks
-    leaf_chunk = leaf_bytes / n_chunks
-    root_chunk = root_bytes / n_chunks
+    down_chunk = down_bytes / n_chunks
 
-    leaf_counts: dict[tuple[str, int], int] = {}
-    root_counts: dict[int, int] = {}
+    up_counts: dict[tuple[str, int], int] = {}
     host_received: dict[str, int] = {h: 0 for h in hosts}
     done_hosts = 0
     finish_time = [0.0]
 
-    def on_leaf(leaf: str):
-        hosts_here = len(tree.hosts_of[leaf])
+    def send_down(switch: str, chunk: int, at: float) -> None:
+        for kid in atree.children_of.get(switch, ()):
+            net.send(Message(switch, kid, down_chunk, tag=("down", chunk)), at=at)
+        for h in atree.hosts_of.get(switch, ()):
+            net.send(Message(switch, h, down_chunk, tag=("down", chunk)), at=at)
+
+    def on_switch(switch: str):
+        fan_in = atree.fan_in(switch)
+        parent = atree.parent_of(switch)
+        up_chunk = up_bytes[switch] / n_chunks
 
         def deliver(msg: Message, now: float) -> None:
             direction, chunk = msg.tag[0], msg.tag[1]
             if direction == "up":
-                key = (leaf, chunk)
-                leaf_counts[key] = leaf_counts.get(key, 0) + 1
-                if leaf_counts[key] == hosts_here:
-                    net.send(
-                        Message(leaf, tree.root, leaf_chunk, tag=("up", chunk)),
-                        at=now + agg_latency_ns_per_chunk,
-                    )
+                key = (switch, chunk)
+                up_counts[key] = up_counts.get(key, 0) + 1
+                if up_counts[key] == fan_in:
+                    if parent is None:
+                        send_down(switch, chunk, now + agg_latency_ns_per_chunk)
+                    else:
+                        net.send(
+                            Message(switch, parent, up_chunk, tag=("up", chunk)),
+                            at=now + agg_latency_ns_per_chunk,
+                        )
             else:
-                for h in tree.hosts_of[leaf]:
-                    net.send(
-                        Message(leaf, h, root_chunk, tag=("down", chunk)), at=now
-                    )
+                send_down(switch, chunk, now)
 
         return deliver
-
-    def on_root(msg: Message, now: float) -> None:
-        chunk = msg.tag[1]
-        root_counts[chunk] = root_counts.get(chunk, 0) + 1
-        if root_counts[chunk] == len(tree.leaves):
-            for leaf in tree.leaves:
-                net.send(
-                    Message(tree.root, leaf, root_chunk, tag=("down", chunk)),
-                    at=now + agg_latency_ns_per_chunk,
-                )
 
     def on_host(host: str):
         def deliver(msg: Message, now: float) -> None:
@@ -158,18 +196,23 @@ def _simulate_flare_sparse_allreduce(
 
         return deliver
 
-    for leaf in tree.leaves:
-        net.on_deliver(leaf, on_leaf(leaf))
-    net.on_deliver(tree.root, on_root)
+    for switch in atree.switches():
+        net.on_deliver(switch, on_switch(switch))
     for h in hosts:
         net.on_deliver(h, on_host(h))
     for h in hosts:
-        leaf = topology.leaf_of(h)
+        attach = atree.attach_of(h)
         for c in range(n_chunks):
-            net.send(Message(h, leaf, host_chunk, tag=("up", c)), at=0.0)
+            net.send(Message(h, attach, host_chunk, tag=("up", c)), at=0.0)
     net.run()
     if done_hosts != P:
         raise RuntimeError(f"flare sparse incomplete: {done_hosts}/{P}")
+    # Representative per-level sizes for reporting: host, first
+    # non-root switch level, root.
+    first_leaf = next(
+        (s for s in atree.switches() if atree.parent_of(s) is not None),
+        atree.root,
+    )
     return CollectiveResult(
         name="Flare sparse",
         n_hosts=P,
@@ -179,7 +222,10 @@ def _simulate_flare_sparse_allreduce(
         sent_bytes_per_host=host_bytes,
         extra={
             "host_bytes": host_bytes,
-            "leaf_bytes": leaf_bytes,
-            "root_bytes": root_bytes,
+            "leaf_bytes": up_bytes[first_leaf],
+            "root_bytes": down_bytes,
+            "tree_root": atree.root,
+            "tree_depth": atree.depth(),
+            **net.traffic_extra(),
         },
     )

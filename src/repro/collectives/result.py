@@ -48,4 +48,10 @@ class CollectiveResult:
         )
         if self.sent_bytes_per_host > 0:
             text += f", {self.sent_bytes_per_host / MIB:.2f} MiB sent/host"
+        max_link = self.extra.get("max_link_bytes", 0.0)
+        if max_link > 0:
+            text += f", max-link {max_link / MIB:.2f} MiB"
+            routing = self.extra.get("routing")
+            if routing:
+                text += f" ({routing})"
         return text

@@ -58,6 +58,8 @@ def _simulate_ring_allreduce(
     vector_bytes: float,
     sub_chunk_bytes: float = 128 * 1024,
     host_reduce_bytes_per_ns: float = 0.0,
+    router=None,
+    routing_seed: int = 0,
 ) -> CollectiveResult:
     """Ring-allreduce schedule implementation.
 
@@ -71,7 +73,7 @@ def _simulate_ring_allreduce(
     compute per received byte during the reduce-scatter phase (0 =
     compute fully overlapped, the bandwidth-dominated regime).
     """
-    net = NetworkSimulator(topology)
+    net = NetworkSimulator(topology, router=router, routing_seed=routing_seed)
     hosts = topology.hosts
     P = len(hosts)
     if P < 2:
@@ -130,5 +132,5 @@ def _simulate_ring_allreduce(
         time_ns=finish_time[0],
         traffic_bytes_hops=net.traffic.bytes_hops,
         sent_bytes_per_host=seg_bytes * total_steps,
-        extra={"sub_chunks_per_segment": n_sub},
+        extra={"sub_chunks_per_segment": n_sub, **net.traffic_extra()},
     )

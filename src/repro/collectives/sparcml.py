@@ -113,6 +113,8 @@ def _simulate_sparcml_allreduce(
     dense_switch: bool = True,
     host_reduce_bytes_per_ns: float = 2.5,
     round_bytes: list[float] | None = None,
+    router=None,
+    routing_seed: int = 0,
 ) -> CollectiveResult:
     """SSAR schedule implementation.
 
@@ -124,7 +126,7 @@ def _simulate_sparcml_allreduce(
     and are not charged.  ``round_bytes`` lets a plan inject the
     per-round sizes it computed once.
     """
-    net = NetworkSimulator(topology)
+    net = NetworkSimulator(topology, router=router, routing_seed=routing_seed)
     hosts = topology.hosts
     P = len(hosts)
     sizes = round_bytes if round_bytes is not None else sparcml_round_bytes(
@@ -192,5 +194,5 @@ def _simulate_sparcml_allreduce(
         time_ns=finish_time[0],
         traffic_bytes_hops=net.traffic.bytes_hops,
         sent_bytes_per_host=sum(sizes),
-        extra={"round_bytes": sizes},
+        extra={"round_bytes": sizes, **net.traffic_extra()},
     )

@@ -31,21 +31,32 @@ from repro.collectives.algorithms import (
 from repro.collectives.flare_dense import _simulate_flare_dense_allreduce
 from repro.collectives.flare_sparse import (
     _simulate_flare_sparse_allreduce,
-    sparse_level_bytes,
+    sparse_tree_bytes,
 )
 from repro.collectives.result import CollectiveResult
 from repro.collectives.ring import _simulate_ring_allreduce
 from repro.collectives.sparcml import _simulate_sparcml_allreduce, sparcml_round_bytes
 from repro.comm.plan import PlannedExecution
-from repro.comm.registry import AlgorithmCaps, register_algorithm
+from repro.comm.registry import AlgorithmCaps, CapabilityError, register_algorithm
 from repro.comm.request import DENSE_ELEMENT_BYTES, CollectiveRequest
 from repro.core.allreduce import plan_switch_allreduce
-from repro.network.topology import FatTreeTopology
-from repro.network.trees import embed_reduction_tree
+from repro.network.routing import available_routers
+from repro.network.topology import Topology, build_topology
+from repro.network import topologies as _topologies  # noqa: F401  (registers families)
+from repro.network.trees import (
+    TreePlanner,
+    as_aggregation_tree,
+    embed_reduction_tree,
+)
 from repro.pspin.costs import CostModel, get_dtype
 from repro.sparse.allreduce import _run_sparse_switch_allreduce
 from repro.utils.rngtools import seeded_rng
 from repro.utils.units import gbps_to_bytes_per_ns
+
+#: Families the tree-schedule (in-network) algorithms can plan over —
+#: everything the TreePlanner handles today.  Host-based schedules
+#: accept any routable topology ("*").
+TREE_PLANNABLE = ("fat-tree", "xgft", "dragonfly", "torus", "multi-rail")
 
 
 # ----------------------------------------------------------------------
@@ -59,52 +70,94 @@ def _default_hosts_per_leaf(n_hosts: int) -> int:
 
 
 class _TopologySource:
-    """Fresh fat-tree instances for every execution of a plan.
+    """Topology + routing-policy instances for a plan's executions.
 
     Link serialization state (``busy_until``) is mutated by a run, so
     each execution gets its own topology built from the planned shape.
     An explicitly supplied topology object (the legacy-shim path) is
-    honoured for the first execution and cloned afterwards.
+    honoured for the first execution and rebuilt from its
+    ``describe()`` kwargs afterwards.  ``params["topology"]`` may be a
+    family name (built from ``params["topology_params"]``) or a
+    :class:`~repro.network.topology.Topology`; absent means the
+    paper's fat tree sized from the legacy knobs, with ``n_spines``
+    capped at the leaf uplink capacity.
     """
 
     def __init__(self, request: CollectiveRequest) -> None:
         p = request.params
-        self._explicit = p.get("topology")
-        if self._explicit is not None:
-            t = self._explicit
-            self._kwargs = dict(
-                n_hosts=t.n_hosts,
-                hosts_per_leaf=t.hosts_per_leaf,
-                n_spines=t.n_spines,
-                link_gbps=t.link_gbps,
-                link_latency_ns=t.link_latency_ns,
+        self.routing = p.get("routing") or "ecmp"
+        if self.routing not in available_routers():
+            raise CapabilityError(
+                f"unknown routing policy {self.routing!r}; "
+                f"available: {available_routers()}"
             )
+        self.routing_seed = p.get("routing_seed", 0)
+        topo = p.get("topology")
+        if isinstance(topo, Topology):
+            self._explicit: Optional[Topology] = topo
+            self.family = topo.family
+            self._kwargs = dict(topo.describe())
         else:
-            n_hosts = request.n_hosts
-            self._kwargs = dict(
-                n_hosts=n_hosts,
-                hosts_per_leaf=p.get("hosts_per_leaf")
-                or _default_hosts_per_leaf(n_hosts),
-                n_spines=p.get("n_spines", 4),
-                link_gbps=p.get("link_gbps", 100.0),
-                link_latency_ns=p.get("link_latency_ns", 250.0),
+            self._explicit = None
+            self.family = topo or "fat-tree"
+            self._kwargs = dict(p.get("topology_params") or {})
+            if self.family == "fat-tree" and not self._kwargs:
+                n_hosts = request.n_hosts
+                hpl = p.get("hosts_per_leaf") or _default_hosts_per_leaf(n_hosts)
+                self._kwargs = dict(
+                    n_hosts=n_hosts,
+                    hosts_per_leaf=hpl,
+                    n_spines=min(p.get("n_spines", 4), hpl),
+                    link_gbps=p.get("link_gbps", 100.0),
+                    link_latency_ns=p.get("link_latency_ns", 250.0),
+                )
+        self._shape_cache: Optional[Topology] = None
+        shape = self.shape
+        if shape.n_hosts != request.n_hosts:
+            raise CapabilityError(
+                f"topology {self.family!r} wires {shape.n_hosts} hosts but the "
+                f"request names {request.n_hosts}; size the topology (or the "
+                "request) to match"
             )
 
     @property
-    def shape(self) -> FatTreeTopology:
-        """A topology for plan-time inspection (tree embedding, sizing)."""
+    def shape(self) -> Topology:
+        """A topology for plan-time inspection (tree planning, sizing).
+
+        Cached: inspection never mutates link state, so one instance
+        serves every plan-time query (``fresh()`` builds per-run
+        instances instead).
+        """
         if self._explicit is not None:
             return self._explicit
-        return FatTreeTopology(**self._kwargs)
+        if self._shape_cache is None:
+            self._shape_cache = build_topology(self.family, **self._kwargs)
+        return self._shape_cache
 
-    def fresh(self) -> FatTreeTopology:
+    def fresh(self) -> Topology:
         if self._explicit is not None:
             topo, self._explicit = self._explicit, None
             return topo
-        return FatTreeTopology(**self._kwargs)
+        return build_topology(self.family, **self._kwargs)
+
+    def plan_tree(self, request: CollectiveRequest):
+        """The aggregation tree for in-network schedules: an explicit
+        ``params["tree"]``, the classic spine-rooted embedding on the
+        fat tree (paper-figure parity), or a planned BFS tree."""
+        tree = request.params.get("tree")
+        if tree is not None:
+            return tree
+        shape = self.shape
+        if self.family == "fat-tree":
+            return embed_reduction_tree(shape)
+        return TreePlanner(shape).plan(root=request.params.get("tree_root"))
 
     def describe(self) -> dict:
-        return dict(self._kwargs)
+        return {
+            "family": self.family,
+            **self._kwargs,
+            "routing": self.routing,
+        }
 
 
 # ----------------------------------------------------------------------
@@ -275,8 +328,8 @@ def _reject_payloads(name: str, payloads) -> None:
         ops=("*",),
         min_hosts=2,
         priority=10,
-        description="host-based pipelined ring on the fat-tree simulator "
-        "(the Fig. 15 dense baseline)",
+        description="host-based pipelined ring on the network simulator "
+        "(the Fig. 15 dense baseline; any topology, any routing policy)",
     ),
 )
 def _plan_ring(request: CollectiveRequest) -> PlannedExecution:
@@ -293,6 +346,8 @@ def _plan_ring(request: CollectiveRequest) -> PlannedExecution:
             request.nbytes,
             sub_chunk_bytes=sub_chunk_bytes,
             host_reduce_bytes_per_ns=host_reduce,
+            router=source.routing,
+            routing_seed=source.routing_seed,
         )
 
     return PlannedExecution(
@@ -316,7 +371,7 @@ def _plan_ring(request: CollectiveRequest) -> PlannedExecution:
         min_hosts=2,
         priority=30,
         description="SparCML split sparse allreduce (SSAR halving/doubling) "
-        "on the fat-tree simulator",
+        "on the network simulator (any topology, any routing policy)",
     ),
 )
 def _plan_sparcml(request: CollectiveRequest) -> PlannedExecution:
@@ -341,6 +396,8 @@ def _plan_sparcml(request: CollectiveRequest) -> PlannedExecution:
             dense_switch=dense_switch,
             host_reduce_bytes_per_ns=host_reduce,
             round_bytes=round_bytes,
+            router=source.routing,
+            routing_seed=source.routing_seed,
         )
 
     return PlannedExecution(
@@ -361,9 +418,11 @@ def _plan_sparcml(request: CollectiveRequest) -> PlannedExecution:
         in_network=True,
         ops=("*",),
         min_hosts=2,
+        topologies=TREE_PLANNABLE,
         priority=40,
-        description="Flare in-network dense allreduce on the fat-tree "
-        "simulator (each host sends/receives Z once)",
+        description="Flare in-network dense allreduce on the network "
+        "simulator (each host sends/receives Z once; aggregation tree "
+        "planned over any topology)",
     ),
 )
 def _plan_flare_dense(request: CollectiveRequest) -> PlannedExecution:
@@ -371,7 +430,8 @@ def _plan_flare_dense(request: CollectiveRequest) -> PlannedExecution:
     p = request.params
     chunk_bytes = p.get("chunk_bytes", 1024 * 1024)
     agg_latency = p.get("agg_latency_ns_per_chunk", 2000.0)
-    tree = p.get("tree") or embed_reduction_tree(source.shape)
+    tree = source.plan_tree(request)
+    atree = as_aggregation_tree(tree, source.shape)
 
     def runner(payloads, overrides) -> CollectiveResult:
         _reject_payloads("flare_dense", payloads)
@@ -381,14 +441,17 @@ def _plan_flare_dense(request: CollectiveRequest) -> PlannedExecution:
             chunk_bytes=chunk_bytes,
             agg_latency_ns_per_chunk=agg_latency,
             tree=tree,
+            router=source.routing,
+            routing_seed=source.routing_seed,
         )
 
     return PlannedExecution(
         runner=runner,
         setup={
             "topology": source.describe(),
-            "tree_root": tree.root,
-            "tree_fan_ins": tree.fan_ins,
+            "tree_root": atree.root,
+            "tree_depth": atree.depth(),
+            "root_fan_in": atree.fan_in(atree.root),
             "n_chunks": max(1, int(round(request.nbytes / chunk_bytes))),
         },
     )
@@ -403,9 +466,11 @@ def _plan_flare_dense(request: CollectiveRequest) -> PlannedExecution:
         in_network=True,
         ops=("sum",),
         min_hosts=2,
+        topologies=TREE_PLANNABLE,
         priority=45,
-        description="Flare in-network sparse allreduce on the fat-tree "
-        "simulator with level-by-level densification",
+        description="Flare in-network sparse allreduce on the network "
+        "simulator with level-by-level densification along a planned "
+        "aggregation tree",
     ),
 )
 def _plan_flare_sparse(request: CollectiveRequest) -> PlannedExecution:
@@ -417,10 +482,13 @@ def _plan_flare_sparse(request: CollectiveRequest) -> PlannedExecution:
     n_chunks = p.get("n_chunks", 64)
     agg_latency = p.get("agg_latency_ns_per_chunk", 4000.0)
     shape = source.shape
-    tree = p.get("tree") or embed_reduction_tree(shape)
-    level_bytes = p.get("level_bytes") or sparse_level_bytes(
-        shape, total_elements, bucket_span, nnz_per_bucket
-    )
+    tree = source.plan_tree(request)
+    atree = as_aggregation_tree(tree, shape)
+    level_bytes = p.get("level_bytes")
+    if level_bytes is None:
+        host_bytes, up_bytes = sparse_tree_bytes(
+            atree, total_elements, bucket_span, nnz_per_bucket
+        )
 
     def runner(payloads, overrides) -> CollectiveResult:
         _reject_payloads("flare_sparse", payloads)
@@ -433,14 +501,19 @@ def _plan_flare_sparse(request: CollectiveRequest) -> PlannedExecution:
             agg_latency_ns_per_chunk=agg_latency,
             level_bytes=level_bytes,
             tree=tree,
+            router=source.routing,
+            routing_seed=source.routing_seed,
         )
 
     return PlannedExecution(
         runner=runner,
         setup={
             "topology": source.describe(),
-            "tree_root": tree.root,
-            "level_bytes": tuple(level_bytes),
+            "tree_root": atree.root,
+            "tree_depth": atree.depth(),
+            "host_bytes": level_bytes[0] if level_bytes is not None else host_bytes,
+            "root_bytes": level_bytes[2] if level_bytes is not None
+            else up_bytes[atree.root],
         },
     )
 

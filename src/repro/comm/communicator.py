@@ -43,12 +43,22 @@ class Communicator:
     n_hosts:
         Default participant count (payload-carrying calls infer it from
         the payload's leading dimension instead).
+    topology:
+        Wiring for the network-schedule algorithms: a family name from
+        :func:`repro.network.available_topologies` (built from
+        ``topology_params``) or a prebuilt
+        :class:`~repro.network.topology.Topology`.  ``None`` keeps the
+        paper's fat tree sized from ``hosts_per_leaf``/``n_spines``.
+    routing:
+        Path-selection policy (``"shortest"``/``"ecmp"``/
+        ``"adaptive"``); default is seeded deterministic ECMP.
     hosts_per_leaf, n_spines:
-        Fat-tree shape used by the network-schedule algorithms.
+        Default fat-tree shape when no ``topology`` is given.
     n_clusters, cores_per_cluster:
         Simulated switch dimensions for the PsPIN-level algorithms.
     plan_cache_size:
-        LRU capacity of the plan cache.
+        LRU capacity of the plan cache (keyed on request shape and
+        topology fingerprint).
     max_workers:
         Worker threads backing :meth:`iallreduce`.
     """
@@ -57,6 +67,10 @@ class Communicator:
         self,
         n_hosts: int = 64,
         *,
+        topology=None,
+        topology_params: Optional[dict] = None,
+        routing: Optional[str] = None,
+        routing_seed: int = 0,
         hosts_per_leaf: Optional[int] = None,
         n_spines: int = 4,
         n_clusters: int = 4,
@@ -66,12 +80,42 @@ class Communicator:
     ) -> None:
         if n_hosts < 1:
             raise ValueError("n_hosts must be >= 1")
+        if topology is not None and not isinstance(topology, str):
+            n_hosts = topology.n_hosts
+        elif isinstance(topology, str) and (
+            topology != "fat-tree" or topology_params
+        ):
+            # Reconcile the communicator's host count with the named
+            # family: families parameterized by n_hosts (multi-rail,
+            # fat-tree-with-params) get it forwarded; families whose
+            # parameters imply the host count (torus dims, dragonfly
+            # groups) size the communicator instead.  (The bare fat
+            # tree keeps the legacy request-driven sizing.)
+            import inspect
+
+            from repro.network.topology import TOPOLOGIES
+
+            cls = TOPOLOGIES.get(topology)
+            if cls is not None:       # unknown families fail at resolve()
+                params = dict(topology_params or {})
+                if "n_hosts" in inspect.signature(cls.__init__).parameters:
+                    params.setdefault("n_hosts", n_hosts)
+                    topology_params = params
+                n_hosts = cls(**params).n_hosts
         self.n_hosts = n_hosts
         self._defaults: dict = {
             "n_spines": n_spines,
             "n_clusters": n_clusters,
             "cores_per_cluster": cores_per_cluster,
         }
+        if topology is not None:
+            self._defaults["topology"] = topology
+        if topology_params is not None:
+            self._defaults["topology_params"] = topology_params
+        if routing is not None:
+            self._defaults["routing"] = routing
+        if routing_seed:
+            self._defaults["routing_seed"] = routing_seed
         if hosts_per_leaf is not None:
             self._defaults["hosts_per_leaf"] = hosts_per_leaf
         self._cache = PlanCache(plan_cache_size)
@@ -236,6 +280,7 @@ class Communicator:
                     "ops": caps.ops,
                     "custom_ops": caps.custom_ops,
                     "power_of_two_hosts": caps.power_of_two_hosts,
+                    "topologies": caps.topologies,
                     "priority": caps.priority,
                     "description": caps.description,
                 }

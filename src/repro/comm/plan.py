@@ -1,11 +1,14 @@
 """Plan/execute separation and the LRU plan cache.
 
-Planning — algorithm resolution, tree construction, handler selection,
-message sizing — happens once per request *shape*; execution happens
-per collective.  :class:`PlanCache` keys plans on
-:meth:`CollectiveRequest.signature`, so the production steady state
-(the same allreduce issued every training iteration) pays the planning
-cost exactly once and every later call goes straight to the data plane.
+Planning — algorithm resolution, topology shaping, tree construction,
+handler selection, message sizing — happens once per request *shape*;
+execution happens per collective.  :class:`PlanCache` keys plans on
+:meth:`CollectiveRequest.signature`, which folds in the *topology
+fingerprint* (family + parameters): two equal-but-distinct topology
+objects share one plan, while changing the wiring or the routing
+policy replans.  The production steady state (the same allreduce
+issued every training iteration) pays the planning cost exactly once
+and every later call goes straight to the data plane.
 """
 
 from __future__ import annotations

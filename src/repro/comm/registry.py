@@ -19,6 +19,9 @@ from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
 
 from repro.comm.request import CollectiveRequest
+from repro.network import topologies as _topologies  # noqa: F401  (registers families)
+from repro.network.routing import available_routers
+from repro.network.topology import available_topologies
 
 
 class CommError(Exception):
@@ -43,9 +46,12 @@ class AlgorithmCaps:
     ``ops`` lists supported built-in operator names, with ``"*"``
     meaning every built-in; ``custom_ops`` additionally admits
     user-defined :class:`~repro.core.ops.ReductionOp` handlers (F1).
-    ``priority`` ranks candidates during ``auto`` selection (higher
-    wins); in-network algorithms outrank host-based ones, mirroring the
-    paper's wire-efficiency argument.
+    ``topologies`` lists the wiring families the algorithm's schedule
+    understands (``"*"`` = any routable topology); in-network
+    algorithms additionally require the fabric's switches to be
+    aggregation-capable.  ``priority`` ranks candidates during
+    ``auto`` selection (higher wins); in-network algorithms outrank
+    host-based ones, mirroring the paper's wire-efficiency argument.
     """
 
     dense: bool = True
@@ -56,6 +62,7 @@ class AlgorithmCaps:
     custom_ops: bool = False
     power_of_two_hosts: bool = False
     min_hosts: int = 1
+    topologies: tuple[str, ...] = ("*",)
     priority: int = 0
     description: str = ""
 
@@ -65,6 +72,33 @@ class AlgorithmCaps:
             return "sparse payloads unsupported"
         if not request.sparse and not self.dense:
             return "dense payloads unsupported"
+        family = request.topology_family
+        topo_param = request.params.get("topology")
+        if (
+            topo_param is None or isinstance(topo_param, str)
+        ) and family not in available_topologies():
+            # Checked here, not just in the topology-building backends,
+            # so a typo'd family name cannot slide through to an
+            # algorithm (e.g. the single-switch PsPIN path) that never
+            # builds the fabric and would silently ignore it.  Explicit
+            # Topology objects skip this: custom subclasses are fine.
+            return (
+                f"unknown topology family {family!r}; "
+                f"available: {available_topologies()}"
+            )
+        routing = request.params.get("routing")
+        if routing is not None and routing not in available_routers():
+            return (
+                f"unknown routing policy {routing!r}; "
+                f"available: {available_routers()}"
+            )
+        if "*" not in self.topologies and family not in self.topologies:
+            return f"topology family {family!r} unsupported"
+        if self.in_network and not request.topology_aggregates:
+            return (
+                "needs in-network aggregation but the topology's switches "
+                "cannot aggregate (aggregation=False)"
+            )
         if request.reproducible and not self.reproducible:
             return "cannot guarantee bitwise reproducibility"
         if request.custom_op:

@@ -92,6 +92,31 @@ class CollectiveRequest:
         """Dense vector length implied by ``nbytes`` (fp32 elements)."""
         return self.nbytes / DENSE_ELEMENT_BYTES
 
+    @property
+    def topology_family(self) -> str:
+        """The wiring family this request runs over.
+
+        ``params["topology"]`` may be a family name or a built
+        :class:`~repro.network.topology.Topology`; absent means the
+        paper's default fat tree.
+        """
+        topo = self.params.get("topology")
+        if topo is None:
+            return "fat-tree"
+        if isinstance(topo, str):
+            return topo
+        return topo.family
+
+    @property
+    def topology_aggregates(self) -> bool:
+        """Whether the requested fabric offers in-network aggregation."""
+        topo = self.params.get("topology")
+        if topo is None or isinstance(topo, str):
+            return bool(
+                (self.params.get("topology_params") or {}).get("aggregation", True)
+            )
+        return topo.supports_aggregation
+
     # ------------------------------------------------------------------
     def signature(self) -> tuple:
         """Hashable shape key for the plan cache.
@@ -120,10 +145,14 @@ class CollectiveRequest:
 def _freeze(value: Any) -> Any:
     """Recursively convert ``value`` into something hashable.
 
-    Containers become tuples; objects without a natural hash key (cost
-    models, explicit topologies, workloads) degrade to identity, which
-    keeps the cache correct (same object -> same plan) at the price of
-    a miss when an equal-but-distinct object is passed.
+    Containers become tuples.  Objects exposing a ``fingerprint()``
+    (topologies) freeze to it, so two equal-but-distinct topology
+    objects key the *same* cached plan — the plan cache is keyed on
+    what the fabric *is*, not which Python object described it.
+    Everything else without a natural hash key (cost models,
+    workloads) degrades to identity, which keeps the cache correct
+    (same object -> same plan) at the price of a miss when an
+    equal-but-distinct object is passed.
     """
     if isinstance(value, dict):
         return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
@@ -131,4 +160,7 @@ def _freeze(value: Any) -> Any:
         return tuple(_freeze(v) for v in value)
     if isinstance(value, (str, bytes, int, float, bool)) or value is None:
         return value
+    fingerprint = getattr(value, "fingerprint", None)
+    if callable(fingerprint):
+        return fingerprint()
     return (type(value).__name__, id(value))

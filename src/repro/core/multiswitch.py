@@ -1,17 +1,21 @@
 """Multi-switch (hierarchical) in-network allreduce (paper Fig. 1).
 
 Composes several PsPIN behavioral switches into the paper's recursive
-aggregation: leaf switches aggregate their hosts and forward one stream
-to a root switch, which aggregates the leaves and multicasts the fully
+aggregation: every switch on an aggregation tree aggregates its
+directly attached hosts plus its child switches and forwards one
+stream to its parent; the root aggregates and multicasts the fully
 reduced data back down.  All switches share one discrete-event clock,
 so end-to-end cycle counts compose, and the data path is exact — the
 root's output is checked against the numpy golden sum over every host.
 
-This is the switch-level (cycle-domain) counterpart of the chunk-level
-``repro.collectives.flare_dense`` schedule: use this one to study
-switch-internal behaviour across tree levels (e.g. sparse
-densification hitting the root, Sec. 7's "hash at the leaves, array at
-the root" guidance), and the network one for end-to-end times at scale.
+The tree comes from :class:`repro.network.trees.TreePlanner`, so the
+same engine runs the classic two-level fat-tree shape
+(:func:`run_two_level_allreduce`), a deep XGFT, or a BFS tree over a
+dragonfly or torus (:func:`run_tree_allreduce`) — switch-level
+behaviour across tree levels (e.g. sparse densification hitting the
+root, Sec. 7's "hash at the leaves, array at the root" guidance) on
+any wiring.  Use the chunk-level ``repro.collectives.flare_dense``
+schedule instead for end-to-end times at scale.
 """
 
 from __future__ import annotations
@@ -23,6 +27,8 @@ import numpy as np
 from repro.core.manager import NetworkManager
 from repro.core.ops import get_op
 from repro.core.staggered import arrival_stream
+from repro.network.topology import FatTreeTopology, Topology
+from repro.network.trees import AggregationTree, TreePlanner, as_aggregation_tree
 from repro.pspin.costs import CostModel
 from repro.pspin.engine import Simulator
 from repro.pspin.packets import SwitchPacket
@@ -30,8 +36,21 @@ from repro.pspin.switch import PsPINSwitch, SwitchConfig
 
 
 @dataclass
+class TreeAllreduceResult:
+    """Outcome of an in-network allreduce over an aggregation tree."""
+
+    makespan_cycles: float
+    blocks_completed: int
+    outputs: dict[int, np.ndarray] = field(default_factory=dict)
+    uplink_packets: int = 0          # child-switch -> parent aggregates
+    root_egress_packets: int = 0
+    tree: AggregationTree = None
+    n_switches: int = 0
+
+
+@dataclass
 class TwoLevelResult:
-    """Outcome of a two-level in-network allreduce."""
+    """Outcome of a two-level in-network allreduce (legacy shape)."""
 
     makespan_cycles: float
     blocks_completed: int
@@ -40,9 +59,10 @@ class TwoLevelResult:
     root_egress_packets: int = 0
 
 
-def run_two_level_allreduce(
-    n_leaves: int = 4,
-    hosts_per_leaf: int = 8,
+def run_tree_allreduce(
+    topology: Topology | None = None,
+    tree: AggregationTree | None = None,
+    root: str | None = None,
     n_blocks: int = 8,
     elements_per_packet: int = 256,
     dtype: str = "float32",
@@ -54,17 +74,29 @@ def run_two_level_allreduce(
     seed: int = 0,
     data: np.ndarray | None = None,
     verify: bool = True,
-) -> TwoLevelResult:
-    """Aggregate across leaf switches and a root switch, end to end.
+) -> TreeAllreduceResult:
+    """Aggregate across the switches of an aggregation tree, end to end.
 
-    ``data`` has shape (n_leaves * hosts_per_leaf, n_blocks, elements);
-    random integers when omitted.  The root multicasts the result to its
-    children; we capture one copy per block for verification.
+    Provide ``topology`` (the tree is planned, optionally rooted at
+    ``root``) or a prebuilt ``tree``.  ``data`` has shape
+    (n_hosts, n_blocks, elements) with hosts in ``tree.all_hosts()``
+    order; random integers when omitted.  The root multicasts the
+    result to its children; we capture one copy per block for
+    verification.
     """
-    n_hosts = n_leaves * hosts_per_leaf
+    if tree is None:
+        if topology is None:
+            raise ValueError("need a topology or a prebuilt tree")
+        tree = TreePlanner(topology).plan(root=root)
+    elif topology is not None:
+        tree = as_aggregation_tree(tree, topology)
+    hosts = tree.all_hosts()
+    n_hosts = len(hosts)
     if data is None:
         rng = np.random.default_rng(seed)
-        data = rng.integers(0, 7, size=(n_hosts, n_blocks, elements_per_packet)).astype(dtype)
+        data = rng.integers(
+            0, 7, size=(n_hosts, n_blocks, elements_per_packet)
+        ).astype(dtype)
 
     sim = Simulator()
     cost_model = CostModel()
@@ -74,20 +106,25 @@ def run_two_level_allreduce(
             SwitchConfig(n_clusters=n_clusters, cost_model=cost_model), sim=sim
         )
 
-    leaves = {i: mk() for i in range(1, n_leaves + 1)}
-    root = mk()
-    switches: dict[int, PsPINSwitch] = {0: root, **leaves}
+    # Integer switch ids: root is 0, the rest follow tree BFS order —
+    # for the two-level fat-tree shape this reproduces the historical
+    # numbering (root 0, leaves 1..n) and its per-leaf stream seeds.
+    tree_switches = tree.switches()
+    id_of = {name: i for i, name in enumerate(tree_switches)}
+    switches: dict[int, PsPINSwitch] = {i: mk() for i in range(len(tree_switches))}
+    root_switch = switches[0]
+
+    # Per-switch ordered children: attached hosts first, then child
+    # switches; the position is the ingress port.
+    def ordered_children(name: str) -> list[str]:
+        return list(tree.hosts_of.get(name, ())) + list(
+            tree.children_of.get(name, ())
+        )
 
     manager = NetworkManager()
-    tree = manager.two_level_tree(
-        hosts_per_leaf={
-            leaf_id: list(range((leaf_id - 1) * hosts_per_leaf, leaf_id * hosts_per_leaf))
-            for leaf_id in leaves
-        },
-        root_switch=0,
-    )
+    rtree = manager.tree_from_aggregation(tree, id_of)
     installed = manager.install(
-        tree,
+        rtree,
         switches,
         data_bytes=n_blocks * elements_per_packet * data.dtype.itemsize,
         dtype_name=dtype,
@@ -97,18 +134,19 @@ def run_two_level_allreduce(
     )
     allreduce_id = installed.allreduce_id
 
-    # Wire leaf egress into the root: the leaf's aggregate for block b
-    # arrives at the root on the port matching the leaf's index.
-    leaf_counters = {"packets": 0}
+    # Wire every child switch's egress into its parent: the child's
+    # aggregate for block b arrives on the port matching its position
+    # among the parent's children.
+    uplink_counter = {"packets": 0}
 
-    def make_uplink(leaf_index: int):
+    def make_uplink(parent: PsPINSwitch, port: int):
         def uplink(time: float, packet: SwitchPacket) -> None:
-            leaf_counters["packets"] += 1
-            root.inject(
+            uplink_counter["packets"] += 1
+            parent.inject(
                 SwitchPacket(
                     allreduce_id=allreduce_id,
                     block_id=packet.block_id,
-                    port=leaf_index,
+                    port=port,
                     payload=packet.payload,
                 ),
                 at=time + inter_switch_latency,
@@ -116,26 +154,35 @@ def run_two_level_allreduce(
 
         return uplink
 
-    for idx, leaf_id in enumerate(sorted(leaves)):
-        leaves[leaf_id].egress_callback = make_uplink(idx)
+    for name in tree_switches:
+        parent_name = tree.parent_of(name)
+        if parent_name is None:
+            continue
+        port = ordered_children(parent_name).index(name)
+        switches[id_of[name]].egress_callback = make_uplink(
+            switches[id_of[parent_name]], port
+        )
 
-    # Hosts inject into their leaf switch, staggered per leaf.
+    # Hosts inject into their attach switch, staggered per switch.
+    row_of = {h: i for i, h in enumerate(hosts)}
     delta = SwitchConfig(n_clusters=n_clusters).packet_interarrival_cycles(
         elements_per_packet * data.dtype.itemsize
     ) * (64 / n_clusters)
-    for idx, leaf_id in enumerate(sorted(leaves)):
+    for name in tree_switches:
+        attached = tree.hosts_of.get(name, ())
+        if not attached:
+            continue
         stream = arrival_stream(
-            n_hosts=hosts_per_leaf, n_blocks=n_blocks, delta=delta,
-            staggered=True, jitter=1.0, seed=seed + leaf_id,
+            n_hosts=len(attached), n_blocks=n_blocks, delta=delta,
+            staggered=True, jitter=1.0, seed=seed + id_of[name],
         )
-        base = idx * hosts_per_leaf
         for sp in stream:
-            leaves[leaf_id].inject(
+            switches[id_of[name]].inject(
                 SwitchPacket(
                     allreduce_id=allreduce_id,
                     block_id=sp.block,
                     port=sp.host,
-                    payload=data[base + sp.host, sp.block],
+                    payload=data[row_of[attached[sp.host]], sp.block],
                 ),
                 at=sp.time,
             )
@@ -144,7 +191,7 @@ def run_two_level_allreduce(
     makespan = sim.now
 
     outputs: dict[int, np.ndarray] = {}
-    for _t, pkt in root.egress:
+    for _t, pkt in root_switch.egress:
         outputs.setdefault(pkt.block_id, pkt.payload)
     if verify:
         operator = get_op(op)
@@ -162,18 +209,65 @@ def run_two_level_allreduce(
 
     root_handler_name = None
     for name in ("flare-single", "flare-multi2", "flare-multi4", "flare-tree"):
-        if name in root._handlers:
+        if name in root_switch._handlers:
             root_handler_name = name
             break
     blocks_done = (
-        root.handler(root_handler_name).blocks_completed
+        root_switch.handler(root_handler_name).blocks_completed
         if root_handler_name
         else 0
     )
-    return TwoLevelResult(
+    return TreeAllreduceResult(
         makespan_cycles=makespan,
         blocks_completed=blocks_done,
         outputs=outputs,
-        leaf_egress_packets=leaf_counters["packets"],
-        root_egress_packets=len(root.egress),
+        uplink_packets=uplink_counter["packets"],
+        root_egress_packets=len(root_switch.egress),
+        tree=tree,
+        n_switches=len(tree_switches),
+    )
+
+
+def run_two_level_allreduce(
+    n_leaves: int = 4,
+    hosts_per_leaf: int = 8,
+    n_blocks: int = 8,
+    elements_per_packet: int = 256,
+    dtype: str = "float32",
+    algorithm: str | None = None,
+    reproducible: bool = False,
+    op: str = "sum",
+    n_clusters: int = 2,
+    inter_switch_latency: float = 500.0,
+    seed: int = 0,
+    data: np.ndarray | None = None,
+    verify: bool = True,
+) -> TwoLevelResult:
+    """The classic shape: leaves aggregate their racks, one root
+    aggregates the leaves (now a thin wrapper over the tree engine)."""
+    topology = FatTreeTopology(
+        n_hosts=n_leaves * hosts_per_leaf,
+        hosts_per_leaf=hosts_per_leaf,
+        n_spines=1,
+    )
+    r = run_tree_allreduce(
+        topology=topology,
+        n_blocks=n_blocks,
+        elements_per_packet=elements_per_packet,
+        dtype=dtype,
+        algorithm=algorithm,
+        reproducible=reproducible,
+        op=op,
+        n_clusters=n_clusters,
+        inter_switch_latency=inter_switch_latency,
+        seed=seed,
+        data=data,
+        verify=verify,
+    )
+    return TwoLevelResult(
+        makespan_cycles=r.makespan_cycles,
+        blocks_completed=r.blocks_completed,
+        outputs=r.outputs,
+        leaf_egress_packets=r.uplink_packets,
+        root_egress_packets=r.root_egress_packets,
     )

@@ -69,7 +69,12 @@ def run(fast: bool = False, seed: int = 0, shared_fraction: float = 0.7) -> Fig1
     n_buckets = total_elements / BUCKET
     eff_union_per_bucket = root_nnz / n_buckets
 
-    comm = Communicator(n_hosts=n_hosts, hosts_per_leaf=8, n_spines=4)
+    # The paper's wiring, pinned explicitly: XGFT(2; 8,8; 1,4) fat tree
+    # with deterministic seeded ECMP (the default policy, spelled out
+    # here so figure parity survives future routing-default changes).
+    comm = Communicator(
+        n_hosts=n_hosts, hosts_per_leaf=8, n_spines=4, routing="ecmp"
+    )
     results = [
         comm.allreduce(vector_bytes, algorithm="ring"),
         comm.allreduce(vector_bytes, algorithm="flare_dense"),

@@ -1,0 +1,159 @@
+"""Routing policies: pick one path among a topology's equal-cost set.
+
+The topology layer answers "which shortest paths exist"; this layer
+answers "which one does this message take".  Three policies:
+
+* :class:`ShortestPathRouter` — always the first path in canonical
+  order (deterministic, congestion-oblivious; the worst case ECMP is
+  meant to fix);
+* :class:`EcmpRouter` — hash-based spreading over the equal-cost set,
+  seeded through :func:`repro.utils.rngtools.ecmp_salt` so the same
+  seed picks the same paths in every run and every process;
+* :class:`AdaptiveRouter` — congestion-aware selection using the live
+  link state the simulator mutates (``busy_until``/``bytes_carried``),
+  the Canary-style policy that steers flows off hot links.
+
+Routers are consulted *per hop*: the simulator asks for a route from
+the message's current node, so adaptive decisions track congestion as
+it develops.  Every policy only ever picks among minimal paths, and
+each hop strictly decreases the BFS distance to the destination, so
+routes are loop-free under all policies.
+"""
+
+from __future__ import annotations
+
+from repro.network.links import Link
+from repro.network.topology import NodeId, Topology
+from repro.utils.rngtools import ecmp_salt, stable_hash
+
+
+class Router:
+    """Base path-selection policy over one topology."""
+
+    name = "base"
+
+    def __init__(self, topology: Topology, seed: int = 0) -> None:
+        self.topology = topology
+        self.seed = seed
+
+    def select(self, src: NodeId, dst: NodeId, paths: list[list[NodeId]]) -> list[NodeId]:
+        raise NotImplementedError
+
+    def route(self, src: NodeId, dst: NodeId) -> list[NodeId]:
+        """The node path this policy assigns to (src, dst) right now."""
+        if src == dst:
+            return [src]
+        return self.select(src, dst, self.topology.paths(src, dst))
+
+    def next_hop(self, node: NodeId, dst: NodeId) -> NodeId:
+        return self.route(node, dst)[1]
+
+    def path_links(self, src: NodeId, dst: NodeId) -> list[Link]:
+        nodes = self.route(src, dst)
+        return [self.topology.link(a, b) for a, b in zip(nodes, nodes[1:])]
+
+    def describe(self) -> dict:
+        return {"policy": self.name, "seed": self.seed}
+
+
+class ShortestPathRouter(Router):
+    """Deterministic single-path routing: first path in canonical
+    order.  Every flow between a node pair shares one path — the
+    congestion-prone baseline the adaptive tests compare against."""
+
+    name = "shortest"
+
+    def select(self, src, dst, paths):
+        return paths[0]
+
+
+class EcmpRouter(Router):
+    """Hash-based equal-cost multi-path.
+
+    The (src, dst) pair is hashed onto the equal-cost set with a
+    process-stable hash salted from the seed, mirroring how switches
+    hash flow five-tuples onto next-hops.  Same seed, same picks, every
+    run — the reproducibility contract of the F3 flexibility axis.
+    """
+
+    name = "ecmp"
+
+    def __init__(self, topology: Topology, seed: int = 0) -> None:
+        super().__init__(topology, seed)
+        self._salt = ecmp_salt(seed)
+
+    def select(self, src, dst, paths):
+        return paths[stable_hash(src, dst, salt=self._salt) % len(paths)]
+
+
+class AdaptiveRouter(Router):
+    """Congestion-aware selection over the equal-cost set.
+
+    Scores each candidate path by the worst link on it — (latest
+    ``busy_until``, most ``bytes_carried``) — and takes the least
+    congested, falling back to ECMP order among exact ties.  Because
+    the links are the very objects the simulator serializes messages
+    on, the decision always sees the live network state; re-evaluated
+    at every hop, it steers chunks around queues as they build, the way
+    Canary re-routes reduction traffic.
+    """
+
+    name = "adaptive"
+
+    def __init__(self, topology: Topology, seed: int = 0) -> None:
+        super().__init__(topology, seed)
+        self._salt = ecmp_salt(seed)
+
+    def _score(self, path: list[NodeId]) -> tuple[float, float]:
+        worst_busy = 0.0
+        worst_bytes = 0.0
+        for a, b in zip(path, path[1:]):
+            link = self.topology.link(a, b)
+            worst_busy = max(worst_busy, link.busy_until)
+            worst_bytes = max(worst_bytes, link.bytes_carried)
+        return (worst_busy, worst_bytes)
+
+    def select(self, src, dst, paths):
+        if len(paths) == 1:
+            return paths[0]
+        tiebreak = stable_hash(src, dst, salt=self._salt) % len(paths)
+        return min(
+            enumerate(paths),
+            key=lambda ip: (self._score(ip[1]), (ip[0] - tiebreak) % len(paths)),
+        )[1]
+
+
+ROUTERS: dict[str, type[Router]] = {
+    ShortestPathRouter.name: ShortestPathRouter,
+    EcmpRouter.name: EcmpRouter,
+    AdaptiveRouter.name: AdaptiveRouter,
+}
+
+
+def available_routers() -> tuple[str, ...]:
+    return tuple(sorted(ROUTERS))
+
+
+def build_router(
+    policy: "str | Router | None", topology: Topology, seed: int = 0
+) -> Router:
+    """Resolve a policy name (or pass through an instance) to a Router.
+
+    ``None`` means the default policy, ECMP — the behavior the paper's
+    fat-tree experiments assume.
+    """
+    if isinstance(policy, Router):
+        if policy.topology is not topology:
+            raise ValueError(
+                "router was built for a different topology instance; "
+                "build one per simulation (link state is live)"
+            )
+        return policy
+    name = policy or EcmpRouter.name
+    try:
+        cls = ROUTERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown routing policy {name!r}; available: {available_routers()}"
+        ) from None
+    return cls(topology, seed=seed)

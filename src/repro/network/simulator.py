@@ -5,7 +5,12 @@ links; each hop is an event, so link contention, pipelining across
 chunks, and in-switch aggregation hooks all compose naturally.  Traffic
 is accounted as bytes carried per link — summing over links gives the
 paper's "total number of bytes that traversed the network" (Fig. 15
-right).
+right), and the per-link breakdown (:meth:`TrafficStats.hot_links`)
+shows where a routing policy piled the load.
+
+Next hops come from a :class:`repro.network.routing.Router` policy —
+deterministic, ECMP, or congestion-adaptive — consulted at every hop,
+over any :class:`repro.network.topology.Topology`.
 
 In-switch processing is modeled through *interceptors*: a callback
 registered at a switch node sees every message addressed through it and
@@ -15,10 +20,11 @@ ones — exactly the capability the authors added to SST.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.network.topology import FatTreeTopology, NodeId
+from repro.network.routing import Router, build_router
+from repro.network.topology import NodeId, Topology
 from repro.pspin.engine import Simulator
 
 
@@ -35,14 +41,33 @@ class Message:
 
 @dataclass
 class TrafficStats:
-    """Aggregate traffic accounting for one simulation run."""
+    """Aggregate and per-link traffic accounting for one run."""
 
     bytes_hops: float = 0.0          # sum over links of bytes carried
     messages: int = 0
+    per_link: dict = field(default_factory=dict)   # (src, dst) -> bytes
 
     @property
     def gib(self) -> float:
         return self.bytes_hops / (1024**3)
+
+    @property
+    def max_link_bytes(self) -> float:
+        """Bytes carried by the most loaded link (the congestion metric
+        adaptive routing minimizes)."""
+        return max(self.per_link.values(), default=0.0)
+
+    def hot_links(self, n: int = 5) -> list[tuple[str, float]]:
+        """The ``n`` most loaded links as ("src->dst", bytes), hottest
+        first (ties broken by link name for determinism)."""
+        ranked = sorted(self.per_link.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [(f"{src}->{dst}", nbytes) for (src, dst), nbytes in ranked[:n]]
+
+    def record(self, src: NodeId, dst: NodeId, nbytes: float) -> None:
+        self.bytes_hops += nbytes
+        self.messages += 1
+        key = (src, dst)
+        self.per_link[key] = self.per_link.get(key, 0.0) + nbytes
 
 
 #: An interceptor sees (sim, message, arrival_time) when a message
@@ -52,10 +77,21 @@ Interceptor = Callable[["NetworkSimulator", Message, float], bool]
 
 
 class NetworkSimulator:
-    """Event-driven message transport over a topology."""
+    """Event-driven message transport over a topology.
 
-    def __init__(self, topology: FatTreeTopology) -> None:
+    ``router`` is a policy name (``"shortest"``/``"ecmp"``/
+    ``"adaptive"``), a prebuilt :class:`Router` over the same topology
+    object, or ``None`` for the default (seeded deterministic ECMP).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        router: "Router | str | None" = None,
+        routing_seed: int = 0,
+    ) -> None:
         self.topology = topology
+        self.router = build_router(router, topology, seed=routing_seed)
         self.sim = Simulator()
         self.traffic = TrafficStats()
         self._interceptors: dict[NodeId, Interceptor] = {}
@@ -96,12 +132,10 @@ class NetworkSimulator:
             if cb is not None:
                 cb(msg, now)
             return
-        route = self.topology.route(node, msg.dst)
-        next_node = route[1]
+        next_node = self.router.next_hop(node, msg.dst)
         link = self.topology.link(node, next_node)
         arrival = link.transmit(msg.nbytes, now)
-        self.traffic.bytes_hops += msg.nbytes
-        self.traffic.messages += 1
+        self.traffic.record(node, next_node, msg.nbytes)
         self.sim.schedule_at(arrival, self._hop, msg, next_node)
 
     # ------------------------------------------------------------------
@@ -113,3 +147,11 @@ class NetworkSimulator:
     @property
     def now(self) -> float:
         return self.sim.now
+
+    def traffic_extra(self, n_hot: int = 3) -> dict:
+        """Congestion fields for ``CollectiveResult.extra``."""
+        return {
+            "max_link_bytes": self.traffic.max_link_bytes,
+            "hot_links": self.traffic.hot_links(n_hot),
+            "routing": self.router.name,
+        }

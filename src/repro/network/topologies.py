@@ -1,0 +1,364 @@
+"""Topology families beyond the paper's fat tree.
+
+Each class implements the :class:`repro.network.topology.Topology`
+contract and registers itself in the family registry, so the CLI
+(``flare-repro topologies``, ``bench --topology``) and the
+communicator (``topology=`` / ``topology_params=``) can build any of
+them by name:
+
+* :class:`XGFTTopology` — eXtended Generalized Fat Trees of arbitrary
+  depth and per-level oversubscription (Öhring et al.), generalizing
+  the 2-level XGFT(2; 8,8; 1,4) default;
+* :class:`DragonflyTopology` — groups of routers, all-to-all inside a
+  group and all-to-all between groups over global links (the Cray
+  Slingshot / Aries shape Canary targets);
+* :class:`TorusTopology` — a 2D wrap-around switch mesh with hosts on
+  every switch (Swing's evaluation fabric);
+* :class:`MultiRailTopology` — k parallel fat-tree planes, every host
+  wired into each plane (dual-rail InfiniBand style).
+
+All of them answer ``paths()`` through the generic BFS equal-cost
+machinery, so every :mod:`repro.network.routing` policy works
+unchanged on every family.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.network.topology import NodeId, Topology, register_topology
+
+
+@register_topology
+class XGFTTopology(Topology):
+    """eXtended Generalized Fat Tree XGFT(h; m1..mh; w1..wh).
+
+    ``down[i]`` (m) is the child count of a level-(i+1) node; ``up[i]``
+    (w) is the parent count of a level-i node.  Hosts sit at level 0
+    (``prod(down)`` of them); switch level ``l`` holds
+    ``prod(down[l:]) * prod(up[:l])`` nodes named ``sw<l>_<k>``.
+    ``XGFT(2; (8, 8); (1, 4))`` rebuilds the paper's default fat tree;
+    deeper ``down``/``up`` vectors give multi-level and per-level
+    oversubscribed trees.
+    """
+
+    family = "xgft"
+
+    def __init__(
+        self,
+        down: tuple[int, ...] = (8, 8),
+        up: tuple[int, ...] = (1, 4),
+        link_gbps: float = 100.0,
+        link_latency_ns: float = 250.0,
+        aggregation: bool = True,
+    ) -> None:
+        super().__init__(link_gbps, link_latency_ns, aggregation)
+        self.down = tuple(int(m) for m in down)
+        self.up = tuple(int(w) for w in up)
+        if len(self.down) != len(self.up):
+            raise ValueError("down and up need one entry per tree level")
+        if not self.down:
+            raise ValueError("need at least one level")
+        if any(m < 1 for m in self.down) or any(w < 1 for w in self.up):
+            raise ValueError("level arities must be >= 1")
+        for level, (m, w) in enumerate(zip(self.down, self.up), start=1):
+            if w > m:
+                raise ValueError(
+                    f"level {level} has {w} uplinks per node but only {m} "
+                    "downlinks: uplinks cannot outnumber downlinks"
+                )
+        self.height = len(self.down)
+        self._n_hosts = math.prod(self.down)
+        # A level-l node is labeled by digits (a_{l+1}..a_h; b_1..b_l)
+        # with a_i < down[i-1], b_i < up[i-1]; a level-(l-1) node
+        # (a_l..a_h; b_1..b_{l-1}) uplinks to (a_{l+1}..a_h;
+        # b_1..b_{l-1}, b_l) for every b_l — the standard XGFT rule.
+        for level in range(1, self.height + 1):
+            for child_label in self._labels(level - 1):
+                a, b = child_label
+                for b_l in range(self.up[level - 1]):
+                    parent = (a[1:], b + (b_l,))
+                    self._add_duplex(
+                        self._name(level - 1, child_label),
+                        self._name(level, parent),
+                    )
+
+    def _labels(self, level: int):
+        """All (a-digits, b-digits) labels of one level."""
+        a_ranges = self.down[level:]
+        b_ranges = self.up[:level]
+
+        def product(ranges: tuple[int, ...]):
+            out: list[tuple[int, ...]] = [()]
+            for r in ranges:
+                out = [t + (v,) for t in out for v in range(r)]
+            return out
+
+        return [(a, b) for a in product(a_ranges) for b in product(b_ranges)]
+
+    def _name(self, level: int, label: tuple[tuple[int, ...], tuple[int, ...]]) -> NodeId:
+        a, b = label
+        # Flatten the mixed-radix label, first digit least significant:
+        # hosts sharing a leaf (same a_2..a_h) then get contiguous ids,
+        # matching the fat tree's rank-mapping convention.
+        idx, mult = 0, 1
+        for digit, radix in zip(a + b, self.down[level:] + self.up[:level]):
+            idx += digit * mult
+            mult *= radix
+        return f"h{idx}" if level == 0 else f"sw{level}_{idx}"
+
+    @property
+    def hosts(self) -> list[NodeId]:
+        return [f"h{i}" for i in range(self._n_hosts)]
+
+    def level_of(self, switch: NodeId) -> int:
+        return int(switch[2:].split("_")[0])
+
+    def describe(self) -> dict:
+        out = dict(
+            down=self.down,
+            up=self.up,
+            link_gbps=self.link_gbps,
+            link_latency_ns=self.link_latency_ns,
+        )
+        if not self.supports_aggregation:
+            out["aggregation"] = False
+        return out
+
+
+@register_topology
+class DragonflyTopology(Topology):
+    """Canonical dragonfly: ``n_groups`` groups of ``routers_per_group``
+    routers, ``hosts_per_router`` hosts each, all-to-all local wiring
+    and ``global_per_router`` global links per router.
+
+    Global links are laid out deterministically: every group pair gets
+    ``routers_per_group * global_per_router / (n_groups - 1)`` links
+    (that quotient must be integral — the balanced arrangement),
+    consuming router global-ports in sorted order.  Routers are named
+    ``r<g>_<i>``; minimal routes are at most router-router-router
+    (local, global, local) plus the host hops.
+    """
+
+    family = "dragonfly"
+
+    def __init__(
+        self,
+        n_groups: int = 5,
+        routers_per_group: int = 4,
+        hosts_per_router: int = 2,
+        global_per_router: int = 1,
+        link_gbps: float = 100.0,
+        link_latency_ns: float = 250.0,
+        aggregation: bool = True,
+    ) -> None:
+        super().__init__(link_gbps, link_latency_ns, aggregation)
+        if n_groups < 2 or routers_per_group < 1 or hosts_per_router < 1:
+            raise ValueError("need >= 2 groups and >= 1 router/host per group")
+        endpoints = routers_per_group * global_per_router
+        if endpoints < n_groups - 1:
+            raise ValueError(
+                f"{endpoints} global ports per group cannot reach the other "
+                f"{n_groups - 1} groups"
+            )
+        if endpoints % (n_groups - 1) != 0:
+            raise ValueError(
+                f"{endpoints} global ports per group do not divide evenly "
+                f"over {n_groups - 1} peer groups (balanced layout required)"
+            )
+        self.n_groups = n_groups
+        self.routers_per_group = routers_per_group
+        self.hosts_per_router = hosts_per_router
+        self.global_per_router = global_per_router
+        self._n_hosts = n_groups * routers_per_group * hosts_per_router
+        for h in range(self._n_hosts):
+            self._add_duplex(f"h{h}", self.router_of(f"h{h}"))
+        for g in range(n_groups):
+            for i in range(routers_per_group):
+                for j in range(i + 1, routers_per_group):
+                    self._add_duplex(f"r{g}_{i}", f"r{g}_{j}")
+        # Balanced global wiring: group g's global ports, in order, aim
+        # at the other groups round-robin; each unordered pair draws
+        # its routers by popping both groups' next free port.
+        links_per_pair = endpoints // (n_groups - 1)
+        next_port = [0] * n_groups
+        for g1 in range(n_groups):
+            for g2 in range(g1 + 1, n_groups):
+                for _ in range(links_per_pair):
+                    r1 = next_port[g1] // global_per_router
+                    r2 = next_port[g2] // global_per_router
+                    next_port[g1] += 1
+                    next_port[g2] += 1
+                    self._add_duplex(f"r{g1}_{r1}", f"r{g2}_{r2}")
+
+    @property
+    def hosts(self) -> list[NodeId]:
+        return [f"h{i}" for i in range(self._n_hosts)]
+
+    def router_of(self, host: NodeId) -> NodeId:
+        idx = int(host[1:])
+        if not 0 <= idx < self._n_hosts:
+            raise ValueError(f"unknown host {host}")
+        g, rest = divmod(idx, self.routers_per_group * self.hosts_per_router)
+        return f"r{g}_{rest // self.hosts_per_router}"
+
+    def group_of(self, node: NodeId) -> int:
+        if node.startswith("h"):
+            node = self.router_of(node)
+        return int(node[1:].split("_")[0])
+
+    def describe(self) -> dict:
+        out = dict(
+            n_groups=self.n_groups,
+            routers_per_group=self.routers_per_group,
+            hosts_per_router=self.hosts_per_router,
+            global_per_router=self.global_per_router,
+            link_gbps=self.link_gbps,
+            link_latency_ns=self.link_latency_ns,
+        )
+        if not self.supports_aggregation:
+            out["aggregation"] = False
+        return out
+
+
+@register_topology
+class TorusTopology(Topology):
+    """2D torus of switches with wrap-around links, hosts on every
+    switch.  Switch ``(x, y)`` is named ``t<x>_<y>``; its hosts are the
+    next ``hosts_per_switch`` ids in row-major order.  Minimal routing
+    walks the shorter way around each dimension; the BFS path machinery
+    yields every minimal staircase (capped), which is exactly the
+    equal-cost set dimension-ordered ECMP spreads over.
+    """
+
+    family = "torus"
+
+    def __init__(
+        self,
+        dim_x: int = 4,
+        dim_y: int = 4,
+        hosts_per_switch: int = 4,
+        link_gbps: float = 100.0,
+        link_latency_ns: float = 250.0,
+        aggregation: bool = True,
+    ) -> None:
+        super().__init__(link_gbps, link_latency_ns, aggregation)
+        if dim_x < 2 or dim_y < 2:
+            raise ValueError("torus dimensions must be >= 2")
+        if hosts_per_switch < 1:
+            raise ValueError("need at least one host per switch")
+        self.dim_x = dim_x
+        self.dim_y = dim_y
+        self.hosts_per_switch = hosts_per_switch
+        self._n_hosts = dim_x * dim_y * hosts_per_switch
+        for h in range(self._n_hosts):
+            self._add_duplex(f"h{h}", self.switch_of(f"h{h}"))
+        for x in range(dim_x):
+            for y in range(dim_y):
+                self._add_duplex(f"t{x}_{y}", f"t{(x + 1) % dim_x}_{y}")
+                self._add_duplex(f"t{x}_{y}", f"t{x}_{(y + 1) % dim_y}")
+
+    @property
+    def hosts(self) -> list[NodeId]:
+        return [f"h{i}" for i in range(self._n_hosts)]
+
+    def switch_of(self, host: NodeId) -> NodeId:
+        idx = int(host[1:])
+        if not 0 <= idx < self._n_hosts:
+            raise ValueError(f"unknown host {host}")
+        s = idx // self.hosts_per_switch
+        return f"t{s // self.dim_y}_{s % self.dim_y}"
+
+    def torus_distance(self, a: NodeId, b: NodeId) -> int:
+        """Minimal switch-to-switch hop count (per-dimension wrap)."""
+        ax, ay = (int(v) for v in a[1:].split("_"))
+        bx, by = (int(v) for v in b[1:].split("_"))
+        dx = abs(ax - bx)
+        dy = abs(ay - by)
+        return min(dx, self.dim_x - dx) + min(dy, self.dim_y - dy)
+
+    def describe(self) -> dict:
+        out = dict(
+            dim_x=self.dim_x,
+            dim_y=self.dim_y,
+            hosts_per_switch=self.hosts_per_switch,
+            link_gbps=self.link_gbps,
+            link_latency_ns=self.link_latency_ns,
+        )
+        if not self.supports_aggregation:
+            out["aggregation"] = False
+        return out
+
+
+@register_topology
+class MultiRailTopology(Topology):
+    """``n_rails`` parallel two-level fat-tree planes over one host set.
+
+    Every host has one NIC per rail, wired to its leaf in that plane;
+    planes never interconnect, so equal-cost paths between hosts exist
+    through every rail (times every spine of that rail) and rail choice
+    *is* the routing decision.  Plane-r switches are named ``p<r>l<j>``
+    and ``p<r>s<k>``.
+    """
+
+    family = "multi-rail"
+
+    def __init__(
+        self,
+        n_hosts: int = 16,
+        hosts_per_leaf: int = 4,
+        n_spines: int = 2,
+        n_rails: int = 2,
+        link_gbps: float = 100.0,
+        link_latency_ns: float = 250.0,
+        aggregation: bool = True,
+    ) -> None:
+        super().__init__(link_gbps, link_latency_ns, aggregation)
+        if n_hosts % hosts_per_leaf != 0:
+            raise ValueError("hosts_per_leaf must divide n_hosts")
+        if n_rails < 1 or n_spines < 1:
+            raise ValueError("need at least one rail and one spine")
+        if n_spines > hosts_per_leaf:
+            raise ValueError(
+                f"n_spines={n_spines} exceeds the leaf uplink capacity of "
+                f"{hosts_per_leaf} (uplinks cannot outnumber downlinks)"
+            )
+        self._n_hosts = n_hosts
+        self.hosts_per_leaf = hosts_per_leaf
+        self.n_leaves = n_hosts // hosts_per_leaf
+        self.n_spines = n_spines
+        self.n_rails = n_rails
+        for r in range(n_rails):
+            for h in range(n_hosts):
+                self._add_duplex(f"h{h}", self.leaf_of(f"h{h}", rail=r))
+            for j in range(self.n_leaves):
+                for s in range(n_spines):
+                    self._add_duplex(f"p{r}l{j}", f"p{r}s{s}")
+
+    @property
+    def hosts(self) -> list[NodeId]:
+        return [f"h{i}" for i in range(self._n_hosts)]
+
+    def leaf_of(self, host: NodeId, rail: int = 0) -> NodeId:
+        idx = int(host[1:])
+        if not 0 <= idx < self._n_hosts:
+            raise ValueError(f"unknown host {host}")
+        if not 0 <= rail < self.n_rails:
+            raise ValueError(f"unknown rail {rail}")
+        return f"p{rail}l{idx // self.hosts_per_leaf}"
+
+    def rail_of(self, switch: NodeId) -> int:
+        return int(switch[1:].split("l")[0].split("s")[0])
+
+    def describe(self) -> dict:
+        out = dict(
+            n_hosts=self._n_hosts,
+            hosts_per_leaf=self.hosts_per_leaf,
+            n_spines=self.n_spines,
+            n_rails=self.n_rails,
+            link_gbps=self.link_gbps,
+            link_latency_ns=self.link_latency_ns,
+        )
+        if not self.supports_aggregation:
+            out["aggregation"] = False
+        return out

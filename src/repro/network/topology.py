@@ -1,15 +1,23 @@
-"""Two-level fat-tree topology (paper Sec. 7.1).
+"""Pluggable network topologies (paper Sec. 7.1, generalized).
 
-The paper evaluates on "a simulated 2-level fat tree network built with
-8-port 100Gbps switches, connecting 64 nodes".  A radix-exact 2-level
-tree of true 8-port switches cannot reach 64 hosts (16 leaves x 4 hosts
-would need 16-port spines), so — as documented in DESIGN.md — we default
-to XGFT(2; 8,8; 1,4): 8 leaf switches with 8 hosts each, 4 spine
-switches, every leaf wired to every spine.  Hop counts, which drive the
-traffic metric, match any 2-level tree: host-leaf-host within a rack,
-host-leaf-spine-leaf-host across racks.
+The paper evaluates on one wiring — "a simulated 2-level fat tree
+network built with 8-port 100Gbps switches, connecting 64 nodes" — but
+Flare's core claim is *flexibility*: in-network allreduce that adapts
+to where the aggregation capacity actually sits.  This module provides
+the base :class:`Topology` contract every wiring implements, the
+family registry the CLI and the communicator build from, and the
+canonical two-level fat tree.  Further families (multi-level XGFT,
+dragonfly, torus, multi-rail) live in :mod:`repro.network.topologies`.
 
-Node naming: hosts ``h<i>``, leaves ``l<j>``, spines ``s<k>``.
+A topology owns nodes and duplex :class:`~repro.network.links.Link`
+objects and answers *structural* questions: adjacency, equal-cost
+shortest paths, switch capability flags, a hashable fingerprint for
+plan caching.  *Path selection* among equal-cost candidates is the
+:class:`~repro.network.routing.Router` layer's job, and aggregation
+trees are planned by :class:`~repro.network.trees.TreePlanner`.
+
+Node naming: hosts ``h<i>``; switch names are family-specific (the
+fat tree keeps the paper's ``l<j>`` leaves and ``s<k>`` spines).
 """
 
 from __future__ import annotations
@@ -17,10 +25,246 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.network.links import Link
+from repro.utils.rngtools import stable_hash
 
 NodeId = str
 
+#: Cap on equal-cost paths enumerated per node pair; tori at scale have
+#: combinatorially many minimal paths and ECMP hardware tables are
+#: bounded the same way.
+MAX_EQUAL_COST_PATHS = 32
 
+
+class Topology:
+    """Base class every network wiring implements.
+
+    Subclasses call :meth:`_add_duplex` to wire duplex links, implement
+    :attr:`hosts` and :meth:`describe`, and set :attr:`family`.
+    Everything else — adjacency, BFS equal-cost shortest paths,
+    fingerprints — is generic.
+    """
+
+    #: Registry name of this wiring family (e.g. ``"fat-tree"``).
+    family = "generic"
+
+    def __init__(
+        self,
+        link_gbps: float = 100.0,
+        link_latency_ns: float = 250.0,
+        aggregation: bool = True,
+    ) -> None:
+        self.link_gbps = link_gbps
+        self.link_latency_ns = link_latency_ns
+        #: Whether this fabric's switches can run in-network aggregation
+        #: handlers (False models a plain fabric: host-based algorithms
+        #: only — the paper's fallback path).
+        self.supports_aggregation = aggregation
+        self._links: dict[tuple[NodeId, NodeId], Link] = {}
+        self._neighbors: dict[NodeId, tuple[NodeId, ...]] = {}
+        self._bfs_cache: dict[NodeId, tuple[dict, dict]] = {}
+        self._paths_cache: dict[tuple[NodeId, NodeId], list[list[NodeId]]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _add_duplex(self, a: NodeId, b: NodeId) -> None:
+        for src, dst in ((a, b), (b, a)):
+            self._links[(src, dst)] = Link(
+                src, dst, gbps=self.link_gbps, latency_ns=self.link_latency_ns
+            )
+
+    # ------------------------------------------------------------------
+    # Structural queries
+    # ------------------------------------------------------------------
+    @property
+    def hosts(self) -> list[NodeId]:
+        raise NotImplementedError
+
+    @property
+    def n_hosts(self) -> int:
+        return len(self.hosts)
+
+    @property
+    def switches(self) -> list[NodeId]:
+        host_set = set(self.hosts)
+        seen: set[NodeId] = set()
+        for src, dst in self._links:
+            seen.add(src)
+            seen.add(dst)
+        return sorted(seen - host_set)
+
+    @property
+    def nodes(self) -> list[NodeId]:
+        return self.hosts + self.switches
+
+    def is_switch(self, node: NodeId) -> bool:
+        return not node.startswith("h")
+
+    def aggregating_switches(self) -> list[NodeId]:
+        """Switches able to host in-network aggregation handlers."""
+        return self.switches if self.supports_aggregation else []
+
+    def neighbors(self, node: NodeId) -> tuple[NodeId, ...]:
+        """Adjacent nodes, in deterministic (sorted) order."""
+        if not self._neighbors:
+            adj: dict[NodeId, set[NodeId]] = {}
+            for src, dst in self._links:
+                adj.setdefault(src, set()).add(dst)
+            self._neighbors = {n: tuple(sorted(peers)) for n, peers in adj.items()}
+        try:
+            return self._neighbors[node]
+        except KeyError:
+            raise ValueError(f"unknown node {node}") from None
+
+    def attach_switch(self, host: NodeId) -> NodeId:
+        """The (first) edge switch a host hangs off."""
+        for peer in self.neighbors(host):
+            if self.is_switch(peer):
+                return peer
+        raise ValueError(f"host {host} has no switch neighbor")
+
+    def link(self, src: NodeId, dst: NodeId) -> Link:
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            raise ValueError(f"no link {src} -> {dst}") from None
+
+    def links(self) -> list[Link]:
+        return list(self._links.values())
+
+    # ------------------------------------------------------------------
+    # Shortest paths (the raw material routers select from)
+    # ------------------------------------------------------------------
+    def _bfs(self, src: NodeId) -> tuple[dict[NodeId, int], dict[NodeId, list[NodeId]]]:
+        """Distances and shortest-path predecessors from ``src``."""
+        cached = self._bfs_cache.get(src)
+        if cached is not None:
+            return cached
+        dist: dict[NodeId, int] = {src: 0}
+        preds: dict[NodeId, list[NodeId]] = {src: []}
+        frontier = [src]
+        while frontier:
+            nxt: list[NodeId] = []
+            for node in frontier:
+                d = dist[node]
+                for peer in self.neighbors(node):
+                    if peer not in dist:
+                        dist[peer] = d + 1
+                        preds[peer] = [node]
+                        nxt.append(peer)
+                    elif dist[peer] == d + 1:
+                        preds[peer].append(node)
+            frontier = nxt
+        self._bfs_cache[src] = (dist, preds)
+        return dist, preds
+
+    def paths(self, src: NodeId, dst: NodeId) -> list[list[NodeId]]:
+        """All equal-cost shortest paths src -> dst, deterministic order.
+
+        Capped at :data:`MAX_EQUAL_COST_PATHS` entries (the cap is
+        deterministic too: enumeration follows sorted-neighbor order).
+        """
+        if src == dst:
+            return [[src]]
+        key = (src, dst)
+        cached = self._paths_cache.get(key)
+        if cached is not None:
+            return cached
+        dist, preds = self._bfs(src)
+        if dst not in dist:
+            raise ValueError(f"no path {src} -> {dst}")
+        out: list[list[NodeId]] = []
+        stack: list[NodeId] = [dst]
+
+        def walk(node: NodeId) -> None:
+            if len(out) >= MAX_EQUAL_COST_PATHS:
+                return
+            if node == src:
+                out.append(list(reversed(stack)))
+                return
+            for pred in preds[node]:
+                stack.append(pred)
+                walk(pred)
+                stack.pop()
+
+        walk(dst)
+        self._paths_cache[key] = out
+        return out
+
+    def hop_count(self, src: NodeId, dst: NodeId) -> int:
+        if src == dst:
+            return 0
+        dist, _ = self._bfs(src)
+        if dst not in dist:
+            raise ValueError(f"no path {src} -> {dst}")
+        return dist[dst]
+
+    def route(self, src: NodeId, dst: NodeId) -> list[NodeId]:
+        """A deterministic shortest path (first in canonical order).
+
+        Kept for direct structural inspection; simulations route through
+        a :class:`~repro.network.routing.Router` policy instead.
+        """
+        return self.paths(src, dst)[0]
+
+    def path_links(self, src: NodeId, dst: NodeId) -> list[Link]:
+        nodes = self.route(src, dst)
+        return [self.link(a, b) for a, b in zip(nodes, nodes[1:])]
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        """Constructor kwargs that rebuild an identical topology."""
+        raise NotImplementedError
+
+    def fingerprint(self) -> tuple:
+        """Hashable identity: family + parameters.
+
+        Two topologies with equal fingerprints wire identical fabrics,
+        which is what lets the plan cache reuse a plan across distinct
+        but equal topology objects.
+        """
+        return (self.family, tuple(sorted(self.describe().items())))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        params = ", ".join(f"{k}={v}" for k, v in sorted(self.describe().items()))
+        return f"{type(self).__name__}({params})"
+
+
+# ----------------------------------------------------------------------
+# Family registry
+# ----------------------------------------------------------------------
+TOPOLOGIES: dict[str, type[Topology]] = {}
+
+
+def register_topology(cls: type[Topology]) -> type[Topology]:
+    """Class decorator adding a topology family to the registry."""
+    if cls.family in TOPOLOGIES:
+        raise ValueError(f"topology family {cls.family!r} already registered")
+    TOPOLOGIES[cls.family] = cls
+    return cls
+
+
+def available_topologies() -> tuple[str, ...]:
+    return tuple(sorted(TOPOLOGIES))
+
+
+def build_topology(family: str, **params) -> Topology:
+    """Instantiate a registered topology family by name."""
+    try:
+        cls = TOPOLOGIES[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology family {family!r}; "
+            f"available: {available_topologies()}"
+        ) from None
+    return cls(**params)
+
+
+# ----------------------------------------------------------------------
+# The paper's fat tree
+# ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class FatTreeParams:
     n_hosts: int = 64
@@ -30,8 +274,25 @@ class FatTreeParams:
     link_latency_ns: float = 250.0
 
 
-class FatTreeTopology:
-    """Two-level fat tree with full leaf-spine bipartite wiring."""
+@register_topology
+class FatTreeTopology(Topology):
+    """Two-level fat tree with full leaf-spine bipartite wiring.
+
+    The paper's default: XGFT(2; 8,8; 1,4) — 8 leaf switches with 8
+    hosts each, 4 spine switches, every leaf wired to every spine (a
+    radix-exact 2-level tree of true 8-port switches cannot reach 64
+    hosts, as documented in DESIGN.md).  Hop counts match any 2-level
+    tree: host-leaf-host within a rack, host-leaf-spine-leaf-host
+    across racks.
+
+    ``n_spines`` may not exceed the leaf uplink capacity —
+    ``hosts_per_leaf`` by default (uplinks <= downlinks), or
+    ``leaf_radix - hosts_per_leaf`` when an explicit switch radix is
+    given.  ``n_spines < hosts_per_leaf`` builds an *oversubscribed*
+    tree (see :attr:`oversubscription_ratio`).
+    """
+
+    family = "fat-tree"
 
     def __init__(
         self,
@@ -40,34 +301,48 @@ class FatTreeTopology:
         n_spines: int = 4,
         link_gbps: float = 100.0,
         link_latency_ns: float = 250.0,
+        leaf_radix: int | None = None,
+        aggregation: bool = True,
     ) -> None:
+        super().__init__(link_gbps, link_latency_ns, aggregation)
         if n_hosts % hosts_per_leaf != 0:
             raise ValueError("hosts_per_leaf must divide n_hosts")
         if n_spines < 1:
             raise ValueError("need at least one spine")
+        uplink_capacity = (
+            leaf_radix - hosts_per_leaf if leaf_radix is not None else hosts_per_leaf
+        )
+        if uplink_capacity < 1:
+            raise ValueError(
+                f"leaf_radix={leaf_radix} leaves no uplink ports beyond "
+                f"{hosts_per_leaf} host ports"
+            )
+        if n_spines > uplink_capacity:
+            raise ValueError(
+                f"n_spines={n_spines} exceeds the leaf uplink capacity of "
+                f"{uplink_capacity} (each leaf has {hosts_per_leaf} host ports"
+                + (f" on a radix-{leaf_radix} switch" if leaf_radix else
+                   "; uplinks cannot outnumber downlinks")
+                + ")"
+            )
         self.n_hosts = n_hosts
         self.hosts_per_leaf = hosts_per_leaf
         self.n_leaves = n_hosts // hosts_per_leaf
         self.n_spines = n_spines
-        self.link_gbps = link_gbps
-        self.link_latency_ns = link_latency_ns
-        self._links: dict[tuple[NodeId, NodeId], Link] = {}
+        self.leaf_radix = leaf_radix
         for h in range(n_hosts):
-            leaf = self.leaf_of(f"h{h}")
-            self._add_duplex(f"h{h}", leaf)
+            self._add_duplex(f"h{h}", self.leaf_of(f"h{h}"))
         for leaf_idx in range(self.n_leaves):
             for s in range(n_spines):
                 self._add_duplex(f"l{leaf_idx}", f"s{s}")
 
-    def _add_duplex(self, a: NodeId, b: NodeId) -> None:
-        for src, dst in ((a, b), (b, a)):
-            self._links[(src, dst)] = Link(
-                src, dst, gbps=self.link_gbps, latency_ns=self.link_latency_ns
-            )
-
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    #: Plain class attribute shadowing the base class's derived
+    #: property, so ``self.n_hosts = ...`` in ``__init__`` binds.
+    n_hosts = 0
+
     @property
     def hosts(self) -> list[NodeId]:
         return [f"h{i}" for i in range(self.n_hosts)]
@@ -91,21 +366,33 @@ class FatTreeTopology:
         base = j * self.hosts_per_leaf
         return [f"h{i}" for i in range(base, base + self.hosts_per_leaf)]
 
-    def link(self, src: NodeId, dst: NodeId) -> Link:
-        try:
-            return self._links[(src, dst)]
-        except KeyError:
-            raise ValueError(f"no link {src} -> {dst}") from None
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+    def bisection_bandwidth(self) -> float:
+        """Gbps crossing a worst-case host bisection (through the spines).
 
-    def links(self) -> list[Link]:
-        return list(self._links.values())
+        Splitting the racks in half, all cross-half traffic climbs the
+        uplinks of one half's leaves: ``(n_leaves // 2) * n_spines``
+        links.  A single-rack tree has no spine cut; its bisection is
+        the host links of half the rack.
+        """
+        if self.n_leaves == 1:
+            return (self.hosts_per_leaf // 2) * self.link_gbps
+        return (self.n_leaves // 2) * self.n_spines * self.link_gbps
+
+    @property
+    def oversubscription_ratio(self) -> float:
+        """Leaf downlink:uplink bandwidth ratio (1.0 = full bisection)."""
+        return self.hosts_per_leaf / self.n_spines
 
     # ------------------------------------------------------------------
-    # Routing
+    # Routing (legacy deterministic up-down interface)
     # ------------------------------------------------------------------
     def spine_for(self, src: NodeId, dst: NodeId) -> NodeId:
-        """Deterministic ECMP: hash the (src, dst) pair onto a spine."""
-        return f"s{(hash((src, dst)) & 0x7FFFFFFF) % self.n_spines}"
+        """Deterministic ECMP: stable-hash the (src, dst) pair onto a
+        spine (stable across processes, unlike builtin ``hash``)."""
+        return f"s{stable_hash(src, dst) % self.n_spines}"
 
     def route(self, src: NodeId, dst: NodeId) -> list[NodeId]:
         """Node path src -> ... -> dst (inclusive).
@@ -147,9 +434,20 @@ class FatTreeTopology:
                 deduped.append(node)
         return deduped
 
-    def path_links(self, src: NodeId, dst: NodeId) -> list[Link]:
-        nodes = self.route(src, dst)
-        return [self.link(a, b) for a, b in zip(nodes, nodes[1:])]
-
     def hop_count(self, src: NodeId, dst: NodeId) -> int:
         return len(self.route(src, dst)) - 1
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        out = dict(
+            n_hosts=self.n_hosts,
+            hosts_per_leaf=self.hosts_per_leaf,
+            n_spines=self.n_spines,
+            link_gbps=self.link_gbps,
+            link_latency_ns=self.link_latency_ns,
+        )
+        if self.leaf_radix is not None:
+            out["leaf_radix"] = self.leaf_radix
+        if not self.supports_aggregation:
+            out["aggregation"] = False
+        return out

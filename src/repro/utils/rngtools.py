@@ -8,6 +8,8 @@ a paper whose F3 flexibility axis *is* reproducibility.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 
@@ -20,6 +22,31 @@ def seeded_rng(seed: int | np.random.Generator | None = 0) -> np.random.Generato
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def stable_hash(*parts: object, salt: int = 0) -> int:
+    """Process-stable non-negative hash of ``parts``.
+
+    Python's builtin ``hash`` is salted per interpreter run for
+    strings, which silently breaks cross-run reproducibility of
+    anything keyed on it (ECMP path selection, for one).  A truncated
+    blake2b over the repr of the parts is stable everywhere and — being
+    non-linear, unlike a CRC — actually reshuffles the low bits when
+    the salt changes, which is what makes distinct routing seeds pick
+    distinct path assignments.
+    """
+    text = "|".join(repr(p) for p in parts) + f"|{salt}"
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") & 0x7FFFFFFF
+
+
+def ecmp_salt(seed: int | None = 0) -> int:
+    """Derive a hash salt from a seed via the shared RNG machinery.
+
+    Same seed -> same salt -> identical ECMP path picks run to run,
+    which is the reproducibility contract the routing layer tests pin.
+    """
+    return int(seeded_rng(seed).integers(0, 2**31))
 
 
 def spawn_rngs(seed: int, n: int) -> list[np.random.Generator]:

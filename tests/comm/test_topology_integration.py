@@ -1,0 +1,215 @@
+"""Topology/routing integration through the Communicator: the
+refactor parity guard, per-family end-to-end runs with hop-count
+assertions, fingerprint-keyed plan caching, and capability gating."""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.comm import CapabilityError, Communicator
+from repro.network import build_topology
+
+#: Pre-refactor golden values for flare_switch on the default fat tree
+#: (64KiB, 16 hosts, 2 clusters, seed 7), recorded before the topology
+#: layer landed: the refactor must not change the switch data path.
+GOLDEN_SHA256 = "fbb72edad60ad44bc959b42a2d7cbf26b1f8afb1d15f77e66e03ff53866f6587"
+GOLDEN_TRAFFIC = 1048576.0
+#: Same vintage: ring on the default 64-host fat tree, 1 MiB.
+GOLDEN_RING_TRAFFIC = 297271296.0
+
+
+def test_flare_switch_parity_guard():
+    """flare_switch must produce bitwise-identical results and
+    identical total traffic on the default fat tree across the
+    topology refactor."""
+    comm = Communicator(n_hosts=16, n_clusters=2)
+    result = comm.allreduce("64KiB", algorithm="flare_switch", seed=7)
+    assert result.traffic_bytes_hops == GOLDEN_TRAFFIC
+    assert result.sent_bytes_per_host == 65536.0
+    digest = hashlib.sha256()
+    outputs = result.extra["outputs"]
+    for block in sorted(outputs):
+        digest.update(np.ascontiguousarray(outputs[block]).tobytes())
+    assert digest.hexdigest() == GOLDEN_SHA256
+    comm.close()
+
+
+def test_ring_traffic_parity_guard():
+    comm = Communicator(n_hosts=64)
+    result = comm.allreduce(2.0**20, algorithm="ring")
+    assert result.traffic_bytes_hops == GOLDEN_RING_TRAFFIC
+    comm.close()
+
+
+# ----------------------------------------------------------------------
+# Every family end to end
+# ----------------------------------------------------------------------
+def _families_16_hosts():
+    return {
+        "dragonfly": build_topology(
+            "dragonfly", n_groups=2, routers_per_group=2,
+            hosts_per_router=4, global_per_router=1,
+        ),
+        "torus": build_topology(
+            "torus", dim_x=2, dim_y=2, hosts_per_switch=4
+        ),
+        "multi-rail": build_topology("multi-rail"),
+    }
+
+
+@pytest.mark.parametrize("family", ["dragonfly", "torus", "multi-rail"])
+def test_ring_runs_on_family_with_exact_hop_accounting(family):
+    topo = _families_16_hosts()[family]
+    P = topo.n_hosts
+    Z = 2.0**20
+    comm = Communicator(topology=topo)
+    result = comm.allreduce(Z, algorithm="ring")
+    assert result.n_hosts == P
+    assert result.time_ns > 0
+    # Pipelined ring: every rank sends Z/P to its successor in each of
+    # the 2(P-1) steps, so total bytes-hops is exactly the segment size
+    # times steps times the summed successor hop counts.
+    hosts = topo.hosts
+    sum_hops = sum(
+        topo.hop_count(hosts[i], hosts[(i + 1) % P]) for i in range(P)
+    )
+    expected = (Z / P) * 2 * (P - 1) * sum_hops
+    assert result.traffic_bytes_hops == pytest.approx(expected, rel=1e-6)
+    comm.close()
+
+
+@pytest.mark.parametrize("family", ["dragonfly", "torus", "multi-rail"])
+def test_flare_switch_runs_on_family_bitwise_stable(family):
+    """The PsPIN switch-level path executes under any wiring and its
+    data path is independent of it."""
+    topo = _families_16_hosts()[family]
+    comm = Communicator(topology=topo, n_clusters=2)
+    result = comm.allreduce("64KiB", algorithm="flare_switch", seed=7)
+    digest = hashlib.sha256()
+    outputs = result.extra["outputs"]
+    for block in sorted(outputs):
+        digest.update(np.ascontiguousarray(outputs[block]).tobytes())
+    assert digest.hexdigest() == GOLDEN_SHA256
+    comm.close()
+
+
+@pytest.mark.parametrize("family", ["dragonfly", "torus", "multi-rail"])
+def test_flare_dense_runs_on_family(family):
+    """The in-network tree schedule completes on every family and
+    charges exactly one tree traversal up and one down."""
+    topo = _families_16_hosts()[family]
+    Z = 2.0**20
+    comm = Communicator(topology=topo)
+    result = comm.allreduce(Z, algorithm="flare_dense")
+    assert result.n_hosts == topo.n_hosts
+    # Up: every host link + every tree switch edge once; down: same.
+    from repro.network import TreePlanner
+
+    n_tree_edges = len(TreePlanner(topo).plan().tree_links())
+    assert result.traffic_bytes_hops == pytest.approx(Z * 2 * n_tree_edges)
+    comm.close()
+
+
+# ----------------------------------------------------------------------
+# Plan cache keyed on topology fingerprint
+# ----------------------------------------------------------------------
+def test_plan_cache_hits_across_equal_topology_objects():
+    comm = Communicator(n_hosts=64)
+    t1 = build_topology("torus", hosts_per_switch=4)
+    t2 = build_topology("torus", hosts_per_switch=4)
+    assert t1 is not t2 and t1.fingerprint() == t2.fingerprint()
+    comm.allreduce("256KiB", algorithm="ring", topology=t1)
+    comm.allreduce("256KiB", algorithm="ring", topology=t2)
+    info = comm.cache_info()
+    assert info.misses == 1 and info.hits == 1
+    comm.close()
+
+
+def test_plan_cache_misses_on_different_wiring_or_routing():
+    comm = Communicator(n_hosts=64)
+    comm.allreduce("256KiB", algorithm="ring",
+                   topology=build_topology("torus", hosts_per_switch=4))
+    comm.allreduce("256KiB", algorithm="ring",
+                   topology=build_topology("torus", dim_x=8, hosts_per_switch=2))
+    comm.allreduce("256KiB", algorithm="ring",
+                   topology=build_topology("torus", hosts_per_switch=4),
+                   routing="adaptive")
+    assert comm.cache_info().misses == 3
+    comm.close()
+
+
+# ----------------------------------------------------------------------
+# Capability gating
+# ----------------------------------------------------------------------
+def test_in_network_algorithms_rejected_on_non_aggregating_fabric():
+    topo = build_topology("torus", hosts_per_switch=4, aggregation=False)
+    comm = Communicator(topology=topo)
+    with pytest.raises(CapabilityError, match="cannot aggregate"):
+        comm.allreduce("256KiB", algorithm="flare_dense")
+    # Auto selection falls through to a host-based algorithm instead.
+    result = comm.allreduce("256KiB")
+    assert result.algorithm in ("ring", "rabenseifner", "recursive_doubling")
+    comm.close()
+
+
+def test_unknown_topology_family_rejected_for_every_algorithm():
+    """A typo'd family name must not slide through to algorithms that
+    never build the fabric (the single-switch PsPIN path)."""
+    comm = Communicator(n_hosts=16)
+    for algorithm in ("flare_dense", "flare_switch", "ring", "auto"):
+        with pytest.raises(CapabilityError, match="unknown topology family"):
+            comm.allreduce("64KiB", algorithm=algorithm,
+                           topology="mesh-of-clos")
+    comm.close()
+
+
+def test_unknown_routing_rejected_even_for_switch_level_path():
+    comm = Communicator(n_hosts=16, n_clusters=1)
+    with pytest.raises(CapabilityError, match="unknown routing policy"):
+        comm.allreduce("16KiB", algorithm="flare_switch", routing="valiant")
+    comm.close()
+
+
+def test_communicator_forwards_n_hosts_to_parameterized_families():
+    comm = Communicator(n_hosts=32, topology="multi-rail")
+    assert comm.n_hosts == 32
+    result = comm.allreduce("256KiB", algorithm="ring")
+    assert result.n_hosts == 32
+    comm.close()
+    # Families whose parameters imply the host count size the
+    # communicator instead.
+    comm = Communicator(topology="torus",
+                        topology_params=dict(dim_x=2, dim_y=2,
+                                             hosts_per_switch=2))
+    assert comm.n_hosts == 8
+    comm.close()
+
+
+def test_host_count_mismatch_is_a_capability_error():
+    topo = build_topology("torus", hosts_per_switch=4)   # 64 hosts
+    comm = Communicator(n_hosts=16)
+    with pytest.raises(CapabilityError, match="wires 64 hosts"):
+        comm.allreduce("64KiB", algorithm="ring", topology=topo, n_hosts=16)
+    comm.close()
+
+
+def test_unknown_routing_policy_is_a_capability_error():
+    comm = Communicator(n_hosts=16)
+    with pytest.raises(CapabilityError, match="unknown routing policy"):
+        comm.allreduce("64KiB", algorithm="ring", routing="valiant")
+    comm.close()
+
+
+# ----------------------------------------------------------------------
+# Congestion metrics surface through the unified result
+# ----------------------------------------------------------------------
+def test_summary_reports_max_link_and_policy():
+    comm = Communicator(n_hosts=16, routing="adaptive")
+    result = comm.allreduce("1MiB", algorithm="ring")
+    assert result.extra["max_link_bytes"] > 0
+    assert result.extra["routing"] == "adaptive"
+    assert len(result.extra["hot_links"]) > 0
+    assert "max-link" in result.summary()
+    assert "(adaptive)" in result.summary()
+    comm.close()

@@ -67,6 +67,27 @@ def test_interceptor_consumes_in_transit_messages():
     assert eaten == [("to-eat",)]
 
 
+def test_per_link_breakdown_and_hot_links():
+    topo = FatTreeTopology(n_hosts=16, hosts_per_leaf=4, n_spines=1)
+    net = NetworkSimulator(topo)
+    net.on_deliver("h4", lambda m, t: None)
+    net.on_deliver("h1", lambda m, t: None)
+    net.send(Message("h0", "h4", nbytes=1000.0), at=0.0)   # 4 hops via l0-s0-l1
+    net.send(Message("h0", "h1", nbytes=500.0), at=0.0)    # 2 hops inside l0
+    net.run()
+    stats = net.traffic
+    assert stats.bytes_hops == pytest.approx(4 * 1000.0 + 2 * 500.0)
+    # h0->l0 carried both messages; it is the hottest link.
+    assert stats.per_link[("h0", "l0")] == pytest.approx(1500.0)
+    assert stats.max_link_bytes == pytest.approx(1500.0)
+    hot = stats.hot_links(2)
+    assert hot[0] == ("h0->l0", 1500.0)
+    assert len(hot) == 2 and hot[1][1] <= hot[0][1]
+    extra = net.traffic_extra()
+    assert extra["max_link_bytes"] == pytest.approx(1500.0)
+    assert extra["routing"] == "ecmp"
+
+
 def test_contention_serializes_shared_link():
     """Two hosts in one rack sending to the same remote host share the
     destination's leaf->host link."""

@@ -1,0 +1,196 @@
+"""Tests for the topology families beyond the default fat tree."""
+
+import pytest
+
+from repro.network import (
+    DragonflyTopology,
+    MultiRailTopology,
+    TorusTopology,
+    XGFTTopology,
+    available_topologies,
+    build_topology,
+)
+
+
+def _assert_valid_paths(topo, src, dst):
+    paths = topo.paths(src, dst)
+    assert paths, f"no paths {src}->{dst}"
+    want = topo.hop_count(src, dst)
+    for path in paths:
+        assert len(path) - 1 == want          # all equal cost
+        assert len(set(path)) == len(path)    # loop-free
+        for a, b in zip(path, path[1:]):
+            topo.link(a, b)                   # every hop is a real link
+    return paths
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def test_registry_lists_all_families():
+    assert available_topologies() == (
+        "dragonfly", "fat-tree", "multi-rail", "torus", "xgft"
+    )
+
+
+def test_build_topology_unknown_family():
+    with pytest.raises(ValueError, match="unknown topology family"):
+        build_topology("hypercube")
+
+
+@pytest.mark.parametrize("family", ["dragonfly", "fat-tree", "multi-rail", "torus", "xgft"])
+def test_describe_roundtrips_and_fingerprints(family):
+    a = build_topology(family)
+    b = build_topology(family, **a.describe())
+    assert a.fingerprint() == b.fingerprint()
+    assert len(a.hosts) == len(b.hosts)
+    assert a.fingerprint()[0] == family
+
+
+def test_fingerprint_distinguishes_parameters():
+    a = build_topology("torus", dim_x=4, dim_y=4)
+    b = build_topology("torus", dim_x=4, dim_y=8)
+    assert a.fingerprint() != b.fingerprint()
+
+
+# ----------------------------------------------------------------------
+# XGFT
+# ----------------------------------------------------------------------
+def test_xgft_default_matches_paper_fat_tree_counts():
+    x = XGFTTopology()          # XGFT(2; 8,8; 1,4)
+    assert x.n_hosts == 64
+    assert len(x.switches) == 8 + 4
+    # Full bipartite level-1/level-2 wiring, duplex, plus host links.
+    assert len(x.links()) == 2 * (64 + 8 * 4)
+    assert x.hop_count("h0", "h1") == 2      # same leaf
+    assert x.hop_count("h0", "h63") == 4     # across the spine
+
+
+def test_xgft_three_levels():
+    x = XGFTTopology(down=(2, 2, 2), up=(1, 2, 2))
+    assert x.n_hosts == 8
+    # level counts: l1 = 2*2*1 = 4, l2 = 2*1*2 = 4, l3 = 1*2*2 = 4
+    assert len(x.switches) == 12
+    assert {x.level_of(s) for s in x.switches} == {1, 2, 3}
+    assert x.hop_count("h0", "h1") == 2      # share a level-1 switch
+    assert x.hop_count("h0", "h7") == 6      # climb to level 3 and down
+
+
+def test_xgft_hosts_under_one_leaf_are_contiguous():
+    x = XGFTTopology(down=(4, 4), up=(1, 2))
+    leaf_of_h0 = x.attach_switch("h0")
+    rack = [h for h in x.hosts if x.attach_switch(h) == leaf_of_h0]
+    assert rack == ["h0", "h1", "h2", "h3"]
+
+
+def test_xgft_rejects_uplink_overwire_and_bad_arity():
+    with pytest.raises(ValueError, match="uplinks cannot outnumber"):
+        XGFTTopology(down=(4, 4), up=(1, 8))
+    with pytest.raises(ValueError, match="one entry per"):
+        XGFTTopology(down=(4, 4), up=(1,))
+
+
+def test_xgft_equal_cost_paths_multiply_per_level():
+    x = XGFTTopology(down=(2, 2, 2), up=(1, 2, 2))
+    # Crossing the top level: 2 (level-2 parents) x 2 (level-3) choices.
+    paths = _assert_valid_paths(x, "h0", "h7")
+    assert len(paths) == 4
+
+
+# ----------------------------------------------------------------------
+# Dragonfly
+# ----------------------------------------------------------------------
+def test_dragonfly_structure_and_hops():
+    d = DragonflyTopology()     # 5 groups x 4 routers x 2 hosts
+    assert d.n_hosts == 40
+    assert len(d.switches) == 20
+    assert d.router_of("h0") == "r0_0"
+    assert d.group_of("h39") == 4
+    assert d.hop_count("h0", "h1") == 2          # same router
+    assert d.hop_count("h0", "h2") == 3          # same group
+    # Any cross-group pair: local, global, local at worst (+2 host hops).
+    assert d.hop_count("h0", "h39") <= 5
+    _assert_valid_paths(d, "h0", "h39")
+
+
+def test_dragonfly_global_ports_validation():
+    with pytest.raises(ValueError, match="cannot reach"):
+        DragonflyTopology(n_groups=6, routers_per_group=2,
+                          global_per_router=1)
+    with pytest.raises(ValueError, match="divide evenly"):
+        DragonflyTopology(n_groups=4, routers_per_group=4,
+                          global_per_router=1)
+
+
+def test_dragonfly_every_group_pair_connected():
+    d = DragonflyTopology()
+    for g1 in range(d.n_groups):
+        for g2 in range(d.n_groups):
+            if g1 == g2:
+                continue
+            r1 = f"r{g1}_0"
+            r2 = f"r{g2}_0"
+            # Router to router in another group: local hop to the
+            # router holding the global link, global hop, local hop.
+            assert d.hop_count(r1, r2) <= 3
+
+
+# ----------------------------------------------------------------------
+# Torus
+# ----------------------------------------------------------------------
+def test_torus_structure_and_wraparound():
+    t = TorusTopology(dim_x=4, dim_y=4, hosts_per_switch=2)
+    assert t.n_hosts == 32
+    assert len(t.switches) == 16
+    assert t.switch_of("h0") == "t0_0"
+    assert t.switch_of("h31") == "t3_3"
+    # Wraparound: opposite corners are 1+1 hops, not 3+3.
+    assert t.torus_distance("t0_0", "t3_3") == 2
+    assert t.hop_count("h0", "h31") == 2 + t.torus_distance("t0_0", "t3_3")
+    assert t.hop_count("h0", "h1") == 2          # same switch
+    _assert_valid_paths(t, "h0", "h31")
+
+
+def test_torus_hop_counts_follow_manhattan_wrap_distance():
+    t = TorusTopology(dim_x=4, dim_y=4, hosts_per_switch=1)
+    for h in ("h5", "h10", "h15"):
+        expected = t.torus_distance(t.switch_of("h0"), t.switch_of(h)) + 2
+        assert t.hop_count("h0", h) == expected
+
+
+def test_torus_validation():
+    with pytest.raises(ValueError, match="dimensions"):
+        TorusTopology(dim_x=1, dim_y=4)
+    with pytest.raises(ValueError, match="host per switch"):
+        TorusTopology(hosts_per_switch=0)
+
+
+# ----------------------------------------------------------------------
+# Multi-rail
+# ----------------------------------------------------------------------
+def test_multi_rail_structure():
+    m = MultiRailTopology()     # 16 hosts, 2 rails of (4/leaf, 2 spines)
+    assert m.n_hosts == 16
+    assert len(m.switches) == 2 * (4 + 2)
+    assert m.leaf_of("h0", rail=0) == "p0l0"
+    assert m.leaf_of("h0", rail=1) == "p1l0"
+    assert m.rail_of("p1s0") == 1
+
+
+def test_multi_rail_paths_cross_every_rail_and_spine():
+    m = MultiRailTopology()
+    # Cross-rack: 2 rails x 2 spines = 4 equal-cost paths.
+    paths = _assert_valid_paths(m, "h0", "h8")
+    assert len(paths) == 4
+    rails = {m.rail_of(p[1]) for p in paths}
+    assert rails == {0, 1}
+    # Intra-rack: one 2-hop path per rail.
+    paths = _assert_valid_paths(m, "h0", "h1")
+    assert len(paths) == 2
+
+
+def test_multi_rail_validation():
+    with pytest.raises(ValueError, match="uplink capacity"):
+        MultiRailTopology(n_hosts=16, hosts_per_leaf=2, n_spines=4)
+    with pytest.raises(ValueError, match="at least one rail"):
+        MultiRailTopology(n_rails=0)

@@ -74,6 +74,31 @@ def test_invalid_dimensions_rejected():
         FatTreeTopology(n_spines=0)
 
 
+def test_overwired_spine_count_rejected():
+    """n_spines beyond the leaf uplink capacity used to silently build
+    an over-wired bipartite graph; now it is a validation error."""
+    with pytest.raises(ValueError, match="uplink capacity"):
+        FatTreeTopology(n_hosts=16, hosts_per_leaf=4, n_spines=8)
+    with pytest.raises(ValueError, match="uplink capacity"):
+        FatTreeTopology(n_hosts=64, hosts_per_leaf=8, n_spines=4,
+                        leaf_radix=10)
+    # Radix with room for the uplinks is fine.
+    FatTreeTopology(n_hosts=64, hosts_per_leaf=8, n_spines=4, leaf_radix=12)
+    with pytest.raises(ValueError, match="no uplink ports"):
+        FatTreeTopology(n_hosts=64, hosts_per_leaf=8, leaf_radix=8)
+
+
+def test_bisection_bandwidth_and_oversubscription():
+    t = FatTreeTopology()                      # 8 leaves x 4 spines
+    assert t.bisection_bandwidth() == 4 * 4 * 100.0
+    assert t.oversubscription_ratio == pytest.approx(2.0)
+    full = FatTreeTopology(n_hosts=16, hosts_per_leaf=4, n_spines=4)
+    assert full.oversubscription_ratio == pytest.approx(1.0)
+    assert full.bisection_bandwidth() == 2 * 4 * 100.0
+    rack = FatTreeTopology(n_hosts=8, hosts_per_leaf=8, n_spines=1)
+    assert rack.bisection_bandwidth() == 4 * 100.0
+
+
 @settings(max_examples=30, deadline=None)
 @given(src=st.integers(0, 63), dst=st.integers(0, 63))
 def test_property_all_host_pairs_routable(src, dst):
