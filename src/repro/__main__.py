@@ -12,12 +12,19 @@ Usage::
     python -m repro bench ring --topology dragonfly --routing adaptive
     python -m repro bench flare_dense --topology torus \
         --topo-params dim_x=4,dim_y=4,hosts_per_switch=2
+    python -m repro bench ring --tenants 2 --overlap --weights 4,1 \
+        --timeline-out timeline.json
 
 ``bench`` drives any registered algorithm through the unified
 :class:`repro.comm.Communicator`, re-executing the cached plan to show
 the plan/execute split at work; ``--topology``/``--routing`` swap the
 wiring and the path-selection policy under any network-simulated
-algorithm.  (Also installed as the ``flare-repro`` console script.)
+algorithm.  With ``--tenants N`` the run becomes multi-tenant: N
+communicators share one :class:`repro.comm.Fabric` (``--overlap``
+issues their collectives concurrently into its single event loop, with
+QoS ``--weights`` arbitrating the shared links) and the per-tenant
+trace can be exported with ``--timeline-out``.  (Also installed as the
+``flare-repro`` console script.)
 """
 
 from __future__ import annotations
@@ -126,6 +133,87 @@ def _parse_topo_params(text: str) -> dict:
     return out
 
 
+def _cmd_multi_tenant_bench(args: argparse.Namespace, topology) -> int:
+    """N communicators on one shared fabric, overlapped or sequential."""
+    from repro.comm import CommError, Fabric, wait_all
+
+    weights = [1.0] * args.tenants
+    if args.weights:
+        try:
+            parts = [float(w) for w in args.weights.split(",")]
+        except ValueError:
+            print(
+                f"error: --weights must be comma-separated numbers, got "
+                f"{args.weights!r}", file=sys.stderr,
+            )
+            return 2
+        if len(parts) != args.tenants:
+            print(
+                f"error: --weights lists {len(parts)} values for "
+                f"--tenants {args.tenants}", file=sys.stderr,
+            )
+            return 2
+        weights = parts
+    fabric = Fabric(
+        topology=topology,
+        n_hosts=args.hosts,
+        routing=args.routing,
+        routing_seed=args.seed,
+    )
+    comms = [
+        fabric.communicator(name=f"tenant{i}", weight=weights[i],
+                            n_clusters=args.clusters)
+        for i in range(args.tenants)
+    ]
+    kwargs = dict(
+        op=args.op,
+        algorithm=args.algorithm,
+        sparse=args.sparse,
+        density=args.density,
+        reproducible=args.reproducible,
+    )
+    mode = "overlapped" if args.overlap else "sequential"
+    print(
+        f"{args.tenants} tenants ({mode}) x {args.repeat} round(s) of "
+        f"{args.algorithm} {args.size} on a shared "
+        f"{fabric.topology.family} fabric "
+        f"[weights {','.join(str(w) for w in weights)}]"
+    )
+    try:
+        for rnd in range(args.repeat):
+            if args.overlap:
+                futures = [
+                    c.iallreduce(args.size, seed=args.seed + rnd, **kwargs)
+                    for c in comms
+                ]
+                results = wait_all(futures)
+            else:
+                results = [
+                    c.allreduce(args.size, seed=args.seed + rnd, **kwargs)
+                    for c in comms
+                ]
+            fabric.run()          # drain deferred resource releases
+            for c, r in zip(comms, results):
+                note = " [fell back]" if r.extra.get("fell_back") else ""
+                print(f"  round {rnd + 1} {c.name} (w={c.weight:g}): "
+                      f"{r.summary()}{note}")
+    except CommError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    stats = fabric.tenant_stats()
+    print("\nper-tenant totals:")
+    for name, s in stats.items():
+        print(f"  {name}: {s['completed']}/{s['collectives']} done, "
+              f"{s['bytes'] / 2**20:.1f} MiB reduced, "
+              f"{s['wire_bytes'] / 2**30:.2f} GiB on wire, "
+              f"{s['busy_ns'] / 1e6:.2f} ms busy, "
+              f"{s['fell_back']} fell back")
+    if args.timeline_out:
+        fabric.timeline_json(path=args.timeline_out)
+        print(f"[timeline written to {args.timeline_out}]")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.comm import CommError, Communicator
 
@@ -151,6 +239,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"[topology {args.topology} wires {topology.n_hosts} hosts; "
                   f"using that instead of --hosts {args.hosts}]")
             args.hosts = topology.n_hosts
+
+    if args.tenants > 1:
+        return _cmd_multi_tenant_bench(args, topology)
 
     comm = Communicator(
         n_hosts=args.hosts,
@@ -233,6 +324,17 @@ def main(argv: list[str] | None = None) -> int:
     bench.add_argument("--routing", default=None,
                        choices=("shortest", "ecmp", "adaptive"),
                        help="path-selection policy (default: ecmp)")
+    bench.add_argument("--tenants", type=int, default=1,
+                       help="communicators sharing one fabric (>1 enables "
+                       "the multi-tenant bench)")
+    bench.add_argument("--overlap", action="store_true",
+                       help="issue every tenant's collective concurrently "
+                       "into the shared event loop (default: sequential)")
+    bench.add_argument("--weights", default=None, metavar="W1,W2,...",
+                       help="per-tenant QoS weights for link arbitration "
+                       "(default: all 1.0)")
+    bench.add_argument("--timeline-out", default=None, metavar="PATH",
+                       help="write the fabric's per-tenant timeline JSON")
 
     args = parser.parse_args(argv)
 

@@ -72,9 +72,43 @@ def _simulate_flare_dense_allreduce(
     router=None,
     routing_seed: int = 0,
 ) -> CollectiveResult:
-    """Flare in-network dense schedule over an aggregation tree."""
+    """Flare dense schedule on a private simulator (one collective)."""
     net = NetworkSimulator(topology, router=router, routing_seed=routing_seed)
-    atree = as_aggregation_tree(tree, topology)
+    done: list[CollectiveResult] = []
+    issue_flare_dense_allreduce(
+        net,
+        vector_bytes,
+        chunk_bytes=chunk_bytes,
+        agg_latency_ns_per_chunk=agg_latency_ns_per_chunk,
+        tree=tree,
+        on_complete=done.append,
+    )
+    net.run()
+    if not done:
+        raise RuntimeError("flare dense incomplete: not all hosts finished")
+    return done[0]
+
+
+def issue_flare_dense_allreduce(
+    net: NetworkSimulator,
+    vector_bytes: float,
+    *,
+    chunk_bytes: float = 1024 * 1024,
+    agg_latency_ns_per_chunk: float = 2000.0,
+    tree: "EmbeddedTree | AggregationTree | None" = None,
+    flow: object = None,
+    base_time: float = 0.0,
+    on_complete,
+) -> None:
+    """Issue one Flare in-network dense allreduce into a simulator.
+
+    Events start at ``base_time`` under flow id ``flow``;
+    ``on_complete(result)`` fires inside the event loop once every host
+    received the full multicast, with times relative to ``base_time``
+    and traffic read from the flow's own accounting (see
+    :func:`repro.collectives.ring.issue_ring_allreduce`).
+    """
+    atree = as_aggregation_tree(tree, net.topology)
     hosts = atree.all_hosts()
     P = len(hosts)
     n_chunks = max(1, int(round(vector_bytes / chunk_bytes)))
@@ -82,14 +116,19 @@ def _simulate_flare_dense_allreduce(
 
     up_counts: dict[tuple[str, int], int] = {}
     host_received: dict[str, int] = {h: 0 for h in hosts}
-    done_hosts = 0
-    finish_time = [0.0]
+    state = {"done_hosts": 0, "finish": base_time}
 
     def send_down(switch: str, chunk: int, at: float) -> None:
         for kid in atree.children_of.get(switch, ()):
-            net.send(Message(switch, kid, actual_chunk, tag=("down", chunk)), at=at)
+            net.send(
+                Message(switch, kid, actual_chunk, tag=("down", chunk), flow=flow),
+                at=at,
+            )
         for h in atree.hosts_of.get(switch, ()):
-            net.send(Message(switch, h, actual_chunk, tag=("down", chunk)), at=at)
+            net.send(
+                Message(switch, h, actual_chunk, tag=("down", chunk), flow=flow),
+                at=at,
+            )
 
     def on_switch(switch: str):
         fan_in = atree.fan_in(switch)
@@ -105,7 +144,10 @@ def _simulate_flare_dense_allreduce(
                         send_down(switch, chunk, now + agg_latency_ns_per_chunk)
                     else:
                         net.send(
-                            Message(switch, parent, actual_chunk, tag=("up", chunk)),
+                            Message(
+                                switch, parent, actual_chunk,
+                                tag=("up", chunk), flow=flow,
+                            ),
                             at=now + agg_latency_ns_per_chunk,
                         )
             else:   # downward multicast continues through the subtree
@@ -113,39 +155,43 @@ def _simulate_flare_dense_allreduce(
 
         return deliver
 
+    def finished() -> CollectiveResult:
+        stats = net.flow_stats(flow)
+        return CollectiveResult(
+            name="Flare dense",
+            n_hosts=P,
+            vector_bytes=vector_bytes,
+            time_ns=state["finish"] - base_time,
+            traffic_bytes_hops=stats.bytes_hops,
+            sent_bytes_per_host=vector_bytes,
+            extra={
+                "n_chunks": n_chunks,
+                "tree_root": atree.root,
+                "tree_depth": atree.depth(),
+                **net.traffic_extra(flow=flow),
+            },
+        )
+
     def on_host(host: str):
         def deliver(msg: Message, now: float) -> None:
-            nonlocal done_hosts
             host_received[host] += 1
             if host_received[host] == n_chunks:
-                done_hosts += 1
-                finish_time[0] = max(finish_time[0], now)
+                state["done_hosts"] += 1
+                state["finish"] = max(state["finish"], now)
+                if state["done_hosts"] == P:
+                    on_complete(finished())
 
         return deliver
 
     for switch in atree.switches():
-        net.on_deliver(switch, on_switch(switch))
+        net.on_deliver(switch, on_switch(switch), flow=flow)
     for h in hosts:
-        net.on_deliver(h, on_host(h))
+        net.on_deliver(h, on_host(h), flow=flow)
 
     for h in hosts:
         attach = atree.attach_of(h)
         for c in range(n_chunks):
-            net.send(Message(h, attach, actual_chunk, tag=("up", c)), at=0.0)
-    net.run()
-    if done_hosts != P:
-        raise RuntimeError(f"flare dense incomplete: {done_hosts}/{P}")
-    return CollectiveResult(
-        name="Flare dense",
-        n_hosts=P,
-        vector_bytes=vector_bytes,
-        time_ns=finish_time[0],
-        traffic_bytes_hops=net.traffic.bytes_hops,
-        sent_bytes_per_host=vector_bytes,
-        extra={
-            "n_chunks": n_chunks,
-            "tree_root": atree.root,
-            "tree_depth": atree.depth(),
-            **net.traffic_extra(),
-        },
-    )
+            net.send(
+                Message(h, attach, actual_chunk, tag=("up", c), flow=flow),
+                at=base_time,
+            )

@@ -126,8 +126,48 @@ def _simulate_flare_sparse_allreduce(
     router=None,
     routing_seed: int = 0,
 ) -> CollectiveResult:
-    """Flare in-network sparse schedule over an aggregation tree."""
+    """Flare sparse schedule on a private simulator (one collective)."""
     net = NetworkSimulator(topology, router=router, routing_seed=routing_seed)
+    done: list[CollectiveResult] = []
+    issue_flare_sparse_allreduce(
+        net,
+        total_elements,
+        bucket_span=bucket_span,
+        nnz_per_bucket=nnz_per_bucket,
+        n_chunks=n_chunks,
+        agg_latency_ns_per_chunk=agg_latency_ns_per_chunk,
+        level_bytes=level_bytes,
+        tree=tree,
+        on_complete=done.append,
+    )
+    net.run()
+    if not done:
+        raise RuntimeError("flare sparse incomplete: not all hosts finished")
+    return done[0]
+
+
+def issue_flare_sparse_allreduce(
+    net: NetworkSimulator,
+    total_elements: float,
+    *,
+    bucket_span: int = 512,
+    nnz_per_bucket: float = 1.0,
+    n_chunks: int = 64,
+    agg_latency_ns_per_chunk: float = 4000.0,
+    level_bytes: tuple[float, float, float] | None = None,
+    tree: "EmbeddedTree | AggregationTree | None" = None,
+    flow: object = None,
+    base_time: float = 0.0,
+    on_complete,
+) -> None:
+    """Issue one Flare in-network sparse allreduce into a simulator.
+
+    Events start at ``base_time`` under flow id ``flow``;
+    ``on_complete(result)`` fires inside the event loop once every host
+    received the densified multicast, with times relative to
+    ``base_time`` and traffic read from the flow's own accounting.
+    """
+    topology = net.topology
     atree = as_aggregation_tree(tree, topology)
     hosts = atree.all_hosts()
     P = len(hosts)
@@ -154,14 +194,19 @@ def _simulate_flare_sparse_allreduce(
 
     up_counts: dict[tuple[str, int], int] = {}
     host_received: dict[str, int] = {h: 0 for h in hosts}
-    done_hosts = 0
-    finish_time = [0.0]
+    state = {"done_hosts": 0, "finish": base_time}
 
     def send_down(switch: str, chunk: int, at: float) -> None:
         for kid in atree.children_of.get(switch, ()):
-            net.send(Message(switch, kid, down_chunk, tag=("down", chunk)), at=at)
+            net.send(
+                Message(switch, kid, down_chunk, tag=("down", chunk), flow=flow),
+                at=at,
+            )
         for h in atree.hosts_of.get(switch, ()):
-            net.send(Message(switch, h, down_chunk, tag=("down", chunk)), at=at)
+            net.send(
+                Message(switch, h, down_chunk, tag=("down", chunk), flow=flow),
+                at=at,
+            )
 
     def on_switch(switch: str):
         fan_in = atree.fan_in(switch)
@@ -178,7 +223,10 @@ def _simulate_flare_sparse_allreduce(
                         send_down(switch, chunk, now + agg_latency_ns_per_chunk)
                     else:
                         net.send(
-                            Message(switch, parent, up_chunk, tag=("up", chunk)),
+                            Message(
+                                switch, parent, up_chunk,
+                                tag=("up", chunk), flow=flow,
+                            ),
                             at=now + agg_latency_ns_per_chunk,
                         )
             else:
@@ -186,46 +234,50 @@ def _simulate_flare_sparse_allreduce(
 
         return deliver
 
+    def finished() -> CollectiveResult:
+        # Representative per-level sizes for reporting: host, first
+        # non-root switch level, root.
+        first_leaf = next(
+            (s for s in atree.switches() if atree.parent_of(s) is not None),
+            atree.root,
+        )
+        stats = net.flow_stats(flow)
+        return CollectiveResult(
+            name="Flare sparse",
+            n_hosts=P,
+            vector_bytes=total_elements * 4,
+            time_ns=state["finish"] - base_time,
+            traffic_bytes_hops=stats.bytes_hops,
+            sent_bytes_per_host=host_bytes,
+            extra={
+                "host_bytes": host_bytes,
+                "leaf_bytes": up_bytes[first_leaf],
+                "root_bytes": down_bytes,
+                "tree_root": atree.root,
+                "tree_depth": atree.depth(),
+                **net.traffic_extra(flow=flow),
+            },
+        )
+
     def on_host(host: str):
         def deliver(msg: Message, now: float) -> None:
-            nonlocal done_hosts
             host_received[host] += 1
             if host_received[host] == n_chunks:
-                done_hosts += 1
-                finish_time[0] = max(finish_time[0], now)
+                state["done_hosts"] += 1
+                state["finish"] = max(state["finish"], now)
+                if state["done_hosts"] == P:
+                    on_complete(finished())
 
         return deliver
 
     for switch in atree.switches():
-        net.on_deliver(switch, on_switch(switch))
+        net.on_deliver(switch, on_switch(switch), flow=flow)
     for h in hosts:
-        net.on_deliver(h, on_host(h))
+        net.on_deliver(h, on_host(h), flow=flow)
     for h in hosts:
         attach = atree.attach_of(h)
         for c in range(n_chunks):
-            net.send(Message(h, attach, host_chunk, tag=("up", c)), at=0.0)
-    net.run()
-    if done_hosts != P:
-        raise RuntimeError(f"flare sparse incomplete: {done_hosts}/{P}")
-    # Representative per-level sizes for reporting: host, first
-    # non-root switch level, root.
-    first_leaf = next(
-        (s for s in atree.switches() if atree.parent_of(s) is not None),
-        atree.root,
-    )
-    return CollectiveResult(
-        name="Flare sparse",
-        n_hosts=P,
-        vector_bytes=total_elements * 4,
-        time_ns=finish_time[0],
-        traffic_bytes_hops=net.traffic.bytes_hops,
-        sent_bytes_per_host=host_bytes,
-        extra={
-            "host_bytes": host_bytes,
-            "leaf_bytes": up_bytes[first_leaf],
-            "root_bytes": down_bytes,
-            "tree_root": atree.root,
-            "tree_depth": atree.depth(),
-            **net.traffic_extra(),
-        },
-    )
+            net.send(
+                Message(h, attach, host_chunk, tag=("up", c), flow=flow),
+                at=base_time,
+            )

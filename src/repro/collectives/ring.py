@@ -61,7 +61,33 @@ def _simulate_ring_allreduce(
     router=None,
     routing_seed: int = 0,
 ) -> CollectiveResult:
-    """Ring-allreduce schedule implementation.
+    """Ring-allreduce schedule on a private simulator (one collective)."""
+    net = NetworkSimulator(topology, router=router, routing_seed=routing_seed)
+    done: list[CollectiveResult] = []
+    issue_ring_allreduce(
+        net,
+        vector_bytes,
+        sub_chunk_bytes=sub_chunk_bytes,
+        host_reduce_bytes_per_ns=host_reduce_bytes_per_ns,
+        on_complete=done.append,
+    )
+    net.run()
+    if not done:
+        raise RuntimeError("ring incomplete: not all hosts finished")
+    return done[0]
+
+
+def issue_ring_allreduce(
+    net: NetworkSimulator,
+    vector_bytes: float,
+    *,
+    sub_chunk_bytes: float = 128 * 1024,
+    host_reduce_bytes_per_ns: float = 0.0,
+    flow: object = None,
+    base_time: float = 0.0,
+    on_complete,
+) -> None:
+    """Issue one ring allreduce into a (possibly shared) simulator.
 
     Each Z/P segment is further cut into sub-chunks; a rank forwards
     sub-chunk k of step s+1 as soon as it has received sub-chunk k of
@@ -72,8 +98,15 @@ def _simulate_ring_allreduce(
     ``host_reduce_bytes_per_ns`` optionally charges host-side reduction
     compute per received byte during the reduce-scatter phase (0 =
     compute fully overlapped, the bandwidth-dominated regime).
+
+    Events are injected at ``base_time`` under flow id ``flow``;
+    ``on_complete(result)`` fires inside the event loop when the last
+    host finishes, with times measured relative to ``base_time`` and
+    traffic read from the flow's own accounting — so several issued
+    collectives can interleave in one loop and still report per-tenant
+    results.
     """
-    net = NetworkSimulator(topology, router=router, routing_seed=routing_seed)
+    topology = net.topology
     hosts = topology.hosts
     P = len(hosts)
     if P < 2:
@@ -83,8 +116,7 @@ def _simulate_ring_allreduce(
     sub_bytes = seg_bytes / n_sub
     total_steps = 2 * (P - 1)
 
-    done_hosts = 0
-    finish_time = [0.0]
+    state = {"done_hosts": 0, "finish": base_time}
     last_received = {h: 0 for h in hosts}   # sub-chunks of the final step
 
     def successor(i: int) -> str:
@@ -97,12 +129,27 @@ def _simulate_ring_allreduce(
                 dst=successor(i),
                 nbytes=sub_bytes,
                 tag=("ring", step, sub),
+                flow=flow,
             ),
             at=at,
         )
 
+    def finished() -> CollectiveResult:
+        stats = net.flow_stats(flow)
+        return CollectiveResult(
+            name="host-dense (ring)",
+            n_hosts=P,
+            vector_bytes=vector_bytes,
+            time_ns=state["finish"] - base_time,
+            traffic_bytes_hops=stats.bytes_hops,
+            sent_bytes_per_host=seg_bytes * total_steps,
+            extra={
+                "sub_chunks_per_segment": n_sub,
+                **net.traffic_extra(flow=flow),
+            },
+        )
+
     def on_deliver(msg: Message, now: float) -> None:
-        nonlocal done_hosts
         _kind, step, sub = msg.tag
         receiver = msg.dst
         i = int(receiver[1:])
@@ -114,23 +161,13 @@ def _simulate_ring_allreduce(
         else:
             last_received[receiver] += 1
             if last_received[receiver] == n_sub:
-                done_hosts += 1
-                finish_time[0] = max(finish_time[0], now + compute)
+                state["done_hosts"] += 1
+                state["finish"] = max(state["finish"], now + compute)
+                if state["done_hosts"] == P:
+                    on_complete(finished())
 
     for h in hosts:
-        net.on_deliver(h, on_deliver)
+        net.on_deliver(h, on_deliver, flow=flow)
     for i in range(P):
         for sub in range(n_sub):
-            send_sub(i, 0, sub, 0.0)
-    net.run()
-    if done_hosts != P:
-        raise RuntimeError(f"ring incomplete: {done_hosts}/{P} hosts finished")
-    return CollectiveResult(
-        name="host-dense (ring)",
-        n_hosts=P,
-        vector_bytes=vector_bytes,
-        time_ns=finish_time[0],
-        traffic_bytes_hops=net.traffic.bytes_hops,
-        sent_bytes_per_host=seg_bytes * total_steps,
-        extra={"sub_chunks_per_segment": n_sub, **net.traffic_extra()},
-    )
+            send_sub(i, 0, sub, base_time)

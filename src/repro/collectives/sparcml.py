@@ -127,6 +127,44 @@ def _simulate_sparcml_allreduce(
     per-round sizes it computed once.
     """
     net = NetworkSimulator(topology, router=router, routing_seed=routing_seed)
+    done: list[CollectiveResult] = []
+    issue_sparcml_allreduce(
+        net,
+        total_elements,
+        bucket_span=bucket_span,
+        nnz_per_bucket=nnz_per_bucket,
+        dense_switch=dense_switch,
+        host_reduce_bytes_per_ns=host_reduce_bytes_per_ns,
+        round_bytes=round_bytes,
+        on_complete=done.append,
+    )
+    net.run()
+    if not done:
+        raise RuntimeError("SSAR incomplete: not all hosts finished")
+    return done[0]
+
+
+def issue_sparcml_allreduce(
+    net: NetworkSimulator,
+    total_elements: float,
+    *,
+    bucket_span: int = 512,
+    nnz_per_bucket: float = 1.0,
+    dense_switch: bool = True,
+    host_reduce_bytes_per_ns: float = 2.5,
+    round_bytes: list[float] | None = None,
+    flow: object = None,
+    base_time: float = 0.0,
+    on_complete,
+) -> None:
+    """Issue one SSAR allreduce into a (possibly shared) simulator.
+
+    Events start at ``base_time`` under flow id ``flow``;
+    ``on_complete(result)`` fires inside the event loop when the final
+    allgather round lands everywhere, with times relative to
+    ``base_time`` and traffic read from the flow's own accounting.
+    """
+    topology = net.topology
     hosts = topology.hosts
     P = len(hosts)
     sizes = round_bytes if round_bytes is not None else sparcml_round_bytes(
@@ -145,8 +183,7 @@ def _simulate_sparcml_allreduce(
 
     progressed: dict[str, int] = {h: 0 for h in hosts}   # rounds finished
     subs_received: dict[tuple[str, int], int] = {}
-    done_hosts = 0
-    finish_time = [0.0]
+    state = {"done_hosts": 0, "finish": base_time}
 
     def send_round(i: int, rnd: int, at: float) -> None:
         partner = i ^ distances[rnd]
@@ -156,13 +193,24 @@ def _simulate_sparcml_allreduce(
             net.send(
                 Message(
                     hosts[i], hosts[partner], sub_bytes,
-                    tag=("ssar", rnd, s, n_sub),
+                    tag=("ssar", rnd, s, n_sub), flow=flow,
                 ),
                 at=at,
             )
 
+    def finished() -> CollectiveResult:
+        stats = net.flow_stats(flow)
+        return CollectiveResult(
+            name="host-sparse (SparCML)",
+            n_hosts=P,
+            vector_bytes=total_elements * DENSE_ELEMENT_BYTES,
+            time_ns=state["finish"] - base_time,
+            traffic_bytes_hops=stats.bytes_hops,
+            sent_bytes_per_host=sum(sizes),
+            extra={"round_bytes": sizes, **net.traffic_extra(flow=flow)},
+        )
+
     def on_deliver(msg: Message, now: float) -> None:
-        nonlocal done_hosts
         _kind, rnd, _sub, n_sub = msg.tag
         receiver = msg.dst
         key = (receiver, rnd)
@@ -177,22 +225,12 @@ def _simulate_sparcml_allreduce(
         if rnd + 1 < total_rounds:
             send_round(i, rnd + 1, now + compute)
         else:
-            done_hosts += 1
-            finish_time[0] = max(finish_time[0], now + compute)
+            state["done_hosts"] += 1
+            state["finish"] = max(state["finish"], now + compute)
+            if state["done_hosts"] == P:
+                on_complete(finished())
 
     for h in hosts:
-        net.on_deliver(h, on_deliver)
+        net.on_deliver(h, on_deliver, flow=flow)
     for i in range(P):
-        send_round(i, 0, 0.0)
-    net.run()
-    if done_hosts != P:
-        raise RuntimeError(f"SSAR incomplete: {done_hosts}/{P}")
-    return CollectiveResult(
-        name="host-sparse (SparCML)",
-        n_hosts=P,
-        vector_bytes=total_elements * DENSE_ELEMENT_BYTES,
-        time_ns=finish_time[0],
-        traffic_bytes_hops=net.traffic.bytes_hops,
-        sent_bytes_per_host=sum(sizes),
-        extra={"round_bytes": sizes, **net.traffic_extra()},
-    )
+        send_round(i, 0, base_time)

@@ -22,15 +22,27 @@ from __future__ import annotations
 from typing import Optional, Union
 
 from repro.collectives.result import CollectiveResult
-from repro.comm.communicator import Communicator, EXECUTE_KEYS
-from repro.comm.future import CollectiveFuture, wait_all
+from repro.comm.communicator import (
+    Communicator,
+    EXECUTE_KEYS,
+    resolve_topology_hosts,
+)
+from repro.comm.fabric import Fabric, FabricError
+from repro.comm.future import (
+    CollectiveError,
+    CollectiveFuture,
+    wait_all,
+    wait_any,
+)
 from repro.comm.plan import (
     CacheInfo,
     CollectivePlan,
+    IssueContext,
     PlanCache,
     PlannedExecution,
     build_plan,
 )
+from repro.core.manager import AdmissionError
 from repro.comm.registry import (
     AlgorithmCaps,
     AlgorithmEntry,
@@ -88,11 +100,16 @@ def legacy_execute(
 
 
 __all__ = [
+    "AdmissionError",
     "Communicator",
+    "CollectiveError",
     "CollectiveRequest",
     "CollectiveResult",
     "CollectivePlan",
     "CollectiveFuture",
+    "Fabric",
+    "FabricError",
+    "IssueContext",
     "PlanCache",
     "PlannedExecution",
     "CacheInfo",
@@ -111,6 +128,8 @@ __all__ = [
     "resolve",
     "build_plan",
     "legacy_execute",
+    "resolve_topology_hosts",
     "wait_all",
+    "wait_any",
     "EXECUTE_KEYS",
 ]

@@ -28,15 +28,23 @@ from repro.collectives.algorithms import (
     rabenseifner_allreduce,
     recursive_doubling_allreduce,
 )
-from repro.collectives.flare_dense import _simulate_flare_dense_allreduce
+from repro.collectives.flare_dense import (
+    _simulate_flare_dense_allreduce,
+    issue_flare_dense_allreduce,
+)
 from repro.collectives.flare_sparse import (
     _simulate_flare_sparse_allreduce,
+    issue_flare_sparse_allreduce,
     sparse_tree_bytes,
 )
 from repro.collectives.result import CollectiveResult
-from repro.collectives.ring import _simulate_ring_allreduce
-from repro.collectives.sparcml import _simulate_sparcml_allreduce, sparcml_round_bytes
-from repro.comm.plan import PlannedExecution
+from repro.collectives.ring import _simulate_ring_allreduce, issue_ring_allreduce
+from repro.collectives.sparcml import (
+    _simulate_sparcml_allreduce,
+    issue_sparcml_allreduce,
+    sparcml_round_bytes,
+)
+from repro.comm.plan import IssueContext, PlannedExecution
 from repro.comm.registry import AlgorithmCaps, CapabilityError, register_algorithm
 from repro.comm.request import DENSE_ELEMENT_BYTES, CollectiveRequest
 from repro.core.allreduce import plan_switch_allreduce
@@ -67,6 +75,23 @@ def _default_hosts_per_leaf(n_hosts: int) -> int:
         if n_hosts % d == 0 and n_hosts > d:
             return d
     return n_hosts
+
+
+def default_fat_tree_kwargs(n_hosts: int, params: dict) -> dict:
+    """The paper's default fat-tree sizing from legacy knobs.
+
+    Single source of truth shared by plans (:class:`_TopologySource`)
+    and :class:`repro.comm.fabric.Fabric`: both must wire the identical
+    fabric from the same inputs or tree node names would diverge.
+    """
+    hpl = params.get("hosts_per_leaf") or _default_hosts_per_leaf(n_hosts)
+    return dict(
+        n_hosts=n_hosts,
+        hosts_per_leaf=hpl,
+        n_spines=min(params.get("n_spines", 4), hpl),
+        link_gbps=params.get("link_gbps", 100.0),
+        link_latency_ns=params.get("link_latency_ns", 250.0),
+    )
 
 
 class _TopologySource:
@@ -102,15 +127,7 @@ class _TopologySource:
             self.family = topo or "fat-tree"
             self._kwargs = dict(p.get("topology_params") or {})
             if self.family == "fat-tree" and not self._kwargs:
-                n_hosts = request.n_hosts
-                hpl = p.get("hosts_per_leaf") or _default_hosts_per_leaf(n_hosts)
-                self._kwargs = dict(
-                    n_hosts=n_hosts,
-                    hosts_per_leaf=hpl,
-                    n_spines=min(p.get("n_spines", 4), hpl),
-                    link_gbps=p.get("link_gbps", 100.0),
-                    link_latency_ns=p.get("link_latency_ns", 250.0),
-                )
+                self._kwargs = default_fat_tree_kwargs(request.n_hosts, p)
         self._shape_cache: Optional[Topology] = None
         shape = self.shape
         if shape.n_hosts != request.n_hosts:
@@ -158,6 +175,17 @@ class _TopologySource:
             **self._kwargs,
             "routing": self.routing,
         }
+
+    def check_fabric(self, net) -> None:
+        """Issue-time guard: a shared fabric must wire the same fabric
+        this plan was shaped for (same family and parameters), or tree
+        node names and host lists would silently mismatch."""
+        if net.topology.fingerprint() != self.shape.fingerprint():
+            raise CapabilityError(
+                f"plan was shaped for topology {self.describe()!r} but the "
+                f"fabric wires {dict(net.topology.describe())!r}; attach the "
+                "communicator to a matching fabric or replan"
+            )
 
 
 # ----------------------------------------------------------------------
@@ -350,8 +378,22 @@ def _plan_ring(request: CollectiveRequest) -> PlannedExecution:
             routing_seed=source.routing_seed,
         )
 
+    def issuer(ctx: IssueContext, payloads, overrides) -> None:
+        _reject_payloads("ring", payloads)
+        source.check_fabric(ctx.net)
+        issue_ring_allreduce(
+            ctx.net,
+            request.nbytes,
+            sub_chunk_bytes=sub_chunk_bytes,
+            host_reduce_bytes_per_ns=host_reduce,
+            flow=ctx.flow,
+            base_time=ctx.net.now,
+            on_complete=ctx.finish,
+        )
+
     return PlannedExecution(
         runner=runner,
+        issuer=issuer,
         setup={
             "topology": source.describe(),
             "segment_bytes": seg_bytes,
@@ -400,8 +442,25 @@ def _plan_sparcml(request: CollectiveRequest) -> PlannedExecution:
             routing_seed=source.routing_seed,
         )
 
+    def issuer(ctx: IssueContext, payloads, overrides) -> None:
+        _reject_payloads("sparcml", payloads)
+        source.check_fabric(ctx.net)
+        issue_sparcml_allreduce(
+            ctx.net,
+            total_elements,
+            bucket_span=bucket_span,
+            nnz_per_bucket=nnz_per_bucket,
+            dense_switch=dense_switch,
+            host_reduce_bytes_per_ns=host_reduce,
+            round_bytes=round_bytes,
+            flow=ctx.flow,
+            base_time=ctx.net.now,
+            on_complete=ctx.finish,
+        )
+
     return PlannedExecution(
         runner=runner,
+        issuer=issuer,
         setup={
             "topology": source.describe(),
             "rounds": len(round_bytes),
@@ -445,12 +504,28 @@ def _plan_flare_dense(request: CollectiveRequest) -> PlannedExecution:
             routing_seed=source.routing_seed,
         )
 
+    def issuer(ctx: IssueContext, payloads, overrides) -> None:
+        _reject_payloads("flare_dense", payloads)
+        source.check_fabric(ctx.net)
+        issue_flare_dense_allreduce(
+            ctx.net,
+            request.nbytes,
+            chunk_bytes=chunk_bytes,
+            agg_latency_ns_per_chunk=agg_latency,
+            tree=tree,
+            flow=ctx.flow,
+            base_time=ctx.net.now,
+            on_complete=ctx.finish,
+        )
+
     return PlannedExecution(
         runner=runner,
+        issuer=issuer,
         setup={
             "topology": source.describe(),
             "tree_root": atree.root,
             "tree_depth": atree.depth(),
+            "tree_switches": list(atree.switches()),
             "root_fan_in": atree.fan_in(atree.root),
             "n_chunks": max(1, int(round(request.nbytes / chunk_bytes))),
         },
@@ -505,12 +580,31 @@ def _plan_flare_sparse(request: CollectiveRequest) -> PlannedExecution:
             routing_seed=source.routing_seed,
         )
 
+    def issuer(ctx: IssueContext, payloads, overrides) -> None:
+        _reject_payloads("flare_sparse", payloads)
+        source.check_fabric(ctx.net)
+        issue_flare_sparse_allreduce(
+            ctx.net,
+            total_elements,
+            bucket_span=bucket_span,
+            nnz_per_bucket=nnz_per_bucket,
+            n_chunks=n_chunks,
+            agg_latency_ns_per_chunk=agg_latency,
+            level_bytes=level_bytes,
+            tree=tree,
+            flow=ctx.flow,
+            base_time=ctx.net.now,
+            on_complete=ctx.finish,
+        )
+
     return PlannedExecution(
         runner=runner,
+        issuer=issuer,
         setup={
             "topology": source.describe(),
             "tree_root": atree.root,
             "tree_depth": atree.depth(),
+            "tree_switches": list(atree.switches()),
             "host_bytes": level_bytes[0] if level_bytes is not None else host_bytes,
             "root_bytes": level_bytes[2] if level_bytes is not None
             else up_bytes[atree.root],

@@ -13,12 +13,19 @@ in the repository through a single request/result shape::
 Plans are cached by request shape (LRU), so the production steady
 state — the same allreduce issued every iteration — performs tree
 construction, handler selection, and message sizing exactly once.
+
+A communicator is one *tenant* of a :class:`~repro.comm.fabric.Fabric`:
+attach several to one fabric (``fabric.communicator(name=...,
+weight=...)``) and their in-flight collectives interleave in the
+fabric's single event loop, contending for links and switch resources
+under per-tenant QoS arbitration.  A lone ``Communicator(...)``
+implicitly creates a private fabric on first non-blocking use, so the
+single-tenant API (and its results) are unchanged.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
-import threading
+import inspect
 from typing import Optional, Union
 
 import numpy as np
@@ -29,10 +36,44 @@ from repro.comm.plan import CacheInfo, CollectivePlan, PlanCache, build_plan
 from repro.comm.registry import iter_algorithms, resolve
 from repro.comm.request import CollectiveRequest
 from repro.core.ops import ReductionOp
+from repro.network.topology import TOPOLOGIES
 
 #: Keyword arguments of ``allreduce``/``iallreduce`` that tune a single
 #: execution rather than the plan (excluded from the cache key).
 EXECUTE_KEYS = frozenset({"seed", "jitter", "cold_start", "verify"})
+
+
+def resolve_topology_hosts(
+    topology, topology_params: Optional[dict], n_hosts: int
+) -> tuple[int, Optional[dict]]:
+    """Reconcile a communicator's host count with its topology choice.
+
+    Returns the effective ``(n_hosts, topology_params)`` pair:
+
+    * a prebuilt :class:`~repro.network.topology.Topology` dictates the
+      host count outright;
+    * a named family parameterized by ``n_hosts`` (multi-rail,
+      fat-tree-with-params) gets the communicator's count forwarded
+      into its parameters;
+    * a named family whose parameters imply the host count (torus
+      dims, dragonfly groups) sizes the communicator instead;
+    * the bare default fat tree keeps the legacy request-driven sizing
+      (both inputs pass through untouched).
+
+    Unknown family names also pass through — they fail with the full
+    catalog at algorithm resolution, not here.
+    """
+    if topology is not None and not isinstance(topology, str):
+        return topology.n_hosts, topology_params
+    if isinstance(topology, str) and (topology != "fat-tree" or topology_params):
+        cls = TOPOLOGIES.get(topology)
+        if cls is not None:       # unknown families fail at resolve()
+            params = dict(topology_params or {})
+            if "n_hosts" in inspect.signature(cls.__init__).parameters:
+                params.setdefault("n_hosts", n_hosts)
+                topology_params = params
+            n_hosts = cls(**params).n_hosts
+    return n_hosts, topology_params
 
 
 class Communicator:
@@ -59,8 +100,15 @@ class Communicator:
     plan_cache_size:
         LRU capacity of the plan cache (keyed on request shape and
         topology fingerprint).
-    max_workers:
-        Worker threads backing :meth:`iallreduce`.
+    fabric:
+        Attach this communicator as a tenant of a shared
+        :class:`~repro.comm.fabric.Fabric` (whose topology and routing
+        it then inherits — passing conflicting wiring raises).  ``None``
+        keeps the communicator standalone; a private fabric is created
+        implicitly the first time :meth:`iallreduce` needs one.
+    name, weight:
+        Tenant identity and QoS share in the fabric's link arbitration
+        (only meaningful with a shared fabric).
     """
 
     def __init__(
@@ -76,33 +124,30 @@ class Communicator:
         n_clusters: int = 4,
         cores_per_cluster: int = 8,
         plan_cache_size: int = 64,
-        max_workers: int = 4,
+        fabric=None,
+        name: Optional[str] = None,
+        weight: float = 1.0,
     ) -> None:
         if n_hosts < 1:
             raise ValueError("n_hosts must be >= 1")
-        if topology is not None and not isinstance(topology, str):
-            n_hosts = topology.n_hosts
-        elif isinstance(topology, str) and (
-            topology != "fat-tree" or topology_params
-        ):
-            # Reconcile the communicator's host count with the named
-            # family: families parameterized by n_hosts (multi-rail,
-            # fat-tree-with-params) get it forwarded; families whose
-            # parameters imply the host count (torus dims, dragonfly
-            # groups) size the communicator instead.  (The bare fat
-            # tree keeps the legacy request-driven sizing.)
-            import inspect
-
-            from repro.network.topology import TOPOLOGIES
-
-            cls = TOPOLOGIES.get(topology)
-            if cls is not None:       # unknown families fail at resolve()
-                params = dict(topology_params or {})
-                if "n_hosts" in inspect.signature(cls.__init__).parameters:
-                    params.setdefault("n_hosts", n_hosts)
-                    topology_params = params
-                n_hosts = cls(**params).n_hosts
+        if weight <= 0:
+            raise ValueError("tenant weight must be positive")
+        if fabric is not None:
+            if topology is not None or topology_params is not None:
+                raise ValueError(
+                    "a fabric-attached communicator inherits the fabric's "
+                    "topology; do not pass topology/topology_params"
+                )
+            topology = fabric.topology
+            if routing is None:
+                routing = fabric.routing
+                routing_seed = fabric.routing_seed
+        n_hosts, topology_params = resolve_topology_hosts(
+            topology, topology_params, n_hosts
+        )
         self.n_hosts = n_hosts
+        self.name = name
+        self.weight = float(weight)
         self._defaults: dict = {
             "n_spines": n_spines,
             "n_clusters": n_clusters,
@@ -120,9 +165,10 @@ class Communicator:
             self._defaults["hosts_per_leaf"] = hosts_per_leaf
         self._cache = PlanCache(plan_cache_size)
         self.plans_built = 0
-        self._max_workers = max_workers
-        self._pool: Optional[concurrent.futures.ThreadPoolExecutor] = None
-        self._pool_lock = threading.Lock()
+        self._fabric = fabric
+        self._attached = fabric is not None
+        if fabric is not None:
+            self.name = fabric._register(self)
 
     # ------------------------------------------------------------------
     # Request construction
@@ -225,7 +271,19 @@ class Communicator:
         algorithm: str = "auto",
         **kwargs,
     ) -> CollectiveResult:
-        """Blocking allreduce; returns the unified result."""
+        """Blocking allreduce; returns the unified result.
+
+        Standalone communicators execute directly (the single-tenant
+        fast path, bit-identical to the pre-fabric behavior); tenants
+        of a shared fabric issue into the fabric's loop and drive it to
+        completion, so blocking calls still contend with other
+        tenants' in-flight work.
+        """
+        if self._attached:
+            future = self.iallreduce(data, op=op, algorithm=algorithm, **kwargs)
+            result = future.result()
+            self._fabric.run()      # drain releases scheduled behind us
+            return result
         execute_args = {k: kwargs.pop(k) for k in tuple(kwargs) if k in EXECUTE_KEYS}
         request, payloads = self.make_request(
             data, op=op, algorithm=algorithm, **kwargs
@@ -242,17 +300,55 @@ class Communicator:
     ) -> CollectiveFuture:
         """Non-blocking allreduce; returns a future immediately.
 
-        Planning happens on the issuing thread (so capability errors
-        raise synchronously and the plan cache is warmed); the data
-        plane runs on the worker pool.
+        Planning happens synchronously (so capability errors raise at
+        the call site and the plan cache is warmed); the collective's
+        events are then issued into the owning fabric's single event
+        loop, where they interleave — and contend — with every other
+        in-flight collective on the fabric.  ``future.result()`` (or
+        ``wait_all``/``wait_any``) drives the loop to completion.
         """
         execute_args = {k: kwargs.pop(k) for k in tuple(kwargs) if k in EXECUTE_KEYS}
         request, payloads = self.make_request(
             data, op=op, algorithm=algorithm, **kwargs
         )
         plan = self.plan(request, payloads=payloads)
-        inner = self._executor().submit(plan.execute, payloads, **execute_args)
-        return CollectiveFuture(inner, request, plan.algorithm)
+        fabric = self._ensure_fabric()
+        return fabric.issue(
+            self,
+            plan,
+            payloads,
+            execute_args,
+            tenant=self.name,
+            weight=self.weight,
+        )
+
+    # ------------------------------------------------------------------
+    # Fabric attachment
+    # ------------------------------------------------------------------
+    @property
+    def fabric(self):
+        """The fabric this communicator issues into (None until one
+        exists — attach explicitly or call :meth:`iallreduce` once)."""
+        return self._fabric
+
+    def _ensure_fabric(self):
+        if self._fabric is None:
+            from repro.comm.fabric import Fabric
+
+            d = self._defaults
+            fabric = Fabric(
+                topology=d.get("topology"),
+                topology_params=d.get("topology_params"),
+                n_hosts=self.n_hosts,
+                routing=d.get("routing"),
+                routing_seed=d.get("routing_seed", 0),
+                hosts_per_leaf=d.get("hosts_per_leaf"),
+                n_spines=d.get("n_spines", 4),
+            )
+            fabric._implicit = True
+            self.name = fabric._register(self)
+            self._fabric = fabric
+        return self._fabric
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle
@@ -287,21 +383,10 @@ class Communicator:
             )
         return out
 
-    def _executor(self) -> concurrent.futures.ThreadPoolExecutor:
-        with self._pool_lock:
-            if self._pool is None:
-                self._pool = concurrent.futures.ThreadPoolExecutor(
-                    max_workers=self._max_workers,
-                    thread_name_prefix="repro-comm",
-                )
-            return self._pool
-
     def close(self) -> None:
-        """Shut down the worker pool (waits for in-flight collectives)."""
-        with self._pool_lock:
-            pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.shutdown(wait=True)
+        """Drain in-flight collectives (drives the fabric loop dry)."""
+        if self._fabric is not None:
+            self._fabric.run()
 
     def __enter__(self) -> "Communicator":
         return self

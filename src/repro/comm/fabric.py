@@ -1,0 +1,442 @@
+"""Shared-fabric execution: concurrent collectives, one event loop.
+
+A :class:`Fabric` owns the physical substrate every collective runs
+over — the topology (with its live link state), the routing policy, the
+pooled switch resources of the Sec. 4 control plane, and a single
+discrete-event clock (the PsPIN :class:`~repro.pspin.engine.Simulator`,
+reused as the fabric-wide timebase).  Any number of
+:class:`~repro.comm.communicator.Communicator` tenants attach via
+:meth:`Fabric.communicator`::
+
+    fabric = Fabric(n_hosts=16, n_spines=1)           # oversubscribed
+    training = fabric.communicator(name="training", weight=4.0)
+    indexing = fabric.communicator(name="indexing", weight=1.0)
+    f1 = training.iallreduce("8MiB", algorithm="ring")
+    f2 = indexing.iallreduce("8MiB", algorithm="ring")
+    wait_all([f1, f2])                                # contend, arbitrated
+    print(fabric.timeline())
+
+In-flight collectives from all tenants interleave as events in the one
+loop: their chunks queue behind each other on shared links (weighted
+start-time-fair arbitration, per-tenant QoS weights), and in-network
+collectives pass through the live :class:`NetworkManager` admission
+path — pooled handler slots and switch memory, per-tenant quotas —
+falling back to a host-based algorithm when a switch pool is full,
+exactly the paper's reject-and-fall-back behavior.
+
+:meth:`Fabric.timeline` exports a per-tenant trace (start/finish,
+bytes, achieved goodput, hot links, fallbacks) for the bench CLI
+(``bench --tenants N --overlap``) and CI artifacts.
+
+A lone ``Communicator`` transparently creates a *private* fabric on
+first use, so the single-tenant API and its results are unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Optional
+
+from repro.comm.plan import CollectivePlan, IssueContext
+from repro.comm.registry import CapabilityError, CommError
+from repro.core.manager import AdmissionError, NetworkManager
+from repro.network.simulator import NetworkSimulator
+from repro.network.topology import Topology, build_topology
+from repro.network.trees import TreePlanner
+from repro.pspin.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.comm.communicator import Communicator
+    from repro.comm.future import CollectiveFuture
+
+
+class FabricError(CommError):
+    """Fabric-level failure (deadlocked loop, duplicate tenant, ...)."""
+
+
+class Fabric:
+    """One shared substrate serving any number of communicator tenants.
+
+    Parameters
+    ----------
+    topology:
+        A family name (built from ``topology_params``) or a prebuilt
+        :class:`~repro.network.topology.Topology`; ``None`` keeps the
+        paper's fat tree sized from ``n_hosts``/``hosts_per_leaf``/
+        ``n_spines``.
+    routing, routing_seed:
+        Path-selection policy over the shared links (default: seeded
+        deterministic ECMP).
+    arbitration:
+        Link scheduling across tenants: ``"wfq"`` (weighted
+        start-time-fair, the default — QoS weights matter) or
+        ``"fifo"`` (arrival order).
+    max_allreduces_per_switch, switch_memory_bytes, tenant_quota:
+        Admission pools of the network manager (Sec. 4): concurrent
+        handler slots per switch, pooled switch SRAM per switch
+        (``None`` = unmetered), and the per-tenant concurrency cap.
+    fallback:
+        When admission rejects an in-network collective, transparently
+        replan it host-based (the paper's behavior) instead of raising.
+    """
+
+    def __init__(
+        self,
+        topology: "Topology | str | None" = None,
+        *,
+        topology_params: Optional[dict] = None,
+        n_hosts: int = 64,
+        routing: Optional[str] = None,
+        routing_seed: int = 0,
+        hosts_per_leaf: Optional[int] = None,
+        n_spines: int = 4,
+        arbitration: str = "wfq",
+        max_allreduces_per_switch: int = 8,
+        switch_memory_bytes: Optional[float] = None,
+        tenant_quota: Optional[int] = None,
+        fallback: bool = True,
+    ) -> None:
+        if isinstance(topology, Topology):
+            topo = topology
+        else:
+            from repro.comm.backends import default_fat_tree_kwargs
+
+            family = topology or "fat-tree"
+            params = dict(topology_params or {})
+            if family == "fat-tree" and not params:
+                params = default_fat_tree_kwargs(
+                    n_hosts,
+                    {"hosts_per_leaf": hosts_per_leaf, "n_spines": n_spines},
+                )
+            topo = build_topology(family, **params)
+        self.topology = topo
+        self.routing = routing
+        self.routing_seed = routing_seed
+        #: The single fabric clock — the PsPIN discrete-event engine,
+        #: shared by every collective issued into this fabric.
+        self.sim = Simulator()
+        self.net = NetworkSimulator(
+            topo,
+            router=routing,
+            routing_seed=routing_seed,
+            sim=self.sim,
+            arbitration=arbitration,
+        )
+        self.manager = NetworkManager(
+            max_allreduces_per_switch,
+            switch_memory_bytes=switch_memory_bytes,
+            tenant_quota=tenant_quota,
+        )
+        self.fallback = fallback
+        self._tenants: dict[str, "Communicator"] = {}
+        self._next_flow = 1
+        self._events: list[dict] = []
+        self._pending: "set[CollectiveFuture]" = set()
+        self._implicit = False      # created by a lone Communicator
+        self._default_root: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Tenants
+    # ------------------------------------------------------------------
+    def communicator(
+        self, name: Optional[str] = None, weight: float = 1.0, **kwargs
+    ) -> "Communicator":
+        """Attach a new tenant communicator to this fabric.
+
+        ``weight`` is the tenant's QoS share in link arbitration;
+        remaining ``kwargs`` go to the :class:`Communicator`
+        constructor (plan cache size, PsPIN dimensions, ...).
+        """
+        from repro.comm.communicator import Communicator
+
+        return Communicator(fabric=self, name=name, weight=weight, **kwargs)
+
+    def _register(self, comm: "Communicator") -> str:
+        name = comm.name
+        if name is None:
+            i = len(self._tenants)
+            while f"tenant{i}" in self._tenants:   # skip explicit names
+                i += 1
+            name = f"tenant{i}"
+        elif name in self._tenants:
+            raise FabricError(
+                f"tenant {name!r} is already attached to this fabric"
+            )
+        self._tenants[name] = comm
+        return name
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        return tuple(self._tenants)
+
+    # ------------------------------------------------------------------
+    # Issue path
+    # ------------------------------------------------------------------
+    def _aggregation_root(self) -> str:
+        """Resource key for single-switch in-network collectives: the
+        root the fabric's default aggregation tree would use."""
+        if self._default_root is None:
+            self._default_root = TreePlanner(self.topology).plan().root
+        return self._default_root
+
+    def _admission_switches(self, plan: CollectivePlan) -> tuple:
+        switches = plan.setup.get("tree_switches")
+        if switches:
+            return tuple(switches)
+        if self.topology.supports_aggregation:
+            return (self._aggregation_root(),)
+        return ()
+
+    def _fallback_plan(
+        self, comm: "Communicator", plan: CollectivePlan, payloads
+    ) -> CollectivePlan:
+        """Replan a rejected in-network collective host-based.
+
+        Size-only requests fall back to the timing baselines (ring /
+        SparCML); payload-carrying requests need an *executing*
+        host algorithm, so they take Rabenseifner (recursive halving/
+        doubling — the classic host fallback).
+        """
+        request = plan.request
+        if request.sparse:
+            algorithm = "sparcml"
+        elif payloads is not None:
+            algorithm = "rabenseifner"
+        else:
+            algorithm = "ring"
+        return comm.plan(
+            nbytes=request.nbytes,
+            n_hosts=request.n_hosts,
+            op=request.op,
+            dtype=request.dtype,
+            algorithm=algorithm,
+            sparse=request.sparse,
+            density=request.density,
+            payloads=payloads,
+        )
+
+    def issue(
+        self,
+        comm: "Communicator",
+        plan: CollectivePlan,
+        payloads=None,
+        overrides: Optional[dict] = None,
+        *,
+        tenant: Optional[str] = None,
+        weight: float = 1.0,
+    ) -> "CollectiveFuture":
+        """Issue one planned collective into the shared event loop.
+
+        In-network plans pass the pooled admission path first (slots,
+        switch memory, tenant quota); a switch-resource rejection falls
+        back to a host-based plan when ``fallback`` is on, while a
+        tenant-quota rejection always raises (queueing more work for an
+        over-quota tenant would defeat the quota).  Returns a
+        simulation-native future that resolves as the fabric's loop is
+        driven (``future.result()``, :meth:`run`, or ``wait_all``).
+        """
+        from repro.comm.future import CollectiveFuture
+
+        overrides = dict(overrides or {})
+        fell_back = False
+        admission_note = None
+        ticket = None
+        if plan.caps.in_network:
+            try:
+                ticket = self.manager.admit(
+                    self._admission_switches(plan),
+                    tenant=tenant,
+                    memory_bytes=float(plan.request.nbytes),
+                )
+            except AdmissionError as exc:
+                if getattr(exc, "resource", None) == "quota" or not self.fallback:
+                    raise
+                admission_note = str(exc)
+                plan = self._fallback_plan(comm, plan, payloads)
+                fell_back = True
+        flow = self._next_flow
+        self._next_flow += 1
+        future = CollectiveFuture(
+            plan.request, plan.algorithm, fabric=self, tenant=tenant, flow=flow
+        )
+        start = self.net.now
+        entry = {
+            "tenant": tenant,
+            "weight": weight,
+            "flow": flow,
+            "algorithm": plan.algorithm,
+            "nbytes": float(plan.request.nbytes),
+            "n_hosts": plan.request.n_hosts,
+            "start_ns": start,
+            "finish_ns": None,
+            "duration_ns": None,
+            "goodput_gbps": None,
+            "wire_bytes": None,
+            "hot_links": None,
+            "fell_back": fell_back,
+            "admission": admission_note,
+            "status": "running",
+        }
+
+        def settle(result) -> None:
+            duration = result.time_ns
+            entry.update(
+                finish_ns=start + duration,
+                duration_ns=duration,
+                goodput_gbps=(
+                    entry["nbytes"] * 8.0 / duration if duration > 0 else None
+                ),
+                wire_bytes=result.traffic_bytes_hops,
+                hot_links=result.extra.get("hot_links"),
+                status="done",
+            )
+            result.extra.setdefault("tenant", tenant)
+            result.extra["fell_back"] = fell_back
+            self._pending.discard(future)
+            future._settle(result=result)
+
+        if plan.supports_issue:
+            self.net.set_flow_weight(flow, weight)
+            ctx = IssueContext(net=self.net, flow=flow, finish=None)
+
+            def finish(result) -> None:
+                if ticket is not None:
+                    self.manager.release(ticket)
+                self.net.remove_flow(flow)
+                settle(result)
+
+            ctx.finish = finish
+            self._pending.add(future)
+            try:
+                plan.issue(ctx, payloads, **overrides)
+            except CapabilityError:
+                # The plan was shaped for a different fabric.  On the
+                # implicit private fabric this is legal legacy usage
+                # (per-call topology overrides); run it atomically on
+                # its own substrate instead of rejecting.
+                self._pending.discard(future)
+                self.net.remove_flow(flow)
+                if not self._implicit:
+                    if ticket is not None:
+                        self.manager.release(ticket)
+                    raise
+                self._execute_atomically(
+                    plan, payloads, overrides, ticket, start, entry, settle,
+                    future,
+                )
+            except Exception:
+                self._pending.discard(future)
+                self.net.remove_flow(flow)
+                if ticket is not None:
+                    self.manager.release(ticket)
+                raise
+        else:
+            self._execute_atomically(
+                plan, payloads, overrides, ticket, start, entry, settle, future
+            )
+        self._events.append(entry)
+        return future
+
+    def _execute_atomically(
+        self, plan, payloads, overrides, ticket, start, entry, settle, future
+    ) -> None:
+        """Non-interleaving plans (closed-form models, the PsPIN switch
+        simulation) execute in one shot at the current fabric time;
+        their switch resources stay held until the fabric clock passes
+        their modeled finish (``future.result()`` advances it there, so
+        strictly sequential issue/result never sees a stale pool)."""
+        try:
+            result = plan.execute(payloads, **overrides)
+        except Exception:
+            if ticket is not None:
+                self.manager.release(ticket)
+            raise
+        finish_time = max(start + result.time_ns, self.sim.now)
+        if ticket is not None:
+            self.sim.schedule_at(
+                finish_time, self.manager.release, ticket, priority=0
+            )
+        future._settle_time = finish_time
+        settle(result)
+
+    # ------------------------------------------------------------------
+    # Driving the loop
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the single earliest pending event (False when idle)."""
+        return self.sim.step()
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run to quiescence (or ``until``); returns the fabric time."""
+        self.sim.run(until=until)
+        return self.sim.now
+
+    def run_until(self, future: "CollectiveFuture") -> None:
+        """Drive the shared loop until ``future`` completes."""
+        while not future.done():
+            if not self.sim.step():
+                raise FabricError(
+                    f"fabric event loop drained but collective "
+                    f"{future.algorithm!r} (tenant {future.tenant!r}) never "
+                    "completed — deadlocked or mis-issued schedule"
+                )
+
+    @property
+    def now(self) -> float:
+        """Current fabric time (ns)."""
+        return self.sim.now
+
+    @property
+    def in_flight(self) -> int:
+        """Collectives issued but not yet completed."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def timeline(self) -> list[dict]:
+        """Per-collective trace, issue order: tenant, algorithm, start/
+        finish, bytes, achieved goodput, hot links, fallbacks."""
+        return [dict(e) for e in self._events]
+
+    def timeline_json(self, path: Optional[str] = None, indent: int = 2) -> str:
+        """The timeline as JSON; optionally written to ``path``."""
+        payload = {
+            "topology": {k: str(v) for k, v in self.topology.describe().items()},
+            "routing": self.net.router.name,
+            "arbitration": self.net.arbitration,
+            "now_ns": self.now,
+            "tenants": list(self._tenants),
+            "utilization": self.manager.utilization(),
+            "events": self.timeline(),
+        }
+        text = json.dumps(payload, indent=indent, default=str)
+        if path is not None:
+            with open(path, "w") as fh:
+                fh.write(text)
+        return text
+
+    def tenant_stats(self) -> dict[str, dict]:
+        """Aggregate per-tenant counters derived from the timeline."""
+        out: dict[str, dict] = {}
+        for e in self._events:
+            s = out.setdefault(
+                e["tenant"],
+                {
+                    "collectives": 0,
+                    "completed": 0,
+                    "fell_back": 0,
+                    "bytes": 0.0,
+                    "wire_bytes": 0.0,
+                    "busy_ns": 0.0,
+                },
+            )
+            s["collectives"] += 1
+            s["bytes"] += e["nbytes"]
+            if e["fell_back"]:
+                s["fell_back"] += 1
+            if e["status"] == "done":
+                s["completed"] += 1
+                s["wire_bytes"] += e["wire_bytes"] or 0.0
+                s["busy_ns"] += e["duration_ns"] or 0.0
+        return out

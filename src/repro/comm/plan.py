@@ -29,11 +29,37 @@ Runner = Callable[[Optional[object], dict], CollectiveResult]
 
 
 @dataclass
+class IssueContext:
+    """Execution context for a collective issued into a shared fabric.
+
+    ``net`` is the fabric's shared :class:`NetworkSimulator`; ``flow``
+    is the id the collective's messages carry (link arbitration and
+    per-tenant traffic accounting key on it); ``finish(result)`` must
+    be called exactly once, from inside the event loop, when the
+    collective completes.
+    """
+
+    net: object
+    flow: object
+    finish: Callable[[CollectiveResult], None]
+
+
+#: ``issuer(ctx, payloads, overrides) -> None`` — injects one
+#: collective's events into ``ctx.net`` starting at ``ctx.net.now`` and
+#: arranges for ``ctx.finish(result)`` when it completes.  Planners of
+#: event-driven network schedules provide it; planners whose execution
+#: is a closed-form model or a self-contained switch simulation leave
+#: it None and the fabric falls back to atomic execution.
+Issuer = Callable[[IssueContext, Optional[object], dict], None]
+
+
+@dataclass
 class PlannedExecution:
     """What a planner hands back: a runner plus setup metadata."""
 
     runner: Runner
     setup: dict = field(default_factory=dict)
+    issuer: Optional[Issuer] = None
 
 
 @dataclass
@@ -59,6 +85,37 @@ class CollectivePlan:
         result.op = self.request.op_name
         self.executions += 1
         return result
+
+    @property
+    def supports_issue(self) -> bool:
+        """Whether this plan can interleave inside a shared fabric loop."""
+        return self._planned.issuer is not None
+
+    def issue(
+        self, ctx: IssueContext, payloads: Optional[object] = None, **overrides
+    ) -> None:
+        """Inject one execution into a shared event loop (fabric path).
+
+        ``ctx.finish`` receives the stamped result when the collective
+        completes; planning work is *not* repeated.
+        """
+        if self._planned.issuer is None:
+            raise TypeError(
+                f"algorithm {self.algorithm!r} does not support fabric issue"
+            )
+        caller_finish = ctx.finish
+
+        def finish(result: CollectiveResult) -> None:
+            result.algorithm = self.algorithm
+            result.op = self.request.op_name
+            self.executions += 1
+            caller_finish(result)
+
+        self._planned.issuer(
+            IssueContext(net=ctx.net, flow=ctx.flow, finish=finish),
+            payloads,
+            overrides,
+        )
 
     def describe(self) -> str:
         lines = [f"plan: {self.algorithm} ({self.caps.description or 'no description'})"]

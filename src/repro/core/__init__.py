@@ -30,7 +30,12 @@ from repro.core.multi_buffer import MultiBufferHandler
 from repro.core.tree_buffer import TreeAggregationHandler
 from repro.core.policy import select_algorithm, ALGORITHMS
 from repro.core.staggered import staggered_schedule, sequential_schedule, arrival_stream
-from repro.core.manager import NetworkManager, ReductionTree
+from repro.core.manager import (
+    AdmissionError,
+    AdmissionTicket,
+    NetworkManager,
+    ReductionTree,
+)
 from repro.core.allreduce import (
     SwitchAllreducePlan,
     SwitchAllreduceResult,
@@ -73,6 +78,8 @@ __all__ = [
     "staggered_schedule",
     "sequential_schedule",
     "arrival_stream",
+    "AdmissionError",
+    "AdmissionTicket",
     "NetworkManager",
     "ReductionTree",
     "SwitchAllreducePlan",

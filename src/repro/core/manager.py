@@ -5,20 +5,47 @@ that (1) computes a reduction tree over the switches connecting the
 participating hosts, (2) assigns the allreduce a unique identifier, and
 (3) installs the aggregation handler + parser rule on every switch of
 the tree, telling each switch its child count and parent port.  Each
-switch serves at most ``max_allreduces`` concurrently (memory is
-statically partitioned across them); if a switch on the only available
-tree is full the request is rejected and the application falls back to
-host-based allreduce — exactly the paper's failure mode.
+switch serves at most ``max_allreduces`` concurrently; if a switch on
+the only available tree is full the request is rejected and the
+application falls back to host-based allreduce — exactly the paper's
+failure mode.
+
+Admission is *pooled* rather than statically partitioned: handler
+slots and switch SRAM form per-switch pools that live allreduces draw
+from (:meth:`NetworkManager.admit` / :meth:`NetworkManager.release`),
+and multi-tenant deployments can cap any one tenant's concurrent
+reductions with ``tenant_quota`` — the arbitration the shared
+:class:`repro.comm.fabric.Fabric` runs every collective through.
+Overflow raises :class:`AdmissionError` (a ``RuntimeError``), which
+callers answer with the paper's reject-and-fall-back-to-host behavior.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.core.handler_base import HandlerConfig
 from repro.core.ops import ReductionOp, SUM
 from repro.core.policy import build_handler, select_algorithm
+
+
+class AdmissionError(RuntimeError):
+    """A switch pool (handler slots, memory) or tenant quota is full.
+
+    Subclasses ``RuntimeError`` so legacy callers catching the static
+    ``max_allreduces`` rejection keep working.
+    """
+
+
+@dataclass(frozen=True)
+class AdmissionTicket:
+    """Proof of admission: the resources one live allreduce holds."""
+
+    ticket_id: int
+    switches: tuple
+    tenant: Optional[str]
+    memory_bytes: float
 
 
 @dataclass
@@ -89,11 +116,121 @@ class NetworkManager:
     fat-tree embedding for Fig. 15 lives in ``repro.network.trees``.
     """
 
-    def __init__(self, max_allreduces_per_switch: int = 8) -> None:
+    def __init__(
+        self,
+        max_allreduces_per_switch: int = 8,
+        *,
+        switch_memory_bytes: Optional[float] = None,
+        tenant_quota: Optional[int] = None,
+    ) -> None:
         self.max_allreduces = max_allreduces_per_switch
+        self.switch_memory_bytes = switch_memory_bytes
+        self.tenant_quota = tenant_quota
         self._next_id = 1
+        self._next_ticket = 1
         self._active: dict[int, InstalledAllreduce] = {}
-        self._load: dict[int, int] = {}   # switch id -> active allreduce count
+        self._load: dict = {}        # switch key -> active allreduce count
+        self._memory_used: dict = {}  # switch key -> admitted bytes
+        self._tenant_active: dict[str, int] = {}
+        self._tickets: dict[int, AdmissionTicket] = {}
+
+    # ------------------------------------------------------------------
+    # Pooled admission (multi-tenant fabric path)
+    # ------------------------------------------------------------------
+    def admit(
+        self,
+        switches: Iterable,
+        *,
+        tenant: Optional[str] = None,
+        memory_bytes: float = 0.0,
+    ) -> AdmissionTicket:
+        """Reserve one allreduce's resources on every listed switch.
+
+        Checks, atomically across all ``switches``: handler slots
+        (``max_allreduces`` pooled per switch), switch memory
+        (``switch_memory_bytes`` pooled per switch, when configured),
+        and the per-tenant concurrency quota.  Raises
+        :class:`AdmissionError` naming the exhausted resource;
+        on success returns a ticket for :meth:`release`.
+        """
+        switches = tuple(switches)
+        if tenant is not None and self.tenant_quota is not None:
+            if self._tenant_active.get(tenant, 0) >= self.tenant_quota:
+                raise self._rejection(
+                    "quota",
+                    f"tenant {tenant!r} already runs {self.tenant_quota} "
+                    "concurrent allreduces (quota); wait or fall back to "
+                    "host-based allreduce",
+                )
+        for sid in switches:
+            if self._load.get(sid, 0) >= self.max_allreduces:
+                raise self._rejection(
+                    "slots",
+                    f"switch {sid} already serves {self.max_allreduces} "
+                    "allreduces; recompute the tree or fall back to "
+                    "host-based allreduce",
+                )
+            if (
+                self.switch_memory_bytes is not None
+                and self._memory_used.get(sid, 0.0) + memory_bytes
+                > self.switch_memory_bytes
+            ):
+                raise self._rejection(
+                    "memory",
+                    f"switch {sid} memory pool exhausted "
+                    f"({self._memory_used.get(sid, 0.0):.0f}"
+                    f"/{self.switch_memory_bytes:.0f} B used, "
+                    f"{memory_bytes:.0f} B requested); fall back to "
+                    "host-based allreduce",
+                )
+        for sid in switches:
+            self._load[sid] = self._load.get(sid, 0) + 1
+            self._memory_used[sid] = (
+                self._memory_used.get(sid, 0.0) + memory_bytes
+            )
+        if tenant is not None:
+            self._tenant_active[tenant] = self._tenant_active.get(tenant, 0) + 1
+        ticket = AdmissionTicket(
+            ticket_id=self._next_ticket,
+            switches=switches,
+            tenant=tenant,
+            memory_bytes=memory_bytes,
+        )
+        self._next_ticket += 1
+        self._tickets[ticket.ticket_id] = ticket
+        return ticket
+
+    @staticmethod
+    def _rejection(resource: str, message: str) -> AdmissionError:
+        """An :class:`AdmissionError` tagged with the exhausted pool
+        (``"slots"``/``"memory"``/``"quota"``) so callers can decide
+        whether falling back to a host algorithm can help."""
+        exc = AdmissionError(message)
+        exc.resource = resource
+        return exc
+
+    def release(self, ticket: AdmissionTicket) -> None:
+        """Return a ticket's slots and memory to the pools."""
+        if self._tickets.pop(ticket.ticket_id, None) is None:
+            raise KeyError(f"ticket {ticket.ticket_id} is not active")
+        for sid in ticket.switches:
+            self._load[sid] = max(0, self._load.get(sid, 0) - 1)
+            self._memory_used[sid] = max(
+                0.0, self._memory_used.get(sid, 0.0) - ticket.memory_bytes
+            )
+        if ticket.tenant is not None:
+            self._tenant_active[ticket.tenant] = max(
+                0, self._tenant_active.get(ticket.tenant, 0) - 1
+            )
+
+    def utilization(self) -> dict:
+        """Live pool state (for timelines and operator dashboards)."""
+        return {
+            "switch_load": dict(self._load),
+            "switch_memory_bytes": dict(self._memory_used),
+            "tenant_active": dict(self._tenant_active),
+            "admitted": len(self._tickets),
+        }
 
     # ------------------------------------------------------------------
     # Tree construction
@@ -195,13 +332,14 @@ class NetworkManager:
     ) -> InstalledAllreduce:
         """Install handlers for ``tree`` on the given PsPIN switches.
 
-        Raises ``RuntimeError`` if any switch already runs its maximum
-        number of allreduces — callers then either recompute a tree
-        avoiding that switch or fall back to host-based allreduce.
+        Raises :class:`AdmissionError` (a ``RuntimeError``) if any
+        switch already runs its maximum number of allreduces — callers
+        then either recompute a tree avoiding that switch or fall back
+        to host-based allreduce.
         """
         for sid in tree.nodes:
             if self._load.get(sid, 0) >= self.max_allreduces:
-                raise RuntimeError(
+                raise AdmissionError(
                     f"switch {sid} already serves {self.max_allreduces} allreduces; "
                     "recompute the tree or fall back to host-based allreduce"
                 )

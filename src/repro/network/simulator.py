@@ -16,10 +16,23 @@ In-switch processing is modeled through *interceptors*: a callback
 registered at a switch node sees every message addressed through it and
 may consume the message (aggregate it into block state) and/or emit new
 ones — exactly the capability the authors added to SST.
+
+Multi-tenancy.  Several collectives may share one simulator: each
+message carries a ``flow`` id, delivery callbacks can be registered per
+``(node, flow)``, and traffic is accounted both globally and per flow.
+Under the default FIFO arbitration, link serialization queues messages
+in arrival order (the single-tenant behavior).  With
+``arbitration="wfq"`` a busy link instead queues contending messages
+and serves them in start-time-fair order weighted by each flow's QoS
+weight (:meth:`set_flow_weight`) — the per-tenant arbitration the
+shared :class:`repro.comm.fabric.Fabric` uses.  A single flow sees
+identical timing under both modes (start tags are monotone per flow),
+which is what pins single-tenant parity across the fabric refactor.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -37,6 +50,8 @@ class Message:
     nbytes: float
     tag: tuple = ()
     payload: object = None
+    #: Tenant/collective the chunk belongs to (None = untagged traffic).
+    flow: object = None
 
 
 @dataclass
@@ -76,12 +91,48 @@ class TrafficStats:
 Interceptor = Callable[["NetworkSimulator", Message, float], bool]
 
 
+class _LinkQueue:
+    """Per-link start-time-fair queue (WFQ mode only).
+
+    Packets that find the link busy are queued with a start tag
+    ``max(virtual_time, last finish tag of their flow)``; the link
+    serves the smallest start tag first (ties by enqueue order).  The
+    finish tag advances by ``nbytes / weight``, so a flow with weight w
+    gets ~w times the service of a weight-1 competitor while both
+    contend.  A lone flow's tags are monotone in enqueue order — FIFO.
+    """
+
+    __slots__ = ("vtime", "finish_tag", "heap", "drain_scheduled")
+
+    def __init__(self) -> None:
+        self.vtime = 0.0
+        self.finish_tag: dict = {}
+        self.heap: list = []          # (start_tag, seq, msg, node)
+        self.drain_scheduled = False
+
+    def push(self, msg: Message, node: NodeId, weight: float, seq: int) -> None:
+        start = max(self.vtime, self.finish_tag.get(msg.flow, 0.0))
+        self.finish_tag[msg.flow] = start + msg.nbytes / max(weight, 1e-9)
+        heapq.heappush(self.heap, (start, seq, msg, node))
+
+    def pop(self) -> tuple[Message, NodeId]:
+        start, _seq, msg, node = heapq.heappop(self.heap)
+        self.vtime = max(self.vtime, start)
+        return msg, node
+
+
 class NetworkSimulator:
     """Event-driven message transport over a topology.
 
     ``router`` is a policy name (``"shortest"``/``"ecmp"``/
     ``"adaptive"``), a prebuilt :class:`Router` over the same topology
     object, or ``None`` for the default (seeded deterministic ECMP).
+    ``sim`` lets several subsystems share one discrete-event engine
+    (the fabric reuses the PsPIN :class:`~repro.pspin.engine.Simulator`
+    as its single clock); by default each simulator owns a private one.
+    ``arbitration`` selects link scheduling: ``"fifo"`` (legacy
+    arrival-order serialization) or ``"wfq"`` (weighted start-time-fair
+    queueing across flows).
     """
 
     def __init__(
@@ -89,13 +140,24 @@ class NetworkSimulator:
         topology: Topology,
         router: "Router | str | None" = None,
         routing_seed: int = 0,
+        sim: Optional[Simulator] = None,
+        arbitration: str = "fifo",
     ) -> None:
+        if arbitration not in ("fifo", "wfq"):
+            raise ValueError(
+                f"unknown arbitration {arbitration!r}; use 'fifo' or 'wfq'"
+            )
         self.topology = topology
         self.router = build_router(router, topology, seed=routing_seed)
-        self.sim = Simulator()
+        self.sim = sim if sim is not None else Simulator()
+        self.arbitration = arbitration
         self.traffic = TrafficStats()
+        self._flow_traffic: dict[object, TrafficStats] = {}
+        self._flow_weight: dict[object, float] = {}
         self._interceptors: dict[NodeId, Interceptor] = {}
-        self._deliver_cb: dict[NodeId, Callable[[Message, float], None]] = {}
+        self._deliver_cb: dict[tuple, Callable[[Message, float], None]] = {}
+        self._queues: dict[tuple, _LinkQueue] = {}
+        self._queue_seq = 0
         #: Per-switch store-and-forward processing overhead (ns) applied
         #: when an interceptor re-emits; plain forwarding relies on link
         #: latency alone.
@@ -104,13 +166,49 @@ class NetworkSimulator:
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
-    def on_deliver(self, node: NodeId, callback: Callable[[Message, float], None]) -> None:
-        """Callback when a message terminates at ``node``."""
-        self._deliver_cb[node] = callback
+    def on_deliver(
+        self,
+        node: NodeId,
+        callback: Callable[[Message, float], None],
+        flow: object = None,
+    ) -> None:
+        """Callback when a ``flow`` message terminates at ``node``.
+
+        Registrations are keyed per (node, flow); a message whose flow
+        has no registration falls back to the node's flow-``None``
+        callback, so single-flow callers need not tag anything.
+        """
+        self._deliver_cb[(node, flow)] = callback
 
     def intercept(self, node: NodeId, interceptor: Interceptor) -> None:
         """Install an in-network processing hook at a switch node."""
         self._interceptors[node] = interceptor
+
+    def set_flow_weight(self, flow: object, weight: float) -> None:
+        """QoS weight used by WFQ link arbitration (default 1.0)."""
+        if weight <= 0:
+            raise ValueError("flow weight must be positive")
+        self._flow_weight[flow] = float(weight)
+
+    def remove_flow(self, flow: object) -> None:
+        """Drop a finished flow's callbacks, weight, queue tags, and
+        traffic stats.  Long-lived fabrics call this per collective, so
+        per-flow state must not accumulate; results snapshot what they
+        need from :meth:`flow_stats` before the flow is removed (global
+        stats always remain)."""
+        self._flow_weight.pop(flow, None)
+        self._flow_traffic.pop(flow, None)
+        for key in [k for k in self._deliver_cb if k[1] == flow]:
+            del self._deliver_cb[key]
+        for queue in self._queues.values():
+            queue.finish_tag.pop(flow, None)
+
+    def flow_stats(self, flow: object = None) -> TrafficStats:
+        """Traffic carried by one flow (global stats when ``flow`` is
+        None).  Untagged messages only appear in the global stats."""
+        if flow is None:
+            return self.traffic
+        return self._flow_traffic.setdefault(flow, TrafficStats())
 
     # ------------------------------------------------------------------
     # Sending
@@ -128,15 +226,62 @@ class NetworkSimulator:
                 if interceptor(self, msg, now):
                     return  # consumed by in-network processing
         if node == msg.dst:
-            cb = self._deliver_cb.get(node)
+            cb = self._deliver_cb.get((node, msg.flow))
+            if cb is None and msg.flow is not None:
+                cb = self._deliver_cb.get((node, None))
             if cb is not None:
                 cb(msg, now)
             return
         next_node = self.router.next_hop(node, msg.dst)
+        if self.arbitration == "wfq":
+            self._enqueue(node, next_node, msg)
+        else:
+            self._transmit(node, next_node, msg)
+
+    # ------------------------------------------------------------------
+    # Link service
+    # ------------------------------------------------------------------
+    def _record(self, src: NodeId, dst: NodeId, msg: Message) -> None:
+        self.traffic.record(src, dst, msg.nbytes)
+        if msg.flow is not None:
+            self.flow_stats(msg.flow).record(src, dst, msg.nbytes)
+
+    def _transmit(self, node: NodeId, next_node: NodeId, msg: Message) -> None:
         link = self.topology.link(node, next_node)
-        arrival = link.transmit(msg.nbytes, now)
-        self.traffic.record(node, next_node, msg.nbytes)
+        arrival = link.transmit(msg.nbytes, self.sim.now)
+        self._record(node, next_node, msg)
         self.sim.schedule_at(arrival, self._hop, msg, next_node)
+
+    def _enqueue(self, node: NodeId, next_node: NodeId, msg: Message) -> None:
+        key = (node, next_node)
+        queue = self._queues.get(key)
+        if queue is None:
+            queue = self._queues[key] = _LinkQueue()
+        weight = self._flow_weight.get(msg.flow, 1.0)
+        queue.push(msg, next_node, weight, self._queue_seq)
+        self._queue_seq += 1
+        self._drain(key)
+
+    def _drain(self, key: tuple) -> None:
+        """Serve the fairest queued message if the link is free; else
+        (re)arm a drain event for when it frees."""
+        queue = self._queues[key]
+        link = self.topology.link(*key)
+        now = self.sim.now
+        while queue.heap and link.busy_until <= now:
+            msg, next_node = queue.pop()
+            arrival = link.transmit(msg.nbytes, now)
+            self._record(key[0], next_node, msg)
+            self.sim.schedule_at(arrival, self._hop, msg, next_node)
+        if queue.heap and not queue.drain_scheduled:
+            queue.drain_scheduled = True
+
+            def rearm() -> None:
+                queue.drain_scheduled = False
+                self._drain(key)
+
+            # priority 0: the link must free before same-instant arrivals.
+            self.sim.schedule_at(link.busy_until, rearm, priority=0)
 
     # ------------------------------------------------------------------
     def run(self, until: Optional[float] = None) -> float:
@@ -148,10 +293,11 @@ class NetworkSimulator:
     def now(self) -> float:
         return self.sim.now
 
-    def traffic_extra(self, n_hot: int = 3) -> dict:
+    def traffic_extra(self, n_hot: int = 3, flow: object = None) -> dict:
         """Congestion fields for ``CollectiveResult.extra``."""
+        stats = self.flow_stats(flow)
         return {
-            "max_link_bytes": self.traffic.max_link_bytes,
-            "hot_links": self.traffic.hot_links(n_hot),
+            "max_link_bytes": stats.max_link_bytes,
+            "hot_links": stats.hot_links(n_hot),
             "routing": self.router.name,
         }

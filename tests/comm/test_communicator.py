@@ -158,11 +158,12 @@ def test_iallreduce_capability_error_raises_synchronously(comm):
         comm.iallreduce("16KiB", algorithm="ring", sparse=True, density=0.5)
 
 
-def test_context_manager_closes_pool():
+def test_context_manager_drains_fabric():
     with Communicator(n_hosts=4) as c:
         assert c.iallreduce("4KiB", algorithm="ring").result(timeout=60)
-    # Pool is shut down; a fresh one is created transparently if reused.
-    assert c._pool is None
+    # close() drained the implicit private fabric's loop.
+    assert c.fabric is not None
+    assert c.fabric.in_flight == 0
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,322 @@
+"""Shared-fabric sessions: real contention, QoS arbitration, pooled
+admission, and single-tenant parity across the refactor."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    AdmissionError,
+    CapabilityError,
+    Communicator,
+    Fabric,
+    FabricError,
+    wait_all,
+)
+from repro.core.allreduce import make_dense_blocks
+
+#: An oversubscribed fat tree: 16 hosts, 2 leaves, ONE spine — every
+#: cross-rack byte of every tenant squeezes through the same uplinks.
+OVERSUB = dict(n_hosts=16, hosts_per_leaf=8, n_spines=1)
+SIZE = "4MiB"
+
+
+@pytest.fixture(scope="module")
+def isolated_ring():
+    comm = Communicator(**OVERSUB)
+    return comm.allreduce(SIZE, algorithm="ring")
+
+
+def _two_tenant_times(weight_a: float, weight_b: float):
+    fabric = Fabric(**OVERSUB)
+    a = fabric.communicator(name="A", weight=weight_a)
+    b = fabric.communicator(name="B", weight=weight_b)
+    ra, rb = wait_all([
+        a.iallreduce(SIZE, algorithm="ring"),
+        b.iallreduce(SIZE, algorithm="ring"),
+    ])
+    return ra, rb, fabric
+
+
+# ----------------------------------------------------------------------
+# Acceptance: contention is real and arbitrated
+# ----------------------------------------------------------------------
+def test_concurrent_allreduces_contend(isolated_ring):
+    ra, rb, _ = _two_tenant_times(1.0, 1.0)
+    # Sharing the oversubscribed fabric, each collective finishes
+    # measurably slower than it does alone.
+    assert ra.time_ns > 1.2 * isolated_ring.time_ns
+    assert rb.time_ns > 1.2 * isolated_ring.time_ns
+    # ... while moving exactly the same bytes.
+    assert ra.traffic_bytes_hops == isolated_ring.traffic_bytes_hops
+    assert rb.traffic_bytes_hops == isolated_ring.traffic_bytes_hops
+
+
+def test_qos_weights_shift_completion_ratio():
+    ra_eq, rb_eq, _ = _two_tenant_times(1.0, 1.0)
+    ra_w, rb_w, _ = _two_tenant_times(4.0, 1.0)
+    equal_ratio = ra_eq.time_ns / rb_eq.time_ns
+    weighted_ratio = ra_w.time_ns / rb_w.time_ns
+    # Weight 4 buys tenant A a markedly earlier finish relative to B.
+    assert weighted_ratio < 0.9 * equal_ratio
+    assert ra_w.time_ns < ra_eq.time_ns
+
+
+def test_single_tenant_fabric_parity(isolated_ring):
+    """One tenant on a fabric reproduces the standalone result exactly:
+    same completion time, same bytes, same hop accounting."""
+    fabric = Fabric(**OVERSUB)
+    solo = fabric.communicator(name="solo")
+    r = solo.iallreduce(SIZE, algorithm="ring").result()
+    assert r.time_ns == isolated_ring.time_ns
+    assert r.traffic_bytes_hops == isolated_ring.traffic_bytes_hops
+    assert r.extra["max_link_bytes"] == isolated_ring.extra["max_link_bytes"]
+    assert r.extra["hot_links"] == isolated_ring.extra["hot_links"]
+
+
+def test_flare_switch_bitwise_parity_on_fabric():
+    """The PsPIN switch data path is byte-identical through the fabric."""
+    data = make_dense_blocks(8, 4, 256, dtype="float32", seed=11)
+    standalone = Communicator(n_hosts=8, n_clusters=1).allreduce(
+        data, algorithm="flare_switch", seed=11
+    )
+    fabric = Fabric(n_hosts=8)
+    tenant = fabric.communicator(name="t", n_clusters=1)
+    via_fabric = tenant.iallreduce(data, algorithm="flare_switch", seed=11).result()
+    assert via_fabric.raw.makespan_cycles == standalone.raw.makespan_cycles
+    for block in standalone.raw.outputs:
+        np.testing.assert_array_equal(
+            via_fabric.raw.outputs[block], standalone.raw.outputs[block]
+        )
+
+
+def test_in_network_tenants_contend_too():
+    solo = Communicator(**OVERSUB).allreduce(SIZE, algorithm="flare_dense")
+    fabric = Fabric(**OVERSUB)
+    a = fabric.communicator(name="A")
+    b = fabric.communicator(name="B")
+    ra, rb = wait_all([
+        a.iallreduce(SIZE, algorithm="flare_dense"),
+        b.iallreduce(SIZE, algorithm="flare_dense"),
+    ])
+    assert ra.time_ns > solo.time_ns
+    assert rb.time_ns > solo.time_ns
+
+
+# ----------------------------------------------------------------------
+# Admission: pooled slots, memory, quotas, fallback
+# ----------------------------------------------------------------------
+def test_switch_slot_exhaustion_falls_back_to_host():
+    fabric = Fabric(**OVERSUB, max_allreduces_per_switch=1)
+    a = fabric.communicator(name="A")
+    b = fabric.communicator(name="B")
+    fa = a.iallreduce("1MiB", algorithm="flare_dense")
+    fb = b.iallreduce("1MiB", algorithm="flare_dense")
+    ra, rb = wait_all([fa, fb])
+    assert ra.algorithm == "flare_dense"
+    assert not ra.extra["fell_back"]
+    # Flare's Sec. 4 failure mode: rejected -> host-based allreduce.
+    assert rb.algorithm == "ring"
+    assert rb.extra["fell_back"]
+    events = fabric.timeline()
+    assert events[1]["fell_back"] and "fall back" in events[1]["admission"]
+
+
+def test_switch_memory_pool_admits_by_bytes():
+    fabric = Fabric(**OVERSUB, switch_memory_bytes=3 * 2**20)
+    a = fabric.communicator(name="A")
+    b = fabric.communicator(name="B")
+    ra, rb = wait_all([
+        a.iallreduce("2MiB", algorithm="flare_dense"),
+        b.iallreduce("2MiB", algorithm="flare_dense"),   # 4 MiB > pool
+    ])
+    assert not ra.extra["fell_back"]
+    assert rb.extra["fell_back"] and rb.algorithm == "ring"
+
+
+def test_slots_release_after_completion():
+    fabric = Fabric(**OVERSUB, max_allreduces_per_switch=1)
+    a = fabric.communicator(name="A")
+    first = a.iallreduce("1MiB", algorithm="flare_dense").result()
+    fabric.run()
+    second = a.iallreduce("1MiB", algorithm="flare_dense").result()
+    assert not first.extra["fell_back"] and not second.extra["fell_back"]
+
+
+def test_tenant_quota_rejects_instead_of_falling_back():
+    fabric = Fabric(**OVERSUB, tenant_quota=1)
+    a = fabric.communicator(name="A")
+    a.iallreduce("1MiB", algorithm="flare_dense")
+    with pytest.raises(AdmissionError, match="quota"):
+        a.iallreduce("1MiB", algorithm="flare_dense")
+
+
+def test_no_fallback_raises():
+    fabric = Fabric(**OVERSUB, max_allreduces_per_switch=1, fallback=False)
+    a = fabric.communicator(name="A")
+    b = fabric.communicator(name="B")
+    a.iallreduce("1MiB", algorithm="flare_dense")
+    with pytest.raises(AdmissionError, match="fall back"):
+        b.iallreduce("1MiB", algorithm="flare_dense")
+
+
+# ----------------------------------------------------------------------
+# Sessions & plumbing
+# ----------------------------------------------------------------------
+def test_duplicate_tenant_name_rejected():
+    fabric = Fabric(n_hosts=8)
+    fabric.communicator(name="same")
+    with pytest.raises(FabricError, match="already attached"):
+        fabric.communicator(name="same")
+
+
+def test_attached_communicator_inherits_fabric_wiring():
+    fabric = Fabric(n_hosts=8, routing="adaptive")
+    t = fabric.communicator(name="t")
+    assert t.n_hosts == 8
+    assert t._defaults["routing"] == "adaptive"
+    with pytest.raises(ValueError, match="inherits the fabric's topology"):
+        Communicator(fabric=fabric, topology="dragonfly")
+
+
+def test_shared_fabric_rejects_mismatched_plan_shape():
+    from repro.network.topology import FatTreeTopology
+
+    fabric = Fabric(n_hosts=8)          # default: 2 leaves of 4
+    t = fabric.communicator(name="t")
+    # Same host count at plan time, caught cheaply by request sizing:
+    with pytest.raises(CapabilityError, match="size the topology"):
+        t.iallreduce("64KiB", algorithm="ring", n_hosts=4)
+    # Same host count, different wiring: caught by the issue-time guard.
+    other = FatTreeTopology(n_hosts=8, hosts_per_leaf=2, n_spines=2)
+    with pytest.raises(CapabilityError, match="fabric wires"):
+        t.iallreduce("64KiB", algorithm="ring", topology=other)
+
+
+def test_blocking_allreduce_on_shared_fabric_contends():
+    fabric = Fabric(**OVERSUB)
+    a = fabric.communicator(name="A")
+    b = fabric.communicator(name="B")
+    pending = b.iallreduce(SIZE, algorithm="ring")
+    blocking = a.allreduce(SIZE, algorithm="ring")
+    solo = Communicator(**OVERSUB).allreduce(SIZE, algorithm="ring")
+    assert blocking.time_ns > solo.time_ns       # shared the wire with B
+    assert pending.done()                        # the drive completed B too
+
+
+def test_private_fabric_supports_per_call_topology_overrides():
+    # Legacy capability: a lone communicator can issue a collective
+    # whose per-call shape differs from its defaults; the implicit
+    # fabric executes it atomically instead of rejecting it.
+    comm = Communicator(n_hosts=16)
+    r = comm.iallreduce("64KiB", algorithm="ring", n_hosts=8).result()
+    assert r.n_hosts == 8
+    assert r.time_ns > 0
+
+
+# ----------------------------------------------------------------------
+# Timeline
+# ----------------------------------------------------------------------
+def test_timeline_records_per_tenant_trace():
+    ra, rb, fabric = _two_tenant_times(2.0, 1.0)
+    events = fabric.timeline()
+    assert [e["tenant"] for e in events] == ["A", "B"]
+    for e, r in zip(events, (ra, rb)):
+        assert e["status"] == "done"
+        assert e["duration_ns"] == r.time_ns
+        assert e["finish_ns"] == e["start_ns"] + e["duration_ns"]
+        assert e["wire_bytes"] == r.traffic_bytes_hops
+        assert e["goodput_gbps"] == pytest.approx(
+            e["nbytes"] * 8.0 / e["duration_ns"]
+        )
+        assert e["hot_links"]
+    assert events[0]["weight"] == 2.0
+
+
+def test_timeline_json_round_trips(tmp_path):
+    _, _, fabric = _two_tenant_times(1.0, 1.0)
+    path = tmp_path / "timeline.json"
+    text = fabric.timeline_json(path=str(path))
+    payload = json.loads(text)
+    assert payload["events"] == json.loads(path.read_text())["events"]
+    assert payload["tenants"] == ["A", "B"]
+    assert payload["routing"] == "ecmp"
+    assert payload["arbitration"] == "wfq"
+    assert len(payload["events"]) == 2
+
+
+def test_tenant_stats_aggregate():
+    _, _, fabric = _two_tenant_times(1.0, 1.0)
+    stats = fabric.tenant_stats()
+    assert set(stats) == {"A", "B"}
+    for s in stats.values():
+        assert s["collectives"] == s["completed"] == 1
+        assert s["busy_ns"] > 0 and s["wire_bytes"] > 0
+
+
+# ----------------------------------------------------------------------
+# Review regressions
+# ----------------------------------------------------------------------
+def test_payload_collectives_fall_back_to_executing_algorithm():
+    """A rejected in-network collective carrying real payloads must
+    fall back to a host algorithm that actually reduces values."""
+    data = make_dense_blocks(8, 2, 256, dtype="float32", seed=5).reshape(8, -1)
+    fabric = Fabric(n_hosts=8, max_allreduces_per_switch=1)
+    a = fabric.communicator(name="A", n_clusters=1)
+    b = fabric.communicator(name="B", n_clusters=1)
+    fa = a.iallreduce(data, algorithm="flare_switch")
+    fb = b.iallreduce(data, algorithm="flare_switch")
+    ra, rb = wait_all([fa, fb])
+    assert ra.algorithm == "flare_switch"
+    assert rb.algorithm == "rabenseifner" and rb.extra["fell_back"]
+    np.testing.assert_allclose(rb.extra["output"], data.sum(axis=0), rtol=1e-5)
+
+
+def test_sequential_atomic_collectives_release_slots():
+    """issue -> result -> issue must not see the finished collective's
+    switch slot still held (result() advances the fabric clock past
+    the modeled finish)."""
+    fabric = Fabric(n_hosts=8, max_allreduces_per_switch=1)
+    t = fabric.communicator(name="t", n_clusters=1)
+    r1 = t.iallreduce("16KiB", algorithm="flare_switch").result()
+    assert fabric.now > 0      # the clock moved to the modeled finish
+    r2 = t.iallreduce("16KiB", algorithm="flare_switch").result()
+    assert not r1.extra["fell_back"] and not r2.extra["fell_back"]
+    assert r1.algorithm == r2.algorithm == "flare_switch"
+
+
+def test_atomic_collectives_still_contend_when_overlapped():
+    fabric = Fabric(n_hosts=8, max_allreduces_per_switch=1)
+    a = fabric.communicator(name="A", n_clusters=1)
+    b = fabric.communicator(name="B", n_clusters=1)
+    fa = a.iallreduce("16KiB", algorithm="flare_switch")
+    fb = b.iallreduce("16KiB", algorithm="flare_switch")   # before result()
+    ra, rb = wait_all([fa, fb])
+    assert not ra.extra["fell_back"]
+    assert rb.extra["fell_back"]       # pool was genuinely contended
+
+
+def test_generated_tenant_names_skip_explicit_ones():
+    fabric = Fabric(n_hosts=8)
+    fabric.communicator(name="tenant1")
+    auto = fabric.communicator()       # must not collide with tenant1
+    assert auto.name not in (None, "tenant1")
+    assert set(fabric.tenants) == {"tenant1", auto.name}
+
+
+def test_finished_flows_leave_no_link_queue_state():
+    fabric = Fabric(**OVERSUB)
+    a = fabric.communicator(name="A")
+    b = fabric.communicator(name="B")
+    wait_all([
+        a.iallreduce("1MiB", algorithm="ring"),
+        b.iallreduce("1MiB", algorithm="ring"),
+    ])
+    fabric.run()
+    assert all(not q.heap for q in fabric.net._queues.values())
+    assert all(not q.finish_tag for q in fabric.net._queues.values())
+    assert not fabric.net._flow_weight
+    assert not fabric.net._flow_traffic   # per-collective stats freed too
+    # ... while the results kept their own traffic snapshots.
+    assert fabric.timeline()[0]["wire_bytes"] > 0

@@ -1,0 +1,106 @@
+"""Simulation-native futures: waiting, failure context, wait_any."""
+
+import pytest
+
+from repro.comm import (
+    CollectiveError,
+    CollectiveFuture,
+    CollectiveRequest,
+    Fabric,
+    wait_all,
+    wait_any,
+)
+
+
+def _dead_future(algorithm="ring", nbytes=4096, n_hosts=8):
+    return CollectiveFuture(
+        CollectiveRequest(nbytes=nbytes, n_hosts=n_hosts, algorithm=algorithm),
+        algorithm,
+        tenant="T",
+    )
+
+
+def test_wait_all_attaches_algorithm_and_shape_on_failure():
+    ok = _dead_future()
+    ok._settle(result="fine")
+    bad = _dead_future(algorithm="flare_dense", nbytes=65536, n_hosts=16)
+    cause = RuntimeError("link melted")
+    bad._settle(exception=cause)
+    with pytest.raises(CollectiveError) as info:
+        wait_all([ok, bad])
+    err = info.value
+    assert err.index == 1
+    assert err.algorithm == "flare_dense"
+    assert err.request.n_hosts == 16
+    assert err.__cause__ is cause
+    assert "flare_dense" in str(err)
+    assert "65536 B x 16 hosts" in str(err)
+    assert "tenant='T'" in str(err)
+
+
+def test_wait_all_returns_results_in_issue_order():
+    futures = [_dead_future() for _ in range(3)]
+    for i, f in enumerate(futures):
+        f._settle(result=i)
+    assert wait_all(futures) == [0, 1, 2]
+
+
+def test_result_without_fabric_raises():
+    with pytest.raises(CollectiveError, match="never issued"):
+        _dead_future().result()
+
+
+def test_wait_any_returns_simulation_first_finisher():
+    fabric = Fabric(n_hosts=16, hosts_per_leaf=8, n_spines=1)
+    slow = fabric.communicator(name="slow", weight=1.0)
+    fast = fabric.communicator(name="fast", weight=8.0)
+    f_slow = slow.iallreduce("4MiB", algorithm="ring")
+    f_fast = fast.iallreduce("4MiB", algorithm="ring")
+    # Issue order says slow first; simulation order says fast first.
+    index, result = wait_any([f_slow, f_fast])
+    assert index == 1
+    assert result.time_ns > 0
+    assert not f_slow.done()        # the loser is still in flight
+    assert f_slow.result().time_ns > result.time_ns
+
+
+def test_wait_any_with_already_done_future():
+    done = _dead_future()
+    done._settle(result="early")
+    pending = _dead_future()
+    assert wait_any([pending, done]) == (1, "early")
+
+
+def test_wait_any_raises_when_nothing_can_progress():
+    with pytest.raises(CollectiveError, match="no pending future"):
+        wait_any([_dead_future()])
+    with pytest.raises(ValueError):
+        wait_any([])
+
+
+def test_add_done_callback_and_state_transitions():
+    fabric = Fabric(n_hosts=8)
+    t = fabric.communicator(name="t")
+    future = t.iallreduce("64KiB", algorithm="ring")
+    seen = []
+    future.add_done_callback(lambda f: seen.append(f.algorithm))
+    assert future.running() and not future.done()
+    assert future.cancel() is False
+    result = future.result()
+    assert seen == ["ring"]
+    assert future.done() and not future.running()
+    assert future.exception() is None
+    # Callbacks registered after completion fire immediately.
+    future.add_done_callback(lambda f: seen.append("late"))
+    assert seen == ["ring", "late"]
+    assert future.wait() is future
+    assert future.result() is result        # idempotent
+
+
+def test_exception_drives_loop_and_reports():
+    bad = _dead_future()
+    cause = ValueError("boom")
+    bad._settle(exception=cause)
+    assert bad.exception() is cause
+    with pytest.raises(ValueError, match="boom"):
+        bad.result()

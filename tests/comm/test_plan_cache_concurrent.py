@@ -1,0 +1,77 @@
+"""Plan-cache behavior under concurrent issue (multi-tenant fabrics):
+eviction order, hit/miss accounting, and plan-state isolation."""
+
+from repro.comm import Fabric, wait_all
+from repro.comm.plan import PlanCache
+
+
+def _plan_stub(tag):
+    class Stub:
+        name = tag
+    return Stub()
+
+
+def test_eviction_order_is_lru_not_fifo():
+    cache = PlanCache(maxsize=2)
+    a = cache.get_or_build(("a",), lambda: _plan_stub("a"))
+    cache.get_or_build(("b",), lambda: _plan_stub("b"))
+    # Touch "a": it becomes most-recently-used, so "b" must evict next.
+    assert cache.get_or_build(("a",), lambda: _plan_stub("a2")) is a
+    cache.get_or_build(("c",), lambda: _plan_stub("c"))
+    info = cache.info()
+    assert info.evictions == 1 and info.currsize == 2
+    # "a" survived the eviction, "b" did not.
+    assert cache.get_or_build(("a",), lambda: _plan_stub("a3")) is a
+    rebuilt = cache.get_or_build(("b",), lambda: _plan_stub("b2"))
+    assert rebuilt.name == "b2"
+
+
+def test_concurrent_issue_hit_miss_stats_per_tenant():
+    fabric = Fabric(n_hosts=16, hosts_per_leaf=8, n_spines=1)
+    a = fabric.communicator(name="A")
+    b = fabric.communicator(name="B")
+    for _ in range(3):
+        wait_all([
+            a.iallreduce("1MiB", algorithm="ring"),
+            b.iallreduce("1MiB", algorithm="ring"),
+        ])
+        fabric.run()
+    # Each tenant planned once and hit its own cache afterwards.
+    for comm in (a, b):
+        info = comm.cache_info()
+        assert (info.hits, info.misses) == (2, 1)
+        assert comm.plans_built == 1
+
+
+def test_identical_shapes_share_no_mutable_plan_state():
+    fabric = Fabric(n_hosts=16, hosts_per_leaf=8, n_spines=1)
+    a = fabric.communicator(name="A")
+    b = fabric.communicator(name="B")
+    plan_a = a.plan(nbytes="1MiB", algorithm="ring")
+    plan_b = b.plan(nbytes="1MiB", algorithm="ring")
+    # Same shape, same fabric — but per-tenant caches: distinct plan
+    # objects, distinct requests, distinct setup dicts.
+    assert plan_a is not plan_b
+    assert plan_a.request is not plan_b.request
+    assert plan_a.setup is not plan_b.setup
+    assert plan_a.setup == plan_b.setup
+    wait_all([
+        a.iallreduce("1MiB", algorithm="ring"),
+        b.iallreduce("1MiB", algorithm="ring"),
+    ])
+    # Execution counters advanced independently (no cross-tenant writes).
+    assert plan_a.executions == 1
+    assert plan_b.executions == 1
+
+
+def test_concurrent_eviction_and_reissue_still_executes():
+    fabric = Fabric(n_hosts=16, hosts_per_leaf=8, n_spines=1)
+    t = fabric.communicator(name="T", plan_cache_size=1)
+    shapes = ("256KiB", "512KiB", "256KiB")   # third re-plans after evict
+    results = wait_all([
+        t.iallreduce(s, algorithm="ring") for s in shapes
+    ])
+    assert all(r.time_ns > 0 for r in results)
+    info = t.cache_info()
+    assert info.misses == 3 and info.hits == 0 and info.evictions == 2
+    assert info.currsize == 1

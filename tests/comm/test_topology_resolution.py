@@ -1,0 +1,52 @@
+"""`resolve_topology_hosts`: the hoisted topology/host-count
+reconciliation the Communicator constructor runs."""
+
+from repro.comm import Communicator, resolve_topology_hosts
+from repro.network.topology import FatTreeTopology
+
+
+def test_prebuilt_topology_dictates_host_count():
+    topo = FatTreeTopology(n_hosts=32, hosts_per_leaf=8, n_spines=4)
+    n, params = resolve_topology_hosts(topo, None, 64)
+    assert n == 32
+    assert params is None
+
+
+def test_bare_fat_tree_passes_through():
+    # Legacy request-driven sizing: nothing is resolved eagerly.
+    assert resolve_topology_hosts(None, None, 64) == (64, None)
+    assert resolve_topology_hosts("fat-tree", None, 24) == (24, None)
+
+
+def test_n_hosts_forwarded_into_parameterized_families():
+    n, params = resolve_topology_hosts("multi-rail", {"n_rails": 2}, 16)
+    assert n == 16
+    assert params == {"n_rails": 2, "n_hosts": 16}
+    # An explicit n_hosts in the params wins over the communicator's.
+    n, params = resolve_topology_hosts("fat-tree", {"n_hosts": 8}, 64)
+    assert n == 8
+    assert params["n_hosts"] == 8
+
+
+def test_dimension_implied_families_size_the_communicator():
+    n, params = resolve_topology_hosts(
+        "torus", {"dim_x": 3, "dim_y": 3, "hosts_per_switch": 2}, 64
+    )
+    assert n == 18
+    assert params == {"dim_x": 3, "dim_y": 3, "hosts_per_switch": 2}
+
+
+def test_unknown_family_passes_through_for_late_rejection():
+    assert resolve_topology_hosts("warpgate", {"k": 1}, 12) == (12, {"k": 1})
+
+
+def test_communicator_uses_the_helper():
+    comm = Communicator(
+        topology="torus",
+        topology_params={"dim_x": 3, "dim_y": 3, "hosts_per_switch": 2},
+    )
+    assert comm.n_hosts == 18
+    comm = Communicator(n_hosts=16, topology="multi-rail",
+                        topology_params={"n_rails": 2})
+    assert comm.n_hosts == 16
+    assert comm._defaults["topology_params"]["n_hosts"] == 16

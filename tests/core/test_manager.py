@@ -85,3 +85,74 @@ def test_explicit_algorithm_override():
         mgr.single_switch_tree(2), {0: sw}, data_bytes=1024, algorithm="multi(2)"
     )
     assert installed.algorithm_label == "multi(2)"
+
+
+# ----------------------------------------------------------------------
+# Pooled admission (the fabric control-plane path)
+# ----------------------------------------------------------------------
+def test_admit_pools_slots_across_tenants():
+    from repro.core.manager import AdmissionError
+
+    mgr = NetworkManager(max_allreduces_per_switch=2)
+    t1 = mgr.admit(("s0", "l0"), tenant="A")
+    t2 = mgr.admit(("s0", "l1"), tenant="B")
+    with pytest.raises(AdmissionError, match="s0 already serves"):
+        mgr.admit(("s0",), tenant="C")
+    # Rejection consumed nothing: the other switches are untouched.
+    assert mgr.utilization()["switch_load"]["l0"] == 1
+    mgr.release(t1)
+    t3 = mgr.admit(("s0",), tenant="C")
+    assert mgr.utilization()["switch_load"]["s0"] == 2
+    mgr.release(t2)
+    mgr.release(t3)
+    assert mgr.utilization()["admitted"] == 0
+
+
+def test_admit_meters_switch_memory():
+    from repro.core.manager import AdmissionError
+
+    mgr = NetworkManager(switch_memory_bytes=1000.0)
+    ticket = mgr.admit(("s0",), memory_bytes=700.0)
+    with pytest.raises(AdmissionError, match="memory pool exhausted") as info:
+        mgr.admit(("s0",), memory_bytes=400.0)
+    assert info.value.resource == "memory"
+    mgr.release(ticket)
+    mgr.admit(("s0",), memory_bytes=900.0)
+
+
+def test_tenant_quota_is_per_tenant():
+    from repro.core.manager import AdmissionError
+
+    mgr = NetworkManager(tenant_quota=1)
+    mgr.admit(("s0",), tenant="A")
+    with pytest.raises(AdmissionError, match="quota") as info:
+        mgr.admit(("l0",), tenant="A")
+    assert info.value.resource == "quota"
+    mgr.admit(("l0",), tenant="B")      # other tenants unaffected
+
+
+def test_release_unknown_ticket_raises():
+    mgr = NetworkManager()
+    ticket = mgr.admit(("s0",))
+    mgr.release(ticket)
+    with pytest.raises(KeyError):
+        mgr.release(ticket)
+
+
+def test_install_raises_tagged_admission_error():
+    from repro.core.manager import AdmissionError
+
+    mgr = NetworkManager(max_allreduces_per_switch=1)
+    sw = _switch()
+    mgr.install(mgr.single_switch_tree(2), {0: sw}, data_bytes=1024)
+    with pytest.raises(AdmissionError, match="fall back to host-based"):
+        mgr.install(mgr.single_switch_tree(2), {0: sw}, data_bytes=1024)
+
+
+def test_admit_and_install_share_one_pool():
+    mgr = NetworkManager(max_allreduces_per_switch=2)
+    sw = _switch()
+    mgr.install(mgr.single_switch_tree(2, switch_id=0), {0: sw}, data_bytes=1024)
+    mgr.admit((0,), tenant="T")
+    with pytest.raises(RuntimeError, match="already serves"):
+        mgr.admit((0,), tenant="U")
