@@ -1,0 +1,26 @@
+#!/usr/bin/env python
+"""Simulation-core perf harness (thin wrapper).
+
+Measures the Fig. 11 dense sweep through both simulation tiers (packet-
+train fast path vs per-packet DES) and the two-tenant fabric overlap
+with the structural network fast paths on/off, then writes the
+machine-readable trajectory file ``BENCH_simcore.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_simcore.py --out BENCH_simcore.json
+    REPRO_BENCH_FULL=1 PYTHONPATH=src python benchmarks/bench_simcore.py --full
+    # CI regression gate:
+    PYTHONPATH=src python benchmarks/bench_simcore.py \
+        --check-against benchmarks/baselines/bench_simcore_baseline.json
+
+Equivalently: ``flare-repro bench simcore --perf-json BENCH_simcore.json``.
+The implementation lives in :mod:`repro.perf.simcore`.
+"""
+
+import sys
+
+from repro.perf.simcore import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,7 @@ Usage::
         --topo-params dim_x=4,dim_y=4,hosts_per_switch=2
     python -m repro bench ring --tenants 2 --overlap --weights 4,1 \
         --timeline-out timeline.json
+    python -m repro bench simcore --perf-json BENCH_simcore.json
 
 ``bench`` drives any registered algorithm through the unified
 :class:`repro.comm.Communicator`, re-executing the cached plan to show
@@ -217,6 +218,17 @@ def _cmd_multi_tenant_bench(args: argparse.Namespace, topology) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.comm import CommError, Communicator
 
+    if args.algorithm == "simcore":
+        # The tracked simulation-core harness (fast path vs per-packet
+        # DES + two-tenant overlap); see benchmarks/bench_simcore.py.
+        from repro.perf.simcore import main as simcore_main
+
+        argv = ["--out", args.perf_json or "BENCH_simcore.json",
+                "--reps", str(args.repeat)]
+        if args.check_against:
+            argv += ["--check-against", args.check_against]
+        return simcore_main(argv)
+
     topology = None
     if args.topology is not None:
         from repro.network import build_topology
@@ -266,15 +278,38 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 2
     print(plan.describe())
     print()
+    runs = []
     for i in range(args.repeat):
         t0 = time.perf_counter()
         result = comm.allreduce(args.size, seed=args.seed + i, **kwargs)
         wall = time.perf_counter() - t0
+        entry = {"run": i + 1, "wall_s": wall, "summary": result.summary()}
+        raw = getattr(result, "raw", None)
+        if raw is not None and hasattr(raw, "n_blocks"):
+            packets = raw.n_blocks * raw.n_children
+            entry["packets"] = packets
+            entry["packets_per_s"] = packets / wall
+            entry["fast_path_used"] = getattr(raw, "fast_path_used", False)
+        runs.append(entry)
         print(f"run {i + 1}/{args.repeat}: {result.summary()}  "
               f"[wall {wall * 1e3:.0f} ms]")
     info = comm.cache_info()
     print(f"\nplan cache: {info.hits} hits / {info.misses} misses "
           f"(planning ran {comm.plans_built}x for {plan.executions} executions)")
+    if args.perf_json:
+        import json
+
+        payload = {
+            "benchmark": "bench",
+            "algorithm": args.algorithm,
+            "size": args.size,
+            "hosts": args.hosts,
+            "runs": runs,
+        }
+        with open(args.perf_json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"[perf JSON written to {args.perf_json}]")
     comm.close()
     return 0
 
@@ -335,6 +370,13 @@ def main(argv: list[str] | None = None) -> int:
                        "(default: all 1.0)")
     bench.add_argument("--timeline-out", default=None, metavar="PATH",
                        help="write the fabric's per-tenant timeline JSON")
+    bench.add_argument("--perf-json", default=None, metavar="PATH",
+                       help="write machine-readable wall-clock / packets-per-"
+                       "second numbers; with the 'simcore' pseudo-algorithm "
+                       "this runs the tracked simulation-core harness")
+    bench.add_argument("--check-against", default=None, metavar="BASELINE",
+                       help="(simcore) fail on >30%% perf regression vs a "
+                       "checked-in baseline report")
 
     args = parser.parse_args(argv)
 

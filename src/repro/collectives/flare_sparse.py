@@ -197,16 +197,17 @@ def issue_flare_sparse_allreduce(
     state = {"done_hosts": 0, "finish": base_time}
 
     def send_down(switch: str, chunk: int, at: float) -> None:
-        for kid in atree.children_of.get(switch, ()):
-            net.send(
-                Message(switch, kid, down_chunk, tag=("down", chunk), flow=flow),
-                at=at,
-            )
-        for h in atree.hosts_of.get(switch, ()):
-            net.send(
-                Message(switch, h, down_chunk, tag=("down", chunk), flow=flow),
-                at=at,
-            )
+        # One burst event for the whole multicast fan-out of this chunk.
+        net.send_burst(
+            [
+                Message(switch, peer, down_chunk, tag=("down", chunk), flow=flow)
+                for peer in (
+                    *atree.children_of.get(switch, ()),
+                    *atree.hosts_of.get(switch, ()),
+                )
+            ],
+            at=at,
+        )
 
     def on_switch(switch: str):
         fan_in = atree.fan_in(switch)
@@ -274,10 +275,12 @@ def issue_flare_sparse_allreduce(
         net.on_deliver(switch, on_switch(switch), flow=flow)
     for h in hosts:
         net.on_deliver(h, on_host(h), flow=flow)
-    for h in hosts:
-        attach = atree.attach_of(h)
-        for c in range(n_chunks):
-            net.send(
-                Message(h, attach, host_chunk, tag=("up", c), flow=flow),
-                at=base_time,
-            )
+    # Every host's upward chunk train leaves at once: one burst event.
+    net.send_burst(
+        [
+            Message(h, atree.attach_of(h), host_chunk, tag=("up", c), flow=flow)
+            for h in hosts
+            for c in range(n_chunks)
+        ],
+        at=base_time,
+    )

@@ -149,10 +149,12 @@ def issue_ring_allreduce(
             },
         )
 
+    rank_of = {h: i for i, h in enumerate(hosts)}
+
     def on_deliver(msg: Message, now: float) -> None:
         _kind, step, sub = msg.tag
         receiver = msg.dst
-        i = int(receiver[1:])
+        i = rank_of[receiver]
         compute = 0.0
         if host_reduce_bytes_per_ns > 0 and step < P - 1:
             compute = sub_bytes / host_reduce_bytes_per_ns
@@ -168,6 +170,20 @@ def issue_ring_allreduce(
 
     for h in hosts:
         net.on_deliver(h, on_deliver, flow=flow)
-    for i in range(P):
-        for sub in range(n_sub):
-            send_sub(i, 0, sub, base_time)
+    # Initial step-0 sub-chunk trains of every rank leave at one instant:
+    # one burst event serializes them in issue order (identical timing to
+    # per-message events, minus the per-event heap traffic).
+    net.send_burst(
+        [
+            Message(
+                src=hosts[i],
+                dst=successor(i),
+                nbytes=sub_bytes,
+                tag=("ring", 0, sub),
+                flow=flow,
+            )
+            for i in range(P)
+            for sub in range(n_sub)
+        ],
+        at=base_time,
+    )

@@ -189,14 +189,18 @@ def issue_sparcml_allreduce(
         partner = i ^ distances[rnd]
         n_sub = max(1, int(round(sizes[rnd] / sub_chunk_bytes)))
         sub_bytes = sizes[rnd] / n_sub
-        for s in range(n_sub):
-            net.send(
+        # One burst event per round's sub-chunk train (same timing as
+        # per-message events, issued back-to-back at one instant).
+        net.send_burst(
+            [
                 Message(
                     hosts[i], hosts[partner], sub_bytes,
                     tag=("ssar", rnd, s, n_sub), flow=flow,
-                ),
-                at=at,
-            )
+                )
+                for s in range(n_sub)
+            ],
+            at=at,
+        )
 
     def finished() -> CollectiveResult:
         stats = net.flow_stats(flow)

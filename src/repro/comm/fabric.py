@@ -279,6 +279,10 @@ class Fabric:
         }
 
         def settle(result) -> None:
+            # Wake any run_until() driving the loop for this (or any)
+            # future — it re-checks its own future and resumes if this
+            # was a different one.
+            self.sim.stop_requested = True
             duration = result.time_ns
             entry.update(
                 finish_ns=start + duration,
@@ -373,8 +377,10 @@ class Fabric:
 
     def run_until(self, future: "CollectiveFuture") -> None:
         """Drive the shared loop until ``future`` completes."""
-        while not future.done():
-            if not self.sim.step():
+        # The loop stays inside the engine; settling futures raise the
+        # engine's stop flag (no per-event predicate call).
+        while not future._done:
+            if not self.sim.run_stoppable() and not future._done:
                 raise FabricError(
                     f"fabric event loop drained but collective "
                     f"{future.algorithm!r} (tenant {future.tenant!r}) never "

@@ -26,7 +26,7 @@ from repro.pspin.memory import MemoryRegion
 from repro.pspin.telemetry import Telemetry
 
 
-@dataclass
+@dataclass(slots=True)
 class AggregationBuffer:
     """One working-memory buffer holding a partially aggregated block."""
 

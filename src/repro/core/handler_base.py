@@ -70,7 +70,7 @@ class HandlerConfig:
         return get_dtype(self.dtype_name)
 
 
-@dataclass
+@dataclass(slots=True)
 class _BlockRecord:
     """Per-block bookkeeping common to every design."""
 

@@ -57,6 +57,48 @@ def staggered_schedule(n_hosts: int, n_blocks: int) -> list[list[int]]:
     return orders
 
 
+def arrival_arrays(
+    n_hosts: int,
+    n_blocks: int,
+    delta: float,
+    staggered: bool = True,
+    jitter: float = 0.0,
+    seed: int = 0,
+    start: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized arrival synthesis: ``(times, hosts, blocks)`` arrays,
+    sorted by ``(time, host)``.
+
+    Bit-identical to :func:`arrival_stream` (same per-host RNG draw
+    order, same float arithmetic) while skipping the per-packet Python
+    objects — the form the packet-train fast path injects directly.
+    """
+    if n_hosts < 1 or n_blocks < 1:
+        raise ValueError("need at least one host and one block")
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    if staggered:
+        offsets = (np.arange(n_hosts) * n_blocks) // n_hosts
+        orders = (offsets[:, None] + np.arange(n_blocks)[None, :]) % n_blocks
+    else:
+        orders = np.broadcast_to(np.arange(n_blocks), (n_hosts, n_blocks))
+    rng = seeded_rng(seed)
+    times = np.empty((n_hosts, n_blocks), dtype=np.float64)
+    base = np.arange(n_blocks) * (n_hosts * delta)
+    for h in range(n_hosts):
+        if jitter > 0:
+            gaps = rng.exponential(scale=n_hosts * delta, size=n_blocks)
+            gaps = (1.0 - jitter) * (n_hosts * delta) + jitter * gaps
+            times[h] = start + h * delta + np.cumsum(gaps) - gaps[0]
+        else:
+            times[h] = start + h * delta + base
+    hosts = np.repeat(np.arange(n_hosts), n_blocks)
+    flat_times = times.reshape(-1)
+    flat_blocks = orders.reshape(-1)
+    order = np.lexsort((hosts, flat_times))
+    return flat_times[order], hosts[order], flat_blocks[order]
+
+
 def arrival_stream(
     n_hosts: int,
     n_blocks: int,
@@ -78,30 +120,17 @@ def arrival_stream(
     fully exponential), modeling host imbalance, OS noise, and network
     contention; the stream is then re-sorted by time.
 
-    Returns the stream sorted by arrival time.
+    Returns the stream sorted by arrival time (a per-packet object view
+    of :func:`arrival_arrays`).
     """
-    if n_hosts < 1 or n_blocks < 1:
-        raise ValueError("need at least one host and one block")
-    if delta <= 0:
-        raise ValueError("delta must be positive")
-    orders = (
-        staggered_schedule(n_hosts, n_blocks)
-        if staggered
-        else sequential_schedule(n_hosts, n_blocks)
+    times, hosts, blocks = arrival_arrays(
+        n_hosts, n_blocks, delta,
+        staggered=staggered, jitter=jitter, seed=seed, start=start,
     )
-    rng = seeded_rng(seed)
-    packets: list[ScheduledPacket] = []
-    for h in range(n_hosts):
-        if jitter > 0:
-            gaps = rng.exponential(scale=n_hosts * delta, size=n_blocks)
-            gaps = (1.0 - jitter) * (n_hosts * delta) + jitter * gaps
-            times = start + h * delta + np.cumsum(gaps) - gaps[0]
-        else:
-            times = start + h * delta + np.arange(n_blocks) * (n_hosts * delta)
-        for k, block in enumerate(orders[h]):
-            packets.append(ScheduledPacket(time=float(times[k]), host=h, block=block))
-    packets.sort(key=lambda p: (p.time, p.host))
-    return packets
+    return [
+        ScheduledPacket(time=t, host=h, block=b)
+        for t, h, b in zip(times.tolist(), hosts.tolist(), blocks.tolist())
+    ]
 
 
 def measured_delta_c(packets: list[ScheduledPacket], n_blocks: int) -> float:

@@ -31,6 +31,9 @@ class Router:
     """Base path-selection policy over one topology."""
 
     name = "base"
+    #: True when ``next_hop(node, dst)`` is a pure function of its
+    #: arguments (no live link state), so the simulator may memoize it.
+    cacheable = False
 
     def __init__(self, topology: Topology, seed: int = 0) -> None:
         self.topology = topology
@@ -62,6 +65,7 @@ class ShortestPathRouter(Router):
     congestion-prone baseline the adaptive tests compare against."""
 
     name = "shortest"
+    cacheable = True
 
     def select(self, src, dst, paths):
         return paths[0]
@@ -77,6 +81,7 @@ class EcmpRouter(Router):
     """
 
     name = "ecmp"
+    cacheable = True
 
     def __init__(self, topology: Topology, seed: int = 0) -> None:
         super().__init__(topology, seed)

@@ -41,7 +41,7 @@ from repro.network.topology import NodeId, Topology
 from repro.pspin.engine import Simulator
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One chunk on the wire."""
 
@@ -102,13 +102,14 @@ class _LinkQueue:
     contend.  A lone flow's tags are monotone in enqueue order — FIFO.
     """
 
-    __slots__ = ("vtime", "finish_tag", "heap", "drain_scheduled")
+    __slots__ = ("vtime", "finish_tag", "heap", "drain_scheduled", "link")
 
-    def __init__(self) -> None:
+    def __init__(self, link) -> None:
         self.vtime = 0.0
         self.finish_tag: dict = {}
         self.heap: list = []          # (start_tag, seq, msg, node)
         self.drain_scheduled = False
+        self.link = link              # cached Link (stable per key)
 
     def push(self, msg: Message, node: NodeId, weight: float, seq: int) -> None:
         start = max(self.vtime, self.finish_tag.get(msg.flow, 0.0))
@@ -147,10 +148,23 @@ class NetworkSimulator:
             raise ValueError(
                 f"unknown arbitration {arbitration!r}; use 'fifo' or 'wfq'"
             )
+        from repro.pspin.train import fast_path_env_enabled
+
         self.topology = topology
         self.router = build_router(router, topology, seed=routing_seed)
         self.sim = sim if sim is not None else Simulator()
         self.arbitration = arbitration
+        #: Structural fast paths (next-hop memoization, uncontended WFQ
+        #: bypass, burst sends) — identical timing, fewer Python ops.
+        #: ``REPRO_FASTPATH=0`` disables them so the benchmark harness
+        #: can measure the per-event baseline.
+        self.fast_path = fast_path_env_enabled()
+        #: next-hop memo for routers whose decision is a pure function
+        #: of (node, dst) — shortest and seeded ECMP; adaptive routing
+        #: consults live link state and is never cached.
+        self._next_hop_cache: dict = (
+            {} if (self.router.cacheable and self.fast_path) else None
+        )
         self.traffic = TrafficStats()
         self._flow_traffic: dict[object, TrafficStats] = {}
         self._flow_weight: dict[object, float] = {}
@@ -215,11 +229,32 @@ class NetworkSimulator:
     # ------------------------------------------------------------------
     def send(self, msg: Message, at: float = 0.0) -> None:
         """Inject a message at its source at absolute time ``at``."""
-        self.sim.schedule_at(max(at, self.sim.now), self._hop, msg, msg.src)
+        now = self.sim.now
+        self.sim.schedule_fast(at if at > now else now, self._hop, (msg, msg.src))
+
+    def send_burst(self, msgs: list[Message], at: float = 0.0) -> None:
+        """Inject a burst of messages at one time under ONE event.
+
+        Equivalent to ``send`` per message (consecutive same-instant
+        events with no interleaving process back-to-back in order), but
+        costs a single heap event — collectives use it for the per-
+        segment sub-chunk trains they issue at the same instant.
+        """
+        now = self.sim.now
+        if not self.fast_path:
+            for msg in msgs:
+                self.send(msg, at=at)
+            return
+        self.sim.schedule_fast(at if at > now else now, self._hop_burst, (msgs,))
+
+    def _hop_burst(self, msgs: list[Message]) -> None:
+        hop = self._hop
+        for msg in msgs:
+            hop(msg, msg.src)
 
     def _hop(self, msg: Message, node: NodeId) -> None:
         now = self.sim.now
-        if node != msg.src or node in self._interceptors:
+        if self._interceptors and (node != msg.src or node in self._interceptors):
             # Arrived at an intermediate or terminal node.
             interceptor = self._interceptors.get(node)
             if interceptor is not None and node != msg.dst:
@@ -232,7 +267,14 @@ class NetworkSimulator:
             if cb is not None:
                 cb(msg, now)
             return
-        next_node = self.router.next_hop(node, msg.dst)
+        cache = self._next_hop_cache
+        if cache is not None:
+            key = (node, msg.dst)
+            next_node = cache.get(key)
+            if next_node is None:
+                next_node = cache[key] = self.router.next_hop(node, msg.dst)
+        else:
+            next_node = self.router.next_hop(node, msg.dst)
         if self.arbitration == "wfq":
             self._enqueue(node, next_node, msg)
         else:
@@ -242,46 +284,80 @@ class NetworkSimulator:
     # Link service
     # ------------------------------------------------------------------
     def _record(self, src: NodeId, dst: NodeId, msg: Message) -> None:
-        self.traffic.record(src, dst, msg.nbytes)
-        if msg.flow is not None:
-            self.flow_stats(msg.flow).record(src, dst, msg.nbytes)
+        # Inlined TrafficStats.record x2: this runs once per link hop.
+        nbytes = msg.nbytes
+        key = (src, dst)
+        stats = self.traffic
+        stats.bytes_hops += nbytes
+        stats.messages += 1
+        per_link = stats.per_link
+        per_link[key] = per_link.get(key, 0.0) + nbytes
+        flow = msg.flow
+        if flow is not None:
+            stats = self._flow_traffic.get(flow)
+            if stats is None:
+                stats = self._flow_traffic[flow] = TrafficStats()
+            stats.bytes_hops += nbytes
+            stats.messages += 1
+            per_link = stats.per_link
+            per_link[key] = per_link.get(key, 0.0) + nbytes
 
     def _transmit(self, node: NodeId, next_node: NodeId, msg: Message) -> None:
         link = self.topology.link(node, next_node)
         arrival = link.transmit(msg.nbytes, self.sim.now)
         self._record(node, next_node, msg)
-        self.sim.schedule_at(arrival, self._hop, msg, next_node)
+        self.sim.schedule_fast(arrival, self._hop, (msg, next_node))
 
     def _enqueue(self, node: NodeId, next_node: NodeId, msg: Message) -> None:
         key = (node, next_node)
         queue = self._queues.get(key)
         if queue is None:
-            queue = self._queues[key] = _LinkQueue()
-        weight = self._flow_weight.get(msg.flow, 1.0)
+            queue = self._queues[key] = _LinkQueue(self.topology.link(node, next_node))
+        flow = msg.flow
+        weight = self._flow_weight.get(flow, 1.0)
+        link = queue.link
+        now = self.sim.now
+        if self.fast_path and not queue.heap and link.busy_until <= now:
+            # Uncontended instant: serve immediately with the same WFQ
+            # tag updates a push+pop pair would apply (exact bypass).
+            finish_tag = queue.finish_tag
+            start = finish_tag.get(flow, 0.0)
+            vtime = queue.vtime
+            if vtime > start:
+                start = vtime
+            finish_tag[flow] = start + msg.nbytes / max(weight, 1e-9)
+            if start > vtime:
+                queue.vtime = start
+            arrival = link.transmit(msg.nbytes, now)
+            self._record(node, next_node, msg)
+            self.sim.schedule_fast(arrival, self._hop, (msg, next_node))
+            return
         queue.push(msg, next_node, weight, self._queue_seq)
         self._queue_seq += 1
-        self._drain(key)
+        self._drain(key, queue)
 
-    def _drain(self, key: tuple) -> None:
+    def _drain(self, key: tuple, queue: "_LinkQueue | None" = None) -> None:
         """Serve the fairest queued message if the link is free; else
         (re)arm a drain event for when it frees."""
-        queue = self._queues[key]
-        link = self.topology.link(*key)
+        if queue is None:
+            queue = self._queues[key]
+        link = queue.link
         now = self.sim.now
         while queue.heap and link.busy_until <= now:
             msg, next_node = queue.pop()
             arrival = link.transmit(msg.nbytes, now)
             self._record(key[0], next_node, msg)
-            self.sim.schedule_at(arrival, self._hop, msg, next_node)
+            self.sim.schedule_fast(arrival, self._hop, (msg, next_node))
         if queue.heap and not queue.drain_scheduled:
             queue.drain_scheduled = True
-
-            def rearm() -> None:
-                queue.drain_scheduled = False
-                self._drain(key)
-
             # priority 0: the link must free before same-instant arrivals.
-            self.sim.schedule_at(link.busy_until, rearm, priority=0)
+            self.sim.schedule_fast(
+                link.busy_until, self._rearm, (key, queue), priority=0
+            )
+
+    def _rearm(self, key: tuple, queue: "_LinkQueue") -> None:
+        queue.drain_scheduled = False
+        self._drain(key, queue)
 
     # ------------------------------------------------------------------
     def run(self, until: Optional[float] = None) -> float:

@@ -1,0 +1,3 @@
+"""Performance tracking: the simulation-core benchmark harness."""
+
+from repro.perf.simcore import run_simcore_bench  # noqa: F401

@@ -2,22 +2,32 @@
 
 A minimal, fast event loop with integer-friendly cycle timestamps.  The
 switch model is compute-bound in Python, so the loop is kept lean: a
-binary heap of ``(time, seq, callback, args)`` tuples, FIFO-stable for
-simultaneous events via the monotonically increasing sequence number
-(matters for FCFS semantics: two packets arriving in the same cycle are
-scheduled in arrival order).
+binary heap of plain ``[time, priority, seq, callback, args]`` list
+entries, FIFO-stable for simultaneous events via the monotonically
+increasing sequence number (matters for FCFS semantics: two packets
+arriving in the same cycle are scheduled in arrival order).
+
+Plain lists beat an ordered dataclass on the heap by >2x: list
+comparison short-circuits in C on the ``(time, priority, seq)`` prefix
+(``seq`` is unique, so the callback is never compared), and there is no
+``__init__``/``__lt__`` Python frame per push.  :class:`Event` survives
+as a thin slotted handle over the heap entry so callers keep the
+``cancel()`` API; hot paths that discard the handle use
+:meth:`Simulator.schedule_fast` and skip even that allocation.
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Any, Callable
 
+# Heap-entry layout (plain list, compared element-wise):
+_TIME, _PRIORITY, _SEQ, _CALLBACK, _ARGS = range(5)
 
-@dataclass(order=True)
+
 class Event:
-    """A scheduled callback.  Ordering key is ``(time, priority, seq)``.
+    """Handle to a scheduled callback.  Ordering key is ``(time,
+    priority, seq)``.
 
     ``priority`` breaks timestamp ties: completions/releases (priority
     0) must settle before new arrivals (priority 1) claim the freed
@@ -26,16 +36,34 @@ class Event:
     instant.
     """
 
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: list) -> None:
+        self._entry = entry
+
+    @property
+    def time(self) -> float:
+        return self._entry[_TIME]
+
+    @property
+    def priority(self) -> int:
+        return self._entry[_PRIORITY]
+
+    @property
+    def seq(self) -> int:
+        return self._entry[_SEQ]
+
+    @property
+    def args(self) -> tuple:
+        return self._entry[_ARGS]
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry[_CALLBACK] is None
 
     def cancel(self) -> None:
         """Mark the event so the loop skips it (O(1) lazy deletion)."""
-        self.cancelled = True
+        self._entry[_CALLBACK] = None
 
 
 class Simulator:
@@ -58,9 +86,13 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[Event] = []
+        self._heap: list[list] = []
         self._seq: int = 0
         self._events_processed: int = 0
+        #: Cooperative stop for :meth:`run_stoppable` — a callback sets
+        #: it (e.g. a future settling) to hand control back to the
+        #: driver without a per-event predicate call.
+        self.stop_requested: bool = False
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -91,47 +123,106 @@ class Simulator:
         """
         if time < self.now:
             raise ValueError(f"cannot schedule at {time} < now {self.now}")
-        ev = Event(time=time, priority=priority, seq=self._seq, callback=callback, args=args)
+        entry = [time, priority, self._seq, callback, args]
         self._seq += 1
-        heapq.heappush(self._heap, ev)
-        return ev
+        heappush(self._heap, entry)
+        return Event(entry)
+
+    def schedule_fast(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: tuple = (),
+        priority: int = 1,
+    ) -> None:
+        """Like :meth:`schedule_at` but returns no cancellation handle.
+
+        The hot paths (switch dispatch, network hops) never cancel, so
+        they skip the :class:`Event` allocation.  ``args`` is passed as
+        a tuple rather than varargs to avoid re-packing.
+        """
+        if time < self.now:
+            raise ValueError(f"cannot schedule at {time} < now {self.now}")
+        heappush(self._heap, [time, priority, self._seq, callback, args])
+        self._seq += 1
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Run the single earliest pending event.  Returns False when idle."""
-        while self._heap:
-            ev = heapq.heappop(self._heap)
-            if ev.cancelled:
+        heap = self._heap
+        while heap:
+            entry = heappop(heap)
+            callback = entry[_CALLBACK]
+            if callback is None:
                 continue
-            self.now = ev.time
-            ev.callback(*ev.args)
+            self.now = entry[_TIME]
+            callback(*entry[_ARGS])
             self._events_processed += 1
             return True
         return False
 
     def run(self, until: float | None = None) -> None:
         """Run events in order; stop when the heap drains or time passes ``until``."""
-        while self._heap:
-            ev = self._heap[0]
-            if ev.cancelled:
-                heapq.heappop(self._heap)
+        heap = self._heap
+        processed = 0
+        if until is None:
+            while heap:
+                entry = heappop(heap)
+                callback = entry[_CALLBACK]
+                if callback is None:
+                    continue
+                self.now = entry[_TIME]
+                callback(*entry[_ARGS])
+                processed += 1
+            self._events_processed += processed
+            return
+        while heap:
+            entry = heap[0]
+            if entry[_CALLBACK] is None:
+                heappop(heap)
                 continue
-            if until is not None and ev.time > until:
+            if entry[_TIME] > until:
                 self.now = until
+                self._events_processed += processed
                 return
-            heapq.heappop(self._heap)
-            self.now = ev.time
-            ev.callback(*ev.args)
-            self._events_processed += 1
-        if until is not None and until > self.now:
+            heappop(heap)
+            self.now = entry[_TIME]
+            entry[_CALLBACK](*entry[_ARGS])
+            processed += 1
+        self._events_processed += processed
+        if until > self.now:
             self.now = until
+
+    def run_stoppable(self) -> bool:
+        """Run events until a callback sets :attr:`stop_requested` or
+        the heap drains.  Returns True iff stopped by request.
+
+        The flag is cleared on entry; checking an instance attribute
+        once per event is the cheapest wakeup the fabric's
+        ``run_until`` can get without overrunning a completion.
+        """
+        self.stop_requested = False
+        heap = self._heap
+        processed = 0
+        while heap:
+            entry = heappop(heap)
+            callback = entry[_CALLBACK]
+            if callback is None:
+                continue
+            self.now = entry[_TIME]
+            callback(*entry[_ARGS])
+            processed += 1
+            if self.stop_requested:
+                break
+        self._events_processed += processed
+        return self.stop_requested
 
     @property
     def pending(self) -> int:
         """Number of queued (non-cancelled) events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        return sum(1 for e in self._heap if e[_CALLBACK] is not None)
 
     @property
     def events_processed(self) -> int:

@@ -22,6 +22,17 @@ from dataclasses import dataclass, field
 class MemoryRegion:
     """A byte-accounted memory region with peak/time-weighted tracking."""
 
+    __slots__ = (
+        "name",
+        "capacity_bytes",
+        "used_bytes",
+        "peak_bytes",
+        "_weighted_sum",
+        "_last_time",
+        "alloc_failures",
+        "release_listener",
+    )
+
     def __init__(self, name: str, capacity_bytes: int) -> None:
         self.name = name
         self.capacity_bytes = capacity_bytes
@@ -30,6 +41,11 @@ class MemoryRegion:
         self._weighted_sum = 0.0   # integral of used_bytes over time
         self._last_time = 0.0
         self.alloc_failures = 0
+        #: Optional ``f(release_time)`` hook fired after every release.
+        #: The switch uses it to wake packets stalled on working-memory
+        #: admission the moment (simulated time) memory frees, instead
+        #: of polling on a retry quantum.
+        self.release_listener = None
 
     def _advance(self, now: float) -> None:
         if now > self._last_time:
@@ -54,13 +70,20 @@ class MemoryRegion:
         return True
 
     def release(self, nbytes: int, now: float) -> None:
-        """Return ``nbytes`` to the region."""
+        """Return ``nbytes`` to the region.
+
+        ``now`` may lie in the simulated future (handlers book releases
+        eagerly at their completion timestamps); the listener receives
+        it unchanged so wakeups land at the *semantic* release time.
+        """
         self._advance(now)
         if nbytes > self.used_bytes:
             raise ValueError(
                 f"{self.name}: releasing {nbytes} B but only {self.used_bytes} B in use"
             )
         self.used_bytes -= nbytes
+        if self.release_listener is not None:
+            self.release_listener(now)
 
     def average_bytes(self, now: float) -> float:
         """Time-weighted average occupancy up to ``now``."""

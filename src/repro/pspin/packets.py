@@ -21,7 +21,7 @@ import numpy as np
 HEADER_BYTES = 16
 
 
-@dataclass
+@dataclass(slots=True)
 class SwitchPacket:
     """One packet arriving at the switch processing unit.
 
@@ -60,6 +60,9 @@ class SwitchPacket:
     shard_count: int = 1
     is_retransmission: bool = False
     arrival_time: float = field(default=0.0, compare=False)
+    #: Set by the switch ingress after classification (slotted class:
+    #: the attribute must be declared here).
+    _handler_name: Optional[str] = field(default=None, repr=False, compare=False)
 
     @property
     def is_sparse(self) -> bool:

@@ -18,6 +18,9 @@ from typing import Callable, Optional
 
 from repro.pspin.packets import SwitchPacket
 
+#: Sentinel: the rule table cannot be classified structurally.
+OPAQUE = object()
+
 
 @dataclass
 class MatchRule:
@@ -25,12 +28,19 @@ class MatchRule:
 
     Lower ``priority`` wins, mirroring longest-prefix-match tie-breaking
     in real parsers.
+
+    ``allreduce_id`` declares (when not None) that the predicate matches
+    exactly the packets of that allreduce — the structured form of the
+    rule :meth:`PacketParser.install_allreduce` creates.  The packet-
+    train fast path uses it to classify a whole same-allreduce train in
+    O(rules) instead of probing the opaque predicate per packet.
     """
 
     name: str
     predicate: Callable[[SwitchPacket], bool]
     handler: str
     priority: int = 100
+    allreduce_id: "int | None" = None
 
 
 class PacketParser:
@@ -58,6 +68,7 @@ class PacketParser:
                 predicate=lambda p, _id=allreduce_id: p.allreduce_id == _id,
                 handler=handler,
                 priority=10,
+                allreduce_id=allreduce_id,
             )
         )
 
@@ -69,6 +80,22 @@ class PacketParser:
         """
         for rule in self._rules:
             if rule.predicate(packet):
+                return rule.handler
+        return None
+
+    def classify_allreduce(self, allreduce_id: int) -> "str | None | object":
+        """Classify *every* packet of one allreduce without probing.
+
+        Returns the handler name (or None for bypass) when the rule
+        table is made of structured allreduce rules up to the first
+        match; returns :data:`OPAQUE` when an un-introspectable rule
+        could fire first, in which case the caller must fall back to
+        per-packet :meth:`classify`.
+        """
+        for rule in self._rules:
+            if rule.allreduce_id is None:
+                return OPAQUE
+            if rule.allreduce_id == allreduce_id:
                 return rule.handler
         return None
 

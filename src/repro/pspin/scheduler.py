@@ -37,9 +37,11 @@ class FCFSScheduler:
     def __init__(self, hpus: list[HPU]) -> None:
         self._hpus = hpus
         self._queue: deque[SwitchPacket] = deque()
+        self._n_queued = 0
 
     def enqueue(self, packet: SwitchPacket) -> None:
         self._queue.append(packet)
+        self._n_queued += 1
 
     def dispatch(self, now: float) -> list[tuple[HPU, SwitchPacket]]:
         """Pair free cores with queued packets in FIFO order."""
@@ -51,10 +53,11 @@ class FCFSScheduler:
                 break
             if hpu.is_free(now):
                 started.append((hpu, self._queue.popleft()))
+        self._n_queued -= len(started)
         return started
 
     def queued(self) -> int:
-        return len(self._queue)
+        return self._n_queued
 
     def subset_of(self, packet: SwitchPacket) -> tuple[int, ...]:
         """All cores are eligible under plain FCFS."""
@@ -94,6 +97,7 @@ class HierarchicalFCFSScheduler:
         self._queues: list[deque[SwitchPacket]] = [deque() for _ in range(self.n_subsets)]
         self._block_to_subset: dict[tuple[int, int], int] = {}
         self._next_subset = 0
+        self._n_queued = 0
         #: Subsets that might have dispatchable work (avoids full scans).
         self._active: set[int] = set()
 
@@ -110,6 +114,7 @@ class HierarchicalFCFSScheduler:
         subset = self._subset_for(packet)
         self._queues[subset].append(packet)
         self._active.add(subset)
+        self._n_queued += 1
 
     def dispatch(self, now: float) -> list[tuple[HPU, SwitchPacket]]:
         started: list[tuple[HPU, SwitchPacket]] = []
@@ -126,10 +131,11 @@ class HierarchicalFCFSScheduler:
                 drained.append(subset)
         for subset in drained:
             self._active.discard(subset)
+        self._n_queued -= len(started)
         return started
 
     def queued(self) -> int:
-        return sum(len(q) for q in self._queues)
+        return self._n_queued
 
     def queue_length(self, subset: int) -> int:
         """Current queue length of one subset (Fig. 5's Q)."""

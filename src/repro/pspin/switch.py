@@ -45,6 +45,10 @@ class SwitchConfig:
     cost_model: CostModel = field(default_factory=CostModel)
     l1_bytes: int = 1024 * 1024
     drop_on_full: bool = False
+    #: Allow the packet-train fast path (:mod:`repro.pspin.train`) to
+    #: handle uncontended bursts analytically.  Parity-pinned: disabling
+    #: it (or ``REPRO_FASTPATH=0``) changes nothing but wall-clock time.
+    fast_path: bool = True
 
     @property
     def n_cores(self) -> int:
@@ -61,7 +65,7 @@ class SwitchConfig:
         return packet_bytes / self.line_rate_bytes_per_cycle
 
 
-@dataclass
+@dataclass(slots=True)
 class HandlerContext:
     """Everything a handler may consult while processing one packet."""
 
@@ -77,7 +81,7 @@ class HandlerContext:
         return self.switch.config.cost_model
 
 
-@dataclass
+@dataclass(slots=True)
 class HandlerResult:
     """What one handler invocation did.
 
@@ -123,7 +127,11 @@ class PsPINSwitch:
         makespan = sw.run()
     """
 
-    #: Poll interval for packets stalled on working-memory admission.
+    #: Core-cycles burned by a handler that finds working memory full
+    #: (roughly one aggregation time: the failed admission check plus
+    #: back-off, Sec. 4.3).  Retries are *event-driven* — the packet
+    #: re-queues and is woken by the next working-memory release — so a
+    #: saturated run costs O(releases) events, not O(retries).
     WORKING_MEMORY_RETRY_CYCLES = 1024.0
 
     def __init__(self, config: SwitchConfig, sim: Optional[Simulator] = None) -> None:
@@ -135,6 +143,8 @@ class PsPINSwitch:
             Cluster(i, config.cores_per_cluster, config.l1_bytes)
             for i in range(config.n_clusters)
         ]
+        for cluster in self.clusters:
+            cluster.l1.release_listener = self._on_working_memory_release
         self._hpus = [hpu for cl in self.clusters for hpu in cl.hpus]
         if config.scheduler == "hierarchical":
             self.scheduler = HierarchicalFCFSScheduler(self._hpus, config.subset_size)
@@ -152,6 +162,10 @@ class PsPINSwitch:
         self._last_completion: float = 0.0
         #: Packets held at the ingress by back-pressure, FIFO.
         self._admission_queue: deque[SwitchPacket] = deque()
+        #: Queued packets waiting for a working-memory release wakeup.
+        self._stalled_waiters = 0
+        #: Earliest pending stall-wakeup event time (None = none armed).
+        self._stall_wakeup_at: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Control plane
@@ -168,20 +182,43 @@ class PsPINSwitch:
     # ------------------------------------------------------------------
     def inject(self, packet: SwitchPacket, at: float) -> None:
         """Schedule a packet arrival at absolute cycle ``at``."""
-        self.sim.schedule_at(at, self._on_arrival, packet)
+        self.sim.schedule_fast(at, self._on_arrival, (packet,))
+
+    def inject_train(self, train) -> bool:
+        """Inject a :class:`~repro.pspin.train.PacketTrain`.
+
+        Attempts the analytic fast path first; if the train cannot be
+        reproduced exactly (contention, back-pressure, exotic configs),
+        falls back transparently to per-packet arrival events.  Returns
+        True iff the fast path handled the train.
+        """
+        from repro.pspin.train import fast_path_env_enabled, try_run_train
+
+        if (
+            self.config.fast_path
+            and fast_path_env_enabled()
+            and try_run_train(self, train)
+        ):
+            return True
+        schedule = self.sim.schedule_fast
+        on_arrival = self._on_arrival
+        for t, pkt in zip(train.times.tolist(), train.packets()):
+            schedule(t, on_arrival, (pkt,))
+        return False
 
     def _on_arrival(self, packet: SwitchPacket) -> None:
         now = self.sim.now
-        packet.arrival_time = now
         if self._first_arrival is None:
             self._first_arrival = now
-        self.telemetry.packets_in.add(1)
-        self.telemetry.bytes_in.add(packet.wire_bytes)
         handler_name = self.parser.classify(packet)
         if handler_name is None:
             # Bypass: straight to routing, no processing-unit involvement.
+            packet.arrival_time = now
+            self.telemetry.packets_in.add(1)
+            self.telemetry.bytes_in.add(packet.wire_bytes)
             self._emit(now, packet)
             return
+        packet._handler_name = handler_name
         if not self.memories.l2_packet.allocate(packet.wire_bytes, now):
             # Input buffers full.  The paper leaves the reaction to the
             # surrounding network ("the packet is dropped or congestion
@@ -191,16 +228,24 @@ class PsPINSwitch:
             # ingress (upstream link holds it) and is admitted FIFO as
             # soon as a buffer frees — one event per admission, so a
             # saturated run costs O(packets), not O(packets x retries).
+            # Ingress wire counters tick only at admission (or drop),
+            # so they stay monotone; a deferred packet is counted once,
+            # when it actually enters the processing unit.
             if self.config.drop_on_full:
+                self.telemetry.packets_in.add(1)
+                self.telemetry.bytes_in.add(packet.wire_bytes)
                 self.telemetry.dropped_packets.add(1)
             else:
                 self.telemetry.deferred_arrivals.add(1)
                 self._admission_queue.append(packet)
-                # Undo the ingress accounting; admission will re-count.
-                self.telemetry.packets_in.add(-1)
-                self.telemetry.bytes_in.add(-packet.wire_bytes)
             return
-        packet._handler_name = handler_name  # type: ignore[attr-defined]
+        self._admit(packet, now)
+
+    def _admit(self, packet: SwitchPacket, now: float) -> None:
+        """Packet enters the processing unit (L2 space already held)."""
+        packet.arrival_time = now
+        self.telemetry.packets_in.add(1)
+        self.telemetry.bytes_in.add(packet.wire_bytes)
         self.scheduler.enqueue(packet)
         self.telemetry.queued_packets.record(now, self.scheduler.queued())
         self.telemetry.input_buffer_bytes.record(now, self.memories.l2_packet.used_bytes)
@@ -231,17 +276,17 @@ class PsPINSwitch:
                 if type(exc).__name__ == "WorkingMemoryStall":
                     # Working memory cannot admit this block yet: the
                     # packet stays in its input buffer and re-queues; the
-                    # core burns the check cost and frees shortly.  This
-                    # is the switch-side face of the Sec. 4.3 in-flight
-                    # block bound.
-                    # Back off roughly one aggregation time: memory frees
-                    # at block-completion granularity, so finer polling
-                    # only burns core cycles and simulator events.
-                    retry_at = now + self.WORKING_MEMORY_RETRY_CYCLES
-                    hpu.occupy(now, retry_at)
+                    # core burns the failed check plus back-off (roughly
+                    # one aggregation time) and frees.  This is the
+                    # switch-side face of the Sec. 4.3 in-flight block
+                    # bound.  No retry event is scheduled — the next
+                    # working-memory release wakes the queue (see
+                    # :meth:`_on_working_memory_release`), so sustained
+                    # pressure costs O(releases) events, not O(retries).
+                    hpu.occupy(now, now + self.WORKING_MEMORY_RETRY_CYCLES)
                     self.telemetry.stalled_admissions.add(1)
                     self.scheduler.enqueue(packet)
-                    self.sim.schedule_at(retry_at, self._dispatch, priority=0)
+                    self._stalled_waiters += 1
                     continue
                 raise
             if result.finish_time < start:
@@ -254,11 +299,37 @@ class PsPINSwitch:
             self.telemetry.handler_invocations.add(1)
             self.telemetry.busy_cycles.add(result.finish_time - now)
             self.telemetry.contention_wait_cycles.add(result.wait_cycles)
-            self.sim.schedule_at(
-                result.finish_time, self._on_completion, hpu, packet, result, False,
+            self.sim.schedule_fast(
+                result.finish_time,
+                self._on_completion,
+                (hpu, packet, result, False),
                 priority=0,
             )
         self.telemetry.queued_packets.record(now, self.scheduler.queued())
+
+    def _on_working_memory_release(self, release_time: float) -> None:
+        """Working memory freed (possibly at a *future* simulated time —
+        handlers book releases eagerly at completion timestamps): arm a
+        wakeup for any packets stalled on admission.
+
+        One priority-0 event per distinct release instant at most; the
+        wakeup re-runs the dispatcher, which either admits the stalled
+        packets or re-marks them as waiting.
+        """
+        if not self._stalled_waiters:
+            return
+        at = release_time if release_time > self.sim.now else self.sim.now
+        if self._stall_wakeup_at is not None and self._stall_wakeup_at <= at:
+            return  # an earlier (or equal) wakeup is already armed
+        self._stall_wakeup_at = at
+        self.sim.schedule_fast(at, self._stall_wakeup, (at,), priority=0)
+
+    def _stall_wakeup(self, armed_at: float) -> None:
+        if self._stall_wakeup_at == armed_at:
+            self._stall_wakeup_at = None
+        # Dispatch re-raises the waiting flag if admissions still stall.
+        self._stalled_waiters = 0
+        self._dispatch()
 
     def _on_completion(
         self,
@@ -292,13 +363,10 @@ class PsPINSwitch:
                 hpu.pending_decision = next_result.continuation is not None
                 self.telemetry.busy_cycles.add(next_result.finish_time - now)
                 self.telemetry.contention_wait_cycles.add(next_result.wait_cycles)
-                self.sim.schedule_at(
+                self.sim.schedule_fast(
                     next_result.finish_time,
                     self._on_completion,
-                    hpu,
-                    packet,
-                    next_result,
-                    True,
+                    (hpu, packet, next_result, True),
                     priority=0,
                 )
                 extended = True
@@ -310,7 +378,8 @@ class PsPINSwitch:
                 if head.wire_bytes > self.memories.l2_packet.free_bytes:
                     break
                 self._admission_queue.popleft()
-                self._on_arrival(head)
+                self.memories.l2_packet.allocate(head.wire_bytes, now)
+                self._admit(head, now)
         if not extended:
             self._last_completion = now
         self._dispatch()
@@ -334,6 +403,11 @@ class PsPINSwitch:
         (payload volume / time) divide by.
         """
         self.sim.run(until=until)
+        if until is None and self._stalled_waiters and self.scheduler.queued():
+            raise RuntimeError(
+                f"working-memory deadlock: {self.scheduler.queued()} packets "
+                "stalled on admission but no release is pending to wake them"
+            )
         if self._first_arrival is None:
             return 0.0
         return max(self._last_completion - self._first_arrival, 0.0)

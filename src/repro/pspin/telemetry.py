@@ -44,6 +44,29 @@ class GaugeSeries:
         self.peak = max(self.peak, value)
         self.samples.append((time, value))
 
+    def bulk_record_arrays(self, times, values) -> None:
+        """Append a pre-sorted run of samples in one vectorized pass
+        (the packet-train fast path commits its reconstructed series
+        this way): peak and the time-weighted integral are computed
+        with array ops, equivalent to per-sample :meth:`record` calls."""
+        import numpy as np
+
+        n = len(times)
+        if n == 0:
+            return
+        t0 = float(times[0])
+        if t0 < self._last_t:
+            raise ValueError(
+                f"{self.name}: time went backwards ({t0} < {self._last_t})"
+            )
+        self._weighted += self._last_v * (t0 - self._last_t)
+        if n > 1:
+            self._weighted += float(np.dot(values[:-1], np.diff(times)))
+        self._last_t = float(times[-1])
+        self._last_v = float(values[-1])
+        self.peak = max(self.peak, float(values.max()))
+        self.samples.extend(zip(times.tolist(), values.tolist()))
+
     def mean(self, until: float | None = None) -> float:
         """Time-weighted mean up to ``until`` (default: last sample)."""
         end = self._last_t if until is None else until

@@ -1,0 +1,678 @@
+"""Packet-train fast path: vectorized simulation of uncontended bursts.
+
+A :class:`PacketTrain` is a struct-of-arrays description of a contiguous
+same-allreduce packet burst (the whole ingress stream of one switch-level
+allreduce in the common case): arrival times, block ids, ingress ports,
+and a dense ``(hosts, blocks, elements)`` payload cube.
+
+When a train is injected into an otherwise idle switch
+(:meth:`repro.pspin.switch.PsPINSwitch.inject_train`), the
+:class:`TrainRunner` computes dispatch/aggregation/egress timing
+analytically — one lean per-subset sweep over arrival offsets plus a
+handler-specific *train kernel* — instead of pushing one heap event, one
+``HandlerContext`` and one handler call per packet through the
+discrete-event engine.  Aggregation itself runs as whole-train numpy
+block reductions where the operator's algebra allows, and as an exact
+order-replay otherwise, so payloads are **bitwise identical** to the
+per-packet path.
+
+The fast path is *pinned to parity*: it only engages when its timing
+model provably coincides with the per-packet DES —
+
+* the switch is pristine and the simulator heap empty (the train is the
+  only traffic);
+* hierarchical FCFS scheduling with ``subset_size == cores_per_cluster``
+  (core subsets == clusters, so subsets share no mutable state: no
+  remote-L1 penalties, per-subset i-caches and L1s);
+* the L2 packet memory never fills (validated *post hoc* against the
+  exact occupancy profile — the first would-be deferral aborts);
+* no working-memory admission stalls, drops, or incomplete blocks.
+
+The moment any of these fail, :func:`try_run_train` abandons the
+(side-effect-free) fast computation and the caller transparently falls
+back to per-packet injection — contention, admission-queueing and drops
+always take the existing DES path.
+
+Kernels for the dense aggregation designs live in
+:mod:`repro.core.fastpath` and register themselves here via
+:func:`register_train_kernel`.
+"""
+
+from __future__ import annotations
+
+import os
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING, Callable, Optional
+
+import numpy as np
+
+from repro.pspin.packets import HEADER_BYTES, SwitchPacket
+from repro.pspin.parser import OPAQUE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pspin.switch import PsPINSwitch
+
+
+class FastPathAbort(Exception):
+    """Internal: the fast path cannot reproduce the DES for this train."""
+
+
+#: handler type -> kernel factory ``f(handler, switch, train, name)``.
+TRAIN_KERNELS: dict[type, Callable] = {}
+
+
+def register_train_kernel(handler_cls: type, factory: Callable) -> None:
+    """Register the train kernel for one handler class."""
+    TRAIN_KERNELS[handler_cls] = factory
+
+
+def fast_path_env_enabled() -> bool:
+    """Process-wide kill switch: ``REPRO_FASTPATH=0`` disables the fast
+    path everywhere (the parity suite and the benchmark harness use it
+    to drive the per-packet baseline)."""
+    return os.environ.get("REPRO_FASTPATH", "1") not in ("0", "false", "no")
+
+
+class PacketTrain:
+    """A same-allreduce packet burst in struct-of-arrays form.
+
+    ``data`` is the dense payload cube ``(hosts, blocks, elements)``;
+    packet ``i`` carries ``data[ports[i], block_ids[i]]`` (a view — the
+    same arrays the per-packet injection path would carry).
+    """
+
+    __slots__ = ("allreduce_id", "times", "block_ids", "ports", "data", "_packets")
+
+    def __init__(self, allreduce_id: int, times, block_ids, ports, data) -> None:
+        self.times = np.asarray(times, dtype=np.float64)
+        self.block_ids = np.asarray(block_ids, dtype=np.int64)
+        self.ports = np.asarray(ports, dtype=np.int64)
+        if not (len(self.times) == len(self.block_ids) == len(self.ports)):
+            raise ValueError("times/block_ids/ports must have equal length")
+        if data.ndim != 3:
+            raise ValueError("data must be (hosts, blocks, elements)")
+        self.allreduce_id = allreduce_id
+        self.data = data
+        self._packets: Optional[list[SwitchPacket]] = None
+
+    @property
+    def n_packets(self) -> int:
+        return len(self.times)
+
+    @property
+    def payload_nbytes(self) -> int:
+        """Per-packet payload bytes (uniform across the train)."""
+        return int(self.data.shape[2] * self.data.dtype.itemsize)
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.payload_nbytes + HEADER_BYTES
+
+    def packets(self) -> list[SwitchPacket]:
+        """The equivalent :class:`SwitchPacket` objects, injection order
+        (built lazily; the fast path itself never needs them)."""
+        if self._packets is None:
+            data = self.data
+            aid = self.allreduce_id
+            self._packets = [
+                SwitchPacket(
+                    allreduce_id=aid,
+                    block_id=b,
+                    port=p,
+                    payload=data[p, b],
+                )
+                for b, p in zip(self.block_ids.tolist(), self.ports.tolist())
+            ]
+        return self._packets
+
+
+def try_run_train(switch: "PsPINSwitch", train: PacketTrain) -> bool:
+    """Attempt the analytic fast path; True iff it committed.
+
+    Never mutates the switch unless the whole train validated, so the
+    caller can fall back to per-packet injection on False.
+    """
+    from repro.pspin.scheduler import HierarchicalFCFSScheduler
+
+    if train.n_packets == 0:
+        return False
+    sim = switch.sim
+    if sim._heap or sim.now > float(train.times[0]):
+        return False                      # other traffic in flight
+    if switch.egress_callback is not None:
+        return False                      # egress feeds live events
+    scheduler = switch.scheduler
+    if not isinstance(scheduler, HierarchicalFCFSScheduler):
+        return False
+    if scheduler.subset_size != switch.config.cores_per_cluster:
+        return False                      # subsets would share a cluster
+    if (
+        switch._first_arrival is not None
+        or switch.telemetry.packets_in.value
+        or scheduler.queued()
+        or switch._admission_queue
+        or scheduler._block_to_subset
+    ):
+        return False                      # not pristine
+    handler_name = switch.parser.classify_allreduce(train.allreduce_id)
+    if handler_name is OPAQUE:
+        # Un-introspectable rules: probe every packet like the DES would.
+        packets = train.packets()
+        classify = switch.parser.classify
+        handler_name = classify(packets[0])
+        if any(classify(pkt) != handler_name for pkt in packets):
+            return False
+    if handler_name is None:
+        return False
+    handler = switch._handlers.get(handler_name)
+    if handler is None:
+        return False
+    factory = TRAIN_KERNELS.get(type(handler))
+    if factory is None:
+        return False
+    try:
+        kernel = factory(handler, switch, train, handler_name)
+        runner = TrainRunner(switch, train, handler_name, kernel)
+        runner.simulate()
+    except FastPathAbort:
+        return False
+    runner.commit()
+    return True
+
+
+def replay_region_profile(region, events: list[tuple[float, int]]) -> None:
+    """Load a (time, delta) *call-order* sequence into a MemoryRegion,
+    reproducing the accounting the per-packet path would leave behind
+    (used/peak bytes and the clamped time-weighted integral — handlers
+    book releases eagerly at future timestamps, so call order, not time
+    order, is what the region saw)."""
+    used = region.used_bytes
+    peak = region.peak_bytes
+    weighted = region._weighted_sum
+    last_t = region._last_time
+    for t, delta in events:
+        if t > last_t:
+            weighted += used * (t - last_t)
+            last_t = t
+        used += delta
+        if used > peak:
+            peak = used
+    region.used_bytes = used
+    region.peak_bytes = peak
+    region._weighted_sum = weighted
+    region._last_time = last_t
+
+
+class _SubsetState:
+    """Mini-DES state for one core subset (== one cluster)."""
+
+    __slots__ = (
+        "subset",
+        "arr_idx",
+        "arr_times",
+        "arr_blocks",
+        "arr_ports",
+        "busy",
+        "pending",
+        "handlers_run",
+        "busy_cycles",
+        "comp_seq",
+        "warm",
+    )
+
+    def __init__(self, subset: int, n_slots: int, warm: bool) -> None:
+        self.subset = subset
+        self.arr_idx: list[int] = []
+        self.arr_times: list[float] = []
+        self.arr_blocks: list[int] = []
+        self.arr_ports: list[int] = []
+        self.busy = [0.0] * n_slots
+        self.pending = [False] * n_slots
+        self.handlers_run = [0] * n_slots
+        self.busy_cycles = [0.0] * n_slots
+        self.comp_seq = 0
+        self.warm = warm
+
+
+class TrainRunner:
+    """Exact per-subset replication of the switch event loop for one
+    uncontended train, with the per-event Python machinery stripped.
+
+    The simulation phase computes timing and telemetry only (payload
+    values never affect dense handler timing); the payload reductions
+    run once, vectorized, at commit time.
+    """
+
+    def __init__(
+        self, switch: "PsPINSwitch", train: PacketTrain, handler_name: str, kernel
+    ) -> None:
+        self.switch = switch
+        self.train = train
+        self.handler_name = handler_name
+        self.kernel = kernel
+        cfg = switch.config
+        self.n_subsets = switch.scheduler.n_subsets
+        self.n_slots = cfg.subset_size
+        self.icache_fill = cfg.cost_model.icache_fill_cycles
+        # Outputs of the simulation phase --------------------------------
+        self.icache_fills = 0
+        self.handler_invocations = 0
+        self.busy_total = 0.0
+        self.wait_total = 0.0
+        self.l2_release_times: list[float] = []
+        #: Per-dispatch records (instant + tie-break keys) for the
+        #: queued-packets gauge reconstruction.
+        self.disp_t: list[float] = []
+        self.disp_p: list[int] = []
+        self.disp_s: list[int] = []
+        self.last_completion = 0.0
+        self.end_time = 0.0
+        self.subsets: list[_SubsetState] = []
+        self.block_subset: dict[int, int] = {}
+        self.n_blocks_seen = 0
+
+    # ------------------------------------------------------------------
+    def _assign_subsets(self) -> None:
+        """Round-robin block -> subset on first sight, arrival order
+        (exactly :class:`HierarchicalFCFSScheduler`'s policy)."""
+        switch = self.switch
+        train = self.train
+        self.subsets = [
+            _SubsetState(
+                s, self.n_slots, switch.clusters[s].icache_warm(self.handler_name)
+            )
+            for s in range(self.n_subsets)
+        ]
+        blocks = train.block_ids
+        # First-sight order == order of first occurrence in the stream.
+        _uniq, first_pos, inverse = np.unique(
+            blocks, return_index=True, return_inverse=True
+        )
+        rank_by_uniq = np.empty(len(first_pos), dtype=np.int64)
+        rank_by_uniq[np.argsort(first_pos, kind="stable")] = np.arange(len(first_pos))
+        packet_subset = rank_by_uniq[inverse] % self.n_subsets
+        self.n_blocks_seen = len(first_pos)
+        self.block_subset = {
+            int(b): int(rank_by_uniq[i]) % self.n_subsets
+            for i, b in enumerate(_uniq.tolist())
+        }
+        # Stable grouping by subset keeps each group in stream order.
+        grouped = np.argsort(packet_subset, kind="stable")
+        bounds = np.searchsorted(packet_subset[grouped], np.arange(self.n_subsets + 1))
+        for s, st in enumerate(self.subsets):
+            idx = grouped[bounds[s] : bounds[s + 1]]
+            if len(idx):
+                st.arr_idx = idx.tolist()
+                st.arr_times = train.times[idx].tolist()
+                st.arr_blocks = blocks[idx].tolist()
+                st.arr_ports = train.ports[idx].tolist()
+
+    # ------------------------------------------------------------------
+    def simulate(self) -> None:
+        self._assign_subsets()
+        self.kernel.set_block_clusters(self.block_subset)
+        run = (
+            self._run_subset
+            if getattr(self.kernel, "has_continuations", False)
+            else self._run_subset_simple
+        )
+        done_arrivals: list[list[float]] = []
+        done_packets = 0
+        capacity = self.switch.memories.l2_packet.capacity_bytes
+        wire = self.train.wire_bytes
+        for st in self.subsets:
+            if not st.arr_idx:
+                continue
+            run(st)
+            done_arrivals.append(st.arr_times)
+            done_packets += len(st.arr_times)
+            # Incremental lower-bound check: the simulated subsets'
+            # packets alone (a pointwise lower bound on occupancy) must
+            # already fit the L2 input buffers — a contended train
+            # aborts after a fraction of the sweep instead of at the
+            # end.  Skipped while the simulated packets could not fill
+            # the buffers even if they all overlapped.
+            if done_packets * wire > capacity:
+                self._check_l2(done_arrivals, self.l2_release_times)
+        self.kernel.finish_check()
+        self._validate_l2()
+        self.end_time = max(
+            float(self.train.times[-1]),
+            max(self.l2_release_times, default=0.0),
+            self.last_completion,
+        )
+
+    def _run_subset_simple(self, st: _SubsetState) -> None:
+        """Heap-free sweep for kernels without continuations.
+
+        Completion events of non-extending handlers only ever free a
+        core, release L2, and hand the core to the queue head — all of
+        which derive from the core ``busy`` times: a queued packet
+        dispatches at ``min(busy)`` (the completion instant, priority 0)
+        on the first free core index, exactly the event loop's order.
+        """
+        kernel_process = self.kernel.process
+        busy = st.busy
+        handlers_run = st.handlers_run
+        busy_cycles = st.busy_cycles
+        n_slots = self.n_slots
+        slot_range = range(n_slots)
+        arr_idx = st.arr_idx
+        arr_times = st.arr_times
+        arr_blocks = st.arr_blocks
+        arr_ports = st.arr_ports
+        n_arr = len(arr_idx)
+        queue: list[int] = []
+        queue_head = 0
+        disp_t = self.disp_t
+        disp_p = self.disp_p
+        disp_s = self.disp_s
+        l2_release = self.l2_release_times
+        last_completion = self.last_completion
+        icache_fill = self.icache_fill
+        invocations = 0
+        busy_total = 0.0
+        wait_total = 0.0
+        warm = st.warm
+        inf = float("inf")
+        arr_i = 0
+        while arr_i < n_arr or queue_head < len(queue):
+            next_arr = arr_times[arr_i] if arr_i < n_arr else inf
+            if queue_head < len(queue):
+                # Queued head dispatches at the next completion instant
+                # (its own arrival precedes every core's busy time).
+                now = min(busy)
+                if now <= next_arr:
+                    k = queue[queue_head]
+                    queue_head += 1
+                    if queue_head > 512:
+                        del queue[:queue_head]
+                        queue_head = 0
+                    pri, seq = 0, 0
+                else:
+                    k = arr_i
+                    arr_i += 1
+                    now = next_arr
+                    queue.append(k)
+                    continue
+            else:
+                k = arr_i
+                arr_i += 1
+                now = next_arr
+                pri, seq = 1, 2 * arr_idx[k] + 1
+            slot = -1
+            for s in slot_range:
+                if busy[s] <= now:
+                    slot = s
+                    break
+            if slot < 0:
+                queue.append(k)
+                continue
+            start = now
+            if not warm:
+                warm = True
+                start += icache_fill
+                self.icache_fills += 1
+            finish, wait, _cont = kernel_process(
+                arr_blocks[k], arr_ports[k], now, start
+            )
+            disp_t.append(now)
+            disp_p.append(pri)
+            disp_s.append(seq)
+            busy[slot] = finish
+            handlers_run[slot] += 1
+            busy_cycles[slot] += finish - now
+            invocations += 1
+            busy_total += finish - now
+            wait_total += wait
+            l2_release.append(finish)
+            if finish > last_completion:
+                last_completion = finish
+        st.warm = warm
+        self.handler_invocations += invocations
+        self.busy_total += busy_total
+        self.wait_total += wait_total
+        self.last_completion = last_completion
+
+    def _run_subset(self, st: _SubsetState) -> None:
+        kernel_process = self.kernel.process
+        kernel_resume = self.kernel.resume
+        busy = st.busy
+        pending = st.pending
+        handlers_run = st.handlers_run
+        busy_cycles = st.busy_cycles
+        comp_heap: list[tuple] = []
+        n_slots = self.n_slots
+        slot_range = range(n_slots)
+        arr_idx = st.arr_idx
+        arr_times = st.arr_times
+        arr_blocks = st.arr_blocks
+        arr_ports = st.arr_ports
+        n_arr = len(arr_idx)
+        arr_i = 0
+        queue_head = 0
+        queue: list[int] = []   # indices (into arr_*) awaiting dispatch
+        disp_t = self.disp_t
+        disp_p = self.disp_p
+        disp_s = self.disp_s
+        l2_release = self.l2_release_times
+        last_completion = self.last_completion
+        icache_fill = self.icache_fill
+        comp_seq = 0
+        invocations = 0
+        busy_total = 0.0
+        wait_total = 0.0
+        inf = float("inf")
+
+        def run_one(k: int, slot: int, now: float, pri: int, seq: int) -> None:
+            """Dispatch packet ``k`` on core ``slot`` (DES conventions)."""
+            nonlocal comp_seq, invocations, busy_total, wait_total
+            start = now
+            if not st.warm:
+                st.warm = True
+                start += icache_fill
+                self.icache_fills += 1
+            finish, wait, cont = kernel_process(
+                arr_blocks[k], arr_ports[k], now, start
+            )
+            disp_t.append(now)
+            disp_p.append(pri)
+            disp_s.append(seq)
+            busy[slot] = finish
+            pending[slot] = cont is not None
+            handlers_run[slot] += 1
+            busy_cycles[slot] += finish - now
+            invocations += 1
+            busy_total += finish - now
+            wait_total += wait
+            heappush(comp_heap, (finish, comp_seq, slot, True, cont))
+            comp_seq += 1
+
+        def dispatch(now: float, pri: int, seq: int) -> None:
+            nonlocal queue_head
+            while queue_head < len(queue):
+                slot = -1
+                for s in slot_range:
+                    if busy[s] <= now and not pending[s]:
+                        slot = s
+                        break
+                if slot < 0:
+                    break
+                k = queue[queue_head]
+                queue_head += 1
+                run_one(k, slot, now, pri, seq)
+            if queue_head > 512:
+                del queue[:queue_head]
+                queue_head = 0
+
+        while arr_i < n_arr or comp_heap:
+            next_arr = arr_times[arr_i] if arr_i < n_arr else inf
+            if comp_heap and comp_heap[0][0] <= next_arr:
+                # Completion event (priority 0 beats same-instant
+                # arrivals; same-instant completions pop in scheduling
+                # order via comp_seq).
+                t, _seq, slot, primary, cont = heappop(comp_heap)
+                if primary:
+                    # Input buffers hold queueing + service of the
+                    # packet handler; extensions work in L1 only.
+                    l2_release.append(t)
+                extended = False
+                if cont is not None:
+                    nxt = kernel_resume(cont, t)
+                    if nxt is not None:
+                        finish, cont2 = nxt
+                        busy[slot] = finish
+                        pending[slot] = cont2 is not None
+                        handlers_run[slot] += 1      # occupy() counts these
+                        busy_cycles[slot] += finish - t
+                        busy_total += finish - t
+                        heappush(
+                            comp_heap, (finish, comp_seq, slot, False, cont2)
+                        )
+                        comp_seq += 1
+                        extended = True
+                    else:
+                        pending[slot] = False
+                if not extended and t > last_completion:
+                    last_completion = t
+                if queue_head < len(queue):
+                    dispatch(t, 0, 0)
+            else:
+                k = arr_i
+                arr_i += 1
+                t = arr_times[k]
+                if queue_head == len(queue):
+                    # Uncontended steady state: straight to a free core.
+                    slot = -1
+                    for s in slot_range:
+                        if busy[s] <= t and not pending[s]:
+                            slot = s
+                            break
+                    if slot >= 0:
+                        run_one(k, slot, t, 1, 2 * arr_idx[k] + 1)
+                    else:
+                        queue.append(k)
+                else:
+                    queue.append(k)
+                    dispatch(t, 1, 2 * arr_idx[k] + 1)
+        st.comp_seq = comp_seq
+        self.handler_invocations += invocations
+        self.busy_total += busy_total
+        self.wait_total += wait_total
+        self.last_completion = last_completion
+
+    # ------------------------------------------------------------------
+    def _l2_profile(self, arrivals, releases):
+        wire = self.train.wire_bytes
+        n_a, n_r = len(arrivals), len(releases)
+        times = np.concatenate([arrivals, np.asarray(releases)])
+        deltas = np.concatenate(
+            [np.full(n_a, wire, dtype=np.int64), np.full(n_r, -wire, dtype=np.int64)]
+        )
+        # Releases (priority 0) settle before same-instant arrivals.
+        pri = np.concatenate(
+            [np.ones(n_a, dtype=np.int8), np.zeros(n_r, dtype=np.int8)]
+        )
+        order = np.lexsort((pri, times))
+        return times[order], np.cumsum(deltas[order])
+
+    def _check_l2(self, arrival_lists, releases) -> None:
+        arrivals = np.concatenate([np.asarray(a) for a in arrival_lists])
+        _times, occ = self._l2_profile(arrivals, releases)
+        if int(occ.max(initial=0)) > self.switch.memories.l2_packet.capacity_bytes:
+            raise FastPathAbort("L2 packet memory would back-pressure")
+
+    def _validate_l2(self) -> None:
+        """Exact L2 packet-memory occupancy check: the DES would defer
+        (or drop) the first arrival that does not fit; any overshoot
+        invalidates the analytic timing, so the fast path aborts."""
+        n = self.train.n_packets
+        if len(self.l2_release_times) != n:
+            raise FastPathAbort("not every packet completed")
+        times, occ = self._l2_profile(self.train.times, self.l2_release_times)
+        if int(occ.max(initial=0)) > self.switch.memories.l2_packet.capacity_bytes:
+            raise FastPathAbort("L2 packet memory would back-pressure")
+        self._l2_occ = occ
+        self._l2_times = times
+
+    # ------------------------------------------------------------------
+    def commit(self) -> None:
+        """Apply the computed run to the switch (telemetry, memories,
+        cores, egress) and execute the payload programs."""
+        switch = self.switch
+        train = self.train
+        tel = switch.telemetry
+        n = train.n_packets
+        wire = train.wire_bytes
+
+        tel.packets_in.add(n)
+        tel.bytes_in.add(n * wire)
+        tel.handler_invocations.add(self.handler_invocations)
+        tel.busy_cycles.add(self.busy_total)
+        tel.contention_wait_cycles.add(self.wait_total)
+        tel.icache_fills.add(self.icache_fills)
+
+        # Input-buffer gauge + L2 region accounting --------------------
+        l2 = switch.memories.l2_packet
+        occ = self._l2_occ
+        ts = self._l2_times
+        tel.input_buffer_bytes.bulk_record_arrays(ts, occ)
+        l2.peak_bytes = max(l2.peak_bytes, int(occ.max(initial=0)))
+        l2.used_bytes = int(occ[-1]) if len(occ) else 0
+        if len(ts):
+            widths = np.diff(ts, append=ts[-1])
+            l2._weighted_sum += float(np.dot(occ, widths))
+            l2._last_time = float(ts[-1])
+
+        self._commit_queue_gauge()
+
+        # Cores + i-caches ---------------------------------------------
+        for st in self.subsets:
+            cluster = switch.clusters[st.subset]
+            if st.warm:
+                cluster.icache_load(self.handler_name)
+            for s, hpu in enumerate(cluster.hpus):
+                hpu.busy_until = max(hpu.busy_until, st.busy[s])
+                hpu.handlers_run += st.handlers_run[s]
+                hpu.busy_cycles += st.busy_cycles[s]
+
+        # Scheduler bookkeeping (all blocks mapped, then released).
+        switch.scheduler._next_subset = self.n_blocks_seen % self.n_subsets
+
+        # Kernel state: L1 accounting, working-memory gauge, handler
+        # counters, and the payload programs -> egress packets.
+        emissions, out_bytes = self.kernel.commit()   # (time, block) sorted
+        switch.egress.extend(emissions)
+        tel.packets_out.add(len(emissions))
+        tel.bytes_out.add(out_bytes)
+
+        switch._first_arrival = float(train.times[0])
+        switch._last_completion = self.last_completion
+        sim = switch.sim
+        if self.end_time > sim.now:
+            sim.now = self.end_time
+
+    def _commit_queue_gauge(self) -> None:
+        """Reconstruct the queued-packets gauge from static enqueue
+        instants (+1 at each arrival) and the recorded dispatch instants
+        (-1 each, ordered after their triggering event's enqueues).
+        Sample positions differ from the per-packet path only by
+        zero-width intermediate points, so peak and time-weighted mean
+        are identical."""
+        train = self.train
+        n = train.n_packets
+        times = np.concatenate([train.times, np.asarray(self.disp_t)])
+        pri = np.concatenate(
+            [np.ones(n, dtype=np.int8), np.asarray(self.disp_p, dtype=np.int8)]
+        )
+        seq = np.concatenate(
+            [2 * np.arange(n, dtype=np.int64), np.asarray(self.disp_s, dtype=np.int64)]
+        )
+        delta = np.concatenate(
+            [np.ones(n, dtype=np.int64), np.full(n, -1, dtype=np.int64)]
+        )
+        order = np.lexsort((seq, pri, times))
+        values = np.cumsum(delta[order])
+        self.switch.telemetry.queued_packets.bulk_record_arrays(
+            times[order], values
+        )

@@ -70,7 +70,7 @@ class SparseHandlerConfig:
         return max(1, int(round(self.elements_per_packet / self.density)))
 
 
-@dataclass
+@dataclass(slots=True)
 class _SparseBlockRecord:
     state: BlockState
     storage: object

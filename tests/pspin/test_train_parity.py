@@ -1,0 +1,186 @@
+"""Parity suite: packet-train fast path vs per-packet DES.
+
+The fast path's contract is *exactness*: identical makespans, bitwise
+payloads, and matching telemetry against the event-driven path on every
+configuration it engages for — and transparent fallback (with identical
+results, trivially) on the configurations it must decline.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.allreduce import plan_switch_allreduce
+from repro.pspin.train import PacketTrain, try_run_train
+
+
+def run_pair(
+    algo,
+    size,
+    dtype="int32",
+    children=16,
+    n_clusters=2,
+    seed=0,
+    cold_start=True,
+    op="sum",
+    reproducible=False,
+    scheduler="hierarchical",
+    subset_size=None,
+    jitter=1.0,
+):
+    """Execute the same planned allreduce through both tiers."""
+    results = []
+    for fast in (True, False):
+        plan = plan_switch_allreduce(
+            size,
+            children=children,
+            algorithm=algo,
+            dtype=dtype,
+            n_clusters=n_clusters,
+            op=op,
+            reproducible=reproducible,
+            scheduler=scheduler,
+            subset_size=subset_size,
+        )
+        plan.switch_cfg.fast_path = fast
+        results.append(
+            plan.execute(seed=seed, cold_start=cold_start, jitter=jitter)
+        )
+    return results
+
+
+def assert_parity(fast, slow, expect_fast=True):
+    assert fast.fast_path_used is expect_fast
+    assert slow.fast_path_used is False
+    # Exact makespan.
+    assert fast.makespan_cycles == slow.makespan_cycles
+    # Bitwise payloads.
+    assert set(fast.outputs) == set(slow.outputs)
+    for block_id, payload in slow.outputs.items():
+        got = fast.outputs[block_id]
+        assert got.dtype == payload.dtype
+        assert np.array_equal(got, payload)
+    # Telemetry: integer counters exact; cycle accumulators to float
+    # addition-order tolerance (the fast path sums per subset).
+    assert fast.blocks_completed == slow.blocks_completed
+    assert fast.icache_fills == slow.icache_fills
+    assert fast.deferred_arrivals == slow.deferred_arrivals
+    assert fast.peak_input_buffer_bytes == slow.peak_input_buffer_bytes
+    assert fast.peak_working_memory_bytes == slow.peak_working_memory_bytes
+    assert math.isclose(
+        fast.contention_wait_cycles,
+        slow.contention_wait_cycles,
+        rel_tol=1e-9,
+        abs_tol=1e-6,
+    )
+    assert fast.sim_bandwidth_tbps == slow.sim_bandwidth_tbps
+
+
+@pytest.mark.parametrize("algo", ["single", "multi(4)", "tree"])
+@pytest.mark.parametrize("dtype", ["int32", "float32", "int8"])
+def test_dense_parity(algo, dtype):
+    fast, slow = run_pair(algo, "16KiB", dtype=dtype)
+    assert_parity(fast, slow)
+
+
+@pytest.mark.parametrize("algo", ["single", "multi(2)", "tree"])
+def test_parity_warm_start(algo):
+    fast, slow = run_pair(algo, "8KiB", cold_start=False)
+    assert_parity(fast, slow)
+    assert fast.icache_fills == 0
+
+
+@pytest.mark.parametrize("op", ["min", "max", "prod"])
+def test_parity_other_operators(op):
+    fast, slow = run_pair("single", "8KiB", dtype="int16", op=op)
+    assert_parity(fast, slow)
+
+
+def test_parity_float_min_replay():
+    fast, slow = run_pair("multi(4)", "8KiB", dtype="float32", op="min")
+    assert_parity(fast, slow)
+
+
+def test_reproducible_tree_float32_bitwise():
+    """F3: fp32 tree sums are bitwise stable — and the fast path's
+    order-replay reproduces them bit for bit."""
+    fast, slow = run_pair("tree", "16KiB", dtype="float32", reproducible=True)
+    assert_parity(fast, slow)
+
+
+def test_parity_without_jitter():
+    fast, slow = run_pair("single", "16KiB", jitter=0.0)
+    assert_parity(fast, slow)
+
+
+def test_contended_config_falls_back():
+    """At sizes where the L2 input buffers back-pressure, the fast path
+    must disengage — and both runs then share the per-packet path."""
+    fast, slow = run_pair("single", "256KiB", children=64, n_clusters=4)
+    assert slow.deferred_arrivals > 0
+    assert_parity(fast, slow, expect_fast=False)
+
+
+def test_fcfs_scheduler_falls_back():
+    fast, slow = run_pair("single", "8KiB", scheduler="fcfs")
+    assert_parity(fast, slow, expect_fast=False)
+
+
+def test_subset_smaller_than_cluster_falls_back():
+    fast, slow = run_pair("single", "8KiB", subset_size=4)
+    assert_parity(fast, slow, expect_fast=False)
+
+
+def test_env_kill_switch_disables_fast_path(monkeypatch):
+    monkeypatch.setenv("REPRO_FASTPATH", "0")
+    fast, slow = run_pair("single", "8KiB")
+    assert_parity(fast, slow, expect_fast=False)
+
+
+def test_busy_switch_rejects_train():
+    """A train injected into a switch with in-flight events must fall
+    back (the fast path only models the uncontended case)."""
+    plan = plan_switch_allreduce("4KiB", children=8, algorithm="single",
+                                 n_clusters=1)
+    from repro.pspin.switch import PsPINSwitch
+
+    switch = PsPINSwitch(plan.switch_cfg)
+    switch.sim.schedule(5.0, lambda: None)
+    train = PacketTrain(
+        1,
+        times=np.array([0.0]),
+        block_ids=np.array([0]),
+        ports=np.array([0]),
+        data=np.zeros((8, 1, 256), dtype=np.float32),
+    )
+    assert try_run_train(switch, train) is False
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    algo=st.sampled_from(["single", "multi(2)", "tree"]),
+    dtype=st.sampled_from(["int32", "float32"]),
+    children=st.sampled_from([4, 8, 16]),
+    size_kib=st.integers(min_value=1, max_value=16),
+    seed=st.integers(min_value=0, max_value=5),
+    jitter=st.sampled_from([0.0, 0.5, 1.0]),
+)
+def test_property_random_configs_parity(algo, dtype, children, size_kib, seed, jitter):
+    """Randomly toggling the fast path never changes the simulation."""
+    fast, slow = run_pair(
+        algo,
+        size_kib * 1024,
+        dtype=dtype,
+        children=children,
+        n_clusters=1,
+        seed=seed,
+        jitter=jitter,
+    )
+    assert fast.fast_path_used is True
+    assert fast.makespan_cycles == slow.makespan_cycles
+    assert set(fast.outputs) == set(slow.outputs)
+    for block_id, payload in slow.outputs.items():
+        assert np.array_equal(fast.outputs[block_id], payload)
+    assert fast.blocks_completed == slow.blocks_completed
