@@ -14,6 +14,8 @@ Usage::
         --topo-params dim_x=4,dim_y=4,hosts_per_switch=2
     python -m repro bench ring --tenants 2 --overlap --weights 4,1 \
         --timeline-out timeline.json
+    python -m repro bench ring --faults examples/faults/chaos.json \
+        --fault-seed 1 --timeline-out chaos-timeline.json
     python -m repro bench simcore --perf-json BENCH_simcore.json
 
 ``bench`` drives any registered algorithm through the unified
@@ -161,6 +163,14 @@ def _cmd_multi_tenant_bench(args: argparse.Namespace, topology) -> int:
         routing=args.routing,
         routing_seed=args.seed,
     )
+    if args.faults:
+        try:
+            schedule = fabric.load_faults(args.faults, seed=args.fault_seed)
+        except (OSError, ValueError, TypeError) as exc:
+            print(f"error: cannot load fault schedule: {exc}", file=sys.stderr)
+            return 2
+        print(f"[chaos armed: {len(schedule)} fault(s) from {args.faults}, "
+              f"seed {schedule.seed}]")
     comms = [
         fabric.communicator(name=f"tenant{i}", weight=weights[i],
                             n_clusters=args.clusters)
@@ -208,7 +218,17 @@ def _cmd_multi_tenant_bench(args: argparse.Namespace, topology) -> int:
               f"{s['bytes'] / 2**20:.1f} MiB reduced, "
               f"{s['wire_bytes'] / 2**30:.2f} GiB on wire, "
               f"{s['busy_ns'] / 1e6:.2f} ms busy, "
-              f"{s['fell_back']} fell back")
+              f"{s['fell_back']} fell back, {s['recovered']} recovered")
+    if fabric.faults is not None:
+        traffic = fabric.net.traffic
+        print(f"chaos totals: {traffic.drops} drops, "
+              f"{traffic.duplicates} duplicates, "
+              f"{traffic.retransmits} retransmits, "
+              f"{len(fabric.fault_log())} fault event(s) applied")
+        for event in fabric.fault_log():
+            target = event.get("switch") or event.get("link")
+            print(f"  t={event['at_ns']:.0f}ns {event['event']} "
+                  f"{event['kind']} {target}")
     if args.timeline_out:
         fabric.timeline_json(path=args.timeline_out)
         print(f"[timeline written to {args.timeline_out}]")
@@ -252,7 +272,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                   f"using that instead of --hosts {args.hosts}]")
             args.hosts = topology.n_hosts
 
-    if args.tenants > 1:
+    if args.tenants > 1 or args.faults:
+        # Chaos runs need the persistent shared fabric (faults live on
+        # its links and clock), so --faults routes through it even for
+        # a single tenant.
         return _cmd_multi_tenant_bench(args, topology)
 
     comm = Communicator(
@@ -370,6 +393,13 @@ def main(argv: list[str] | None = None) -> int:
                        "(default: all 1.0)")
     bench.add_argument("--timeline-out", default=None, metavar="PATH",
                        help="write the fabric's per-tenant timeline JSON")
+    bench.add_argument("--faults", default=None, metavar="SPEC.json",
+                       help="arm a declarative fault schedule on the fabric "
+                       "(link loss/slowdown/outages, switch outages); runs "
+                       "through the shared fabric even with one tenant")
+    bench.add_argument("--fault-seed", type=int, default=None,
+                       help="seed for the per-message loss/duplicate "
+                       "decisions (default: the schedule's own seed)")
     bench.add_argument("--perf-json", default=None, metavar="PATH",
                        help="write machine-readable wall-clock / packets-per-"
                        "second numbers; with the 'simcore' pseudo-algorithm "

@@ -23,7 +23,10 @@ from __future__ import annotations
 
 import warnings
 
+import numpy as np
+
 from repro.collectives.result import CollectiveResult
+from repro.collectives.ring import combine_payloads, split_slices
 from repro.network.simulator import Message, NetworkSimulator
 from repro.network.trees import AggregationTree, EmbeddedTree, as_aggregation_tree
 from repro.network.topology import Topology
@@ -71,6 +74,8 @@ def _simulate_flare_dense_allreduce(
     tree: "EmbeddedTree | AggregationTree | None" = None,
     router=None,
     routing_seed: int = 0,
+    payloads=None,
+    op="sum",
 ) -> CollectiveResult:
     """Flare dense schedule on a private simulator (one collective)."""
     net = NetworkSimulator(topology, router=router, routing_seed=routing_seed)
@@ -81,6 +86,8 @@ def _simulate_flare_dense_allreduce(
         chunk_bytes=chunk_bytes,
         agg_latency_ns_per_chunk=agg_latency_ns_per_chunk,
         tree=tree,
+        payloads=payloads,
+        op=op,
         on_complete=done.append,
     )
     net.run()
@@ -98,6 +105,8 @@ def issue_flare_dense_allreduce(
     tree: "EmbeddedTree | AggregationTree | None" = None,
     flow: object = None,
     base_time: float = 0.0,
+    payloads=None,
+    op="sum",
     on_complete,
 ) -> None:
     """Issue one Flare in-network dense allreduce into a simulator.
@@ -107,6 +116,13 @@ def issue_flare_dense_allreduce(
     received the full multicast, with times relative to ``base_time``
     and traffic read from the flow's own accounting (see
     :func:`repro.collectives.ring.issue_ring_allreduce`).
+
+    With ``payloads`` the chunks carry real data: every tree switch
+    combines its children in a *fixed canonical order* (attached hosts
+    first, child switches after, both in tree order), so the reduction
+    is bitwise deterministic regardless of arrival order, duplicate
+    deliveries, or retransmissions — the in-network analogue of the
+    reproducible tree aggregation of the PsPIN backend.
     """
     atree = as_aggregation_tree(tree, net.topology)
     hosts = atree.all_hosts()
@@ -114,15 +130,45 @@ def issue_flare_dense_allreduce(
     n_chunks = max(1, int(round(vector_bytes / chunk_bytes)))
     actual_chunk = vector_bytes / n_chunks
 
-    up_counts: dict[tuple[str, int], int] = {}
+    #: Per-(switch, chunk) contributions by sender — counting by sender
+    #: (not by message) makes fan-in immune to duplicate deliveries.
+    up_parts: dict[tuple[str, int], dict] = {}
     host_received: dict[str, int] = {h: 0 for h in hosts}
+    #: Dedup guards; consulted whenever faults are armed *at delivery
+    #: time* (arming may happen after issue, before the loop runs).
+    host_dedup: set = set()
+    #: Duplicate "down" messages must not re-trigger subtree multicasts.
+    down_dedup: set = set()
     state = {"done_hosts": 0, "finish": base_time}
 
-    def send_down(switch: str, chunk: int, at: float) -> None:
+    carry = payloads is not None
+    if carry:
+        arrays = [np.ascontiguousarray(np.asarray(p)).ravel() for p in payloads]
+        if len(arrays) != P:
+            raise ValueError(f"got {len(arrays)} payloads for {P} hosts")
+        shape = np.asarray(payloads[0]).shape
+        chunk_slices = split_slices(arrays[0].size, n_chunks)
+        input_of = {h: arrays[i] for i, h in enumerate(hosts)}
+        outputs = {h: np.empty_like(arrays[0]) for h in hosts}
+
+    def reduce_chunk(switch: str, chunk: int) -> "np.ndarray | None":
+        """Fold one chunk's contributions in canonical member order."""
+        if not carry:
+            return None
+        parts = up_parts[(switch, chunk)]
+        members = (*atree.hosts_of.get(switch, ()),
+                   *atree.children_of.get(switch, ()))
+        acc = parts[members[0]]
+        for member in members[1:]:
+            acc = combine_payloads(op, acc, parts[member])
+        return acc
+
+    def send_down(switch: str, chunk: int, at: float, data=None) -> None:
         # One burst event for the whole multicast fan-out of this chunk.
         net.send_burst(
             [
-                Message(switch, peer, actual_chunk, tag=("down", chunk), flow=flow)
+                Message(switch, peer, actual_chunk, tag=("down", chunk),
+                        payload=data, flow=flow)
                 for peer in (
                     *atree.children_of.get(switch, ()),
                     *atree.hosts_of.get(switch, ()),
@@ -139,25 +185,52 @@ def issue_flare_dense_allreduce(
             direction, chunk = msg.tag[0], msg.tag[1]
             if direction == "up":
                 key = (switch, chunk)
-                up_counts[key] = up_counts.get(key, 0) + 1
-                if up_counts[key] == fan_in:
+                parts = up_parts.get(key)
+                if parts is None:
+                    parts = up_parts[key] = {}
+                if msg.src in parts:
+                    return       # duplicate contribution, already folded
+                parts[msg.src] = msg.payload if carry else True
+                if len(parts) == fan_in:
+                    data = reduce_chunk(switch, chunk)
                     if parent is None:   # root: turn around, multicast
-                        send_down(switch, chunk, now + agg_latency_ns_per_chunk)
+                        send_down(switch, chunk,
+                                  now + agg_latency_ns_per_chunk, data)
                     else:
                         net.send(
                             Message(
                                 switch, parent, actual_chunk,
-                                tag=("up", chunk), flow=flow,
+                                tag=("up", chunk), payload=data, flow=flow,
                             ),
                             at=now + agg_latency_ns_per_chunk,
                         )
             else:   # downward multicast continues through the subtree
-                send_down(switch, chunk, now)
+                if net.faults is not None:
+                    key = (switch, chunk)
+                    if key in down_dedup:
+                        return
+                    down_dedup.add(key)
+                send_down(switch, chunk, now, msg.payload)
 
         return deliver
 
     def finished() -> CollectiveResult:
         stats = net.flow_stats(flow)
+        extra = {
+            "n_chunks": n_chunks,
+            "tree_root": atree.root,
+            "tree_depth": atree.depth(),
+            **net.traffic_extra(flow=flow),
+        }
+        if carry:
+            first = outputs[hosts[0]]
+            for h in hosts[1:]:
+                if not np.array_equal(first, outputs[h]):
+                    raise AssertionError(
+                        "flare dense allreduce diverged: hosts disagree on "
+                        "the reduced vector"
+                    )
+            extra["output"] = first.reshape(shape)
         return CollectiveResult(
             name="Flare dense",
             n_hosts=P,
@@ -165,16 +238,19 @@ def issue_flare_dense_allreduce(
             time_ns=state["finish"] - base_time,
             traffic_bytes_hops=stats.bytes_hops,
             sent_bytes_per_host=vector_bytes,
-            extra={
-                "n_chunks": n_chunks,
-                "tree_root": atree.root,
-                "tree_depth": atree.depth(),
-                **net.traffic_extra(flow=flow),
-            },
+            extra=extra,
         )
 
     def on_host(host: str):
         def deliver(msg: Message, now: float) -> None:
+            chunk = msg.tag[1]
+            if net.faults is not None:
+                key = (host, chunk)
+                if key in host_dedup:
+                    return
+                host_dedup.add(key)
+            if carry:
+                outputs[host][chunk_slices[chunk]] = msg.payload
             host_received[host] += 1
             if host_received[host] == n_chunks:
                 state["done_hosts"] += 1
@@ -192,7 +268,9 @@ def issue_flare_dense_allreduce(
     # Every host's upward chunk train leaves at once: one burst event.
     net.send_burst(
         [
-            Message(h, atree.attach_of(h), actual_chunk, tag=("up", c), flow=flow)
+            Message(h, atree.attach_of(h), actual_chunk, tag=("up", c),
+                    payload=input_of[h][chunk_slices[c]] if carry else None,
+                    flow=flow)
             for h in hosts
             for c in range(n_chunks)
         ],

@@ -192,8 +192,15 @@ def issue_flare_sparse_allreduce(
     host_chunk = host_bytes / n_chunks
     down_chunk = down_bytes / n_chunks
 
-    up_counts: dict[tuple[str, int], int] = {}
+    #: Contributions keyed by sender: fan-in completion is counted per
+    #: distinct child, so duplicate deliveries under fault injection
+    #: cannot complete a chunk early (Sec. 4.1 bitmap property).
+    up_parts: dict[tuple[str, int], set] = {}
     host_received: dict[str, int] = {h: 0 for h in hosts}
+    #: Dedup guards; armed-ness is checked at delivery time (faults may
+    #: be armed after issue, before the loop runs).
+    host_dedup: set = set()
+    down_dedup: set = set()
     state = {"done_hosts": 0, "finish": base_time}
 
     def send_down(switch: str, chunk: int, at: float) -> None:
@@ -218,8 +225,13 @@ def issue_flare_sparse_allreduce(
             direction, chunk = msg.tag[0], msg.tag[1]
             if direction == "up":
                 key = (switch, chunk)
-                up_counts[key] = up_counts.get(key, 0) + 1
-                if up_counts[key] == fan_in:
+                parts = up_parts.get(key)
+                if parts is None:
+                    parts = up_parts[key] = set()
+                if msg.src in parts:
+                    return       # duplicate contribution
+                parts.add(msg.src)
+                if len(parts) == fan_in:
                     if parent is None:
                         send_down(switch, chunk, now + agg_latency_ns_per_chunk)
                     else:
@@ -231,6 +243,11 @@ def issue_flare_sparse_allreduce(
                             at=now + agg_latency_ns_per_chunk,
                         )
             else:
+                if net.faults is not None:
+                    key = (switch, chunk)
+                    if key in down_dedup:
+                        return
+                    down_dedup.add(key)
                 send_down(switch, chunk, now)
 
         return deliver
@@ -262,6 +279,11 @@ def issue_flare_sparse_allreduce(
 
     def on_host(host: str):
         def deliver(msg: Message, now: float) -> None:
+            if net.faults is not None:
+                key = (host, msg.tag[1])
+                if key in host_dedup:
+                    return
+                host_dedup.add(key)
             host_received[host] += 1
             if host_received[host] == n_chunks:
                 state["done_hosts"] += 1

@@ -10,15 +10,46 @@ A rank sends its step-s+1 message as soon as it has received the step-s
 message from its predecessor (per-rank dependency, no global barrier),
 which is how real ring pipelines behave and what makes the completion
 time ~2 Z / link_rate rather than 2(P-1) full latencies.
+
+Payload execution: pass ``payloads`` (one array per rank) and the
+schedule carries the *actual data* through the ring — reduce-scatter
+accumulates in fixed ring order (segment q combines ranks q, q+1, ...,
+wrapping), allgather distributes the reduced segments — so the final
+vectors are bitwise identical on every host and deterministic run to
+run, independent of event timing, retransmissions, or duplicate
+deliveries.  Timing is unchanged: data rides the same messages the
+size-only simulation sends.
 """
 
 from __future__ import annotations
 
 import warnings
 
+import numpy as np
+
 from repro.collectives.result import CollectiveResult
+from repro.core.ops import get_op
 from repro.network.simulator import Message, NetworkSimulator
 from repro.network.topology import FatTreeTopology
+
+
+def split_slices(n_elements: int, n_parts: int) -> list[slice]:
+    """Contiguous ``np.array_split``-compatible slices of a vector."""
+    sizes = [n_elements // n_parts + (1 if i < n_elements % n_parts else 0)
+             for i in range(n_parts)]
+    out, start = [], 0
+    for size in sizes:
+        out.append(slice(start, start + size))
+        start += size
+    return out
+
+
+def combine_payloads(op, acc: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """``acc ⊕ values`` without mutating either input (messages may be
+    duplicated by fault injection; in-place combines would corrupt)."""
+    out = acc.copy()
+    get_op(op).combine_into(out, values)
+    return out
 
 
 def simulate_ring_allreduce(
@@ -60,6 +91,8 @@ def _simulate_ring_allreduce(
     host_reduce_bytes_per_ns: float = 0.0,
     router=None,
     routing_seed: int = 0,
+    payloads=None,
+    op="sum",
 ) -> CollectiveResult:
     """Ring-allreduce schedule on a private simulator (one collective)."""
     net = NetworkSimulator(topology, router=router, routing_seed=routing_seed)
@@ -69,6 +102,8 @@ def _simulate_ring_allreduce(
         vector_bytes,
         sub_chunk_bytes=sub_chunk_bytes,
         host_reduce_bytes_per_ns=host_reduce_bytes_per_ns,
+        payloads=payloads,
+        op=op,
         on_complete=done.append,
     )
     net.run()
@@ -85,6 +120,8 @@ def issue_ring_allreduce(
     host_reduce_bytes_per_ns: float = 0.0,
     flow: object = None,
     base_time: float = 0.0,
+    payloads=None,
+    op="sum",
     on_complete,
 ) -> None:
     """Issue one ring allreduce into a (possibly shared) simulator.
@@ -98,6 +135,11 @@ def issue_ring_allreduce(
     ``host_reduce_bytes_per_ns`` optionally charges host-side reduction
     compute per received byte during the reduce-scatter phase (0 =
     compute fully overlapped, the bandwidth-dominated regime).
+
+    With ``payloads`` (one array per rank, any shape) the messages
+    carry real data and the result's ``extra["output"]`` holds the
+    reduced vector; duplicate deliveries (fault injection) are
+    deduplicated, so the output is bitwise stable under chaos.
 
     Events are injected at ``base_time`` under flow id ``flow``;
     ``on_complete(result)`` fires inside the event loop when the last
@@ -117,18 +159,53 @@ def issue_ring_allreduce(
     total_steps = 2 * (P - 1)
 
     state = {"done_hosts": 0, "finish": base_time}
-    last_received = {h: 0 for h in hosts}   # sub-chunks of the final step
+    #: Per-host deliveries (each host receives one message per step per
+    #: sub-chunk; completion = all of them, so late retransmissions of
+    #: mid-collective chunks are always waited for).
+    expected = total_steps * n_sub
+    recv_count = {h: 0 for h in hosts}
+    #: Dedup guard; consulted whenever faults are armed *at delivery
+    #: time* (arming may happen after issue, before the loop runs).
+    dedup: set = set()
+
+    # ------------------------------------------------------------------
+    # Payload plumbing (None = size-only timing simulation)
+    # ------------------------------------------------------------------
+    carry = payloads is not None
+    if carry:
+        arrays = [np.ascontiguousarray(np.asarray(p)).ravel() for p in payloads]
+        if len(arrays) != P:
+            raise ValueError(f"got {len(arrays)} payloads for {P} hosts")
+        n_elements = arrays[0].size
+        shape = np.asarray(payloads[0]).shape
+        seg_slices = split_slices(n_elements, P)
+        sub_slices = {
+            q: split_slices(seg_slices[q].stop - seg_slices[q].start, n_sub)
+            for q in range(P)
+        }
+        outputs = [np.empty_like(arrays[0]) for _ in range(P)]
+
+        def seg_part(rank: int, q: int, k: int) -> np.ndarray:
+            """Rank's own input for sub-chunk k of segment q."""
+            seg = arrays[rank][seg_slices[q]]
+            return seg[sub_slices[q][k]]
+
+        def write_out(rank: int, q: int, k: int, data: np.ndarray) -> None:
+            base = seg_slices[q].start
+            sub = sub_slices[q][k]
+            outputs[rank][base + sub.start:base + sub.stop] = data
 
     def successor(i: int) -> str:
         return hosts[(i + 1) % P]
 
-    def send_sub(i: int, step: int, sub: int, at: float) -> None:
+    def send_sub(i: int, step: int, sub: int, at: float, data=None) -> None:
         net.send(
             Message(
                 src=hosts[i],
                 dst=successor(i),
                 nbytes=sub_bytes,
                 tag=("ring", step, sub),
+                payload=data,
                 flow=flow,
             ),
             at=at,
@@ -136,6 +213,18 @@ def issue_ring_allreduce(
 
     def finished() -> CollectiveResult:
         stats = net.flow_stats(flow)
+        extra = {
+            "sub_chunks_per_segment": n_sub,
+            **net.traffic_extra(flow=flow),
+        }
+        if carry:
+            for other in outputs[1:]:
+                if not np.array_equal(outputs[0], other):
+                    raise AssertionError(
+                        "ring allreduce diverged: hosts disagree on the "
+                        "reduced vector"
+                    )
+            extra["output"] = outputs[0].reshape(shape)
         return CollectiveResult(
             name="host-dense (ring)",
             n_hosts=P,
@@ -143,10 +232,7 @@ def issue_ring_allreduce(
             time_ns=state["finish"] - base_time,
             traffic_bytes_hops=stats.bytes_hops,
             sent_bytes_per_host=seg_bytes * total_steps,
-            extra={
-                "sub_chunks_per_segment": n_sub,
-                **net.traffic_extra(flow=flow),
-            },
+            extra=extra,
         )
 
     rank_of = {h: i for i, h in enumerate(hosts)}
@@ -154,19 +240,35 @@ def issue_ring_allreduce(
     def on_deliver(msg: Message, now: float) -> None:
         _kind, step, sub = msg.tag
         receiver = msg.dst
+        if net.faults is not None:
+            key = (receiver, step, sub)
+            if key in dedup:
+                return        # spurious duplicate (Sec. 4.1 bitmap)
+            dedup.add(key)
         i = rank_of[receiver]
         compute = 0.0
         if host_reduce_bytes_per_ns > 0 and step < P - 1:
             compute = sub_bytes / host_reduce_bytes_per_ns
+        data = None
+        if carry:
+            q = (i - step - 1) % P     # segment this message carries
+            if step < P - 1:
+                # Reduce-scatter reception: fold in our own contribution
+                # (fixed ring order q, q+1, ... — deterministic).
+                data = combine_payloads(op, msg.payload, seg_part(i, q, sub))
+                if step == P - 2:
+                    write_out(i, q, sub, data)   # fully reduced here
+            else:
+                data = msg.payload               # allgather: forward as-is
+                write_out(i, q, sub, data)
         if step + 1 < total_steps:
-            send_sub(i, step + 1, sub, now + compute)
-        else:
-            last_received[receiver] += 1
-            if last_received[receiver] == n_sub:
-                state["done_hosts"] += 1
-                state["finish"] = max(state["finish"], now + compute)
-                if state["done_hosts"] == P:
-                    on_complete(finished())
+            send_sub(i, step + 1, sub, now + compute, data)
+        recv_count[receiver] += 1
+        if recv_count[receiver] == expected:
+            state["done_hosts"] += 1
+            state["finish"] = max(state["finish"], now + compute)
+            if state["done_hosts"] == P:
+                on_complete(finished())
 
     for h in hosts:
         net.on_deliver(h, on_deliver, flow=flow)
@@ -180,6 +282,7 @@ def issue_ring_allreduce(
                 dst=successor(i),
                 nbytes=sub_bytes,
                 tag=("ring", 0, sub),
+                payload=seg_part(i, i % P, sub) if carry else None,
                 flow=flow,
             )
             for i in range(P)

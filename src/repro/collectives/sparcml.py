@@ -184,6 +184,10 @@ def issue_sparcml_allreduce(
     progressed: dict[str, int] = {h: 0 for h in hosts}   # rounds finished
     subs_received: dict[tuple[str, int], int] = {}
     state = {"done_hosts": 0, "finish": base_time}
+    #: Under fault injection duplicated sub-chunks must not advance the
+    #: round barrier early (the Sec. 4.1 bitmap property, host-side);
+    #: armed-ness is checked at delivery time (arming may follow issue).
+    dedup: set = set()
 
     def send_round(i: int, rnd: int, at: float) -> None:
         partner = i ^ distances[rnd]
@@ -217,6 +221,11 @@ def issue_sparcml_allreduce(
     def on_deliver(msg: Message, now: float) -> None:
         _kind, rnd, _sub, n_sub = msg.tag
         receiver = msg.dst
+        if net.faults is not None:
+            seen = (receiver, rnd, _sub)
+            if seen in dedup:
+                return
+            dedup.add(seen)
         key = (receiver, rnd)
         subs_received[key] = subs_received.get(key, 0) + 1
         if subs_received[key] < n_sub:

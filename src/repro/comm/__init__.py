@@ -43,6 +43,7 @@ from repro.comm.plan import (
     build_plan,
 )
 from repro.core.manager import AdmissionError
+from repro.network.faults import FaultSchedule, FaultSpec
 from repro.comm.registry import (
     AlgorithmCaps,
     AlgorithmEntry,
@@ -109,6 +110,8 @@ __all__ = [
     "CollectiveFuture",
     "Fabric",
     "FabricError",
+    "FaultSpec",
+    "FaultSchedule",
     "IssueContext",
     "PlanCache",
     "PlannedExecution",

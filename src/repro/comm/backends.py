@@ -336,6 +336,32 @@ def _simulation_only(request: CollectiveRequest, payloads) -> Optional[str]:
     return _SIMULATION_ONLY_REASON
 
 
+def _network_payload_rejects(
+    request: CollectiveRequest, payloads
+) -> Optional[str]:
+    """Payload gate for the payload-capable network schedules (ring,
+    flare_dense).
+
+    Payload execution is *opt-in by naming the algorithm*: under
+    ``algorithm="auto"`` these remain timing simulations, so automatic
+    selection keeps preferring the switch-level / in-memory executing
+    backends exactly as before.  Explicitly-named requests carry and
+    bitwise-reduce real data (the differential and chaos suites drive
+    this path).
+    """
+    if request.algorithm == "auto":
+        return _SIMULATION_ONLY_REASON
+    if request.sparse:
+        return "sparse payload execution unsupported; pass a byte size"
+    try:
+        arr = np.asarray(payloads)
+    except ValueError:           # ragged list: numpy >= 1.24 raises
+        arr = None
+    if arr is None or arr.dtype == object:
+        return "payloads must stack into one dense (n_hosts, ...) array"
+    return None
+
+
 def _reject_payloads(name: str, payloads) -> None:
     """Timing/traffic simulations never touch payload values.
 
@@ -349,7 +375,7 @@ def _reject_payloads(name: str, payloads) -> None:
 
 @register_algorithm(
     "ring",
-    payload_rejects=_simulation_only,
+    payload_rejects=_network_payload_rejects,
     caps=AlgorithmCaps(
         dense=True,
         reproducible=True,
@@ -357,7 +383,8 @@ def _reject_payloads(name: str, payloads) -> None:
         min_hosts=2,
         priority=10,
         description="host-based pipelined ring on the network simulator "
-        "(the Fig. 15 dense baseline; any topology, any routing policy)",
+        "(the Fig. 15 dense baseline; any topology, any routing policy; "
+        "carries and bitwise-reduces real payloads when explicitly named)",
     ),
 )
 def _plan_ring(request: CollectiveRequest) -> PlannedExecution:
@@ -366,9 +393,9 @@ def _plan_ring(request: CollectiveRequest) -> PlannedExecution:
     sub_chunk_bytes = p.get("sub_chunk_bytes", 128 * 1024)
     host_reduce = p.get("host_reduce_bytes_per_ns", 0.0)
     seg_bytes = request.nbytes / request.n_hosts
+    op = request.op
 
     def runner(payloads, overrides) -> CollectiveResult:
-        _reject_payloads("ring", payloads)
         return _simulate_ring_allreduce(
             source.fresh(),
             request.nbytes,
@@ -376,10 +403,11 @@ def _plan_ring(request: CollectiveRequest) -> PlannedExecution:
             host_reduce_bytes_per_ns=host_reduce,
             router=source.routing,
             routing_seed=source.routing_seed,
+            payloads=payloads,
+            op=op,
         )
 
     def issuer(ctx: IssueContext, payloads, overrides) -> None:
-        _reject_payloads("ring", payloads)
         source.check_fabric(ctx.net)
         issue_ring_allreduce(
             ctx.net,
@@ -388,6 +416,8 @@ def _plan_ring(request: CollectiveRequest) -> PlannedExecution:
             host_reduce_bytes_per_ns=host_reduce,
             flow=ctx.flow,
             base_time=ctx.net.now,
+            payloads=payloads,
+            op=op,
             on_complete=ctx.finish,
         )
 
@@ -471,7 +501,7 @@ def _plan_sparcml(request: CollectiveRequest) -> PlannedExecution:
 
 @register_algorithm(
     "flare_dense",
-    payload_rejects=_simulation_only,
+    payload_rejects=_network_payload_rejects,
     caps=AlgorithmCaps(
         dense=True,
         in_network=True,
@@ -481,7 +511,8 @@ def _plan_sparcml(request: CollectiveRequest) -> PlannedExecution:
         priority=40,
         description="Flare in-network dense allreduce on the network "
         "simulator (each host sends/receives Z once; aggregation tree "
-        "planned over any topology)",
+        "planned over any topology; carries and bitwise-reduces real "
+        "payloads when explicitly named)",
     ),
 )
 def _plan_flare_dense(request: CollectiveRequest) -> PlannedExecution:
@@ -491,9 +522,9 @@ def _plan_flare_dense(request: CollectiveRequest) -> PlannedExecution:
     agg_latency = p.get("agg_latency_ns_per_chunk", 2000.0)
     tree = source.plan_tree(request)
     atree = as_aggregation_tree(tree, source.shape)
+    op = request.op
 
     def runner(payloads, overrides) -> CollectiveResult:
-        _reject_payloads("flare_dense", payloads)
         return _simulate_flare_dense_allreduce(
             source.fresh(),
             request.nbytes,
@@ -502,10 +533,11 @@ def _plan_flare_dense(request: CollectiveRequest) -> PlannedExecution:
             tree=tree,
             router=source.routing,
             routing_seed=source.routing_seed,
+            payloads=payloads,
+            op=op,
         )
 
     def issuer(ctx: IssueContext, payloads, overrides) -> None:
-        _reject_payloads("flare_dense", payloads)
         source.check_fabric(ctx.net)
         issue_flare_dense_allreduce(
             ctx.net,
@@ -515,6 +547,8 @@ def _plan_flare_dense(request: CollectiveRequest) -> PlannedExecution:
             tree=tree,
             flow=ctx.flow,
             base_time=ctx.net.now,
+            payloads=payloads,
+            op=op,
             on_complete=ctx.finish,
         )
 
@@ -526,6 +560,7 @@ def _plan_flare_dense(request: CollectiveRequest) -> PlannedExecution:
             "tree_root": atree.root,
             "tree_depth": atree.depth(),
             "tree_switches": list(atree.switches()),
+            "tree_links": [tuple(edge) for edge in atree.tree_links()],
             "root_fan_in": atree.fan_in(atree.root),
             "n_chunks": max(1, int(round(request.nbytes / chunk_bytes))),
         },
@@ -605,6 +640,7 @@ def _plan_flare_sparse(request: CollectiveRequest) -> PlannedExecution:
             "tree_root": atree.root,
             "tree_depth": atree.depth(),
             "tree_switches": list(atree.switches()),
+            "tree_links": [tuple(edge) for edge in atree.tree_links()],
             "host_bytes": level_bytes[0] if level_bytes is not None else host_bytes,
             "root_bytes": level_bytes[2] if level_bytes is not None
             else up_bytes[atree.root],

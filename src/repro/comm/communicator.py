@@ -198,7 +198,14 @@ class Communicator:
             and len(data) > 0
             and isinstance(data[0], np.ndarray)
         ):
-            payloads = np.asarray(data)
+            try:
+                payloads = np.asarray(data)
+            except ValueError as exc:     # ragged list of arrays
+                raise ValueError(
+                    "payload arrays must stack into one dense "
+                    "(n_hosts, ...) array — every host's array needs the "
+                    "same shape and dtype"
+                ) from exc
             if payloads.ndim < 2:
                 raise ValueError(
                     "payload arrays need shape (n_hosts, ...); got "

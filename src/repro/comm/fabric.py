@@ -24,9 +24,22 @@ path — pooled handler slots and switch memory, per-tenant quotas —
 falling back to a host-based algorithm when a switch pool is full,
 exactly the paper's reject-and-fall-back behavior.
 
+Reliability.  :meth:`Fabric.inject` / :meth:`Fabric.load_faults` arm
+declarative chaos on the shared links (loss, duplication, degradation,
+outages; see :mod:`repro.network.faults`).  Lost chunks are recovered
+by the host timeout + retransmission protocol of the network layer; a
+mid-collective **link or switch outage** additionally triggers
+*self-healing* for the in-network tree collectives: the fabric abandons
+the wounded flow, consults :meth:`TreePlanner.plan_dynamic` to re-root
+the aggregation tree away from the failure (Canary-style), and
+re-issues — or, when the switch pool itself is lost, replans onto the
+host-based Rabenseifner fallback.  Every recovery is recorded on the
+collective's :meth:`timeline` entry and in :meth:`tenant_stats`.
+
 :meth:`Fabric.timeline` exports a per-tenant trace (start/finish,
-bytes, achieved goodput, hot links, fallbacks) for the bench CLI
-(``bench --tenants N --overlap``) and CI artifacts.
+bytes, achieved goodput, hot links, fallbacks, recoveries) for the
+bench CLI (``bench --tenants N --overlap --faults spec.json``) and CI
+artifacts.
 
 A lone ``Communicator`` transparently creates a *private* fabric on
 first use, so the single-tenant API and its results are unchanged.
@@ -35,11 +48,13 @@ first use, so the single-tenant API and its results are unchanged.
 from __future__ import annotations
 
 import json
+from dataclasses import replace as dc_replace
 from typing import TYPE_CHECKING, Optional
 
-from repro.comm.plan import CollectivePlan, IssueContext
-from repro.comm.registry import CapabilityError, CommError
+from repro.comm.plan import CollectivePlan, IssueContext, build_plan
+from repro.comm.registry import CapabilityError, CommError, get_algorithm
 from repro.core.manager import AdmissionError, NetworkManager
+from repro.network.faults import FaultInjector, FaultSchedule, FaultSpec
 from repro.network.simulator import NetworkSimulator
 from repro.network.topology import Topology, build_topology
 from repro.network.trees import TreePlanner
@@ -52,6 +67,36 @@ if TYPE_CHECKING:  # pragma: no cover
 
 class FabricError(CommError):
     """Fabric-level failure (deadlocked loop, duplicate tenant, ...)."""
+
+
+class _Inflight:
+    """Book-keeping for one issued, not-yet-settled collective.
+
+    Everything :meth:`Fabric._recover` needs to abandon a wounded flow
+    and re-issue the collective on a replanned tree: the owning tenant
+    communicator, the current plan and its payloads/overrides, the
+    admission ticket, and the timeline entry being built.
+    """
+
+    __slots__ = (
+        "comm", "plan", "payloads", "overrides", "tenant", "weight",
+        "future", "entry", "ticket", "flow", "start", "base",
+    )
+
+    def __init__(self, comm, plan, payloads, overrides, tenant, weight,
+                 future, entry, ticket, flow, start) -> None:
+        self.comm = comm
+        self.plan = plan
+        self.payloads = payloads
+        self.overrides = overrides
+        self.tenant = tenant
+        self.weight = weight
+        self.future = future
+        self.entry = entry
+        self.ticket = ticket
+        self.flow = flow
+        self.start = start          # fabric time of the original issue
+        self.base = start           # fabric time of the latest (re)issue
 
 
 class Fabric:
@@ -78,6 +123,9 @@ class Fabric:
     fallback:
         When admission rejects an in-network collective, transparently
         replan it host-based (the paper's behavior) instead of raising.
+    retransmit_timeout_ns:
+        Host timeout before a chunk lost to an injected fault is
+        retransmitted end to end (paper Sec. 4.1).
     """
 
     def __init__(
@@ -95,6 +143,7 @@ class Fabric:
         switch_memory_bytes: Optional[float] = None,
         tenant_quota: Optional[int] = None,
         fallback: bool = True,
+        retransmit_timeout_ns: float = 50_000.0,
     ) -> None:
         if isinstance(topology, Topology):
             topo = topology
@@ -122,6 +171,7 @@ class Fabric:
             sim=self.sim,
             arbitration=arbitration,
         )
+        self.net.retransmit_timeout_ns = retransmit_timeout_ns
         self.manager = NetworkManager(
             max_allreduces_per_switch,
             switch_memory_bytes=switch_memory_bytes,
@@ -132,6 +182,7 @@ class Fabric:
         self._next_flow = 1
         self._events: list[dict] = []
         self._pending: "set[CollectiveFuture]" = set()
+        self._inflight: dict[object, _Inflight] = {}
         self._implicit = False      # created by a lone Communicator
         self._default_root: Optional[str] = None
 
@@ -170,14 +221,207 @@ class Fabric:
         return tuple(self._tenants)
 
     # ------------------------------------------------------------------
+    # Fault injection & self-healing
+    # ------------------------------------------------------------------
+    def _arm(self, seed: Optional[int] = None) -> FaultInjector:
+        first = self.net.faults is None
+        injector = self.net.arm_faults(seed=seed)
+        if first:
+            injector.on_fault(self._on_fault_event)
+        return injector
+
+    def inject(
+        self,
+        link=None,
+        switch: Optional[str] = None,
+        *,
+        at: Optional[float] = None,
+        kind: str = "down",
+        loss_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        slow_factor: float = 1.0,
+        duration_ns: Optional[float] = None,
+        seed: Optional[int] = None,
+    ) -> FaultSpec:
+        """Arm one fault on the shared fabric.
+
+        ``fabric.inject(link="l0-s0", at=2e5, kind="down")`` kills a
+        link mid-flight; ``kind="lossy"`` (with ``loss_rate`` /
+        ``duplicate_rate``) and ``kind="slow"`` (with ``slow_factor``)
+        degrade it instead, ``link="*"`` degrades every link, and
+        ``switch="s0"`` takes a whole switch out.  ``at`` defaults to
+        *now*; ``duration_ns`` schedules automatic repair.  Arming
+        faults disengages the network fast paths, so chunks take the
+        exact per-packet DES path (see
+        :meth:`~repro.network.simulator.NetworkSimulator.arm_faults`).
+        """
+        spec = FaultSpec(
+            kind=kind,
+            link=link,
+            switch=switch,
+            at=self.now if at is None else at,
+            loss_rate=loss_rate,
+            duplicate_rate=duplicate_rate,
+            slow_factor=slow_factor,
+            duration_ns=duration_ns,
+        )
+        self._arm(seed).inject(spec)
+        return spec
+
+    def load_faults(self, source, seed: Optional[int] = None) -> FaultSchedule:
+        """Arm a declarative :class:`FaultSchedule` (dict, list, path to
+        a JSON file, or a prebuilt schedule) — the CLI's
+        ``bench --faults spec.json`` entry point."""
+        schedule = FaultSchedule.from_any(source, seed=seed)
+        self._arm(schedule.seed).schedule(schedule)
+        return schedule
+
+    @property
+    def faults(self) -> Optional[FaultInjector]:
+        """The armed fault injector (None on a healthy fabric)."""
+        return self.net.faults
+
+    def fault_log(self) -> list[dict]:
+        """Applied fault/repair events, application order."""
+        return list(self.net.faults.applied) if self.net.faults else []
+
+    def _on_fault_event(self, event: dict) -> None:
+        """Self-healing hook, called inside the loop on every applied
+        fault/repair event."""
+        switch = event.get("switch")
+        if switch is not None:
+            # Mirror outages into the admission control plane so new
+            # in-network collectives reject (and fall back) immediately.
+            if event["event"] == "fault":
+                self.manager.fail_switch(switch)
+            else:
+                self.manager.repair_switch(switch)
+        if event["event"] != "fault" or event.get("kind") != "down":
+            return
+        for rec in list(self._inflight.values()):
+            if rec.flow in self._inflight and self._tree_affected(rec, event):
+                self._recover(rec, event)
+
+    @staticmethod
+    def _tree_affected(rec: _Inflight, event: dict) -> bool:
+        """Did this outage sever the collective's aggregation tree?
+
+        Host-based schedules recover through retransmission + rerouting
+        alone; only in-network tree collectives need replanning."""
+        if not rec.plan.caps.in_network:
+            return False
+        setup = rec.plan.setup
+        switch = event.get("switch")
+        if switch is not None:
+            return switch in (setup.get("tree_switches") or ())
+        pair = event.get("link_nodes")
+        if not pair:
+            return False
+        a, b = pair
+        tree_links = setup.get("tree_links") or ()
+        return (a, b) in tree_links or (b, a) in tree_links
+
+    def _replan_with_tree(self, plan: CollectivePlan, tree) -> CollectivePlan:
+        """Rebuild the same algorithm's plan over an explicit
+        replacement tree (bypasses the plan cache: failure state must
+        never pollute cached healthy plans)."""
+        request = plan.request
+        new_request = dc_replace(
+            request, params={**request.params, "tree": tree}
+        )
+        return build_plan(new_request, get_algorithm(plan.algorithm))
+
+    def _try_replan(self, plan: CollectivePlan, tenant: Optional[str]):
+        """Admission rejected a tree collective: before giving up on
+        in-network execution, replan the aggregation tree over the
+        *live* topology (away from failures and toward cool switches)
+        and try to admit that.  Returns ``(plan, ticket)`` or None."""
+        if not plan.setup.get("tree_switches"):
+            return None           # not a tree schedule; nothing to re-root
+        try:
+            tree = TreePlanner(self.topology).plan_dynamic()
+            candidate = self._replan_with_tree(plan, tree)
+            ticket = self.manager.admit(
+                self._admission_switches(candidate),
+                tenant=tenant,
+                memory_bytes=float(candidate.request.nbytes),
+            )
+        except (ValueError, AdmissionError, CapabilityError):
+            return None
+        return candidate, ticket
+
+    def _recover(self, rec: _Inflight, event: dict) -> None:
+        """Canary-style mid-flight recovery of one tree collective.
+
+        Abandon the wounded flow (in-flight chunks are discarded at
+        their next hop), release its switch resources, replan the
+        aggregation tree away from the failure via
+        :meth:`TreePlanner.plan_dynamic`, and re-issue.  When no viable
+        tree or switch pool remains, replan host-based instead (the
+        paper's fallback), carrying any payloads to an *executing*
+        algorithm.
+        """
+        old_flow = rec.flow
+        self._inflight.pop(old_flow, None)
+        self.net.abandon_flow(old_flow)
+        if rec.ticket is not None:
+            self.manager.release(rec.ticket)
+            rec.ticket = None
+        note = {
+            "at_ns": self.now,
+            "cause": {
+                k: event[k]
+                for k in ("kind", "link", "switch")
+                if event.get(k) is not None
+            },
+            "from_algorithm": rec.plan.algorithm,
+            "from_root": rec.plan.setup.get("tree_root"),
+        }
+        try:
+            tree = TreePlanner(self.topology).plan_dynamic()
+            new_plan = self._replan_with_tree(rec.plan, tree)
+            rec.ticket = self.manager.admit(
+                self._admission_switches(new_plan),
+                tenant=rec.tenant,
+                memory_bytes=float(new_plan.request.nbytes),
+            )
+        except (ValueError, AdmissionError, CapabilityError) as exc:
+            note["fallback_reason"] = str(exc)
+            new_plan = self._fallback_plan(rec.comm, rec.plan, rec.payloads)
+            rec.entry["fell_back"] = True
+        rec.plan = new_plan
+        rec.flow = self._next_flow
+        self._next_flow += 1
+        rec.future.flow = rec.flow
+        note["to_algorithm"] = new_plan.algorithm
+        note["to_root"] = new_plan.setup.get("tree_root")
+        rec.entry["recoveries"].append(note)
+        rec.entry["algorithm"] = new_plan.algorithm
+        self._issue_record(rec)
+
+    # ------------------------------------------------------------------
     # Issue path
     # ------------------------------------------------------------------
     def _aggregation_root(self) -> str:
         """Resource key for single-switch in-network collectives: the
-        root the fabric's default aggregation tree would use."""
-        if self._default_root is None:
-            self._default_root = TreePlanner(self.topology).plan().root
-        return self._default_root
+        root the fabric's default aggregation tree would use (re-planned
+        off a root that has since failed)."""
+        root = self._default_root
+        if root is not None and (
+            root in self.manager.dead_switches()
+            or root in self.topology.failed_switches()
+        ):
+            root = None
+        if root is None:
+            try:
+                root = TreePlanner(self.topology).plan().root
+            except ValueError:
+                # No aggregation capacity left at all: keep (or pick)
+                # any switch so admission rejects with switch_down and
+                # the caller falls back host-based.
+                root = self._default_root or self.topology.switches[0]
+            self._default_root = root
+        return root
 
     def _admission_switches(self, plan: CollectivePlan) -> tuple:
         switches = plan.setup.get("tree_switches")
@@ -228,12 +472,12 @@ class Fabric:
         """Issue one planned collective into the shared event loop.
 
         In-network plans pass the pooled admission path first (slots,
-        switch memory, tenant quota); a switch-resource rejection falls
-        back to a host-based plan when ``fallback`` is on, while a
-        tenant-quota rejection always raises (queueing more work for an
-        over-quota tenant would defeat the quota).  Returns a
-        simulation-native future that resolves as the fabric's loop is
-        driven (``future.result()``, :meth:`run`, or ``wait_all``).
+        switch memory, tenant quota, dead switches); a switch-resource
+        rejection falls back to a host-based plan when ``fallback`` is
+        on, while a tenant-quota rejection always raises (queueing more
+        work for an over-quota tenant would defeat the quota).  Returns
+        a simulation-native future that resolves as the fabric's loop
+        is driven (``future.result()``, :meth:`run`, or ``wait_all``).
         """
         from repro.comm.future import CollectiveFuture
 
@@ -252,8 +496,18 @@ class Fabric:
                 if getattr(exc, "resource", None) == "quota" or not self.fallback:
                     raise
                 admission_note = str(exc)
-                plan = self._fallback_plan(comm, plan, payloads)
-                fell_back = True
+                replanned = self._try_replan(plan, tenant)
+                if replanned is not None:
+                    # Canary-style: a re-rooted tree over the live
+                    # topology keeps the collective in-network.
+                    plan, ticket = replanned
+                    admission_note += (
+                        f" -> replanned tree rooted at "
+                        f"{plan.setup.get('tree_root')}"
+                    )
+                else:
+                    plan = self._fallback_plan(comm, plan, payloads)
+                    fell_back = True
         flow = self._next_flow
         self._next_flow += 1
         future = CollectiveFuture(
@@ -275,93 +529,118 @@ class Fabric:
             "hot_links": None,
             "fell_back": fell_back,
             "admission": admission_note,
+            "recoveries": [],
             "status": "running",
         }
-
-        def settle(result) -> None:
-            # Wake any run_until() driving the loop for this (or any)
-            # future — it re-checks its own future and resumes if this
-            # was a different one.
-            self.sim.stop_requested = True
-            duration = result.time_ns
-            entry.update(
-                finish_ns=start + duration,
-                duration_ns=duration,
-                goodput_gbps=(
-                    entry["nbytes"] * 8.0 / duration if duration > 0 else None
-                ),
-                wire_bytes=result.traffic_bytes_hops,
-                hot_links=result.extra.get("hot_links"),
-                status="done",
-            )
-            result.extra.setdefault("tenant", tenant)
-            result.extra["fell_back"] = fell_back
-            self._pending.discard(future)
-            future._settle(result=result)
-
-        if plan.supports_issue:
-            self.net.set_flow_weight(flow, weight)
-            ctx = IssueContext(net=self.net, flow=flow, finish=None)
-
-            def finish(result) -> None:
-                if ticket is not None:
-                    self.manager.release(ticket)
-                self.net.remove_flow(flow)
-                settle(result)
-
-            ctx.finish = finish
-            self._pending.add(future)
-            try:
-                plan.issue(ctx, payloads, **overrides)
-            except CapabilityError:
-                # The plan was shaped for a different fabric.  On the
-                # implicit private fabric this is legal legacy usage
-                # (per-call topology overrides); run it atomically on
-                # its own substrate instead of rejecting.
-                self._pending.discard(future)
-                self.net.remove_flow(flow)
-                if not self._implicit:
-                    if ticket is not None:
-                        self.manager.release(ticket)
-                    raise
-                self._execute_atomically(
-                    plan, payloads, overrides, ticket, start, entry, settle,
-                    future,
-                )
-            except Exception:
-                self._pending.discard(future)
-                self.net.remove_flow(flow)
-                if ticket is not None:
-                    self.manager.release(ticket)
-                raise
-        else:
-            self._execute_atomically(
-                plan, payloads, overrides, ticket, start, entry, settle, future
-            )
+        rec = _Inflight(
+            comm=comm, plan=plan, payloads=payloads, overrides=overrides,
+            tenant=tenant, weight=weight, future=future, entry=entry,
+            ticket=ticket, flow=flow, start=start,
+        )
+        self._issue_record(rec)
         self._events.append(entry)
         return future
 
-    def _execute_atomically(
-        self, plan, payloads, overrides, ticket, start, entry, settle, future
-    ) -> None:
+    def _issue_record(self, rec: _Inflight) -> None:
+        """(Re-)issue one collective's events into the shared loop."""
+        plan = rec.plan
+        rec.base = self.net.now
+        if not plan.supports_issue:
+            self._execute_atomic_record(rec)
+            return
+        flow = rec.flow
+        self.net.set_flow_weight(flow, rec.weight)
+        ctx = IssueContext(net=self.net, flow=flow, finish=None)
+
+        def finish(result) -> None:
+            if rec.ticket is not None:
+                self.manager.release(rec.ticket)
+                rec.ticket = None
+            self.net.remove_flow(flow)
+            self._inflight.pop(flow, None)
+            self._settle_record(rec, result)
+
+        ctx.finish = finish
+        self._pending.add(rec.future)
+        self._inflight[flow] = rec
+        try:
+            plan.issue(ctx, rec.payloads, **rec.overrides)
+        except CapabilityError:
+            # The plan was shaped for a different fabric.  On the
+            # implicit private fabric this is legal legacy usage
+            # (per-call topology overrides); run it atomically on
+            # its own substrate instead of rejecting.
+            self._pending.discard(rec.future)
+            self._inflight.pop(flow, None)
+            self.net.remove_flow(flow)
+            if not self._implicit:
+                if rec.ticket is not None:
+                    self.manager.release(rec.ticket)
+                    rec.ticket = None
+                raise
+            self._execute_atomic_record(rec)
+        except Exception:
+            self._pending.discard(rec.future)
+            self._inflight.pop(flow, None)
+            self.net.remove_flow(flow)
+            if rec.ticket is not None:
+                self.manager.release(rec.ticket)
+                rec.ticket = None
+            raise
+
+    def _execute_atomic_record(self, rec: _Inflight) -> None:
         """Non-interleaving plans (closed-form models, the PsPIN switch
         simulation) execute in one shot at the current fabric time;
         their switch resources stay held until the fabric clock passes
         their modeled finish (``future.result()`` advances it there, so
         strictly sequential issue/result never sees a stale pool)."""
         try:
-            result = plan.execute(payloads, **overrides)
+            result = rec.plan.execute(rec.payloads, **rec.overrides)
         except Exception:
-            if ticket is not None:
-                self.manager.release(ticket)
+            if rec.ticket is not None:
+                self.manager.release(rec.ticket)
+                rec.ticket = None
             raise
-        finish_time = max(start + result.time_ns, self.sim.now)
-        if ticket is not None:
+        finish_time = max(rec.base + result.time_ns, self.sim.now)
+        if rec.ticket is not None:
             self.sim.schedule_at(
-                finish_time, self.manager.release, ticket, priority=0
+                finish_time, self.manager.release, rec.ticket, priority=0
             )
-        future._settle_time = finish_time
-        settle(result)
+            rec.ticket = None
+        rec.future._settle_time = finish_time
+        self._settle_record(rec, result, finish_ns=finish_time)
+
+    def _settle_record(
+        self, rec: _Inflight, result, finish_ns: Optional[float] = None
+    ) -> None:
+        # Wake any run_until() driving the loop for this (or any)
+        # future — it re-checks its own future and resumes if this
+        # was a different one.
+        self.sim.stop_requested = True
+        if finish_ns is None:
+            # Schedule times are relative to the latest (re)issue; the
+            # timeline reports end-to-end durations from the original
+            # issue, so recoveries lengthen the entry, not reset it.
+            finish_ns = rec.base + result.time_ns
+        entry = rec.entry
+        duration = finish_ns - rec.start
+        entry.update(
+            finish_ns=finish_ns,
+            duration_ns=duration,
+            goodput_gbps=(
+                entry["nbytes"] * 8.0 / duration if duration > 0 else None
+            ),
+            wire_bytes=result.traffic_bytes_hops,
+            hot_links=result.extra.get("hot_links"),
+            status="done",
+        )
+        result.extra.setdefault("tenant", rec.tenant)
+        result.extra["fell_back"] = entry["fell_back"]
+        if entry["recoveries"]:
+            result.extra["recoveries"] = list(entry["recoveries"])
+            result.time_ns = duration    # end-to-end, including re-runs
+        self._pending.discard(rec.future)
+        rec.future._settle(result=result)
 
     # ------------------------------------------------------------------
     # Driving the loop
@@ -402,7 +681,8 @@ class Fabric:
     # ------------------------------------------------------------------
     def timeline(self) -> list[dict]:
         """Per-collective trace, issue order: tenant, algorithm, start/
-        finish, bytes, achieved goodput, hot links, fallbacks."""
+        finish, bytes, achieved goodput, hot links, fallbacks, and any
+        mid-flight recoveries."""
         return [dict(e) for e in self._events]
 
     def timeline_json(self, path: Optional[str] = None, indent: int = 2) -> str:
@@ -416,6 +696,18 @@ class Fabric:
             "utilization": self.manager.utilization(),
             "events": self.timeline(),
         }
+        if self.net.faults is not None:
+            traffic = self.net.traffic
+            payload["faults"] = self.fault_log()
+            payload["reliability"] = {
+                "drops": traffic.drops,
+                "duplicates": traffic.duplicates,
+                "retransmits": traffic.retransmits,
+                "failed_links": sorted(
+                    f"{a}-{b}" for a, b in self.topology.failed_links()
+                ),
+                "failed_switches": sorted(self.topology.failed_switches()),
+            }
         text = json.dumps(payload, indent=indent, default=str)
         if path is not None:
             with open(path, "w") as fh:
@@ -432,6 +724,7 @@ class Fabric:
                     "collectives": 0,
                     "completed": 0,
                     "fell_back": 0,
+                    "recovered": 0,
                     "bytes": 0.0,
                     "wire_bytes": 0.0,
                     "busy_ns": 0.0,
@@ -441,6 +734,8 @@ class Fabric:
             s["bytes"] += e["nbytes"]
             if e["fell_back"]:
                 s["fell_back"] += 1
+            if e["recoveries"]:
+                s["recovered"] += 1
             if e["status"] == "done":
                 s["completed"] += 1
                 s["wire_bytes"] += e["wire_bytes"] or 0.0

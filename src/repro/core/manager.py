@@ -133,6 +133,7 @@ class NetworkManager:
         self._memory_used: dict = {}  # switch key -> admitted bytes
         self._tenant_active: dict[str, int] = {}
         self._tickets: dict[int, AdmissionTicket] = {}
+        self._dead_switches: set = set()
 
     # ------------------------------------------------------------------
     # Pooled admission (multi-tenant fabric path)
@@ -154,6 +155,13 @@ class NetworkManager:
         on success returns a ticket for :meth:`release`.
         """
         switches = tuple(switches)
+        for sid in switches:
+            if sid in self._dead_switches:
+                raise self._rejection(
+                    "switch_down",
+                    f"switch {sid} is out of service (failure injected); "
+                    "replan the tree or fall back to host-based allreduce",
+                )
         if tenant is not None and self.tenant_quota is not None:
             if self._tenant_active.get(tenant, 0) >= self.tenant_quota:
                 raise self._rejection(
@@ -223,6 +231,21 @@ class NetworkManager:
                 0, self._tenant_active.get(ticket.tenant, 0) - 1
             )
 
+    # ------------------------------------------------------------------
+    # Failure state (chaos/fault injection)
+    # ------------------------------------------------------------------
+    def fail_switch(self, switch) -> None:
+        """Mark a switch dead: admission on it is refused until repair
+        (resource tag ``"switch_down"``, so the fabric's fallback path
+        can distinguish an outage from pool exhaustion)."""
+        self._dead_switches.add(switch)
+
+    def repair_switch(self, switch) -> None:
+        self._dead_switches.discard(switch)
+
+    def dead_switches(self) -> set:
+        return set(self._dead_switches)
+
     def utilization(self) -> dict:
         """Live pool state (for timelines and operator dashboards)."""
         return {
@@ -230,6 +253,7 @@ class NetworkManager:
             "switch_memory_bytes": dict(self._memory_used),
             "tenant_active": dict(self._tenant_active),
             "admitted": len(self._tickets),
+            "dead_switches": sorted(self._dead_switches),
         }
 
     # ------------------------------------------------------------------

@@ -17,9 +17,15 @@ pluggable layers:
 * **TreePlanner** (:mod:`repro.network.trees`): aggregation trees over
   any topology, including Canary-style dynamic re-rooting away from
   congested links.
+
+Reliability (:mod:`repro.network.faults`): declarative per-link
+loss/corruption/degradation and link/switch outages with seeded,
+process-stable per-message decisions, recovered by the simulator's
+host-timeout retransmission protocol.
 """
 
-from repro.network.links import Link
+from repro.network.faults import FaultInjector, FaultSchedule, FaultSpec
+from repro.network.links import Link, LinkFault
 from repro.network.topology import (
     FatTreeTopology,
     NodeId,
@@ -42,7 +48,12 @@ from repro.network.routing import (
     available_routers,
     build_router,
 )
-from repro.network.simulator import Message, NetworkSimulator, TrafficStats
+from repro.network.simulator import (
+    Message,
+    NetworkSimulator,
+    TrafficStats,
+    UnreachableError,
+)
 from repro.network.trees import (
     AggregationTree,
     EmbeddedTree,
@@ -52,6 +63,11 @@ from repro.network.trees import (
 
 __all__ = [
     "Link",
+    "LinkFault",
+    "FaultSpec",
+    "FaultSchedule",
+    "FaultInjector",
+    "UnreachableError",
     "Topology",
     "FatTreeTopology",
     "XGFTTopology",

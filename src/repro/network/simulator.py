@@ -36,9 +36,15 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.network.faults import FaultInjector, FaultSchedule
 from repro.network.routing import Router, build_router
 from repro.network.topology import NodeId, Topology
 from repro.pspin.engine import Simulator
+
+
+class UnreachableError(RuntimeError):
+    """A message exhausted its retransmission budget or lost every
+    path to its destination (network partitioned)."""
 
 
 @dataclass(slots=True)
@@ -52,6 +58,13 @@ class Message:
     payload: object = None
     #: Tenant/collective the chunk belongs to (None = untagged traffic).
     flow: object = None
+    #: End-to-end retransmissions this chunk has already burned.
+    retries: int = 0
+    #: Fault-injected duplicate copy: delivered if it survives, but
+    #: never itself recovered (the original owns the retransmission
+    #: protocol — otherwise dropped duplicates would feed back into
+    #: retransmission storms and burn the retry budget).
+    ephemeral: bool = False
 
 
 @dataclass
@@ -61,6 +74,11 @@ class TrafficStats:
     bytes_hops: float = 0.0          # sum over links of bytes carried
     messages: int = 0
     per_link: dict = field(default_factory=dict)   # (src, dst) -> bytes
+    #: Reliability counters (fault-injection runs): messages lost on a
+    #: link, spuriously duplicated, and end-to-end retransmissions.
+    drops: int = 0
+    duplicates: int = 0
+    retransmits: int = 0
 
     @property
     def gib(self) -> float:
@@ -176,6 +194,19 @@ class NetworkSimulator:
         #: when an interceptor re-emits; plain forwarding relies on link
         #: latency alone.
         self.switch_overhead_ns = 0.0
+        #: Fault injection (None until :meth:`arm_faults`): models loss,
+        #: duplication, degradation, and outages on the links.
+        self.faults: Optional[FaultInjector] = None
+        #: Host timeout before a lost chunk is retransmitted end to end
+        #: (paper Sec. 4.1: "a timeout is triggered in the host, that
+        #: retransmits the packet").
+        self.retransmit_timeout_ns = 50_000.0
+        #: Retransmission budget per chunk; exhausting it raises
+        #: :class:`UnreachableError` (persistent partition).
+        self.max_retransmits = 64
+        #: Flows whose collectives were abandoned (e.g. replanned after
+        #: a failure): their in-flight chunks are dropped on sight.
+        self._dead_flows: set = set()
 
     # ------------------------------------------------------------------
     # Registration
@@ -217,12 +248,55 @@ class NetworkSimulator:
         for queue in self._queues.values():
             queue.finish_tag.pop(flow, None)
 
+    def abandon_flow(self, flow: object) -> None:
+        """Drop a flow's callbacks *and* its in-flight traffic.
+
+        Used when a collective is replanned after a failure: chunks of
+        the dead flow still in the event heap are discarded at their
+        next hop instead of delivering into stale callbacks."""
+        self._dead_flows.add(flow)
+        self.remove_flow(flow)
+
     def flow_stats(self, flow: object = None) -> TrafficStats:
         """Traffic carried by one flow (global stats when ``flow`` is
         None).  Untagged messages only appear in the global stats."""
         if flow is None:
             return self.traffic
         return self._flow_traffic.setdefault(flow, TrafficStats())
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def arm_faults(
+        self,
+        schedule: "FaultSchedule | None" = None,
+        seed: Optional[int] = None,
+    ) -> FaultInjector:
+        """Attach (and return) the fault injector, arming ``schedule``.
+
+        Arming *provably disengages* the structural fast paths: the
+        next-hop memo is discarded (routes change under failures), burst
+        trains split back into per-packet events, and the uncontended
+        WFQ bypass is skipped — every chunk takes the per-packet DES
+        path where loss, duplication and retransmission are exact.
+        """
+        if self.faults is None:
+            self.faults = FaultInjector(self, seed=seed or 0)
+            self.fast_path = False
+            self._next_hop_cache = None
+        elif seed is not None:
+            self.faults.seed = seed
+            from repro.utils.rngtools import stable_hash
+
+            self.faults._salt = stable_hash("fault-injector", seed)
+        if schedule is not None:
+            self.faults.schedule(FaultSchedule.from_any(schedule))
+        return self.faults
+
+    def on_topology_change(self) -> None:
+        """Invalidate routing memos after a link/switch failure or
+        repair (the topology's own path caches are already reset)."""
+        self._next_hop_cache = None
 
     # ------------------------------------------------------------------
     # Sending
@@ -254,6 +328,8 @@ class NetworkSimulator:
 
     def _hop(self, msg: Message, node: NodeId) -> None:
         now = self.sim.now
+        if self._dead_flows and msg.flow in self._dead_flows:
+            return  # collective was abandoned/replanned; chunk discarded
         if self._interceptors and (node != msg.src or node in self._interceptors):
             # Arrived at an intermediate or terminal node.
             interceptor = self._interceptors.get(node)
@@ -261,11 +337,18 @@ class NetworkSimulator:
                 if interceptor(self, msg, now):
                     return  # consumed by in-network processing
         if node == msg.dst:
+            if self.faults is not None:
+                # The chunk got through; a fresh loss later (e.g. of a
+                # duplicate) starts a fresh retransmission budget.
+                msg.retries = 0
             cb = self._deliver_cb.get((node, msg.flow))
             if cb is None and msg.flow is not None:
                 cb = self._deliver_cb.get((node, None))
             if cb is not None:
                 cb(msg, now)
+            return
+        if self.faults is not None:
+            self._hop_faulty(msg, node)
             return
         cache = self._next_hop_cache
         if cache is not None:
@@ -275,6 +358,28 @@ class NetworkSimulator:
                 next_node = cache[key] = self.router.next_hop(node, msg.dst)
         else:
             next_node = self.router.next_hop(node, msg.dst)
+        if self.arbitration == "wfq":
+            self._enqueue(node, next_node, msg)
+        else:
+            self._transmit(node, next_node, msg)
+
+    def _hop_faulty(self, msg: Message, node: NodeId) -> None:
+        """Forwarding leg under armed faults: dead switches swallow
+        chunks (host timeout recovers them), routing re-resolves against
+        the live failure state, and a partition surfaces loudly."""
+        # Membership test against the topology's live internal set:
+        # this runs on every forwarding hop of a chaos run, where the
+        # copying failed_switches() accessor would allocate per hop.
+        if node != msg.src and node in self.topology._failed_switches:
+            self._lose(msg)
+            return
+        try:
+            next_node = self.router.next_hop(node, msg.dst)
+        except ValueError as exc:
+            raise UnreachableError(
+                f"no route {node} -> {msg.dst} for flow {msg.flow!r}: the "
+                f"injected failures partitioned the network ({exc})"
+            ) from exc
         if self.arbitration == "wfq":
             self._enqueue(node, next_node, msg)
         else:
@@ -304,9 +409,80 @@ class NetworkSimulator:
 
     def _transmit(self, node: NodeId, next_node: NodeId, msg: Message) -> None:
         link = self.topology.link(node, next_node)
+        if self.faults is not None:
+            self._launch(link, node, next_node, msg)
+            return
         arrival = link.transmit(msg.nbytes, self.sim.now)
         self._record(node, next_node, msg)
         self.sim.schedule_fast(arrival, self._hop, (msg, next_node))
+
+    # ------------------------------------------------------------------
+    # Reliability (fault-injection runs only)
+    # ------------------------------------------------------------------
+    def _launch(self, link, node: NodeId, next_node: NodeId, msg: Message) -> None:
+        """Serve one message on one link under armed faults.
+
+        Down links carry nothing (the chunk is lost before
+        serialization); lossy links serialize the chunk — the bytes
+        were on the wire — then lose or duplicate it per the seeded
+        per-message decision; slow links stretch serialization inside
+        :meth:`Link.transmit`."""
+        if link.failed:
+            self._lose(msg)
+            return
+        fault = link.fault
+        arrival = link.transmit(msg.nbytes, self.sim.now)
+        self._record(node, next_node, msg)
+        if fault is not None and fault.kind == "lossy":
+            faults = self.faults
+            if fault.loss_rate and faults.roll(link, "drop", fault.loss_rate):
+                self._lose(msg)
+                return
+            if fault.duplicate_rate and faults.roll(
+                link, "dup", fault.duplicate_rate
+            ):
+                self._count(msg, "duplicates")
+                dup = Message(
+                    msg.src, msg.dst, msg.nbytes, msg.tag, msg.payload,
+                    msg.flow, ephemeral=True,
+                )
+                self.sim.schedule_fast(
+                    arrival + link.latency_ns, self._hop, (dup, next_node)
+                )
+        self.sim.schedule_fast(arrival, self._hop, (msg, next_node))
+
+    def _count(self, msg: Message, counter: str) -> None:
+        setattr(self.traffic, counter, getattr(self.traffic, counter) + 1)
+        flow = msg.flow
+        if flow is not None:
+            stats = self._flow_traffic.get(flow)
+            if stats is None:
+                stats = self._flow_traffic[flow] = TrafficStats()
+            setattr(stats, counter, getattr(stats, counter) + 1)
+
+    def _lose(self, msg: Message) -> None:
+        """A chunk vanished; arm the host's retransmission timeout."""
+        if self._dead_flows and msg.flow in self._dead_flows:
+            return
+        self._count(msg, "drops")
+        if msg.ephemeral:
+            return      # a lost duplicate; the original recovers itself
+        if msg.retries >= self.max_retransmits:
+            raise UnreachableError(
+                f"chunk {msg.src} -> {msg.dst} (flow {msg.flow!r}) lost "
+                f"{msg.retries} retransmissions in a row; destination "
+                "unreachable (persistent failure or partition)"
+            )
+        msg.retries += 1
+        self.sim.schedule_fast(
+            self.sim.now + self.retransmit_timeout_ns, self._retransmit, (msg,)
+        )
+
+    def _retransmit(self, msg: Message) -> None:
+        if self._dead_flows and msg.flow in self._dead_flows:
+            return
+        self._count(msg, "retransmits")
+        self._hop(msg, msg.src)
 
     def _enqueue(self, node: NodeId, next_node: NodeId, msg: Message) -> None:
         key = (node, next_node)
@@ -343,8 +519,12 @@ class NetworkSimulator:
             queue = self._queues[key]
         link = queue.link
         now = self.sim.now
+        faulty = self.faults is not None
         while queue.heap and link.busy_until <= now:
             msg, next_node = queue.pop()
+            if faulty:
+                self._launch(link, key[0], next_node, msg)
+                continue
             arrival = link.transmit(msg.nbytes, now)
             self._record(key[0], next_node, msg)
             self.sim.schedule_fast(arrival, self._hop, (msg, next_node))
@@ -370,10 +550,19 @@ class NetworkSimulator:
         return self.sim.now
 
     def traffic_extra(self, n_hot: int = 3, flow: object = None) -> dict:
-        """Congestion fields for ``CollectiveResult.extra``."""
+        """Congestion fields for ``CollectiveResult.extra``.
+
+        Fault-injection runs additionally surface the per-flow
+        reliability counters (drops / duplicates / retransmits), so
+        every schedule's result reports what the chaos cost it."""
         stats = self.flow_stats(flow)
-        return {
+        out = {
             "max_link_bytes": stats.max_link_bytes,
             "hot_links": stats.hot_links(n_hot),
             "routing": self.router.name,
         }
+        if self.faults is not None:
+            out["drops"] = stats.drops
+            out["duplicates"] = stats.duplicates
+            out["retransmits"] = stats.retransmits
+        return out

@@ -63,6 +63,8 @@ class Topology:
         self._neighbors: dict[NodeId, tuple[NodeId, ...]] = {}
         self._bfs_cache: dict[NodeId, tuple[dict, dict]] = {}
         self._paths_cache: dict[tuple[NodeId, NodeId], list[list[NodeId]]] = {}
+        self._failed_links: set[tuple[NodeId, NodeId]] = set()
+        self._failed_switches: set[NodeId] = set()
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -101,15 +103,28 @@ class Topology:
         return not node.startswith("h")
 
     def aggregating_switches(self) -> list[NodeId]:
-        """Switches able to host in-network aggregation handlers."""
-        return self.switches if self.supports_aggregation else []
+        """Switches able to host in-network aggregation handlers
+        (excluding any that have failed)."""
+        if not self.supports_aggregation:
+            return []
+        if not self._failed_switches:
+            return self.switches
+        return [s for s in self.switches if s not in self._failed_switches]
 
     def neighbors(self, node: NodeId) -> tuple[NodeId, ...]:
-        """Adjacent nodes, in deterministic (sorted) order."""
+        """Adjacent nodes reachable over *healthy* links, in
+        deterministic (sorted) order."""
         if not self._neighbors:
             adj: dict[NodeId, set[NodeId]] = {}
+            failed = self._failed_links
             for src, dst in self._links:
-                adj.setdefault(src, set()).add(dst)
+                # Seed both endpoints so a fully-failed node still
+                # answers with an empty adjacency rather than KeyError.
+                adj.setdefault(src, set())
+                adj.setdefault(dst, set())
+                if (src, dst) in failed:
+                    continue
+                adj[src].add(dst)
             self._neighbors = {n: tuple(sorted(peers)) for n, peers in adj.items()}
         try:
             return self._neighbors[node]
@@ -131,6 +146,75 @@ class Topology:
 
     def links(self) -> list[Link]:
         return list(self._links.values())
+
+    # ------------------------------------------------------------------
+    # Failure state (chaos/fault injection)
+    # ------------------------------------------------------------------
+    def _invalidate_path_caches(self) -> None:
+        self._neighbors = {}
+        self._bfs_cache.clear()
+        self._paths_cache.clear()
+
+    def fail_link(self, a: NodeId, b: NodeId) -> None:
+        """Take the duplex link ``a <-> b`` out of service.
+
+        Path computation (and therefore every routing policy) stops
+        using it immediately; the :class:`~repro.network.links.Link`
+        objects remain addressable for inspection and repair.
+        """
+        found = False
+        for key in ((a, b), (b, a)):
+            link = self._links.get(key)
+            if link is not None:
+                self._failed_links.add(key)
+                link.failed = True
+                found = True
+        if not found:
+            raise ValueError(f"no link {a} <-> {b}")
+        self._invalidate_path_caches()
+
+    def repair_link(self, a: NodeId, b: NodeId) -> None:
+        """Return the duplex link ``a <-> b`` to service."""
+        for key in ((a, b), (b, a)):
+            link = self._links.get(key)
+            if link is not None:
+                self._failed_links.discard(key)
+                link.failed = False
+                link.fault = None
+        self._invalidate_path_caches()
+
+    def fail_switch(self, switch: NodeId) -> None:
+        """Take a whole switch out of service: every attached link goes
+        down and the switch stops offering in-network aggregation."""
+        if switch not in set(self.switches):
+            raise ValueError(f"unknown switch {switch}")
+        self._failed_switches.add(switch)
+        for key, link in self._links.items():
+            if switch in key:
+                self._failed_links.add(key)
+                link.failed = True
+        self._invalidate_path_caches()
+
+    def repair_switch(self, switch: NodeId) -> None:
+        """Return a switch (and its links, unless independently failed)
+        to service."""
+        self._failed_switches.discard(switch)
+        for key, link in self._links.items():
+            if switch in key:
+                other = key[0] if key[1] == switch else key[1]
+                if other in self._failed_switches:
+                    continue
+                self._failed_links.discard(key)
+                link.failed = False
+                link.fault = None
+        self._invalidate_path_caches()
+
+    def failed_links(self) -> set[tuple[NodeId, NodeId]]:
+        """Directed link keys currently out of service."""
+        return set(self._failed_links)
+
+    def failed_switches(self) -> set[NodeId]:
+        return set(self._failed_switches)
 
     # ------------------------------------------------------------------
     # Shortest paths (the raw material routers select from)

@@ -65,9 +65,21 @@ def test_simulation_backends_reject_payloads(comm):
     from repro.comm import CapabilityError
 
     data = np.zeros((8, 64), dtype=np.float32)
-    for algorithm in ("ring", "flare_dense"):
+    for algorithm in ("flare_switch_sparse",):
         with pytest.raises(CapabilityError, match="does not reduce payload values"):
-            comm.allreduce(data, algorithm=algorithm)
+            comm.allreduce(data, algorithm=algorithm, sparse=True, density=0.1)
+
+
+def test_network_schedules_execute_payloads_when_named(comm):
+    # Explicitly-named ring / flare_dense carry and bitwise-reduce real
+    # data through the simulated network (auto keeps them timing-only).
+    rng = np.random.default_rng(11)
+    data = rng.integers(-8, 8, size=(8, 96)).astype(np.int32)
+    golden = data.sum(axis=0, dtype=np.int64).astype(np.int32)
+    for algorithm in ("ring", "flare_dense"):
+        result = comm.allreduce(data, algorithm=algorithm)
+        np.testing.assert_array_equal(result.extra["output"], golden)
+        assert result.algorithm == algorithm
 
 
 def test_auto_payload_falls_back_when_switch_infeasible(comm):

@@ -1,0 +1,156 @@
+"""Fabric self-healing: mid-collective outages, re-rooted trees,
+host-based fallbacks, and the recovery trace in timeline()/tenant_stats.
+
+The fabric half of the reliability tentpole (link-level loss/retransmit
+mechanics live in tests/network/test_faults.py).
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import Fabric, wait_all
+
+
+def _payloads(n_hosts=8, n=512, dtype=np.int32, seed=0):
+    rng = np.random.default_rng(seed)
+    data = rng.integers(-8, 8, size=(n_hosts, n)).astype(dtype)
+    return data, data.sum(axis=0, dtype=np.int64).astype(dtype)
+
+
+# ----------------------------------------------------------------------
+# Canary-style re-root on a link outage
+# ----------------------------------------------------------------------
+def test_link_down_recovers_flare_dense_and_traces_it():
+    fabric = Fabric(n_hosts=16, hosts_per_leaf=4, n_spines=2)
+    comm = fabric.communicator(name="train")
+    future = comm.iallreduce("4MiB", algorithm="flare_dense")
+    fabric.inject(link="l0-s0", at=5_000.0, kind="down")
+    result = future.result()
+    recoveries = result.extra["recoveries"]
+    assert len(recoveries) == 1
+    assert recoveries[0]["cause"] == {"kind": "down", "link": "l0-s0"}
+    assert recoveries[0]["to_algorithm"] == "flare_dense"
+    [entry] = fabric.timeline()
+    assert entry["status"] == "done"
+    assert entry["recoveries"] == recoveries
+    assert fabric.tenant_stats()["train"]["recovered"] == 1
+    # The replanned tree avoids the failed link.
+    assert ("l0", "s0") not in fabric.topology.paths("h0", "h15")[0]
+
+
+def test_link_down_recovery_preserves_payload_bitwise():
+    fabric = Fabric(n_hosts=8, hosts_per_leaf=4, n_spines=2)
+    comm = fabric.communicator(name="t")
+    data, golden = _payloads()
+    future = comm.iallreduce(data, algorithm="flare_dense")
+    fabric.inject(link="l1-s0", at=2_000.0, kind="down")
+    result = future.result()
+    assert result.extra["recoveries"]
+    np.testing.assert_array_equal(result.extra["output"], golden)
+
+
+def test_unrelated_link_down_does_not_replan():
+    fabric = Fabric(n_hosts=16, hosts_per_leaf=4, n_spines=4)
+    comm = fabric.communicator(name="t")
+    future = comm.iallreduce("2MiB", algorithm="flare_dense")
+    # The fat-tree embedding roots at s0; killing an s3 uplink leaves
+    # the aggregation tree intact.
+    fabric.inject(link="l0-s3", at=1_000.0, kind="down")
+    result = future.result()
+    assert "recoveries" not in result.extra
+    assert fabric.tenant_stats()["t"]["recovered"] == 0
+
+
+# ----------------------------------------------------------------------
+# Switch-pool loss: host-based fallback
+# ----------------------------------------------------------------------
+def test_switch_down_falls_back_to_rabenseifner_with_payloads():
+    fabric = Fabric(n_hosts=8, hosts_per_leaf=4, n_spines=1)
+    comm = fabric.communicator(name="t")
+    data, golden = _payloads(n=4096)
+    future = comm.iallreduce(data, algorithm="flare_dense")
+    fabric.inject(switch="s0", at=2_000.0, kind="down")
+    result = future.result()
+    assert result.algorithm == "rabenseifner"
+    [rec] = result.extra["recoveries"]
+    assert rec["cause"] == {"kind": "down", "switch": "s0"}
+    assert rec["to_algorithm"] == "rabenseifner"
+    np.testing.assert_array_equal(result.extra["output"], golden)
+    [entry] = fabric.timeline()
+    assert entry["algorithm"] == "rabenseifner"
+    assert entry["fell_back"]
+
+
+def test_dead_switch_rejects_new_admissions_until_repair():
+    fabric = Fabric(n_hosts=8, hosts_per_leaf=4, n_spines=2)
+    comm = fabric.communicator(name="t")
+    fabric.inject(switch="s0", at=0.0, kind="down", duration_ns=1e6)
+    fabric.run(until=10.0)       # apply the fault
+    assert fabric.manager.dead_switches() == {"s0"}
+    # New in-network work plans around the dead spine (s1 root).
+    result = comm.iallreduce("1MiB", algorithm="flare_dense").result()
+    assert not result.extra["fell_back"]
+    fabric.run()                 # past the repair
+    assert fabric.manager.dead_switches() == set()
+
+
+# ----------------------------------------------------------------------
+# Lossy fabric end to end through the Communicator
+# ----------------------------------------------------------------------
+def test_lossy_fabric_completes_with_retransmit_accounting():
+    fabric = Fabric(n_hosts=8, hosts_per_leaf=4, n_spines=2)
+    comm = fabric.communicator(name="t")
+    fabric.inject(link="*", kind="lossy", loss_rate=0.02, seed=5)
+    data, golden = _payloads()
+    result = comm.iallreduce(data, algorithm="ring").result()
+    np.testing.assert_array_equal(result.extra["output"], golden)
+    assert result.extra["retransmits"] == result.extra["drops"]
+    assert fabric.net.traffic.drops > 0
+
+
+def test_two_tenants_survive_shared_chaos():
+    fabric = Fabric(n_hosts=8, hosts_per_leaf=4, n_spines=2)
+    t0 = fabric.communicator(name="a", weight=2.0)
+    t1 = fabric.communicator(name="b", weight=1.0)
+    fabric.inject(link="*", kind="lossy", loss_rate=0.01, seed=2)
+    data, golden = _payloads()
+    futures = [
+        t0.iallreduce(data, algorithm="ring"),
+        t1.iallreduce("1MiB", algorithm="flare_dense"),
+    ]
+    results = wait_all(futures)
+    np.testing.assert_array_equal(results[0].extra["output"], golden)
+    stats = fabric.tenant_stats()
+    assert stats["a"]["completed"] == 1 and stats["b"]["completed"] == 1
+
+
+# ----------------------------------------------------------------------
+# Observability & the inject API surface
+# ----------------------------------------------------------------------
+def test_timeline_json_reports_faults_and_reliability(tmp_path):
+    import json
+
+    fabric = Fabric(n_hosts=8, hosts_per_leaf=4, n_spines=2)
+    comm = fabric.communicator(name="t")
+    fabric.inject(link="*", kind="lossy", loss_rate=0.05, seed=1)
+    fabric.inject(link="l0-s0", at=1_000.0, kind="down")
+    comm.iallreduce("1MiB", algorithm="ring").result()
+    path = tmp_path / "timeline.json"
+    fabric.timeline_json(path=str(path))
+    payload = json.loads(path.read_text())
+    assert len(payload["faults"]) == 2
+    assert payload["reliability"]["failed_links"] == ["l0-s0", "s0-l0"]
+    assert payload["reliability"]["retransmits"] >= 0
+    assert payload["events"][0]["status"] == "done"
+
+
+def test_inject_validates_targets():
+    fabric = Fabric(n_hosts=8, hosts_per_leaf=4, n_spines=2)
+    with pytest.raises(ValueError):
+        fabric.inject(kind="down")                     # no target
+    with pytest.raises(ValueError):
+        fabric.inject(link="*", kind="down")           # global outage
+    spec = fabric.inject(link="l0-s0", kind="slow", slow_factor=2.0)
+    assert spec.link == ("l0", "s0")
+    assert fabric.faults is not None
+    assert fabric.net.fast_path is False               # disengaged

@@ -4,8 +4,14 @@ Hypothesis: disable deadlines globally (simulation-backed properties
 have variable per-example cost, and flaky deadline failures are worse
 than slightly slower suites) and cap example counts to keep the suite
 under a minute.
+
+Tiers: every test not marked ``slow`` is auto-marked ``tier1``, so
+``pytest -m tier1`` (the quick gate) equals the default run and
+``pytest -m slow`` selects the heavy parity/chaos sweeps split out of
+it (see pytest.ini).
 """
 
+import pytest
 from hypothesis import HealthCheck, settings
 
 settings.register_profile(
@@ -15,3 +21,9 @@ settings.register_profile(
     suppress_health_check=[HealthCheck.too_slow],
 )
 settings.load_profile("repro")
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if "slow" not in item.keywords:
+            item.add_marker(pytest.mark.tier1)

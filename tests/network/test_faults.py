@@ -1,0 +1,229 @@
+"""Link fault models, the FaultSchedule API, and transport recovery.
+
+Seeded per-link loss/duplication/degradation plus hard outages, the
+timeout+retransmit protocol, and the fast-path disengage contract —
+the network-layer half of the reliability tentpole (the fabric-level
+self-healing lives in tests/comm/test_recovery.py).
+"""
+
+import json
+
+import pytest
+
+from repro.network.faults import FaultInjector, FaultSchedule, FaultSpec
+from repro.network.links import LinkFault
+from repro.network.simulator import Message, NetworkSimulator, UnreachableError
+from repro.network.topology import FatTreeTopology
+
+
+def _topo(**kw):
+    kw.setdefault("n_hosts", 8)
+    kw.setdefault("hosts_per_leaf", 4)
+    kw.setdefault("n_spines", 2)
+    return FatTreeTopology(**kw)
+
+
+def _run_stream(net, n=40, src="h0", dst="h7", nbytes=1024.0):
+    got = []
+    net.on_deliver(dst, lambda m, t: got.append((m.tag, t)))
+    for i in range(n):
+        net.send(Message(src, dst, nbytes, tag=("m", i)), at=float(i))
+    net.run()
+    return got
+
+
+# ----------------------------------------------------------------------
+# Spec validation and JSON round-trip
+# ----------------------------------------------------------------------
+def test_fault_spec_validation():
+    with pytest.raises(ValueError, match="exactly one"):
+        FaultSpec(kind="down")
+    with pytest.raises(ValueError, match="exactly one"):
+        FaultSpec(kind="down", link="l0-s0", switch="s0")
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultSpec(kind="flaky", link="l0-s0")
+    with pytest.raises(ValueError, match="partition everything"):
+        FaultSpec(kind="down", link="*")
+    with pytest.raises(ValueError, match="loss_rate"):
+        FaultSpec(kind="lossy", link="l0-s0", loss_rate=1.5)
+    with pytest.raises(ValueError, match="slow_factor"):
+        FaultSpec(kind="slow", link="l0-s0", slow_factor=0.5)
+    with pytest.raises(ValueError):
+        LinkFault(kind="lossy")            # needs a rate
+    # Accepted spellings of a link target.
+    assert FaultSpec(kind="down", link="l0->s0").link == ("l0", "s0")
+    assert FaultSpec(kind="down", link=("l0", "s0")).link == ("l0", "s0")
+
+
+def test_fault_schedule_json_roundtrip(tmp_path):
+    sched = FaultSchedule(seed=7).add(
+        FaultSpec(kind="lossy", link="*", loss_rate=0.01)
+    ).add(
+        FaultSpec(kind="down", link="l0-s0", at=5000.0, duration_ns=1e6)
+    )
+    path = tmp_path / "spec.json"
+    sched.to_json(path=str(path))
+    loaded = FaultSchedule.from_any(str(path))
+    assert loaded.seed == 7
+    assert len(loaded) == 2
+    assert loaded.faults[1].link == ("l0", "s0")
+    assert loaded.faults[1].duration_ns == 1e6
+    # Seed override (the CLI's --fault-seed).
+    assert FaultSchedule.from_any(str(path), seed=99).seed == 99
+    # Plain dict / list forms.
+    assert len(FaultSchedule.from_any(json.loads(sched.to_json()))) == 2
+    assert len(FaultSchedule.from_any([{"kind": "down", "link": "l0-s0"}])) == 1
+
+
+# ----------------------------------------------------------------------
+# Topology failure state
+# ----------------------------------------------------------------------
+def test_failed_link_leaves_path_computation():
+    topo = _topo()
+    assert any("s0" in p for p in topo.paths("h0", "h7"))
+    topo.fail_link("l0", "s0")
+    for path in topo.paths("h0", "h7"):
+        assert ("l0", "s0") not in zip(path, path[1:])
+    assert topo.failed_links() == {("l0", "s0"), ("s0", "l0")}
+    topo.repair_link("l0", "s0")
+    assert topo.failed_links() == set()
+    assert any("s0" in p for p in topo.paths("h0", "h7"))
+
+
+def test_failed_switch_excluded_from_aggregation():
+    topo = _topo()
+    assert "s0" in topo.aggregating_switches()
+    topo.fail_switch("s0")
+    assert "s0" not in topo.aggregating_switches()
+    # Cross-rack paths survive through the other spine.
+    for path in topo.paths("h0", "h7"):
+        assert "s0" not in path
+    topo.repair_switch("s0")
+    assert "s0" in topo.aggregating_switches()
+
+
+def test_fail_unknown_raises():
+    topo = _topo()
+    with pytest.raises(ValueError):
+        topo.fail_link("h0", "h1")
+    with pytest.raises(ValueError):
+        topo.fail_switch("s9")
+
+
+# ----------------------------------------------------------------------
+# Transport recovery
+# ----------------------------------------------------------------------
+def test_lossy_link_delivers_everything_via_retransmit():
+    net = NetworkSimulator(_topo())
+    net.arm_faults(seed=3).inject(
+        FaultSpec(kind="lossy", link="*", loss_rate=0.25)
+    )
+    got = _run_stream(net, n=40)
+    assert len(got) == 40
+    assert net.traffic.drops > 0
+    assert net.traffic.retransmits == net.traffic.drops
+    # Each retransmission waits out the host timeout.
+    assert net.sim.now >= net.retransmit_timeout_ns
+
+
+def test_loss_decisions_are_process_stable():
+    def run(seed):
+        net = NetworkSimulator(_topo())
+        net.arm_faults(seed=seed).inject(
+            FaultSpec(kind="lossy", link="*", loss_rate=0.2)
+        )
+        got = _run_stream(net, n=30)
+        return (net.traffic.drops, net.traffic.retransmits,
+                [t for (_tag, t) in got])
+
+    assert run(5) == run(5)
+    assert run(5) != run(6)      # distinct seeds pick distinct drops
+
+
+def test_duplicates_are_counted_and_delivered():
+    net = NetworkSimulator(_topo())
+    net.arm_faults(seed=1).inject(
+        FaultSpec(kind="lossy", link="*", duplicate_rate=0.3)
+    )
+    got = _run_stream(net, n=30)
+    assert net.traffic.duplicates > 0
+    # Every duplicated copy survives (no loss armed) and also delivers.
+    assert len(got) == 30 + net.traffic.duplicates
+
+
+def test_slow_link_stretches_serialization():
+    base = NetworkSimulator(_topo())
+    t_base = [None]
+    base.on_deliver("h1", lambda m, t: t_base.__setitem__(0, t))
+    base.send(Message("h0", "h1", 1024.0 * 1024.0))
+    base.run()
+
+    net = NetworkSimulator(_topo())
+    net.arm_faults().inject(
+        FaultSpec(kind="slow", link="h0-l0", slow_factor=4.0)
+    )
+    t_slow = [None]
+    net.on_deliver("h1", lambda m, t: t_slow.__setitem__(0, t))
+    net.send(Message("h0", "h1", 1024.0 * 1024.0))
+    net.run()
+    assert t_slow[0] > t_base[0] * 2
+
+
+def test_down_link_reroutes_after_timeout():
+    net = NetworkSimulator(_topo(), router="shortest")
+    net.arm_faults().inject(FaultSpec(kind="down", link="l0-s0", at=0.0))
+    got = _run_stream(net, n=5)
+    assert len(got) == 5
+    # Nothing ever crossed the failed link.
+    assert net.traffic.per_link.get(("l0", "s0")) is None
+
+
+def test_partition_raises_unreachable():
+    net = NetworkSimulator(_topo())
+    net.max_retransmits = 3
+    net.arm_faults().inject(FaultSpec(kind="down", link="h7-l1", at=0.0))
+    net.on_deliver("h7", lambda m, t: None)
+    net.send(Message("h0", "h7", 512.0))
+    with pytest.raises(UnreachableError):
+        net.run()
+
+
+def test_auto_repair_restores_service():
+    topo = _topo()
+    net = NetworkSimulator(topo)
+    net.arm_faults().inject(
+        FaultSpec(kind="down", link="l0-s0", at=0.0, duration_ns=10_000.0)
+    )
+    net.run()
+    assert topo.failed_links() == set()
+    log = net.faults.applied
+    assert [e["event"] for e in log] == ["fault", "repair"]
+
+
+# ----------------------------------------------------------------------
+# Fast-path disengage (the parity-pinning contract)
+# ----------------------------------------------------------------------
+def test_arming_faults_disengages_structural_fast_paths():
+    net = NetworkSimulator(_topo())
+    assert net.fast_path                       # engaged while healthy
+    assert net._next_hop_cache is not None
+    injector = net.arm_faults(seed=0)
+    assert isinstance(injector, FaultInjector)
+    assert net.fast_path is False              # provably disengaged
+    assert net._next_hop_cache is None
+    # send_burst now degrades to per-message events transparently.
+    got = _run_stream(net, n=4)
+    assert len(got) == 4
+
+
+def test_healthy_run_unchanged_by_reliability_plumbing():
+    """A fabric without armed faults reports no reliability extras and
+    takes the exact pre-reliability timings."""
+    a = NetworkSimulator(_topo())
+    b = NetworkSimulator(_topo())
+    b.arm_faults()            # armed but with an empty schedule
+    ta = _run_stream(a, n=10)
+    tb = _run_stream(b, n=10)
+    assert [t for _m, t in ta] == [t for _m, t in tb]
+    assert "retransmits" not in a.traffic_extra()
+    assert b.traffic_extra()["retransmits"] == 0

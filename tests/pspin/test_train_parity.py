@@ -158,6 +158,7 @@ def test_busy_switch_rejects_train():
     assert try_run_train(switch, train) is False
 
 
+@pytest.mark.slow
 @settings(max_examples=15, deadline=None)
 @given(
     algo=st.sampled_from(["single", "multi(2)", "tree"]),
