@@ -1,0 +1,25 @@
+#!/usr/bin/env python
+"""Service-mode tenant-scaling benchmark (thin wrapper).
+
+Sweeps concurrent tenants (4 → 64 → 512) through ``FabricService`` on
+one shared fat tree, recording queue behaviour, fairness, plan-cache
+hit rate, and pool utilization per scale point, and naming the first
+saturating resource.  Writes ``BENCH_service.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --out BENCH_service.json
+    # CI health gate (starvation / lost jobs / fairness floor):
+    PYTHONPATH=src python benchmarks/bench_service.py --check
+    # custom sweep:
+    PYTHONPATH=src python benchmarks/bench_service.py --scales 8,128
+
+The implementation lives in :mod:`repro.perf.service`.
+"""
+
+import sys
+
+from repro.perf.service import main
+
+if __name__ == "__main__":
+    sys.exit(main())

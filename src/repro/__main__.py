@@ -235,6 +235,169 @@ def _cmd_multi_tenant_bench(args: argparse.Namespace, topology) -> int:
     return 0
 
 
+def _build_cli_topology(args: argparse.Namespace):
+    """Build the ``--topology``/``--topo-params`` wiring (None keeps the
+    default fat tree).  Raises ``ValueError``/``TypeError`` on bad
+    parameters; syncs ``args.hosts`` to the topology's actual count."""
+    if args.topology is None:
+        return None
+    from repro.network import build_topology
+
+    topo_params = _parse_topo_params(args.topo_params or "")
+    if args.topology in ("fat-tree", "multi-rail") and "n_hosts" not in topo_params:
+        topo_params["n_hosts"] = args.hosts
+        if args.topology == "fat-tree" and "hosts_per_leaf" not in topo_params:
+            from repro.comm.backends import _default_hosts_per_leaf
+
+            hpl = _default_hosts_per_leaf(args.hosts)
+            topo_params["hosts_per_leaf"] = hpl
+            topo_params.setdefault("n_spines", min(4, hpl))
+    topology = build_topology(args.topology, **topo_params)
+    if topology.n_hosts != args.hosts:
+        print(f"[topology {args.topology} wires {topology.n_hosts} hosts; "
+              f"using that instead of --hosts {args.hosts}]")
+        args.hosts = topology.n_hosts
+    return topology
+
+
+def _parse_class_spec(text: str):
+    """Parse one ``--class name=prod,weight=4,rate=2000,size=1MiB,...``."""
+    from repro.service import TenantClass
+    from repro.utils.units import parse_size, parse_time_ns
+
+    fields = _parse_topo_params(text)
+    name = fields.pop("name", None)
+    if not name:
+        raise ValueError(f"--class needs name=..., got {text!r}")
+    kwargs: dict = {"name": str(name)}
+    mapping = {
+        "weight": ("weight", float),
+        "rate": ("rate_per_s", float),
+        "size": ("nbytes", lambda v: float(parse_size(v))),
+        "hosts": ("n_hosts", int),
+        "iterations": ("iterations", int),
+        "gap": ("gap_ns", parse_time_ns),
+        "algorithm": ("algorithm", str),
+        "dtype": ("dtype", str),
+    }
+    for key, value in fields.items():
+        if key not in mapping:
+            raise ValueError(
+                f"--class field {key!r} unknown; allowed: "
+                f"name,{','.join(mapping)}"
+            )
+        dest, conv = mapping[key]
+        kwargs[dest] = conv(value)
+    return TenantClass(**kwargs)
+
+
+def _cmd_service(args: argparse.Namespace, topology) -> int:
+    """Long-running service mode: workload in, SLO report out."""
+    from repro.comm import CommError, Fabric
+    from repro.service import FabricService, PoissonWorkload, TraceWorkload
+    from repro.utils.units import parse_time_ns
+
+    if args.trace:
+        try:
+            workload = TraceWorkload(args.trace)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot load trace: {exc}", file=sys.stderr)
+            return 2
+        source = f"trace {args.trace} ({len(workload.jobs())} jobs)"
+    else:
+        duration_ns = parse_time_ns(args.duration)
+        try:
+            classes = [_parse_class_spec(spec) for spec in (args.tenant_class or ())]
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not classes:
+            classes = [
+                _parse_class_spec(
+                    "name=prod,weight=4,rate=2000,size=1MiB,hosts=8,"
+                    "iterations=4,gap=20us,algorithm=flare_dense"
+                ),
+                _parse_class_spec(
+                    "name=batch,weight=1,rate=500,size=4MiB,hosts=8,"
+                    "iterations=2,gap=50us,algorithm=ring"
+                ),
+            ]
+        workload = PoissonWorkload(
+            classes, seed=args.seed, duration_ns=duration_ns
+        )
+        source = (
+            f"Poisson x{len(classes)} classes over "
+            f"{duration_ns / 1e6:g} ms simulated"
+        )
+    fabric = Fabric(
+        topology=topology,
+        n_hosts=args.hosts,
+        routing=args.routing,
+        routing_seed=args.seed,
+        max_allreduces_per_switch=args.max_per_switch,
+        switch_memory_bytes=args.switch_memory,
+        tenant_quota=args.quota,
+    )
+    if args.faults:
+        try:
+            schedule = fabric.load_faults(args.faults, seed=args.fault_seed)
+        except (OSError, ValueError, TypeError) as exc:
+            print(f"error: cannot load fault schedule: {exc}", file=sys.stderr)
+            return 2
+        print(f"[chaos armed: {len(schedule)} fault(s) from {args.faults}]")
+    snapshot_ns = (
+        parse_time_ns(args.snapshot_interval) if args.snapshot_interval else None
+    )
+    service = FabricService(
+        fabric,
+        workload,
+        scheduler=args.placement,
+        queue_policy=args.queue,
+        snapshot_interval_ns=snapshot_ns,
+    )
+    print(f"service: {source} on {fabric.topology.family} "
+          f"({fabric.topology.n_hosts} hosts), placement={args.placement}, "
+          f"queue={args.queue}")
+    try:
+        report = service.run(slo_out=args.slo_out)
+    except CommError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    jobs = report["jobs"]
+    print(f"\njobs: {jobs['completed']}/{jobs['arrived']} completed "
+          f"in {report['now_ns'] / 1e6:.2f} ms simulated; "
+          f"fairness {report['fairness']:.3f}")
+    for cls, s in report["classes"].items():
+        if not s["iterations"]:
+            continue
+        print(f"  {cls} (w={s['weight']:g}): {s['iterations']} iterations, "
+              f"p50 {s['p50_ns'] / 1e3:.0f} us / p95 {s['p95_ns'] / 1e3:.0f} us"
+              f" / p99 {s['p99_ns'] / 1e3:.0f} us, "
+              f"{s['goodput_gbps']:.2f} Gbps goodput, "
+              f"{s['fell_back']} fallbacks, {s['recoveries']} recoveries")
+    q = report["queue"]
+    print(f"  queue[{q['policy']}]: {q['enqueued']} queued, "
+          f"mean wait {q['mean_wait_ns'] / 1e3:.0f} us, "
+          f"max depth {max(q['mean_depth'], q['depth']):.1f}")
+    cache = report["plan_cache"]
+    if cache["hit_rate"] is not None:
+        print(f"  plan cache: {cache['hit_rate'] * 100:.1f}% hit rate "
+              f"({cache['hits']}/{cache['hits'] + cache['misses']})")
+    if report["starved_jobs"]:
+        print(f"  WARNING: {len(report['starved_jobs'])} job(s) starved "
+              f"(never admitted)", file=sys.stderr)
+        return 3
+    if report["faults"]:
+        print(f"  chaos: {len(report['faults'])} fault event(s) applied; "
+              "recoveries recorded per class above")
+    if args.slo_out:
+        print(f"[SLO report written to {args.slo_out}]")
+    if args.timeline_out:
+        fabric.timeline_json(path=args.timeline_out)
+        print(f"[timeline written to {args.timeline_out}]")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.comm import CommError, Communicator
 
@@ -249,28 +412,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             argv += ["--check-against", args.check_against]
         return simcore_main(argv)
 
-    topology = None
-    if args.topology is not None:
-        from repro.network import build_topology
-
-        topo_params = _parse_topo_params(args.topo_params or "")
-        if args.topology in ("fat-tree", "multi-rail") and "n_hosts" not in topo_params:
-            topo_params["n_hosts"] = args.hosts
-            if args.topology == "fat-tree" and "hosts_per_leaf" not in topo_params:
-                from repro.comm.backends import _default_hosts_per_leaf
-
-                hpl = _default_hosts_per_leaf(args.hosts)
-                topo_params["hosts_per_leaf"] = hpl
-                topo_params.setdefault("n_spines", min(4, hpl))
-        try:
-            topology = build_topology(args.topology, **topo_params)
-        except (TypeError, ValueError) as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        if topology.n_hosts != args.hosts:
-            print(f"[topology {args.topology} wires {topology.n_hosts} hosts; "
-                  f"using that instead of --hosts {args.hosts}]")
-            args.hosts = topology.n_hosts
+    try:
+        topology = _build_cli_topology(args)
+    except (TypeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     if args.tenants > 1 or args.faults:
         # Chaos runs need the persistent shared fabric (faults live on
@@ -408,6 +554,52 @@ def main(argv: list[str] | None = None) -> int:
                        help="(simcore) fail on >30%% perf regression vs a "
                        "checked-in baseline report")
 
+    service = sub.add_parser(
+        "service",
+        help="long-running service mode: Poisson/trace workload in, "
+        "SLO report out",
+    )
+    service.add_argument("--trace", default=None, metavar="SPEC.json",
+                         help="replay a JSON trace of training-job epochs "
+                         "(see examples/traces/training_epochs.json); "
+                         "default: Poisson arrivals per --class")
+    service.add_argument("--duration", default="5ms", metavar="TIME",
+                         help="simulated Poisson arrival window, e.g. 60s, "
+                         "5ms (default 5ms; ignored with --trace)")
+    service.add_argument("--class", dest="tenant_class", action="append",
+                         metavar="K=V,...",
+                         help="one tenant class: name=prod,weight=4,"
+                         "rate=2000,size=1MiB,hosts=8,iterations=4,"
+                         "gap=20us,algorithm=flare_dense (repeatable; "
+                         "default: a prod/batch pair)")
+    service.add_argument("--placement", default="pack",
+                         choices=("pack", "spread"),
+                         help="job placement policy over topology regions")
+    service.add_argument("--queue", default="wfq", choices=("wfq", "fifo"),
+                         help="admission-queue discipline")
+    service.add_argument("--hosts", type=int, default=32)
+    service.add_argument("--topology", default=None,
+                         help="topology family (see 'topologies')")
+    service.add_argument("--topo-params", default=None, metavar="K=V,...")
+    service.add_argument("--routing", default=None,
+                         choices=("shortest", "ecmp", "adaptive"))
+    service.add_argument("--seed", type=int, default=0)
+    service.add_argument("--max-per-switch", type=int, default=8,
+                         help="pooled handler slots per switch")
+    service.add_argument("--switch-memory", type=float, default=None,
+                         help="pooled switch SRAM bytes (default unmetered)")
+    service.add_argument("--quota", type=int, default=None,
+                         help="per-tenant-class concurrency quota")
+    service.add_argument("--snapshot-interval", default=None, metavar="TIME",
+                         help="rolling SLO snapshot period, e.g. 1ms")
+    service.add_argument("--slo-out", default=None, metavar="PATH",
+                         help="write the SLO report JSON")
+    service.add_argument("--timeline-out", default=None, metavar="PATH",
+                         help="write the fabric's per-collective timeline")
+    service.add_argument("--faults", default=None, metavar="SPEC.json",
+                         help="arm a declarative fault schedule")
+    service.add_argument("--fault-seed", type=int, default=None)
+
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -420,6 +612,13 @@ def main(argv: list[str] | None = None) -> int:
         if args.density is None:
             args.density = 0.1 if args.sparse else 1.0
         return _cmd_bench(args)
+    if args.command == "service":
+        try:
+            topology = _build_cli_topology(args)
+        except (TypeError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return _cmd_service(args, topology)
     targets = EXPERIMENTS if args.command == "all" else (args.command,)
     for name in targets:
         _run_one(name, args.fast)

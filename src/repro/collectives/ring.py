@@ -93,6 +93,7 @@ def _simulate_ring_allreduce(
     routing_seed: int = 0,
     payloads=None,
     op="sum",
+    hosts=None,
 ) -> CollectiveResult:
     """Ring-allreduce schedule on a private simulator (one collective)."""
     net = NetworkSimulator(topology, router=router, routing_seed=routing_seed)
@@ -104,6 +105,7 @@ def _simulate_ring_allreduce(
         host_reduce_bytes_per_ns=host_reduce_bytes_per_ns,
         payloads=payloads,
         op=op,
+        hosts=hosts,
         on_complete=done.append,
     )
     net.run()
@@ -122,6 +124,7 @@ def issue_ring_allreduce(
     base_time: float = 0.0,
     payloads=None,
     op="sum",
+    hosts=None,
     on_complete,
 ) -> None:
     """Issue one ring allreduce into a (possibly shared) simulator.
@@ -147,9 +150,21 @@ def issue_ring_allreduce(
     traffic read from the flow's own accounting — so several issued
     collectives can interleave in one loop and still report per-tenant
     results.
+
+    ``hosts`` restricts the ring to a participant subset in the given
+    order (placement: a tenant's job rings only its placed hosts, which
+    still contend on shared links with everyone else); default is every
+    topology host in id order.
     """
     topology = net.topology
-    hosts = topology.hosts
+    if hosts is None:
+        hosts = topology.hosts
+    else:
+        hosts = list(hosts)
+        known = set(topology.hosts)
+        for h in hosts:
+            if h not in known:
+                raise ValueError(f"unknown host {h}")
     P = len(hosts)
     if P < 2:
         raise ValueError("ring needs at least two hosts")

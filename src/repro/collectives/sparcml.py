@@ -115,6 +115,7 @@ def _simulate_sparcml_allreduce(
     round_bytes: list[float] | None = None,
     router=None,
     routing_seed: int = 0,
+    hosts=None,
 ) -> CollectiveResult:
     """SSAR schedule implementation.
 
@@ -136,6 +137,7 @@ def _simulate_sparcml_allreduce(
         dense_switch=dense_switch,
         host_reduce_bytes_per_ns=host_reduce_bytes_per_ns,
         round_bytes=round_bytes,
+        hosts=hosts,
         on_complete=done.append,
     )
     net.run()
@@ -155,6 +157,7 @@ def issue_sparcml_allreduce(
     round_bytes: list[float] | None = None,
     flow: object = None,
     base_time: float = 0.0,
+    hosts=None,
     on_complete,
 ) -> None:
     """Issue one SSAR allreduce into a (possibly shared) simulator.
@@ -163,9 +166,20 @@ def issue_sparcml_allreduce(
     ``on_complete(result)`` fires inside the event loop when the final
     allgather round lands everywhere, with times relative to
     ``base_time`` and traffic read from the flow's own accounting.
+
+    ``hosts`` restricts the exchange to a participant subset in the
+    given order (placement); must still be a power of two.  Default:
+    every topology host in id order.
     """
     topology = net.topology
-    hosts = topology.hosts
+    if hosts is None:
+        hosts = topology.hosts
+    else:
+        hosts = list(hosts)
+        known = set(topology.hosts)
+        for h in hosts:
+            if h not in known:
+                raise ValueError(f"unknown host {h}")
     P = len(hosts)
     sizes = round_bytes if round_bytes is not None else sparcml_round_bytes(
         P, total_elements, bucket_span, nnz_per_bucket, dense_switch
@@ -230,7 +244,7 @@ def issue_sparcml_allreduce(
         subs_received[key] = subs_received.get(key, 0) + 1
         if subs_received[key] < n_sub:
             return
-        i = int(receiver[1:])
+        i = rank_of[receiver]
         progressed[receiver] = rnd + 1
         compute = 0.0
         if host_reduce_bytes_per_ns > 0 and rnd < k:
@@ -243,6 +257,7 @@ def issue_sparcml_allreduce(
             if state["done_hosts"] == P:
                 on_complete(finished())
 
+    rank_of = {h: i for i, h in enumerate(hosts)}
     for h in hosts:
         net.on_deliver(h, on_deliver, flow=flow)
     for i in range(P):

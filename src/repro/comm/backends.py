@@ -130,11 +130,32 @@ class _TopologySource:
                 self._kwargs = default_fat_tree_kwargs(request.n_hosts, p)
         self._shape_cache: Optional[Topology] = None
         shape = self.shape
-        if shape.n_hosts != request.n_hosts:
+        placed = p.get("hosts")
+        self.hosts: "Optional[list]" = None
+        if placed is not None:
+            placed = list(placed)
+            known = set(shape.hosts)
+            for h in placed:
+                if h not in known:
+                    raise CapabilityError(
+                        f"placement names host {h!r} which topology "
+                        f"{self.family!r} does not wire"
+                    )
+            if len(set(placed)) != len(placed):
+                raise CapabilityError("placement lists a host twice")
+            if len(placed) != request.n_hosts:
+                raise CapabilityError(
+                    f"placement names {len(placed)} hosts but the request "
+                    f"names {request.n_hosts}; size the placement (or the "
+                    "request) to match"
+                )
+            self.hosts = placed
+        elif shape.n_hosts != request.n_hosts:
             raise CapabilityError(
                 f"topology {self.family!r} wires {shape.n_hosts} hosts but the "
                 f"request names {request.n_hosts}; size the topology (or the "
-                "request) to match"
+                "request) to match, or pass params['hosts'] to place the "
+                "collective on a subset"
             )
 
     @property
@@ -160,14 +181,18 @@ class _TopologySource:
     def plan_tree(self, request: CollectiveRequest):
         """The aggregation tree for in-network schedules: an explicit
         ``params["tree"]``, the classic spine-rooted embedding on the
-        fat tree (paper-figure parity), or a planned BFS tree."""
+        fat tree (paper-figure parity), or a planned BFS tree.  A
+        placement subset (``params["hosts"]``) always goes through the
+        generic planner so the tree covers exactly the placed hosts."""
         tree = request.params.get("tree")
         if tree is not None:
             return tree
         shape = self.shape
-        if self.family == "fat-tree":
+        if self.family == "fat-tree" and self.hosts is None:
             return embed_reduction_tree(shape)
-        return TreePlanner(shape).plan(root=request.params.get("tree_root"))
+        return TreePlanner(shape).plan(
+            root=request.params.get("tree_root"), hosts=self.hosts
+        )
 
     def describe(self) -> dict:
         return {
@@ -405,6 +430,7 @@ def _plan_ring(request: CollectiveRequest) -> PlannedExecution:
             routing_seed=source.routing_seed,
             payloads=payloads,
             op=op,
+            hosts=source.hosts,
         )
 
     def issuer(ctx: IssueContext, payloads, overrides) -> None:
@@ -418,6 +444,7 @@ def _plan_ring(request: CollectiveRequest) -> PlannedExecution:
             base_time=ctx.net.now,
             payloads=payloads,
             op=op,
+            hosts=source.hosts,
             on_complete=ctx.finish,
         )
 
@@ -470,6 +497,7 @@ def _plan_sparcml(request: CollectiveRequest) -> PlannedExecution:
             round_bytes=round_bytes,
             router=source.routing,
             routing_seed=source.routing_seed,
+            hosts=source.hosts,
         )
 
     def issuer(ctx: IssueContext, payloads, overrides) -> None:
@@ -485,6 +513,7 @@ def _plan_sparcml(request: CollectiveRequest) -> PlannedExecution:
             round_bytes=round_bytes,
             flow=ctx.flow,
             base_time=ctx.net.now,
+            hosts=source.hosts,
             on_complete=ctx.finish,
         )
 

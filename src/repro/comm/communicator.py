@@ -191,7 +191,26 @@ class Communicator:
         ``data`` is either a size (int/"64KiB" — size-only simulation)
         or per-host payloads (ndarray / sequence of arrays with the
         host dimension first — the values are actually reduced).
+
+        ``hosts=(...)`` (a placement) restricts the collective to that
+        host subset of the topology; it implies (and must agree with)
+        ``n_hosts``, and is normalized to a tuple so equal placements
+        share one plan-cache entry.
         """
+        if params.get("hosts", False) is None:
+            params.pop("hosts")           # explicit None = no placement
+        if "hosts" in params:
+            hosts = tuple(params["hosts"])
+            if not hosts:
+                raise ValueError("placement hosts must not be empty")
+            params["hosts"] = hosts
+            if n_hosts is None:
+                n_hosts = len(hosts)
+            elif n_hosts != len(hosts):
+                raise ValueError(
+                    f"n_hosts={n_hosts} contradicts placement of "
+                    f"{len(hosts)} hosts"
+                )
         payloads: Optional[np.ndarray] = None
         if isinstance(data, np.ndarray) or (
             isinstance(data, (list, tuple))

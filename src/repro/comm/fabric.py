@@ -64,6 +64,11 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.comm.communicator import Communicator
     from repro.comm.future import CollectiveFuture
 
+#: Version of the JSON envelope emitted by :meth:`Fabric.timeline_json`
+#: and reused by the service-mode SLO snapshots (see README "Timeline &
+#: snapshot schema").  Bump on any backwards-incompatible field change.
+TIMELINE_SCHEMA_VERSION = 2
+
 
 class FabricError(CommError):
     """Fabric-level failure (deadlocked loop, duplicate tenant, ...)."""
@@ -339,7 +344,9 @@ class Fabric:
         if not plan.setup.get("tree_switches"):
             return None           # not a tree schedule; nothing to re-root
         try:
-            tree = TreePlanner(self.topology).plan_dynamic()
+            tree = TreePlanner(self.topology).plan_dynamic(
+                hosts=self._plan_hosts(plan)
+            )
             candidate = self._replan_with_tree(plan, tree)
             ticket = self.manager.admit(
                 self._admission_switches(candidate),
@@ -378,7 +385,9 @@ class Fabric:
             "from_root": rec.plan.setup.get("tree_root"),
         }
         try:
-            tree = TreePlanner(self.topology).plan_dynamic()
+            tree = TreePlanner(self.topology).plan_dynamic(
+                hosts=self._plan_hosts(rec.plan)
+            )
             new_plan = self._replan_with_tree(rec.plan, tree)
             rec.ticket = self.manager.admit(
                 self._admission_switches(new_plan),
@@ -431,6 +440,12 @@ class Fabric:
             return (self._aggregation_root(),)
         return ()
 
+    @staticmethod
+    def _plan_hosts(plan: CollectivePlan) -> "list | None":
+        """The placement subset a plan was built for (None = all)."""
+        hosts = plan.request.params.get("hosts")
+        return list(hosts) if hosts is not None else None
+
     def _fallback_plan(
         self, comm: "Communicator", plan: CollectivePlan, payloads
     ) -> CollectivePlan:
@@ -439,7 +454,9 @@ class Fabric:
         Size-only requests fall back to the timing baselines (ring /
         SparCML); payload-carrying requests need an *executing*
         host algorithm, so they take Rabenseifner (recursive halving/
-        doubling — the classic host fallback).
+        doubling — the classic host fallback).  A placement subset
+        survives the fallback: the host schedule rings the same hosts
+        the tree would have aggregated.
         """
         request = plan.request
         if request.sparse:
@@ -448,6 +465,9 @@ class Fabric:
             algorithm = "rabenseifner"
         else:
             algorithm = "ring"
+        extra: dict = {}
+        if request.params.get("hosts") is not None:
+            extra["hosts"] = tuple(request.params["hosts"])
         return comm.plan(
             nbytes=request.nbytes,
             n_hosts=request.n_hosts,
@@ -457,7 +477,32 @@ class Fabric:
             sparse=request.sparse,
             density=request.density,
             payloads=payloads,
+            **extra,
         )
+
+    def would_admit(
+        self, plan: CollectivePlan, tenant: Optional[str] = None
+    ) -> "AdmissionError | None":
+        """Non-mutating admission probe for the service queueing layer.
+
+        Returns the :class:`AdmissionError` that :meth:`issue` would hit
+        right now (tagged with its ``.resource``), or ``None`` when the
+        plan would be admitted (or needs no admission at all).  Nothing
+        is reserved — a subsequent :meth:`issue` re-runs the real
+        check-and-commit path.
+        """
+        if not plan.caps.in_network:
+            return None
+        return self.manager.check(
+            self._admission_switches(plan),
+            tenant=tenant,
+            memory_bytes=float(plan.request.nbytes),
+        )
+
+    def on_pool_release(self, callback) -> None:
+        """Register ``callback()`` to fire whenever switch-pool
+        resources are released (admission retries can wake up)."""
+        self.manager.add_release_listener(callback)
 
     def issue(
         self,
@@ -688,6 +733,7 @@ class Fabric:
     def timeline_json(self, path: Optional[str] = None, indent: int = 2) -> str:
         """The timeline as JSON; optionally written to ``path``."""
         payload = {
+            "schema_version": TIMELINE_SCHEMA_VERSION,
             "topology": {k: str(v) for k, v in self.topology.describe().items()},
             "routing": self.net.router.name,
             "arbitration": self.net.arbitration,

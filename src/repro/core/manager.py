@@ -134,10 +134,67 @@ class NetworkManager:
         self._tenant_active: dict[str, int] = {}
         self._tickets: dict[int, AdmissionTicket] = {}
         self._dead_switches: set = set()
+        self._release_listeners: list = []
 
     # ------------------------------------------------------------------
     # Pooled admission (multi-tenant fabric path)
     # ------------------------------------------------------------------
+    def check(
+        self,
+        switches: Iterable,
+        *,
+        tenant: Optional[str] = None,
+        memory_bytes: float = 0.0,
+    ) -> Optional[AdmissionError]:
+        """Non-mutating admission probe.
+
+        Runs exactly the checks :meth:`admit` runs — dead switches,
+        tenant quota, handler slots, pooled memory — but reserves
+        nothing.  Returns the tagged :class:`AdmissionError` that
+        :meth:`admit` would raise right now, or ``None`` if it would
+        succeed.  The admission-queue layer uses this to decide whether
+        a waiting job can be dequeued without burning a failed
+        check-and-commit round trip.
+        """
+        switches = tuple(switches)
+        for sid in switches:
+            if sid in self._dead_switches:
+                return self._rejection(
+                    "switch_down",
+                    f"switch {sid} is out of service (failure injected); "
+                    "replan the tree or fall back to host-based allreduce",
+                )
+        if tenant is not None and self.tenant_quota is not None:
+            if self._tenant_active.get(tenant, 0) >= self.tenant_quota:
+                return self._rejection(
+                    "quota",
+                    f"tenant {tenant!r} already runs {self.tenant_quota} "
+                    "concurrent allreduces (quota); wait or fall back to "
+                    "host-based allreduce",
+                )
+        for sid in switches:
+            if self._load.get(sid, 0) >= self.max_allreduces:
+                return self._rejection(
+                    "slots",
+                    f"switch {sid} already serves {self.max_allreduces} "
+                    "allreduces; recompute the tree or fall back to "
+                    "host-based allreduce",
+                )
+            if (
+                self.switch_memory_bytes is not None
+                and self._memory_used.get(sid, 0.0) + memory_bytes
+                > self.switch_memory_bytes
+            ):
+                return self._rejection(
+                    "memory",
+                    f"switch {sid} memory pool exhausted "
+                    f"({self._memory_used.get(sid, 0.0):.0f}"
+                    f"/{self.switch_memory_bytes:.0f} B used, "
+                    f"{memory_bytes:.0f} B requested); fall back to "
+                    "host-based allreduce",
+                )
+        return None
+
     def admit(
         self,
         switches: Iterable,
@@ -155,42 +212,11 @@ class NetworkManager:
         on success returns a ticket for :meth:`release`.
         """
         switches = tuple(switches)
-        for sid in switches:
-            if sid in self._dead_switches:
-                raise self._rejection(
-                    "switch_down",
-                    f"switch {sid} is out of service (failure injected); "
-                    "replan the tree or fall back to host-based allreduce",
-                )
-        if tenant is not None and self.tenant_quota is not None:
-            if self._tenant_active.get(tenant, 0) >= self.tenant_quota:
-                raise self._rejection(
-                    "quota",
-                    f"tenant {tenant!r} already runs {self.tenant_quota} "
-                    "concurrent allreduces (quota); wait or fall back to "
-                    "host-based allreduce",
-                )
-        for sid in switches:
-            if self._load.get(sid, 0) >= self.max_allreduces:
-                raise self._rejection(
-                    "slots",
-                    f"switch {sid} already serves {self.max_allreduces} "
-                    "allreduces; recompute the tree or fall back to "
-                    "host-based allreduce",
-                )
-            if (
-                self.switch_memory_bytes is not None
-                and self._memory_used.get(sid, 0.0) + memory_bytes
-                > self.switch_memory_bytes
-            ):
-                raise self._rejection(
-                    "memory",
-                    f"switch {sid} memory pool exhausted "
-                    f"({self._memory_used.get(sid, 0.0):.0f}"
-                    f"/{self.switch_memory_bytes:.0f} B used, "
-                    f"{memory_bytes:.0f} B requested); fall back to "
-                    "host-based allreduce",
-                )
+        rejection = self.check(
+            switches, tenant=tenant, memory_bytes=memory_bytes
+        )
+        if rejection is not None:
+            raise rejection
         for sid in switches:
             self._load[sid] = self._load.get(sid, 0) + 1
             self._memory_used[sid] = (
@@ -230,6 +256,13 @@ class NetworkManager:
             self._tenant_active[ticket.tenant] = max(
                 0, self._tenant_active.get(ticket.tenant, 0) - 1
             )
+        for cb in list(self._release_listeners):
+            cb()
+
+    def add_release_listener(self, callback) -> None:
+        """``callback()`` fires after every :meth:`release` (pool
+        resources just freed — queued admissions can retry)."""
+        self._release_listeners.append(callback)
 
     # ------------------------------------------------------------------
     # Failure state (chaos/fault injection)

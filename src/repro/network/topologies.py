@@ -207,6 +207,18 @@ class DragonflyTopology(Topology):
             node = self.router_of(node)
         return int(node[1:].split("_")[0])
 
+    def _region_key(self, host: NodeId) -> str:
+        # A dragonfly's locality domain is the *group* (pod), not the
+        # single router: intra-group traffic never crosses a global link,
+        # so the placement scheduler packs per group.
+        return f"g{self.group_of(host)}"
+
+    def region_switches(self, region: str) -> tuple[NodeId, ...]:
+        if region not in self.regions():
+            raise ValueError(f"unknown region {region}")
+        g = int(region[1:])
+        return tuple(f"r{g}_{i}" for i in range(self.routers_per_group))
+
     def describe(self) -> dict:
         out = dict(
             n_groups=self.n_groups,

@@ -138,6 +138,62 @@ class Topology:
                 return peer
         raise ValueError(f"host {host} has no switch neighbor")
 
+    # ------------------------------------------------------------------
+    # Placement regions
+    # ------------------------------------------------------------------
+    def regions(self) -> dict[str, tuple[NodeId, ...]]:
+        """Host groups a placement scheduler packs jobs into.
+
+        The default groups hosts by their edge switch — one region per
+        leaf (fat tree), per torus switch, per plane-0 leaf (multi-rail).
+        Families with a coarser locality domain override this (the
+        dragonfly groups by *pod*: intra-group traffic never crosses a
+        global link).  Region names double as the key the scheduler uses
+        to match :class:`TrafficStats` hot links against regions.
+
+        Regions are *structural* (computed over all wired links, failed
+        included, and cached): placement stays stable under fault
+        injection, and a job placed into a wounded region recovers
+        through the fabric's rerouting/self-healing machinery, not by
+        silently moving.
+        """
+        cached = getattr(self, "_regions_cache", None)
+        if cached is None:
+            groups: dict[str, list[NodeId]] = {}
+            for h in self.hosts:
+                groups.setdefault(self._region_key(h), []).append(h)
+            cached = {name: tuple(hosts) for name, hosts in sorted(groups.items())}
+            self._regions_cache = cached
+        return cached
+
+    def _region_key(self, host: NodeId) -> str:
+        """Which region ``host`` belongs to (default: its edge switch)."""
+        for src, dst in self._links:
+            if src == host and self.is_switch(dst):
+                return dst
+        raise ValueError(f"host {host} has no switch neighbor")
+
+    def region_of(self, host: NodeId) -> str:
+        """The region ``host`` belongs to (see :meth:`regions`)."""
+        mapping = getattr(self, "_region_of_cache", None)
+        if mapping is None:
+            mapping = {
+                h: name for name, hosts in self.regions().items() for h in hosts
+            }
+            self._region_of_cache = mapping
+        try:
+            return mapping[host]
+        except KeyError:
+            raise ValueError(f"unknown host {host}") from None
+
+    def region_switches(self, region: str) -> tuple[NodeId, ...]:
+        """Switches whose links count as *inside* ``region`` when the
+        placement scheduler scores regions against hot links.  The
+        default (edge-switch regions) is the region switch itself."""
+        if region not in self.regions():
+            raise ValueError(f"unknown region {region}")
+        return (region,)
+
     def link(self, src: NodeId, dst: NodeId) -> Link:
         try:
             return self._links[(src, dst)]

@@ -200,14 +200,42 @@ class TreePlanner:
     def _attached_hosts(self, switch: NodeId) -> list[NodeId]:
         return [n for n in self.topology.neighbors(switch) if not self.topology.is_switch(n)]
 
-    def plan(self, root: "NodeId | None" = None) -> AggregationTree:
+    def plan(
+        self,
+        root: "NodeId | None" = None,
+        hosts: "list[NodeId] | None" = None,
+    ) -> AggregationTree:
         """BFS aggregation tree rooted at ``root`` (default: first
-        candidate), pruned to branches that serve hosts."""
+        candidate), pruned to branches that serve hosts.
+
+        ``hosts`` restricts the tree to a participant subset (placement:
+        a tenant's job aggregates only its placed hosts, so the tree —
+        and the switch pools it draws on at admission — shrinks to the
+        regions the job actually occupies).  With no explicit ``root``,
+        a subset tree is rooted at the switch giving the *fewest tree
+        switches* (a single-rack job aggregates at its leaf instead of
+        climbing to a spine), ties keeping the static candidate order.
+        Default: every host.
+        """
         topo = self.topology
         if root is None:
+            if hosts is not None:
+                candidates = self.candidate_roots()
+                trees = [self.plan(r, hosts=hosts) for r in candidates]
+                return min(
+                    zip(trees, range(len(trees))),
+                    key=lambda ti: (len(ti[0].switches()), ti[1]),
+                )[0]
             root = self.candidate_roots()[0]
         elif root not in topo.aggregating_switches():
             raise ValueError(f"{root} is not an aggregation-capable switch")
+        if hosts is not None:
+            known = set(topo.hosts)
+            for h in hosts:
+                if h not in known:
+                    raise ValueError(f"unknown host {h}")
+            if len(set(hosts)) != len(hosts):
+                raise ValueError("duplicate hosts in placement")
         parent: dict[NodeId, NodeId] = {}
         order: list[NodeId] = [root]
         frontier = [root]
@@ -223,7 +251,7 @@ class TreePlanner:
                         nxt.append(peer)
             frontier = nxt
         hosts_of: dict[NodeId, list[NodeId]] = {s: [] for s in order}
-        for host in topo.hosts:
+        for host in hosts if hosts is not None else topo.hosts:
             attach = next(
                 (p for p in topo.neighbors(host) if p in visited), None
             )
@@ -249,7 +277,9 @@ class TreePlanner:
 
     # ------------------------------------------------------------------
     def plan_dynamic(
-        self, roots: "list[NodeId] | None" = None
+        self,
+        roots: "list[NodeId] | None" = None,
+        hosts: "list[NodeId] | None" = None,
     ) -> AggregationTree:
         """Congestion-aware (Canary-style) planning.
 
@@ -258,11 +288,12 @@ class TreePlanner:
         uses (both directions — reduction climbs, multicast descends).
         Returns the tree with the coolest worst link; ties keep the
         static order, so an idle network plans exactly like
-        :meth:`plan`.
+        :meth:`plan`.  ``hosts`` restricts every candidate to a
+        participant subset, exactly as in :meth:`plan`.
         """
         best: "tuple[tuple[float, float], AggregationTree] | None" = None
         for root in roots if roots is not None else self.candidate_roots():
-            tree = self.plan(root)
+            tree = self.plan(root, hosts=hosts)
             score = self._tree_score(tree)
             if best is None or score < best[0]:
                 best = (score, tree)

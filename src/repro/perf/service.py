@@ -1,0 +1,249 @@
+"""Service-mode tenant-scaling benchmark (``BENCH_service.json``).
+
+Scales the number of *concurrent tenants* sharing one fabric through
+:class:`repro.service.engine.FabricService` (default 4 → 64 → 512) and
+records, per scale point, where the serving stack starts to bend:
+
+* **pool admission** — queue depth, per-resource rejection counts
+  (slots / memory / quota), mean and max queue wait;
+* **arbitration** — per-class iteration percentiles and the weighted
+  Jain fairness index (contention shows up as p99 divergence long
+  before anything errors);
+* **plan cache** — hit rate and evictions (tenant diversity at scale
+  evicts plans faster than they amortize).
+
+The report names the **first saturating resource**: the admission
+resource that dominates queueing at the smallest scale point where any
+queueing occurs at all (or the first soft signal — fairness droop or
+cache thrash — when the pools never fill).  All simulated time is
+deterministic; ``wall_s`` measures the simulator itself and is the only
+hardware-dependent number.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Optional
+
+SCALE_POINTS = (4, 64, 512)
+FABRIC_HOSTS = 32
+MAX_PER_SWITCH = 2
+JOB_BYTES = 256.0 * 1024
+JOB_HOSTS = 8
+ITERATIONS = 2
+GAP_NS = 20_000.0
+ARRIVAL_SPACING_NS = 1_000.0
+FAIRNESS_FLOOR = 0.5
+
+
+def _make_trace(n_tenants: int) -> dict:
+    """A burst of ``n_tenants`` 8-host training jobs, two QoS classes,
+    arrivals 1 us apart so concurrency ~= the tenant count."""
+    return {
+        "schema_version": 1,
+        "classes": {"prod": {"weight": 4.0}, "batch": {"weight": 1.0}},
+        "jobs": [
+            {
+                "tenant": "prod" if i % 2 == 0 else "batch",
+                "arrival": float(i * ARRIVAL_SPACING_NS),
+                "size": JOB_BYTES,
+                "algorithm": "flare_dense" if i % 2 == 0 else "ring",
+                "gap": GAP_NS,
+                "iterations": ITERATIONS,
+                "n_hosts": JOB_HOSTS,
+            }
+            for i in range(n_tenants)
+        ],
+    }
+
+
+def _scale_point(n_tenants: int, queue_policy: str) -> dict:
+    from repro.comm.fabric import Fabric
+    from repro.service import FabricService, TraceWorkload
+
+    fabric = Fabric(n_hosts=FABRIC_HOSTS, max_allreduces_per_switch=MAX_PER_SWITCH)
+    service = FabricService(
+        fabric,
+        TraceWorkload(_make_trace(n_tenants)),
+        scheduler="pack",
+        queue_policy=queue_policy,
+    )
+    t0 = time.perf_counter()
+    report = service.run()
+    wall = time.perf_counter() - t0
+    queue = report["queue"]
+    cache = report["plan_cache"]
+    return {
+        "tenants": n_tenants,
+        "queue_policy": queue_policy,
+        "wall_s": wall,
+        "sim_ms": report["now_ns"] / 1e6,
+        "events": fabric.sim.events_processed,
+        "events_per_s": fabric.sim.events_processed / wall if wall else None,
+        "jobs_completed": report["jobs"]["completed"],
+        "starved_jobs": len(report["starved_jobs"]),
+        "fairness": report["fairness"],
+        "classes": {
+            name: {
+                k: cls[k]
+                for k in ("p50_ns", "p95_ns", "p99_ns", "goodput_gbps")
+            }
+            for name, cls in report["classes"].items()
+        },
+        "queue": {
+            "enqueued": queue["enqueued"],
+            "mean_wait_ns": queue["mean_wait_ns"],
+            "max_wait_ns": queue["max_wait_ns"],
+            "mean_depth": queue["mean_depth"],
+            "reasons": queue["reasons"],
+        },
+        "plan_cache": {
+            "hit_rate": cache["hit_rate"],
+            "evictions": cache["evictions"],
+            "currsize": cache["currsize"],
+        },
+        "utilization": report["utilization"],
+    }
+
+
+def _first_saturating_resource(points: list[dict]) -> dict:
+    """Name the resource that gives out first as tenants scale."""
+    for p in points:
+        reasons = p["queue"]["reasons"]
+        if reasons:
+            resource = max(sorted(reasons), key=lambda r: reasons[r])
+            return {
+                "resource": resource,
+                "at_tenants": p["tenants"],
+                "evidence": dict(reasons),
+                "detail": (
+                    f"admission queueing first appears at {p['tenants']} "
+                    f"tenants, dominated by {resource!r} rejections"
+                ),
+            }
+    # Pools never filled: fall back to the softer signals.
+    for p in points:
+        if p["fairness"] < FAIRNESS_FLOOR:
+            return {
+                "resource": "arbitration",
+                "at_tenants": p["tenants"],
+                "evidence": {"fairness": p["fairness"]},
+                "detail": "weighted fairness drooped before any pool filled",
+            }
+        if p["plan_cache"]["evictions"] > 0:
+            return {
+                "resource": "plan_cache",
+                "at_tenants": p["tenants"],
+                "evidence": {"evictions": p["plan_cache"]["evictions"]},
+                "detail": "plan-cache evictions before any pool filled",
+            }
+    return {
+        "resource": None,
+        "at_tenants": None,
+        "evidence": {},
+        "detail": "no resource saturated across the sweep",
+    }
+
+
+def run_service_bench(
+    scales: tuple = SCALE_POINTS, queue_policies: tuple = ("wfq", "fifo")
+) -> dict:
+    """Run the sweep; returns the JSON-serializable report."""
+    points = []
+    for n in scales:
+        for policy in queue_policies:
+            points.append(_scale_point(n, policy))
+    wfq_points = [p for p in points if p["queue_policy"] == "wfq"]
+    return {
+        "benchmark": "service",
+        "version": 1,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "config": {
+            "fabric_hosts": FABRIC_HOSTS,
+            "max_allreduces_per_switch": MAX_PER_SWITCH,
+            "job_bytes": JOB_BYTES,
+            "job_hosts": JOB_HOSTS,
+            "iterations": ITERATIONS,
+            "scales": list(scales),
+            "queue_policies": list(queue_policies),
+        },
+        "points": points,
+        "first_saturating_resource": _first_saturating_resource(wfq_points),
+    }
+
+
+def check_health(report: dict) -> list[str]:
+    """Invariant gate for CI: every job completes, nothing starves,
+    fairness holds the floor at every scale point."""
+    failures = []
+    for p in report["points"]:
+        tag = f"{p['tenants']} tenants/{p['queue_policy']}"
+        if p["starved_jobs"]:
+            failures.append(f"{tag}: {p['starved_jobs']} starved jobs")
+        if p["jobs_completed"] != p["tenants"]:
+            failures.append(
+                f"{tag}: {p['jobs_completed']}/{p['tenants']} jobs completed"
+            )
+        if p["fairness"] < FAIRNESS_FLOOR:
+            failures.append(
+                f"{tag}: fairness {p['fairness']:.3f} below {FAIRNESS_FLOOR}"
+            )
+    return failures
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Service-mode tenant-scaling benchmark (see module docstring)."
+    )
+    parser.add_argument("--out", default="BENCH_service.json",
+                        help="output JSON path (default BENCH_service.json)")
+    parser.add_argument("--scales", default=None,
+                        help="comma-separated tenant counts (default 4,64,512)")
+    parser.add_argument("--queues", default="wfq,fifo",
+                        help="comma-separated queue policies to sweep")
+    parser.add_argument("--check", action="store_true",
+                        help="fail (exit 1) on starvation, lost jobs, or "
+                        "fairness below the floor")
+    args = parser.parse_args(argv)
+
+    scales = (
+        tuple(int(s) for s in args.scales.split(","))
+        if args.scales else SCALE_POINTS
+    )
+    policies = tuple(q.strip() for q in args.queues.split(",") if q.strip())
+    report = run_service_bench(scales, policies)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    for p in report["points"]:
+        print(f"[service] {p['tenants']:4d} tenants [{p['queue_policy']}]: "
+              f"{p['wall_s']:6.2f}s wall, {p['sim_ms']:8.2f} ms simulated, "
+              f"{p['queue']['enqueued']:5d} queued "
+              f"(mean wait {p['queue']['mean_wait_ns'] / 1e3:7.0f} us), "
+              f"fairness {p['fairness']:.3f}, "
+              f"cache hit {p['plan_cache']['hit_rate']:.0%}")
+    sat = report["first_saturating_resource"]
+    print(f"[service] first saturating resource: {sat['resource']} "
+          f"({sat['detail']})")
+    print(f"[service] report written to {args.out}")
+    if args.check:
+        failures = check_health(report)
+        if failures:
+            for f in failures:
+                print(f"[service] FAIL {f}", file=sys.stderr)
+            return 1
+        print("[service] health gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Long-running service mode: workloads, placement, queueing, SLOs.
+
+The subsystem that turns the one-shot collective library into a
+steady-state serving system::
+
+    from repro.comm.fabric import Fabric
+    from repro.service import FabricService, PoissonWorkload, TenantClass
+
+    fabric = Fabric(n_hosts=32, max_allreduces_per_switch=2)
+    workload = PoissonWorkload(
+        [TenantClass("prod", weight=4.0, rate_per_s=2000, n_hosts=8),
+         TenantClass("batch", weight=1.0, rate_per_s=500, n_hosts=8)],
+        seed=7, duration_ns=5e6,
+    )
+    report = FabricService(fabric, workload).run()
+    print(report["fairness"], report["classes"]["prod"]["p99_ns"])
+
+See README "Service mode" for the CLI entry point
+(``flare-repro service``) and the trace-file schema.
+"""
+
+from repro.service.engine import FabricService
+from repro.service.queueing import AdmissionQueue
+from repro.service.scheduler import (
+    JobScheduler,
+    LocalityPackScheduler,
+    LoadSpreadScheduler,
+    PlacementError,
+    build_scheduler,
+)
+from repro.service.slo import SLOStats, jain_fairness
+from repro.service.workload import (
+    TRACE_SCHEMA_VERSION,
+    Job,
+    PoissonWorkload,
+    TenantClass,
+    TraceWorkload,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "FabricService",
+    "Job",
+    "JobScheduler",
+    "LocalityPackScheduler",
+    "LoadSpreadScheduler",
+    "PlacementError",
+    "PoissonWorkload",
+    "SLOStats",
+    "TenantClass",
+    "TraceWorkload",
+    "TRACE_SCHEMA_VERSION",
+    "build_scheduler",
+    "jain_fairness",
+]

@@ -1,0 +1,309 @@
+"""The long-running fabric service: arrivals in, SLO reports out.
+
+:class:`FabricService` closes the loop the one-shot benchmarks leave
+open: it runs a :class:`~repro.comm.fabric.Fabric` *indefinitely* under
+a workload source (Poisson arrivals or trace replay), placing each
+arriving job onto topology regions, queueing it when the switch pools
+are full, issuing its training iterations into the shared event loop,
+and folding every completion into rolling SLO statistics.
+
+The service adds **no second clock**: arrivals, queue retries, snapshot
+ticks, and iteration gaps are all events on the fabric's one
+discrete-event simulator, interleaved with the collectives' own chunk
+events (and any armed fault events — chaos composes for free).
+
+Lifecycle of one job::
+
+    arrival ──place (JobScheduler)──► plan ──admission probe──┐
+        ┌─────────────────────◄── pool release retry ──────── │ full
+        ▼                                                     ▼
+      issue iteration ──done──► gap ──► next iteration   AdmissionQueue
+        │ (last one)
+        ▼
+      job done ──► SLOStats
+
+A single job spanning the whole fabric takes none of the service-only
+paths (no placement param, no queueing) — its request is byte-for-byte
+the one ``Communicator.allreduce`` would build, which is what keeps
+service mode bitwise/makespan-identical in the single-tenant limit
+(the parity test pins this).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.comm.fabric import Fabric
+from repro.core.manager import AdmissionError
+from repro.service.queueing import AdmissionQueue
+from repro.service.scheduler import build_scheduler
+from repro.service.slo import SLOStats
+from repro.service.workload import Job
+
+#: Admission rejections worth *waiting out* (resources that free up as
+#: running collectives finish).  ``switch_down`` is not one: the fabric
+#: replans or falls back immediately rather than waiting for repair.
+QUEUEABLE_RESOURCES = frozenset({"slots", "memory", "quota"})
+
+
+class FabricService:
+    """Runs a fabric under a workload until every job completes.
+
+    Parameters
+    ----------
+    fabric:
+        The shared substrate (bring your own: arbitration, pools,
+        quotas, armed faults all apply to the service's traffic).
+    workload:
+        A :class:`~repro.service.workload.PoissonWorkload` or
+        :class:`~repro.service.workload.TraceWorkload` (anything with
+        ``.jobs()`` and ``.classes``).
+    scheduler:
+        Placement policy: ``"pack"``, ``"spread"``, or a prebuilt
+        :class:`~repro.service.scheduler.JobScheduler`.
+    queue_policy:
+        Admission-queue discipline, ``"wfq"`` (default) or ``"fifo"``.
+    snapshot_interval_ns:
+        Period of rolling SLO snapshots (None = final report only).
+    """
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        workload,
+        *,
+        scheduler="pack",
+        queue_policy: str = "wfq",
+        snapshot_interval_ns: Optional[float] = None,
+    ) -> None:
+        self.fabric = fabric
+        self.workload = workload
+        self.scheduler = build_scheduler(scheduler)
+        self.queue = AdmissionQueue(queue_policy)
+        self.snapshot_interval_ns = snapshot_interval_ns
+        self.stats = SLOStats(
+            {name: cls.weight for name, cls in workload.classes.items()}
+        )
+        #: host -> number of active jobs spanning it (placement signal).
+        self.occupancy: dict = {}
+        self._comms = {
+            name: fabric.communicator(name=f"svc/{name}", weight=cls.weight)
+            for name, cls in sorted(workload.classes.items())
+        }
+        self._open_jobs = 0
+        self._arrivals_remaining = 0
+        self._draining = False
+        fabric.on_pool_release(self._on_pool_release)
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+    def run(self, slo_out: Optional[str] = None) -> dict:
+        """Replay the workload to completion; returns the SLO report.
+
+        Jobs that can never be admitted (demand exceeding the total
+        pool) are reported under ``starved_jobs`` instead of hanging
+        the loop — the CI smoke gate fails on any.
+        """
+        jobs = self.workload.jobs()
+        self._arrivals_remaining = len(jobs)
+        sim = self.fabric.sim
+        for job in jobs:
+            sim.schedule_at(job.arrival_ns, self._on_arrival, job)
+        if self.snapshot_interval_ns:
+            sim.schedule_at(self.snapshot_interval_ns, self._tick)
+        self.fabric.run()
+        return self._final_report(slo_out)
+
+    def _final_report(self, slo_out: Optional[str]) -> dict:
+        starved = [
+            {
+                "job_id": q.job.job_id,
+                "tenant_class": q.tenant_class,
+                "waiting_since_ns": q.enqueued_ns,
+                "reason": q.reason,
+            }
+            for q in self.queue.waiting()
+        ]
+        report = self.stats.report(
+            self.fabric.now,
+            queue=self.queue,
+            cache_info=self.cache_info(),
+            extra={
+                "placement": self.scheduler.name,
+                "starved_jobs": starved,
+                "utilization": self.fabric.manager.utilization(),
+                "faults": self.fabric.fault_log(),
+            },
+        )
+        if slo_out is not None:
+            with open(slo_out, "w") as fh:
+                json.dump(report, fh, indent=2, default=str)
+        return report
+
+    def cache_info(self) -> dict:
+        """Plan-cache counters aggregated over every tenant class."""
+        totals = {"hits": 0, "misses": 0, "evictions": 0, "currsize": 0}
+        for comm in self._comms.values():
+            info = comm.cache_info()
+            for key in totals:
+                totals[key] += getattr(info, key)
+        return totals
+
+    # ------------------------------------------------------------------
+    # Job lifecycle (every handler runs inside the event loop)
+    # ------------------------------------------------------------------
+    def _on_arrival(self, job: Job) -> None:
+        self.stats.record_arrival(job)
+        self._open_jobs += 1
+        self._arrivals_remaining -= 1
+        n_hosts = job.n_hosts or self.fabric.topology.n_hosts
+        if n_hosts < self.fabric.topology.n_hosts:
+            job.hosts = self.scheduler.place(
+                n_hosts,
+                self.fabric.topology,
+                self.occupancy,
+                self.fabric.net.traffic.per_link,
+            )
+            for h in job.hosts:
+                self.occupancy[h] = self.occupancy.get(h, 0) + 1
+        job.status = "running"
+        self._start_iteration(job)
+
+    def _request_kwargs(self, job: Job) -> dict:
+        kwargs = dict(
+            algorithm=job.algorithm,
+            dtype=job.dtype,
+            sparse=job.sparse,
+            density=job.density,
+        )
+        if job.hosts is not None:
+            # Placement params only when actually placing: a
+            # full-fabric job's request stays identical to a direct
+            # Communicator.allreduce (single-tenant parity).
+            kwargs["hosts"] = job.hosts
+        return kwargs
+
+    def _start_iteration(self, job: Job) -> None:
+        """An iteration is ready: admit now or park in the queue."""
+        comm = self._comms[job.tenant_class]
+        kwargs = self._request_kwargs(job)
+        plan = comm.plan(nbytes=job.nbytes, **kwargs)
+        rejection = self.fabric.would_admit(plan, tenant=comm.name)
+        if (
+            rejection is not None
+            and getattr(rejection, "resource", None) in QUEUEABLE_RESOURCES
+        ):
+            job.status = "queued"
+            cls = self.workload.classes[job.tenant_class]
+            self.queue.push(
+                job,
+                tenant_class=job.tenant_class,
+                weight=cls.weight,
+                now=self.fabric.now,
+                reason=rejection.resource,
+            )
+            self.queue.sample_depth()
+            return
+        self._issue(job, queued_ns=None)
+
+    def _admittable(self, job: Job) -> bool:
+        comm = self._comms[job.tenant_class]
+        plan = comm.plan(nbytes=job.nbytes, **self._request_kwargs(job))
+        return self.fabric.would_admit(plan, tenant=comm.name) is None
+
+    def _issue(self, job: Job, queued_ns: Optional[float]) -> None:
+        comm = self._comms[job.tenant_class]
+        now = self.fabric.now
+        if job.first_issue_ns is None:
+            job.first_issue_ns = now
+        if queued_ns is not None:
+            job.queue_waits_ns.append(now - queued_ns)
+        job.status = "running"
+        ready_ns = queued_ns if queued_ns is not None else now
+        try:
+            future = comm.iallreduce(job.nbytes, **self._request_kwargs(job))
+        except AdmissionError as exc:
+            # The probe and the issue disagree (e.g. a fault landed in
+            # between inside this same timestamp): park and retry.
+            job.status = "queued"
+            cls = self.workload.classes[job.tenant_class]
+            self.queue.push(
+                job,
+                tenant_class=job.tenant_class,
+                weight=cls.weight,
+                now=now,
+                reason=getattr(exc, "resource", "unknown"),
+            )
+            return
+        future.add_done_callback(
+            lambda fut: self._on_iteration_done(job, ready_ns, fut.result())
+        )
+
+    def _on_iteration_done(self, job: Job, ready_ns: float, result) -> None:
+        now = self.fabric.now
+        duration = now - ready_ns           # queue wait + execution
+        job.iteration_times_ns.append(duration)
+        job.iterations_done += 1
+        self.stats.record_iteration(
+            job.tenant_class,
+            duration,
+            job.nbytes,
+            fell_back=bool(result.extra.get("fell_back")),
+            recoveries=len(result.extra.get("recoveries") or ()),
+        )
+        if job.iterations_done < job.iterations:
+            self.fabric.sim.schedule_at(
+                now + job.gap_ns, self._start_iteration, job
+            )
+        else:
+            self._finish_job(job)
+
+    def _finish_job(self, job: Job) -> None:
+        job.status = "done"
+        job.finish_ns = self.fabric.now
+        self._open_jobs -= 1
+        if job.hosts is not None:
+            for h in job.hosts:
+                self.occupancy[h] = max(0, self.occupancy.get(h, 0) - 1)
+        self.stats.record_job_done(job)
+
+    # ------------------------------------------------------------------
+    # Queue drain & snapshots
+    # ------------------------------------------------------------------
+    def _on_pool_release(self) -> None:
+        """Pool resources freed: retry queued iterations, fair order.
+
+        Re-entrancy guard: issuing a dequeued job can release/acquire
+        resources itself; one drain loop at a time."""
+        if self._draining or not len(self.queue):
+            return
+        self._draining = True
+        try:
+            while True:
+                entry = self.queue.pop_admittable(
+                    self._admittable, self.fabric.now
+                )
+                if entry is None:
+                    break
+                self._issue(entry.job, queued_ns=entry.enqueued_ns)
+        finally:
+            self._draining = False
+        self.queue.sample_depth()
+
+    def _tick(self) -> None:
+        self.queue.sample_depth()
+        self.stats.snapshot(
+            self.fabric.now,
+            queue=self.queue,
+            cache_info=self.cache_info(),
+            extra={"in_flight": self.fabric.in_flight},
+        )
+        # Reschedule only while progress is still possible; a tick that
+        # kept rescheduling past the last completion would hold the
+        # event loop open forever.
+        if self._arrivals_remaining > 0 or self.fabric.in_flight > 0:
+            self.fabric.sim.schedule_at(
+                self.fabric.now + self.snapshot_interval_ns, self._tick
+            )

@@ -1,0 +1,185 @@
+"""Job placement: mapping arriving tenants onto topology regions.
+
+A :class:`JobScheduler` answers one question — *which hosts should this
+job's collective span?* — before the engine issues anything.  Placement
+matters because a collective's schedule (its ring, or its aggregation
+tree and therefore the switch pools admission draws on) follows the
+hosts it covers: packing a job under one leaf keeps its reduction at
+that leaf, spreading it across pods buys link diversity at the price of
+spine/global traffic.
+
+Both built-in policies work on the topology's *regions* — the locality
+domains :meth:`repro.network.topology.Topology.regions` exposes (leaf
+racks on the fat tree, groups on the dragonfly) — and consult
+
+* live per-host occupancy (how many active jobs already span a host),
+  maintained by the engine, and
+* live :class:`~repro.network.simulator.TrafficStats` per-link byte
+  counts, so a region whose uplinks are glowing gets deprioritized.
+
+A job whose ``n_hosts`` is ``None`` (or equals the fabric size) spans
+every host and bypasses placement entirely — that is the path that
+stays bitwise-identical to a direct ``Communicator.allreduce``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.network.topology import Topology
+
+
+class PlacementError(ValueError):
+    """The job cannot be placed (more hosts requested than exist)."""
+
+
+class JobScheduler:
+    """Base policy: order regions, then fill hosts from them."""
+
+    name = "base"
+
+    def place(
+        self,
+        n_hosts: int,
+        topology: Topology,
+        occupancy: dict,
+        link_bytes: Optional[dict] = None,
+    ) -> tuple:
+        """Pick ``n_hosts`` hosts for a new job.
+
+        ``occupancy`` maps host -> count of active jobs spanning it;
+        ``link_bytes`` maps (src, dst) -> bytes carried (live traffic).
+        Returns the placed host tuple, in schedule order.
+        """
+        if n_hosts > topology.n_hosts:
+            raise PlacementError(
+                f"job wants {n_hosts} hosts; fabric wires {topology.n_hosts}"
+            )
+        if n_hosts == topology.n_hosts:
+            return tuple(topology.hosts)
+        regions = topology.regions()
+        ranked = self.rank_regions(regions, topology, occupancy, link_bytes or {})
+        return self.fill(n_hosts, regions, ranked, occupancy)
+
+    # -- policy hooks --------------------------------------------------
+    def rank_regions(
+        self, regions: dict, topology: Topology, occupancy: dict, link_bytes: dict
+    ) -> list[str]:
+        raise NotImplementedError
+
+    def fill(
+        self, n_hosts: int, regions: dict, ranked: list[str], occupancy: dict
+    ) -> tuple:
+        raise NotImplementedError
+
+    # -- shared helpers ------------------------------------------------
+    @staticmethod
+    def region_load(region_hosts: tuple, occupancy: dict) -> int:
+        return sum(occupancy.get(h, 0) for h in region_hosts)
+
+    @staticmethod
+    def region_heat(
+        region: str, topology: Topology, link_bytes: dict
+    ) -> float:
+        """Live bytes on the region's switch links (both directions) —
+        the congestion signal dynamic placement steers away from."""
+        switches = set(topology.region_switches(region))
+        return sum(
+            nbytes
+            for (src, dst), nbytes in link_bytes.items()
+            if src in switches or dst in switches
+        )
+
+
+class LocalityPackScheduler(JobScheduler):
+    """Pack the job into as few regions as possible.
+
+    Regions are ranked coolest-and-emptiest first, then the job fills
+    whole regions in rank order (least-occupied hosts first inside
+    each).  A job that fits under one leaf aggregates at that leaf —
+    minimum tree depth, no spine traffic — which is the right default
+    when jobs are small and the fabric is oversubscribed.
+    """
+
+    name = "pack"
+
+    def rank_regions(self, regions, topology, occupancy, link_bytes):
+        return sorted(
+            regions,
+            key=lambda r: (
+                self.region_load(regions[r], occupancy),
+                self.region_heat(r, topology, link_bytes),
+                r,
+            ),
+        )
+
+    def fill(self, n_hosts, regions, ranked, occupancy):
+        placed: list = []
+        for region in ranked:
+            hosts = sorted(
+                regions[region], key=lambda h: (occupancy.get(h, 0), h)
+            )
+            placed.extend(hosts[: n_hosts - len(placed)])
+            if len(placed) == n_hosts:
+                break
+        return tuple(placed)
+
+
+class LoadSpreadScheduler(JobScheduler):
+    """Spread the job round-robin across every region.
+
+    One host from each region in turn (coolest regions first,
+    least-occupied host within each) until the job is covered.  Buys
+    maximum link diversity — each host's traffic climbs a different
+    leaf/group — at the price of a deeper tree; the right call when
+    single regions are saturated or faults make locality risky.
+    """
+
+    name = "spread"
+
+    def rank_regions(self, regions, topology, occupancy, link_bytes):
+        return sorted(
+            regions,
+            key=lambda r: (
+                self.region_heat(r, topology, link_bytes),
+                self.region_load(regions[r], occupancy),
+                r,
+            ),
+        )
+
+    def fill(self, n_hosts, regions, ranked, occupancy):
+        queues = {
+            r: sorted(regions[r], key=lambda h: (occupancy.get(h, 0), h))
+            for r in ranked
+        }
+        placed: list = []
+        while len(placed) < n_hosts:
+            progressed = False
+            for region in ranked:
+                if queues[region]:
+                    placed.append(queues[region].pop(0))
+                    progressed = True
+                    if len(placed) == n_hosts:
+                        break
+            if not progressed:     # pragma: no cover - guarded by place()
+                raise PlacementError("ran out of hosts while spreading")
+        return tuple(placed)
+
+
+SCHEDULERS = {
+    LocalityPackScheduler.name: LocalityPackScheduler,
+    LoadSpreadScheduler.name: LoadSpreadScheduler,
+}
+
+
+def build_scheduler(policy) -> JobScheduler:
+    """``"pack"``/``"spread"`` or a prebuilt :class:`JobScheduler`."""
+    if isinstance(policy, JobScheduler):
+        return policy
+    try:
+        return SCHEDULERS[policy]()
+    except KeyError:
+        raise ValueError(
+            f"unknown placement policy {policy!r}; "
+            f"available: {sorted(SCHEDULERS)}"
+        ) from None

@@ -1,0 +1,172 @@
+"""Rolling SLO statistics for service-mode runs.
+
+The service's answer to "are we serving?": per-tenant-class iteration
+completion percentiles (p50/p95/p99), goodput, Jain fairness across
+classes (weight-normalized, so a 4x-weight class is *expected* 4x the
+goodput and fairness measures deviation from that), admission-queue
+depth and wait, and plan-cache hit rate.  Snapshots share the versioned
+JSON envelope of ``Fabric.timeline_json`` (``schema_version``), so one
+schema doc covers both exports.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.comm.fabric import TIMELINE_SCHEMA_VERSION
+
+
+def jain_fairness(values: list[float]) -> float:
+    """Jain's index ``(Σx)² / (n·Σx²)``: 1.0 = perfectly fair, 1/n =
+    one class took everything.  Empty/zero inputs report 1.0 (nothing
+    was contended, nothing was unfair)."""
+    xs = [v for v in values if v > 0]
+    if not xs:
+        return 1.0
+    total = sum(xs)
+    return (total * total) / (len(xs) * sum(x * x for x in xs))
+
+
+def _percentiles(samples: list[float]) -> dict:
+    if not samples:
+        return {"p50_ns": None, "p95_ns": None, "p99_ns": None}
+    arr = np.asarray(samples, dtype=float)
+    p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+    return {"p50_ns": float(p50), "p95_ns": float(p95), "p99_ns": float(p99)}
+
+
+class SLOStats:
+    """Accumulates per-iteration completions and exports snapshots."""
+
+    def __init__(self, class_weights: dict) -> None:
+        self.class_weights = dict(class_weights)
+        #: Per-class iteration completion times (ns, queue wait included).
+        self._iteration_ns: dict[str, list[float]] = {}
+        #: Per-class delivered payload bytes (goodput numerator).
+        self._bytes: dict[str, float] = {}
+        self._iterations: dict[str, int] = {}
+        self._fallbacks: dict[str, int] = {}
+        self._recoveries: dict[str, int] = {}
+        self.jobs_completed = 0
+        self.jobs_arrived = 0
+        self.snapshots: list[dict] = []
+
+    # ------------------------------------------------------------------
+    def record_arrival(self, job) -> None:
+        self.jobs_arrived += 1
+
+    def record_iteration(
+        self,
+        tenant_class: str,
+        duration_ns: float,
+        nbytes: float,
+        *,
+        fell_back: bool = False,
+        recoveries: int = 0,
+    ) -> None:
+        self._iteration_ns.setdefault(tenant_class, []).append(duration_ns)
+        self._bytes[tenant_class] = self._bytes.get(tenant_class, 0.0) + nbytes
+        self._iterations[tenant_class] = self._iterations.get(tenant_class, 0) + 1
+        if fell_back:
+            self._fallbacks[tenant_class] = self._fallbacks.get(tenant_class, 0) + 1
+        if recoveries:
+            self._recoveries[tenant_class] = (
+                self._recoveries.get(tenant_class, 0) + recoveries
+            )
+
+    def record_job_done(self, job) -> None:
+        self.jobs_completed += 1
+
+    # ------------------------------------------------------------------
+    def per_class(self, now_ns: float) -> dict:
+        out: dict[str, dict] = {}
+        for cls in sorted(set(self._iteration_ns) | set(self.class_weights)):
+            samples = self._iteration_ns.get(cls, [])
+            delivered = self._bytes.get(cls, 0.0)
+            goodput = delivered * 8.0 / now_ns if now_ns > 0 else 0.0
+            out[cls] = {
+                "weight": self.class_weights.get(cls, 1.0),
+                "iterations": self._iterations.get(cls, 0),
+                "bytes": delivered,
+                "goodput_gbps": goodput,
+                "fell_back": self._fallbacks.get(cls, 0),
+                "recoveries": self._recoveries.get(cls, 0),
+                **_percentiles(samples),
+            }
+        return out
+
+    def fairness(self, now_ns: float) -> float:
+        """Jain's index over weight-normalized per-class goodput."""
+        per = self.per_class(now_ns)
+        shares = [
+            stats["goodput_gbps"] / stats["weight"]
+            for cls, stats in per.items()
+            if stats["iterations"] > 0
+        ]
+        return jain_fairness(shares)
+
+    # ------------------------------------------------------------------
+    def snapshot(
+        self,
+        now_ns: float,
+        *,
+        queue=None,
+        cache_info: Optional[dict] = None,
+        extra: Optional[dict] = None,
+    ) -> dict:
+        """One rolling snapshot (appended to :attr:`snapshots`)."""
+        snap = {
+            "schema_version": TIMELINE_SCHEMA_VERSION,
+            "now_ns": now_ns,
+            "jobs": {
+                "arrived": self.jobs_arrived,
+                "completed": self.jobs_completed,
+            },
+            "classes": self.per_class(now_ns),
+            "fairness": self.fairness(now_ns),
+        }
+        if queue is not None:
+            waits = queue.wait_samples_ns
+            snap["queue"] = {
+                "policy": queue.policy,
+                "depth": queue.depth,
+                "enqueued": queue.enqueued,
+                "dequeued": queue.dequeued,
+                "mean_wait_ns": float(np.mean(waits)) if waits else 0.0,
+                "max_wait_ns": float(np.max(waits)) if waits else 0.0,
+                "mean_depth": (
+                    float(np.mean(queue.depth_samples))
+                    if queue.depth_samples
+                    else 0.0
+                ),
+                "reasons": dict(queue.reason_counts),
+            }
+        if cache_info is not None:
+            hits = cache_info.get("hits", 0)
+            misses = cache_info.get("misses", 0)
+            total = hits + misses
+            snap["plan_cache"] = {
+                **cache_info,
+                "hit_rate": hits / total if total else None,
+            }
+        if extra:
+            snap.update(extra)
+        self.snapshots.append(snap)
+        return snap
+
+    def report(
+        self,
+        now_ns: float,
+        *,
+        queue=None,
+        cache_info: Optional[dict] = None,
+        extra: Optional[dict] = None,
+    ) -> dict:
+        """The final SLO report: last-word stats plus every snapshot."""
+        final = self.snapshot(
+            now_ns, queue=queue, cache_info=cache_info, extra=extra
+        )
+        self.snapshots.pop()      # final is the envelope, not a sample
+        return {**final, "snapshots": self.snapshots}

@@ -49,6 +49,27 @@ def ecmp_salt(seed: int | None = 0) -> int:
     return int(seeded_rng(seed).integers(0, 2**31))
 
 
+def child_rng(seed: int, *tag: object) -> np.random.Generator:
+    """Split an independent child stream off ``seed``, keyed by ``tag``.
+
+    Stream splitting for components that must never share randomness:
+    the service engine draws arrival times, fault schedules, and payload
+    fills from ``child_rng(seed, "arrivals", cls)``-style children so
+    adding a consumer (or reordering draws) in one component can never
+    perturb another — the classic shared-stream reproducibility bug.
+
+    Children are derived via ``SeedSequence(entropy=seed,
+    spawn_key=(stable_hash(*tag),))``: the key is the *process-stable*
+    :func:`stable_hash` of the tag parts, so the same ``(seed, tag)``
+    yields the bitwise-identical stream across interpreter runs,
+    platforms, and ``PYTHONHASHSEED`` values.  Distinct tags give
+    statistically independent streams (SeedSequence's spawn guarantee).
+    """
+    key = stable_hash(*tag)
+    ss = np.random.SeedSequence(entropy=seed, spawn_key=(key,))
+    return np.random.default_rng(ss)
+
+
 def spawn_rngs(seed: int, n: int) -> list[np.random.Generator]:
     """Spawn ``n`` independent generators from one seed.
 

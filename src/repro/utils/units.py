@@ -85,6 +85,32 @@ def parse_size(text: str | int | float) -> int:
     return int(float(s))
 
 
+_TIME_SUFFIXES = {
+    "NS": 1.0,
+    "US": 1e3,
+    "MS": 1e6,
+    "S": 1e9,
+}
+
+
+def parse_time_ns(text: str | int | float) -> float:
+    """Parse a human-readable duration such as ``"50us"`` into ns.
+
+    Integers/floats pass through as nanoseconds.  Suffixes: ns, us,
+    ms, s (case-insensitive, whitespace tolerated).
+
+    >>> parse_time_ns("50us"), parse_time_ns("1 ms"), parse_time_ns(250)
+    (50000.0, 1000000.0, 250.0)
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    s = text.strip().upper().replace(" ", "")
+    for suffix in sorted(_TIME_SUFFIXES, key=len, reverse=True):
+        if s.endswith(suffix):
+            return float(s[: -len(suffix)]) * _TIME_SUFFIXES[suffix]
+    return float(s)
+
+
 def format_size(n: float) -> str:
     """Format a byte count with a binary suffix, e.g. ``524288 -> '512KiB'``.
 

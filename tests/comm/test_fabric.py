@@ -246,6 +246,18 @@ def test_timeline_json_round_trips(tmp_path):
     assert len(payload["events"]) == 2
 
 
+def test_timeline_json_schema_version_leads_the_envelope():
+    from repro.comm.fabric import TIMELINE_SCHEMA_VERSION
+
+    _, _, fabric = _two_tenant_times(1.0, 1.0)
+    payload = json.loads(fabric.timeline_json())
+    assert payload["schema_version"] == TIMELINE_SCHEMA_VERSION == 2
+    # Service-mode SLO snapshots reuse the same versioned envelope.
+    from repro.service import SLOStats
+
+    assert SLOStats({}).snapshot(0.0)["schema_version"] == TIMELINE_SCHEMA_VERSION
+
+
 def test_tenant_stats_aggregate():
     _, _, fabric = _two_tenant_times(1.0, 1.0)
     stats = fabric.tenant_stats()

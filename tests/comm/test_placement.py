@@ -1,0 +1,170 @@
+"""Host-subset placement: collectives spanning part of a fabric.
+
+Service-mode jobs run on scheduler-chosen host subsets; these tests pin
+the ``hosts=`` request param end to end — validation, plan-cache
+keying, per-algorithm subset correctness on fat tree and dragonfly, and
+the rule that a full-fabric placement is indistinguishable from no
+placement at all.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import Communicator, Fabric
+from repro.comm.registry import CapabilityError
+
+FT = dict(
+    topology="fat-tree",
+    topology_params=dict(n_hosts=16, hosts_per_leaf=4, n_spines=2),
+)
+DF = dict(
+    topology="dragonfly",
+    topology_params=dict(n_groups=4, routers_per_group=3, hosts_per_router=2),
+)
+
+
+@pytest.fixture
+def ft_comm():
+    return Communicator(**FT)
+
+
+@pytest.fixture
+def df_comm():
+    return Communicator(**DF)
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+def test_unknown_host_rejected(ft_comm):
+    with pytest.raises(CapabilityError, match="does not wire"):
+        ft_comm.allreduce("1MiB", algorithm="ring", hosts=["h0", "h99"])
+
+
+def test_duplicate_host_rejected(ft_comm):
+    with pytest.raises(CapabilityError, match="twice"):
+        ft_comm.allreduce("1MiB", algorithm="ring", hosts=["h0", "h0"])
+
+
+def test_empty_placement_rejected(ft_comm):
+    with pytest.raises(ValueError, match="empty"):
+        ft_comm.allreduce("1MiB", algorithm="ring", hosts=[])
+
+
+def test_n_hosts_mismatch_rejected(ft_comm):
+    with pytest.raises(ValueError, match="hosts"):
+        ft_comm.allreduce(
+            "1MiB", algorithm="ring", hosts=["h0", "h1"], n_hosts=3
+        )
+
+
+def test_hosts_none_means_no_placement(ft_comm):
+    a = ft_comm.allreduce("1MiB", algorithm="ring")
+    b = ft_comm.allreduce("1MiB", algorithm="ring", hosts=None)
+    assert a.time_ns == b.time_ns
+
+
+# ----------------------------------------------------------------------
+# Plan-cache keying
+# ----------------------------------------------------------------------
+def test_distinct_placements_get_distinct_plans(ft_comm):
+    ft_comm.allreduce("1MiB", algorithm="ring", hosts=["h0", "h1", "h2", "h3"])
+    before = ft_comm.cache_info().misses
+    ft_comm.allreduce("1MiB", algorithm="ring", hosts=["h4", "h5", "h6", "h7"])
+    assert ft_comm.cache_info().misses == before + 1
+    # Same placement again: cache hit, no new plan.
+    hits = ft_comm.cache_info().hits
+    ft_comm.allreduce("1MiB", algorithm="ring", hosts=["h4", "h5", "h6", "h7"])
+    assert ft_comm.cache_info().hits == hits + 1
+    assert ft_comm.cache_info().misses == before + 1
+
+
+# ----------------------------------------------------------------------
+# Subset correctness per algorithm
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("algorithm", ["ring", "flare_dense"])
+def test_subset_runs_both_families(algorithm, ft_comm, df_comm):
+    for comm in (ft_comm, df_comm):
+        result = comm.allreduce(
+            "256KiB", algorithm=algorithm, hosts=["h0", "h1", "h6", "h7"]
+        )
+        assert result.algorithm == algorithm
+        assert result.time_ns > 0
+
+
+def test_subset_ring_payload_bitwise(ft_comm):
+    rng = np.random.default_rng(0)
+    data = rng.integers(-8, 8, size=(4, 256)).astype(np.int32)
+    golden = data.sum(axis=0, dtype=np.int64).astype(np.int32)
+    result = ft_comm.allreduce(
+        data, algorithm="ring", hosts=["h0", "h5", "h9", "h14"]
+    )
+    np.testing.assert_array_equal(result.extra["output"], golden)
+
+
+def test_subset_flare_dense_payload_bitwise(ft_comm):
+    rng = np.random.default_rng(1)
+    data = rng.integers(-8, 8, size=(4, 1024)).astype(np.int32)
+    golden = data.sum(axis=0, dtype=np.int64).astype(np.int32)
+    result = ft_comm.allreduce(
+        data, algorithm="flare_dense", hosts=["h0", "h1", "h4", "h5"]
+    )
+    np.testing.assert_array_equal(result.extra["output"], golden)
+
+
+def test_subset_sparcml_runs(ft_comm):
+    result = ft_comm.allreduce(
+        "256KiB", algorithm="sparcml", sparse=True, density=0.1,
+        hosts=["h8", "h9", "h10", "h11"],
+    )
+    assert result.algorithm == "sparcml"
+    assert result.time_ns > 0
+
+
+def test_subset_with_nonconsecutive_hosts(ft_comm):
+    # Ranks are positional in the placement list, not parsed from host
+    # names — a scrambled subset must still complete.
+    result = ft_comm.allreduce(
+        "256KiB", algorithm="ring", hosts=["h13", "h2", "h7", "h11"]
+    )
+    assert result.time_ns > 0
+
+
+def test_packed_subset_beats_spread_subset_for_dense(ft_comm):
+    # Under one leaf the aggregation happens at that leaf; spread over
+    # four leaves it must climb to a spine — strictly more hops.
+    packed = ft_comm.allreduce(
+        "1MiB", algorithm="flare_dense", hosts=["h0", "h1", "h2", "h3"]
+    )
+    spread = ft_comm.allreduce(
+        "1MiB", algorithm="flare_dense", hosts=["h0", "h4", "h8", "h12"]
+    )
+    assert packed.time_ns < spread.time_ns
+
+
+# ----------------------------------------------------------------------
+# Fabric integration
+# ----------------------------------------------------------------------
+def test_fabric_tenants_on_disjoint_subsets():
+    fabric = Fabric(n_hosts=16, hosts_per_leaf=4, n_spines=2)
+    a = fabric.communicator(name="a")
+    b = fabric.communicator(name="b")
+    fa = a.iallreduce("1MiB", algorithm="ring", hosts=["h0", "h1", "h2", "h3"])
+    fb = b.iallreduce("1MiB", algorithm="ring", hosts=["h4", "h5", "h6", "h7"])
+    ra, rb = fa.result(), fb.result()
+    assert ra.time_ns > 0 and rb.time_ns > 0
+    tenants = {e["tenant"]: e for e in fabric.timeline()}
+    assert tenants["a"]["status"] == tenants["b"]["status"] == "done"
+
+
+def test_full_placement_equals_no_placement_makespan():
+    fabric = Fabric(n_hosts=8, hosts_per_leaf=4, n_spines=2)
+    comm = fabric.communicator(name="t")
+    with_hosts = comm.iallreduce(
+        "1MiB", algorithm="flare_dense",
+        hosts=[f"h{i}" for i in range(8)],
+    ).result()
+    fabric2 = Fabric(n_hosts=8, hosts_per_leaf=4, n_spines=2)
+    comm2 = fabric2.communicator(name="t")
+    without = comm2.iallreduce("1MiB", algorithm="flare_dense").result()
+    assert with_hosts.time_ns == pytest.approx(without.time_ns)

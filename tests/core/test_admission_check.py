@@ -1,0 +1,114 @@
+"""AdmissionError resource tagging and the non-mutating check() probe.
+
+The admission-queue layer routes on ``AdmissionError.resource``
+(slots / memory / quota / switch_down), so the tags — and check()'s
+promise to reserve nothing — are load-bearing API.
+"""
+
+import pytest
+
+from repro.core.manager import AdmissionError, NetworkManager
+
+
+def _admit(mgr, switches=("s0",), tenant=None, memory_bytes=0.0):
+    return mgr.admit(switches, tenant=tenant, memory_bytes=memory_bytes)
+
+
+# ----------------------------------------------------------------------
+# check(): tag per exhausted resource
+# ----------------------------------------------------------------------
+def test_check_passes_when_resources_free():
+    mgr = NetworkManager(max_allreduces_per_switch=2)
+    assert mgr.check(["s0", "s1"]) is None
+
+
+def test_slots_tag():
+    mgr = NetworkManager(max_allreduces_per_switch=1)
+    _admit(mgr)
+    err = mgr.check(["s0"])
+    assert isinstance(err, AdmissionError)
+    assert err.resource == "slots"
+
+
+def test_memory_tag():
+    mgr = NetworkManager(switch_memory_bytes=1000.0)
+    err = mgr.check(["s0"], memory_bytes=2000.0)
+    assert err.resource == "memory"
+
+
+def test_quota_tag():
+    mgr = NetworkManager(tenant_quota=1)
+    _admit(mgr, tenant="prod")
+    assert mgr.check(["s1"], tenant="prod").resource == "quota"
+    assert mgr.check(["s1"], tenant="batch") is None
+
+
+def test_switch_down_tag():
+    mgr = NetworkManager()
+    mgr.fail_switch("s0")
+    assert mgr.check(["s0"]).resource == "switch_down"
+    assert mgr.check(["s1"]) is None
+    mgr.repair_switch("s0")
+    assert mgr.check(["s0"]) is None
+
+
+def test_check_precedence_switch_down_first():
+    # An outage masks pool exhaustion: the caller must learn the tree
+    # is unusable (replan) before learning it is full (queue).
+    mgr = NetworkManager(max_allreduces_per_switch=1)
+    _admit(mgr, switches=("s0", "s1"))
+    mgr.fail_switch("s0")
+    assert mgr.check(["s0", "s1"]).resource == "switch_down"
+
+
+def test_check_reserves_nothing():
+    mgr = NetworkManager(max_allreduces_per_switch=1, tenant_quota=1,
+                         switch_memory_bytes=1000.0)
+    for _ in range(10):
+        assert mgr.check(["s0"], tenant="t", memory_bytes=500.0) is None
+    # Still admittable after ten probes.
+    _admit(mgr, tenant="t", memory_bytes=500.0)
+
+
+# ----------------------------------------------------------------------
+# admit() raises the same tagged errors
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "setup,kwargs,resource",
+    [
+        (lambda m: _admit(m), {}, "slots"),
+        (lambda m: None, {"memory_bytes": 9000.0}, "memory"),
+        (lambda m: _admit(m, switches=("s9",), tenant="t"), {"tenant": "t"}, "quota"),
+        (lambda m: m.fail_switch("s0"), {}, "switch_down"),
+    ],
+)
+def test_admit_raises_with_matching_tag(setup, kwargs, resource):
+    mgr = NetworkManager(max_allreduces_per_switch=1, tenant_quota=1,
+                         switch_memory_bytes=8192.0)
+    setup(mgr)
+    with pytest.raises(AdmissionError) as exc_info:
+        mgr.admit(["s0"], **kwargs)
+    assert exc_info.value.resource == resource
+
+
+def test_admit_matches_check_verdict():
+    mgr = NetworkManager(max_allreduces_per_switch=1)
+    assert mgr.check(["s0"]) is None
+    ticket = _admit(mgr)
+    assert mgr.check(["s0"]).resource == "slots"
+    mgr.release(ticket)
+    assert mgr.check(["s0"]) is None
+
+
+# ----------------------------------------------------------------------
+# release listeners (the queue-drain trigger)
+# ----------------------------------------------------------------------
+def test_release_listener_fires_per_release():
+    mgr = NetworkManager()
+    fired = []
+    mgr.add_release_listener(lambda: fired.append(True))
+    t1, t2 = _admit(mgr), _admit(mgr, switches=("s1",))
+    assert fired == []
+    mgr.release(t1)
+    mgr.release(t2)
+    assert len(fired) == 2

@@ -1,0 +1,121 @@
+"""Placement policies: locality packing vs load spreading."""
+
+import pytest
+
+from repro.network import DragonflyTopology, FatTreeTopology
+from repro.service import (
+    LoadSpreadScheduler,
+    LocalityPackScheduler,
+    PlacementError,
+    build_scheduler,
+)
+
+
+@pytest.fixture
+def fat_tree():
+    # 4 leaves x 8 hosts, regions l0..l3.
+    return FatTreeTopology(n_hosts=32, hosts_per_leaf=8, n_spines=2)
+
+
+@pytest.fixture
+def dragonfly():
+    return DragonflyTopology(n_groups=4, routers_per_group=3, hosts_per_router=2)
+
+
+# ----------------------------------------------------------------------
+# pack
+# ----------------------------------------------------------------------
+def test_pack_fits_job_under_one_leaf(fat_tree):
+    placed = LocalityPackScheduler().place(8, fat_tree, {})
+    assert len(placed) == 8
+    assert {fat_tree.region_of(h) for h in placed} == {"l0"}
+
+
+def test_pack_spills_into_second_region_only_when_full(fat_tree):
+    placed = LocalityPackScheduler().place(12, fat_tree, {})
+    regions = [fat_tree.region_of(h) for h in placed]
+    assert regions.count("l0") == 8
+    assert regions.count("l1") == 4
+
+
+def test_pack_prefers_empty_region(fat_tree):
+    occupancy = {h: 1 for h in fat_tree.regions()["l0"]}
+    placed = LocalityPackScheduler().place(8, fat_tree, occupancy)
+    assert {fat_tree.region_of(h) for h in placed} == {"l1"}
+
+
+def test_pack_steers_away_from_hot_region(fat_tree):
+    # No occupancy anywhere, but l0's leaf uplink is glowing.
+    link_bytes = {("l0", "s0"): 1e9}
+    placed = LocalityPackScheduler().place(8, fat_tree, {}, link_bytes)
+    assert {fat_tree.region_of(h) for h in placed} == {"l1"}
+
+
+def test_pack_picks_least_occupied_hosts_within_region(fat_tree):
+    hosts = sorted(fat_tree.regions()["l0"])
+    occupancy = {hosts[0]: 3, hosts[1]: 3}
+    placed = LocalityPackScheduler().place(4, fat_tree, occupancy)
+    assert hosts[0] not in placed and hosts[1] not in placed
+
+
+# ----------------------------------------------------------------------
+# spread
+# ----------------------------------------------------------------------
+def test_spread_round_robins_across_all_regions(fat_tree):
+    placed = LoadSpreadScheduler().place(8, fat_tree, {})
+    counts = {}
+    for h in placed:
+        r = fat_tree.region_of(h)
+        counts[r] = counts.get(r, 0) + 1
+    assert counts == {"l0": 2, "l1": 2, "l2": 2, "l3": 2}
+
+
+def test_spread_visits_cool_regions_first(fat_tree):
+    link_bytes = {("l0", "s0"): 1e9}
+    placed = LoadSpreadScheduler().place(3, fat_tree, {}, link_bytes)
+    assert "l0" not in {fat_tree.region_of(h) for h in placed}
+
+
+# ----------------------------------------------------------------------
+# shared semantics
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("policy", ["pack", "spread"])
+def test_full_fabric_bypasses_placement(policy, fat_tree):
+    placed = build_scheduler(policy).place(32, fat_tree, {"h0": 99})
+    assert placed == tuple(fat_tree.hosts)
+
+
+@pytest.mark.parametrize("policy", ["pack", "spread"])
+def test_oversized_job_raises(policy, fat_tree):
+    with pytest.raises(PlacementError):
+        build_scheduler(policy).place(33, fat_tree, {})
+
+
+@pytest.mark.parametrize("policy", ["pack", "spread"])
+def test_placement_is_deterministic(policy, fat_tree):
+    sched = build_scheduler(policy)
+    occupancy = {"h3": 1, "h17": 2}
+    assert sched.place(10, fat_tree, dict(occupancy)) == sched.place(
+        10, fat_tree, dict(occupancy)
+    )
+
+
+def test_build_scheduler_passthrough_and_errors():
+    sched = LocalityPackScheduler()
+    assert build_scheduler(sched) is sched
+    with pytest.raises(ValueError, match="unknown placement policy"):
+        build_scheduler("lottery")
+
+
+# ----------------------------------------------------------------------
+# dragonfly regions
+# ----------------------------------------------------------------------
+def test_pack_on_dragonfly_groups(dragonfly):
+    # 6 hosts per group (3 routers x 2): an 6-host job packs into g0.
+    placed = LocalityPackScheduler().place(6, dragonfly, {})
+    assert {dragonfly.region_of(h) for h in placed} == {"g0"}
+
+
+def test_spread_on_dragonfly_covers_every_group(dragonfly):
+    placed = LoadSpreadScheduler().place(4, dragonfly, {})
+    assert {dragonfly.region_of(h) for h in placed} == {"g0", "g1", "g2", "g3"}

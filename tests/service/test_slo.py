@@ -1,0 +1,132 @@
+"""SLO statistics: percentiles, weighted Jain fairness, snapshots."""
+
+import pytest
+
+from repro.comm.fabric import TIMELINE_SCHEMA_VERSION
+from repro.service import SLOStats, jain_fairness
+from repro.service.workload import Job
+
+
+def _job(cls="t"):
+    return Job(
+        job_id=0, tenant_class=cls, arrival_ns=0.0, nbytes=1024.0,
+        n_hosts=None, iterations=1, gap_ns=0.0,
+    )
+
+
+# ----------------------------------------------------------------------
+# Jain's index
+# ----------------------------------------------------------------------
+def test_jain_perfectly_fair():
+    assert jain_fairness([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+
+def test_jain_one_class_takes_all():
+    # n classes, one hog: index = 1/n.
+    assert jain_fairness([9.0, 0.0, 0.0]) == pytest.approx(1.0)
+    # zeros are dropped (inactive classes aren't "starved", they're idle)
+
+
+def test_jain_known_value():
+    # (1+3)^2 / (2 * (1+9)) = 16/20
+    assert jain_fairness([1.0, 3.0]) == pytest.approx(0.8)
+
+
+def test_jain_empty_is_fair():
+    assert jain_fairness([]) == 1.0
+    assert jain_fairness([0.0, 0.0]) == 1.0
+
+
+# ----------------------------------------------------------------------
+# Accumulation and per-class stats
+# ----------------------------------------------------------------------
+def test_percentiles_and_goodput():
+    stats = SLOStats({"t": 1.0})
+    for d in (100.0, 200.0, 300.0, 400.0):
+        stats.record_iteration("t", d, nbytes=1000.0)
+    cls = stats.per_class(now_ns=1000.0)["t"]
+    assert cls["iterations"] == 4
+    assert cls["bytes"] == 4000.0
+    assert cls["goodput_gbps"] == pytest.approx(4000.0 * 8 / 1000.0)
+    assert cls["p50_ns"] == pytest.approx(250.0)
+    assert cls["p99_ns"] == pytest.approx(397.0)
+
+
+def test_class_with_no_iterations_reports_none_percentiles():
+    stats = SLOStats({"idle": 2.0})
+    cls = stats.per_class(now_ns=10.0)["idle"]
+    assert cls["p50_ns"] is None and cls["iterations"] == 0
+
+
+def test_fallbacks_and_recoveries_counted():
+    stats = SLOStats({"t": 1.0})
+    stats.record_iteration("t", 1.0, 1.0, fell_back=True, recoveries=2)
+    stats.record_iteration("t", 1.0, 1.0)
+    cls = stats.per_class(10.0)["t"]
+    assert cls["fell_back"] == 1 and cls["recoveries"] == 2
+
+
+def test_weight_normalized_fairness():
+    stats = SLOStats({"prod": 4.0, "batch": 1.0})
+    # prod delivers exactly 4x batch's bytes: perfectly fair per weight.
+    stats.record_iteration("prod", 1.0, nbytes=4000.0)
+    stats.record_iteration("batch", 1.0, nbytes=1000.0)
+    assert stats.fairness(now_ns=100.0) == pytest.approx(1.0)
+    # Equal raw goodput at 4:1 weights is NOT fair.
+    stats2 = SLOStats({"prod": 4.0, "batch": 1.0})
+    stats2.record_iteration("prod", 1.0, nbytes=1000.0)
+    stats2.record_iteration("batch", 1.0, nbytes=1000.0)
+    assert stats2.fairness(now_ns=100.0) < 1.0
+
+
+def test_idle_class_does_not_drag_fairness():
+    stats = SLOStats({"a": 1.0, "b": 1.0, "idle": 1.0})
+    stats.record_iteration("a", 1.0, nbytes=1000.0)
+    stats.record_iteration("b", 1.0, nbytes=1000.0)
+    assert stats.fairness(now_ns=100.0) == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# Snapshots / report envelope
+# ----------------------------------------------------------------------
+def test_snapshot_envelope_shares_timeline_schema_version():
+    stats = SLOStats({"t": 1.0})
+    stats.record_arrival(_job())
+    stats.record_iteration("t", 50.0, 1024.0)
+    snap = stats.snapshot(100.0)
+    assert snap["schema_version"] == TIMELINE_SCHEMA_VERSION
+    assert snap["jobs"] == {"arrived": 1, "completed": 0}
+    assert stats.snapshots == [snap]
+
+
+def test_snapshot_with_queue_and_cache_sections():
+    from repro.service import AdmissionQueue
+
+    stats = SLOStats({"t": 1.0})
+    q = AdmissionQueue("wfq")
+    q.push(_job(), tenant_class="t", weight=1.0, now=0.0, reason="slots")
+    snap = stats.snapshot(
+        10.0, queue=q, cache_info={"hits": 3, "misses": 1, "evictions": 0,
+                                   "currsize": 1},
+    )
+    assert snap["queue"]["policy"] == "wfq"
+    assert snap["queue"]["depth"] == 1
+    assert snap["queue"]["reasons"] == {"slots": 1}
+    assert snap["plan_cache"]["hit_rate"] == pytest.approx(0.75)
+
+
+def test_report_excludes_final_from_rolling_snapshots():
+    stats = SLOStats({"t": 1.0})
+    stats.snapshot(10.0)
+    stats.snapshot(20.0)
+    report = stats.report(30.0)
+    assert report["now_ns"] == 30.0
+    assert [s["now_ns"] for s in report["snapshots"]] == [10.0, 20.0]
+
+
+def test_empty_cache_hit_rate_is_none():
+    stats = SLOStats({})
+    snap = stats.snapshot(
+        1.0, cache_info={"hits": 0, "misses": 0, "evictions": 0, "currsize": 0}
+    )
+    assert snap["plan_cache"]["hit_rate"] is None
