@@ -410,6 +410,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 "--reps", str(args.repeat)]
         if args.check_against:
             argv += ["--check-against", args.check_against]
+        if args.workers is not None:
+            argv += ["--workers", str(args.workers)]
         return simcore_main(argv)
 
     try:
@@ -553,6 +555,9 @@ def main(argv: list[str] | None = None) -> int:
     bench.add_argument("--check-against", default=None, metavar="BASELINE",
                        help="(simcore) fail on >30%% perf regression vs a "
                        "checked-in baseline report")
+    bench.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="(simcore) cap the sharded parallel-engine sweep "
+                       "at N worker processes (default: 1/2/4/8; 0 skips it)")
 
     service = sub.add_parser(
         "service",

@@ -55,10 +55,11 @@ from repro.comm.plan import CollectivePlan, IssueContext, build_plan
 from repro.comm.registry import CapabilityError, CommError, get_algorithm
 from repro.core.manager import AdmissionError, NetworkManager
 from repro.network.faults import FaultInjector, FaultSchedule, FaultSpec
-from repro.network.simulator import NetworkSimulator
+from repro.network.simulator import NetworkSimulator  # noqa: F401  (re-export)
 from repro.network.topology import Topology, build_topology
 from repro.network.trees import TreePlanner
-from repro.pspin.engine import Simulator
+from repro.pspin.engine import Simulator  # noqa: F401  (re-export)
+from repro.pspin.pdes import build_engine
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.comm.communicator import Communicator
@@ -149,6 +150,7 @@ class Fabric:
         tenant_quota: Optional[int] = None,
         fallback: bool = True,
         retransmit_timeout_ns: float = 50_000.0,
+        workers: int = 0,
     ) -> None:
         if isinstance(topology, Topology):
             topo = topology
@@ -167,13 +169,17 @@ class Fabric:
         self.routing = routing
         self.routing_seed = routing_seed
         #: The single fabric clock — the PsPIN discrete-event engine,
-        #: shared by every collective issued into this fabric.
-        self.sim = Simulator()
-        self.net = NetworkSimulator(
+        #: shared by every collective issued into this fabric.  With
+        #: ``workers >= 1`` the engine pair is the sharded conservative
+        #: PDES (see ``repro.pspin.pdes``); results are identical, and
+        #: any sharding obstacle falls back to the sequential engine
+        #: with a RuntimeWarning.
+        self.workers = workers
+        self.sim, self.net = build_engine(
             topo,
+            workers=workers,
             router=routing,
             routing_seed=routing_seed,
-            sim=self.sim,
             arbitration=arbitration,
         )
         self.net.retransmit_timeout_ns = retransmit_timeout_ns
@@ -720,6 +726,13 @@ class Fabric:
     def in_flight(self) -> int:
         """Collectives issued but not yet completed."""
         return len(self._pending)
+
+    def shutdown(self) -> None:
+        """Stop sharded-engine worker processes, if any.  Safe to call
+        on a sequential fabric (no-op); call at quiescence."""
+        stop = getattr(self.net, "shutdown", None)
+        if stop is not None:
+            stop()
 
     # ------------------------------------------------------------------
     # Observability

@@ -76,6 +76,19 @@ class Link:
             raise ValueError("link rate must be positive")
         self._rate = self.gbps * 1e9 / 8.0 / 1e9
 
+    def set_gbps(self, gbps: float) -> None:
+        """Re-rate the link, rebuilding the cached bytes/ns divisor.
+
+        Mutating :attr:`gbps` directly would leave ``_rate`` stale;
+        every re-rating must go through here (or
+        ``Topology.set_link_rate``, which also fans the change out to
+        registered listeners — e.g. per-shard rate tables).
+        """
+        if gbps <= 0:
+            raise ValueError("link rate must be positive")
+        self.gbps = gbps
+        self._rate = gbps * 1e9 / 8.0 / 1e9
+
     @property
     def bytes_per_ns(self) -> float:
         return self._rate

@@ -1,0 +1,1174 @@
+"""Sharded parallel network simulation: conservative window PDES.
+
+This is the execution half of the sharded engine (planning lives in
+``repro.network.shard``, engine selection in ``repro.pspin.pdes``).
+The fabric graph is partitioned into shards pinned to forked worker
+processes; the coordinator process keeps the driver loop, the
+collectives' callbacks, and every ``Message`` object, while workers
+simulate transport through their region of the fabric.
+
+Design in five invariants
+-------------------------
+1. **Windows equal lookahead.**  Each barrier grants everyone the
+   window ``[T0, T0 + L)`` where ``T0`` is the global minimum next
+   event and ``L`` the minimum link latency.  A message processed at
+   ``t >= T0`` arrives at its next node at ``t + serialization + L >=
+   T0 + L``, so every event strictly inside the window is safe — and,
+   because *every* link's latency is at least ``L``, a message makes at
+   most one hop per window.  That single-hop property is what lets a
+   worker execute a whole window as one numpy batch (sort arrivals per
+   link, chain the serializations) instead of running an event loop.
+
+2. **Scheduling-time diversion.**  ``NetworkSimulator._schedule_hop``
+   is the single seam through which every arrival is scheduled.  The
+   coordinator's override diverts arrivals at worker-owned nodes into
+   struct-of-arrays batches (columns: time, mid, node, src, dst,
+   nbytes, flow) the moment they are *scheduled* — diverting at
+   execution time would already have missed the lookahead deadline.
+
+3. **Messages never leave the coordinator.**  A message crossing into
+   a worker region is *parked* under a fresh ``mid``; only numeric
+   metadata crosses the pipe.  Workers route/serialize by metadata and
+   bounce two things back: onward crossings, and *deliveries* at nodes
+   with registered callbacks — the coordinator unparks the original
+   (payload, tag and all) and runs the callback at the exact bounced
+   timestamp, inside its own copy of the same window.  Worker-to-worker
+   crossings hub-relay through the coordinator with the next grant;
+   the lookahead guarantees they are never late.
+
+4. **Workers run a window before the coordinator does.**  Collectives
+   read per-flow traffic mid-run (``finished()`` snapshots flow
+   stats), so each barrier first collects the workers' per-flow stat
+   deltas for the window, then lets the coordinator execute its local
+   copy — every hop of a flow happens-before the delivery callback
+   that might read it.  Global per-link tables are merged lazily at
+   quiescence from nonzero numpy deltas.
+
+5. **Anything exotic recalls the shards.**  Fault injection and
+   interceptors need live cross-shard link state; arming them recalls
+   every worker's in-flight arrivals, WFQ queue contents, and absolute
+   link state into the coordinator, which continues sequentially.
+   Workers never see faults, so their windows stay deterministic.
+
+Determinism: batches are sorted by ``(time, mid)`` before scheduling
+(mid is the coordinator-assigned creation order), worker replies are
+merged in shard order, and the spine hash is process-stable — same
+inputs, same event order, every run.  Serialization chains replicate
+``Link.transmit``'s float operations exactly, so delivery timestamps
+are bit-identical to the sequential engine's.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import traceback
+import warnings
+from multiprocessing import get_context
+
+import numpy as np
+
+from repro.network.routing import Router
+from repro.network.shard import ShardPlan, updown_next_hop_vec
+from repro.network.simulator import Message, NetworkSimulator, _LinkQueue
+from repro.network.topology import NodeId, Topology
+from repro.pspin.engine import _ARGS, _CALLBACK, _SEQ, _TIME, Simulator
+
+_INF = float("inf")
+
+# Crossing-batch column order (struct of arrays):
+# time f8, mid i8, node i8, src i8, dst i8, nbytes f8, flow i8.
+# Delivery batches reuse the first three columns only.
+_BATCH_DTYPES = (
+    np.float64, np.int64, np.int64, np.int64, np.int64, np.float64, np.int64,
+)
+
+
+def _rows_to_batch(rows: list[tuple]) -> tuple | None:
+    if not rows:
+        return None
+    cols = list(zip(*rows))
+    return tuple(
+        np.asarray(col, dtype=dt) for col, dt in zip(cols, _BATCH_DTYPES)
+    )
+
+
+def _concat_batches(batches: list) -> tuple | None:
+    batches = [b for b in batches if b is not None and b[0].size]
+    if not batches:
+        return None
+    if len(batches) == 1:
+        return batches[0]
+    return tuple(np.concatenate(cols) for cols in zip(*batches))
+
+
+def _mask_batch(batch: tuple, mask: np.ndarray) -> tuple:
+    return tuple(col[mask] for col in batch)
+
+
+def _sort_batch(batch: tuple) -> tuple:
+    order = np.lexsort((batch[1], batch[0]))  # time-major, mid tie-break
+    return tuple(col[order] for col in batch)
+
+
+class ShardedNetworkSimulator(NetworkSimulator):
+    """Coordinator-side network simulator for the sharded engine.
+
+    Construct through ``repro.pspin.pdes.build_engine`` (which plans
+    the shards and handles graceful fallback); ``sim`` must be a
+    :class:`~repro.pspin.pdes.ShardedSimulator`.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        router: "Router | str | None" = None,
+        routing_seed: int = 0,
+        sim: Simulator | None = None,
+        arbitration: str = "fifo",
+        plan: ShardPlan | None = None,
+    ) -> None:
+        if plan is None:
+            raise ValueError("ShardedNetworkSimulator requires a ShardPlan")
+        super().__init__(
+            topology, router=router, routing_seed=routing_seed,
+            sim=sim, arbitration=arbitration,
+        )
+        if not hasattr(self.sim, "attach_coupler"):
+            raise TypeError("sharded engine needs a ShardedSimulator")
+        self._plan = plan
+        self._index = plan.index
+        self.window = plan.lookahead
+        self.engaged = True
+        self._forked = False
+        self._suspend_reason: str | None = None
+        self._procs: list = []
+        self._conns: list = []
+        # name -> owner (int; -1 coordinator) for the hot path.
+        self._owner = {
+            name: int(plan.index.owner[i])
+            for i, name in enumerate(plan.index.names)
+        }
+        self._owner_arr = plan.index.owner
+        # Parked originals and message ids.
+        self._parked: dict[int, Message] = {}
+        self._next_mid = 1
+        # Undelivered cross-shard rows (hub relay).
+        self._pending_rows: list[tuple] = []
+        self._pending_batches: list[tuple] = []
+        self._pending_min = _INF
+        self._pending_count = 0
+        # Worker status caches.
+        self._worker_next: list[float] = []
+        self._worker_last: list[float] = []
+        self._worker_pending: list[int] = []
+        self._remote_events = 0
+        self._flushed = True
+        # Control-op log broadcast with each grant.
+        self._ctl: list[tuple] = []
+        self._ctl_sent = 0
+        # Flow <-> integer encoding shared with workers.
+        self._flow_enc_map: dict = {None: 0}
+        self._flow_by_enc: dict = {0: None}
+        self.sim.attach_coupler(self)
+
+    # ------------------------------------------------------------------
+    # Flow encoding and control ops
+    # ------------------------------------------------------------------
+    def _flow_enc(self, flow) -> int:
+        enc = self._flow_enc_map.get(flow)
+        if enc is None:
+            enc = len(self._flow_by_enc)
+            self._flow_enc_map[flow] = enc
+            self._flow_by_enc[enc] = flow
+            self._ctl.append(("flow", enc, flow))
+        return enc
+
+    def on_deliver(self, node, callback, flow=None) -> None:
+        super().on_deliver(node, callback, flow)
+        if self.engaged:
+            self._ctl.append(("cb", node, self._flow_enc(flow)))
+
+    def set_flow_weight(self, flow, weight) -> None:
+        super().set_flow_weight(flow, weight)
+        if self.engaged:
+            self._ctl.append(("weight", self._flow_enc(flow), float(weight)))
+
+    def remove_flow(self, flow) -> None:
+        super().remove_flow(flow)
+        if self.engaged:
+            self._ctl.append(("remove_flow", self._flow_enc(flow)))
+
+    def abandon_flow(self, flow) -> None:
+        if self.engaged:
+            self._ctl.append(("abandon", self._flow_enc(flow)))
+        super().abandon_flow(flow)
+
+    def intercept(self, node, interceptor) -> None:
+        self._request_recall("in-network interceptors registered")
+        super().intercept(node, interceptor)
+
+    def arm_faults(self, schedule=None, seed=None):
+        self._request_recall("fault injection armed")
+        return super().arm_faults(schedule, seed)
+
+    def _topology_changed(self, event: str, *args) -> None:
+        super()._topology_changed(event, *args)
+        if self.engaged:
+            self._ctl.append((event, *args))
+
+    # ------------------------------------------------------------------
+    # Hot-path overrides: divert work owned by other shards
+    # ------------------------------------------------------------------
+    def _schedule_hop(self, time: float, msg: Message, node: NodeId) -> None:
+        if self.engaged and self._owner[node] >= 0:
+            self._offload(time, msg, node)
+            return
+        super()._schedule_hop(time, msg, node)
+
+    def _hop(self, msg: Message, node: NodeId) -> None:
+        if self.engaged and self._owner[node] >= 0:
+            # e.g. burst entries expanding at a worker-owned source.
+            self._offload(self.sim.now, msg, node)
+            return
+        super()._hop(msg, node)
+
+    def _offload(self, time: float, msg: Message, node: NodeId) -> None:
+        mid = msg.mid
+        if mid == 0:
+            mid = msg.mid = self._next_mid
+            self._next_mid += 1
+        self._parked[mid] = msg
+        idx = self._index.idx
+        self._pending_rows.append((
+            time, mid, idx[node], idx[msg.src], idx[msg.dst],
+            msg.nbytes, self._flow_enc(msg.flow),
+        ))
+        self._pending_count += 1
+        if time < self._pending_min:
+            self._pending_min = time
+        if time < self.sim.local_bound:
+            self.sim.local_bound = time
+
+    def _resume_parked(self, mid: int, node: NodeId) -> None:
+        msg = self._parked[mid]
+        if node == msg.dst:
+            del self._parked[mid]
+        NetworkSimulator._hop(self, msg, node)
+
+    # ------------------------------------------------------------------
+    # Barrier protocol (driven by ShardedSimulator)
+    # ------------------------------------------------------------------
+    def advance(self, until: float | None) -> float | None:
+        """One barrier: compute the global window, dispatch it to the
+        workers, merge their replies, and return the coordinator's own
+        local execution bound (None = globally idle / past ``until``).
+        """
+        if self._suspend_reason is not None:
+            self._do_recall()
+            return None
+        sim = self.sim
+        local = sim.peek_time()
+        t0 = local if local is not None else _INF
+        if self._pending_min < t0:
+            t0 = self._pending_min
+        worker_min = min(self._worker_next, default=_INF)
+        if worker_min < t0:
+            t0 = worker_min
+        if t0 == _INF:
+            self._quiesce()
+            return None
+        if until is not None and t0 > until:
+            return None
+        if worker_min == _INF and self._pending_min == _INF:
+            # Workers idle and nothing queued for them: free-run the
+            # coordinator until it next crosses a shard boundary
+            # (sim.local_bound tightens dynamically in _offload).
+            sim.local_bound = _INF
+            if until is None:
+                return _INF
+            # Events at exactly `until` run: sequential run(until) is
+            # inclusive, window stops are exclusive.
+            return math.nextafter(until, _INF)
+        if not self._forked:
+            self._fork()
+        stop = t0 + self.window
+        if until is not None and until < stop:
+            stop = math.nextafter(until, _INF)
+        sim.local_bound = _INF
+        self._dispatch(stop)
+        return stop
+
+    def _dispatch(self, stop: float) -> None:
+        self._flushed = False
+        ctl = self._ctl[self._ctl_sent:]
+        self._ctl_sent = len(self._ctl)
+        shard_batches = self._split_pending()
+        for conn, batch in zip(self._conns, shard_batches):
+            conn.send(("w", stop, batch, ctl))
+        inbound: list = []
+        deliveries: list = []
+        for w, conn in enumerate(self._conns):
+            reply = conn.recv()
+            if reply[0] == "err":
+                raise RuntimeError(f"shard worker {w} failed:\n{reply[1]}")
+            (_, outbox, dels, stats, next_t, last_t, events, npend) = reply
+            if outbox is not None:
+                ow = self._owner_arr[outbox[2]]
+                coord = ow < 0
+                if coord.any():
+                    inbound.append(_mask_batch(outbox, coord))
+                rest = ~coord
+                if rest.any():
+                    batch = _mask_batch(outbox, rest)
+                    self._pending_batches.append(batch)
+                    self._pending_count += int(batch[0].size)
+                    low = float(batch[0].min())
+                    if low < self._pending_min:
+                        self._pending_min = low
+            if dels is not None:
+                deliveries.append(dels)
+            if stats is not None:
+                self._merge_stats(stats)
+            self._worker_next[w] = next_t if next_t is not None else _INF
+            self._worker_last[w] = last_t
+            self._worker_pending[w] = npend
+            self._remote_events += events
+        # Deliveries (t < stop) interleave with the coordinator's own
+        # window; inbound crossings (t >= stop) land in future windows.
+        for batch in (_concat_batches(deliveries), _concat_batches(inbound)):
+            if batch is not None:
+                self._schedule_batch(_sort_batch(batch))
+
+    def _schedule_batch(self, batch: tuple) -> None:
+        names = self._index.names
+        schedule = self.sim.schedule_fast
+        resume = self._resume_parked
+        t_col, mid_col, node_col = batch[0], batch[1], batch[2]
+        for i in range(t_col.size):
+            schedule(
+                float(t_col[i]), resume,
+                (int(mid_col[i]), names[int(node_col[i])]),
+            )
+
+    def _split_pending(self) -> list:
+        batch = _concat_batches(
+            self._pending_batches + [_rows_to_batch(self._pending_rows)]
+        )
+        self._pending_rows = []
+        self._pending_batches = []
+        self._pending_min = _INF
+        self._pending_count = 0
+        out: list = [None] * self._plan.n_shards
+        if batch is None:
+            return out
+        ow = self._owner_arr[batch[2]]
+        for shard in range(self._plan.n_shards):
+            mask = ow == shard
+            if mask.any():
+                out[shard] = _sort_batch(_mask_batch(batch, mask))
+        coord = ow < 0
+        if coord.any():
+            self._schedule_batch(_sort_batch(_mask_batch(batch, coord)))
+        return out
+
+    # ------------------------------------------------------------------
+    # Stats merging
+    # ------------------------------------------------------------------
+    def _merge_stats(self, delta: tuple) -> None:
+        bh, msgs, flows = delta
+        self.traffic.bytes_hops += bh
+        self.traffic.messages += msgs
+        if flows:
+            keys = self._index.link_keys
+            for enc, (fbh, fmsgs, links) in flows.items():
+                stats = self.flow_stats(self._flow_by_enc[enc])
+                stats.bytes_hops += fbh
+                stats.messages += fmsgs
+                per_link = stats.per_link
+                for li, val in links.items():
+                    key = keys[li]
+                    per_link[key] = per_link.get(key, 0.0) + val
+
+    def _merge_link_flush(self, flush: tuple) -> None:
+        idx, byts, msgs = flush
+        per_link = self.traffic.per_link
+        keys = self._index.link_keys
+        links = self.topology._links
+        for i in range(len(idx)):
+            key = keys[int(idx[i])]
+            byte_delta = float(byts[i])
+            per_link[key] = per_link.get(key, 0.0) + byte_delta
+            link = links[key]
+            link.bytes_carried += byte_delta
+            link.messages_carried += int(msgs[i])
+
+    def _apply_busy(self, busy: tuple) -> None:
+        idx, values = busy
+        keys = self._index.link_keys
+        links = self.topology._links
+        for i in range(len(idx)):
+            links[keys[int(idx[i])]].busy_until = float(values[i])
+
+    def _quiesce(self) -> None:
+        """Global idle: merge per-link tables, settle the clock."""
+        if self._forked and not self._flushed:
+            for conn in self._conns:
+                conn.send(("f",))
+            for w, conn in enumerate(self._conns):
+                reply = conn.recv()
+                if reply[0] == "err":
+                    raise RuntimeError(f"shard worker {w} failed:\n{reply[1]}")
+                _, flush, busy, last_t = reply
+                if flush is not None:
+                    self._merge_link_flush(flush)
+                if busy is not None:
+                    self._apply_busy(busy)
+                self._worker_last[w] = last_t
+            self._flushed = True
+        self._parked.clear()
+        last = max(self._worker_last, default=0.0)
+        if last > self.sim.now:
+            self.sim.now = last
+
+    # ------------------------------------------------------------------
+    # Introspection for ShardedSimulator
+    # ------------------------------------------------------------------
+    def remote_pending(self) -> int:
+        return self._pending_count + sum(self._worker_pending)
+
+    def remote_events(self) -> int:
+        return self._remote_events
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def _fork(self) -> None:
+        ctx = get_context("fork")
+        # Everything in the ctl log so far is visible in the fork
+        # snapshot; only later entries need broadcasting.
+        self._ctl_sent = len(self._ctl)
+        n = self._plan.n_shards
+        self._worker_next = [_INF] * n
+        self._worker_last = [self.sim.now] * n
+        self._worker_pending = [0] * n
+        for shard in range(n):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main, args=(child, shard, self), daemon=True
+            )
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+        self._forked = True
+
+    def _request_recall(self, reason: str) -> None:
+        if not self.engaged:
+            return
+        if not self._forked:
+            warnings.warn(
+                f"sharded engine disengaged before start ({reason}); "
+                "running sequentially",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self.engaged = False
+            return
+        self._suspend_reason = reason
+
+    def _do_recall(self) -> None:
+        """Pull every worker's live state back and continue sequential.
+
+        Exact when requested at quiescence (the supported pattern:
+        faults/interceptors arm before a run or between runs); mid-run
+        the handover happens at the next barrier, so effects on
+        in-flight traffic begin one window (= one lookahead) later.
+        """
+        reason = self._suspend_reason
+        self._suspend_reason = None
+        warnings.warn(
+            f"sharded engine recalled ({reason}); continuing sequentially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        arrivals: list[tuple] = []
+        queues: list[tuple] = []
+        for conn in self._conns:
+            conn.send(("rc",))
+        for w, conn in enumerate(self._conns):
+            reply = conn.recv()
+            if reply[0] == "err":
+                raise RuntimeError(f"shard worker {w} failed:\n{reply[1]}")
+            _, arr, qs, stats, flush, busy, last_t = reply
+            arrivals.extend(arr)
+            queues.extend(qs)
+            if stats is not None:
+                self._merge_stats(stats)
+            if flush is not None:
+                self._merge_link_flush(flush)
+            if busy is not None:
+                self._apply_busy(busy)
+            self._worker_last[w] = last_t
+        self._shutdown_procs()
+        self.engaged = False
+        names = self._index.names
+        # Rows queued for relay but never dispatched rejoin the heap.
+        batch = _concat_batches(
+            self._pending_batches + [_rows_to_batch(self._pending_rows)]
+        )
+        if batch is not None:
+            self._schedule_batch(_sort_batch(batch))
+        self._pending_rows = []
+        self._pending_batches = []
+        self._pending_min = _INF
+        self._pending_count = 0
+        # In-flight arrivals recovered from worker heaps, in their
+        # original (time, seq) order.
+        for t, _seq, mid, node_idx in sorted(arrivals):
+            self.sim.schedule_fast(
+                t, self._resume_parked, (mid, names[node_idx])
+            )
+        # WFQ queue contents: rebuild coordinator-side queues with the
+        # same service order and re-arm their drains.
+        now = self.sim.now
+        for (a_idx, b_idx, vtime, tags, entries) in queues:
+            key = (names[a_idx], names[b_idx])
+            queue = self._queues.get(key)
+            if queue is None:
+                queue = self._queues[key] = _LinkQueue(self.topology.link(*key))
+            queue.vtime = vtime
+            for enc, tag in tags.items():
+                queue.finish_tag[self._flow_by_enc[enc]] = tag
+            for start, _seq, mid, node_idx in sorted(
+                entries, key=lambda e: (e[0], e[1])
+            ):
+                heapq.heappush(
+                    queue.heap,
+                    (start, self._queue_seq, self._parked[mid], names[node_idx]),
+                )
+                self._queue_seq += 1
+            if queue.heap and not queue.drain_scheduled:
+                queue.drain_scheduled = True
+                at = queue.link.busy_until
+                self.sim.schedule_fast(
+                    at if at > now else now, self._rearm, (key, queue),
+                    priority=0,
+                )
+
+    def _shutdown_procs(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("x",))
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - hang safety
+                proc.terminate()
+        for conn in self._conns:
+            conn.close()
+        self._conns = []
+        self._procs = []
+        self._forked = False
+
+    def shutdown(self) -> None:
+        """Stop worker processes (call at quiescence; in-flight state
+        on the workers is not recovered)."""
+        if self._forked:
+            self._shutdown_procs()
+        self.engaged = False
+
+    def __del__(self):  # pragma: no cover - interpreter teardown
+        try:
+            if self._forked:
+                self._shutdown_procs()
+        except Exception:
+            pass
+
+
+# ======================================================================
+# Worker side
+# ======================================================================
+def _worker_main(conn, shard: int, coord: ShardedNetworkSimulator) -> None:
+    """Forked worker entry point: build the shard runtime over the
+    inherited (copy-on-write) snapshot and serve barrier requests."""
+    try:
+        if coord.arbitration == "fifo":
+            runtime = _VectorWorker(coord, shard)
+        else:
+            runtime = _EventWorker(coord, shard)
+        while True:
+            msg = conn.recv()
+            tag = msg[0]
+            if tag == "w":
+                conn.send(runtime.window(msg[1], msg[2], msg[3]))
+            elif tag == "f":
+                conn.send(runtime.flush())
+            elif tag == "rc":
+                conn.send(runtime.recall())
+                return
+            elif tag == "x":
+                return
+    except EOFError:  # pragma: no cover - parent died
+        return
+    except Exception:  # surface the traceback to the coordinator
+        try:
+            conn.send(("err", traceback.format_exc()))
+        except Exception:  # pragma: no cover
+            pass
+
+
+class _WorkerBase:
+    """State shared by both worker runtimes: flow decoding, callback
+    keys, per-link stat snapshots, control-op replay."""
+
+    def __init__(self, coord: ShardedNetworkSimulator, shard: int) -> None:
+        self.shard = shard
+        self.index = coord._index
+        self.owner = coord._index.owner
+        self.names = coord._index.names
+        self.topology = coord.topology  # this process's private copy
+        self.router = coord.router      # same: private post-fork copy
+        self.flow_by_enc = dict(coord._flow_by_enc)
+        self.enc_by_flow = dict(coord._flow_enc_map)
+        # Delivery-callback keys: an arrival terminating at one of
+        # these is state the coordinator wants to see — bounce it back.
+        self.cb_keys = set(coord._deliver_cb.keys())
+        links = coord.topology.links()
+        self.links = links
+        self.link_owner = self.owner[self.index.link_src]
+        self.snap_busy = np.fromiter(
+            (ln.busy_until for ln in links), np.float64, len(links)
+        )
+        self.snap_bytes = np.fromiter(
+            (ln.bytes_carried for ln in links), np.float64, len(links)
+        )
+        self.snap_msgs = np.fromiter(
+            (ln.messages_carried for ln in links), np.int64, len(links)
+        )
+
+    # -- control ops ---------------------------------------------------
+    def apply_controls(self, ctl: list[tuple]) -> None:
+        for op in ctl:
+            kind = op[0]
+            if kind == "flow":
+                _, enc, flow = op
+                self.flow_by_enc[enc] = flow
+                self.enc_by_flow[flow] = enc
+            elif kind == "cb":
+                _, node, enc = op
+                self.cb_keys.add((node, self.flow_by_enc[enc]))
+                self.on_cb_change()
+            elif kind == "weight":
+                _, enc, w = op
+                self.set_weight(self.flow_by_enc[enc], w)
+            elif kind == "remove_flow":
+                flow = self.flow_by_enc[op[1]]
+                self.cb_keys = {k for k in self.cb_keys if k[1] != flow}
+                self.remove_flow_local(flow)
+                self.on_cb_change()
+            elif kind == "abandon":
+                flow = self.flow_by_enc[op[1]]
+                self.cb_keys = {k for k in self.cb_keys if k[1] != flow}
+                self.abandon_local(flow)
+                self.on_cb_change()
+            elif kind == "fail_link":
+                self.topology.fail_link(op[1], op[2])
+                self.on_topology_ctl()
+            elif kind == "repair_link":
+                self.topology.repair_link(op[1], op[2])
+                self.on_topology_ctl()
+            elif kind == "fail_switch":
+                self.topology.fail_switch(op[1])
+                self.on_topology_ctl()
+            elif kind == "repair_switch":
+                self.topology.repair_switch(op[1])
+                self.on_topology_ctl()
+            elif kind == "set_link_rate":
+                self.topology.set_link_rate(op[1], op[2], op[3])
+                self.on_rate_ctl(op[1], op[2])
+            else:  # pragma: no cover - protocol drift guard
+                raise RuntimeError(f"unknown control op {op!r}")
+
+    def on_cb_change(self) -> None:
+        pass
+
+    def on_topology_ctl(self) -> None:
+        pass
+
+    def on_rate_ctl(self, a: NodeId, b: NodeId) -> None:
+        pass
+
+    def set_weight(self, flow, w: float) -> None:
+        pass
+
+    def remove_flow_local(self, flow) -> None:
+        pass
+
+    def abandon_local(self, flow) -> None:
+        pass
+
+    # -- link state deltas ---------------------------------------------
+    def link_flush(self):
+        cur_bytes = np.fromiter(
+            (ln.bytes_carried for ln in self.links), np.float64, len(self.links)
+        )
+        cur_msgs = np.fromiter(
+            (ln.messages_carried for ln in self.links), np.int64, len(self.links)
+        )
+        db = cur_bytes - self.snap_bytes
+        dm = cur_msgs - self.snap_msgs
+        self.snap_bytes = cur_bytes
+        self.snap_msgs = cur_msgs
+        nz = np.nonzero((db != 0) | (dm != 0))[0]
+        if nz.size == 0:
+            return None
+        return (nz.astype(np.int64), db[nz], dm[nz])
+
+    def busy_state(self):
+        cur = np.fromiter(
+            (ln.busy_until for ln in self.links), np.float64, len(self.links)
+        )
+        changed = np.nonzero(
+            (cur != self.snap_busy) & (self.link_owner == self.shard)
+        )[0]
+        self.snap_busy = cur
+        if changed.size == 0:
+            return None
+        return (changed.astype(np.int64), cur[changed])
+
+
+class _EventWorker(_WorkerBase):
+    """Per-event worker shard (WFQ arbitration): a real
+    :class:`NetworkSimulator` over this process's topology copy, with
+    cross-shard arrivals diverted into the outbox and deliveries
+    bounced back to the coordinator."""
+
+    def __init__(self, coord: ShardedNetworkSimulator, shard: int) -> None:
+        super().__init__(coord, shard)
+        self.sim = Simulator()
+        self.sim.now = coord.sim.now
+        self.net = _ShardNet(
+            coord.topology, router=coord.router, sim=self.sim,
+            arbitration=coord.arbitration,
+        )
+        self.net.runtime = self
+        self.net._flow_weight.update(coord._flow_weight)
+        self.net._dead_flows |= coord._dead_flows
+        self.outbox: list[tuple] = []
+        self.deliveries: list[tuple] = []
+        # Global-scalar snapshots for per-window deltas.
+        self._bh_sent = 0.0
+        self._msgs_sent = 0
+        self._flow_sent: dict = {}
+
+    def set_weight(self, flow, w: float) -> None:
+        self.net._flow_weight[flow] = w
+
+    def remove_flow_local(self, flow) -> None:
+        self.net.remove_flow(flow)
+
+    def abandon_local(self, flow) -> None:
+        self.net.abandon_flow(flow)
+
+    def window(self, stop: float, batch, ctl) -> tuple:
+        self.apply_controls(ctl)
+        if batch is not None:
+            self._schedule_batch(batch)
+        events = self.sim.run_window(stop)
+        # A bounced delivery executes as a coordinator event; don't
+        # count its worker-side arrival too.
+        events -= len(self.deliveries)
+        out = _rows_to_batch(self.outbox)
+        self.outbox = []
+        dels = _deliveries_to_batch(self.deliveries)
+        self.deliveries = []
+        return (
+            "r", out, dels, self._stats_delta(), self.sim.peek_time(),
+            self.sim.now, events, self.sim.pending,
+        )
+
+    def _schedule_batch(self, batch: tuple) -> None:
+        names = self.names
+        t, mid, node, src, dst, nb, fl = batch
+        hop = self.net._hop
+        schedule = self.sim.schedule_fast
+        flow_by_enc = self.flow_by_enc
+        for i in range(t.size):
+            msg = Message(
+                names[int(src[i])], names[int(dst[i])], float(nb[i]),
+                flow=flow_by_enc[int(fl[i])], mid=int(mid[i]),
+            )
+            schedule(float(t[i]), hop, (msg, names[int(node[i])]))
+
+    def _stats_delta(self):
+        traffic = self.net.traffic
+        bh = traffic.bytes_hops - self._bh_sent
+        msgs = traffic.messages - self._msgs_sent
+        flows = {}
+        link_ids = self.index.link_ids
+        idx = self.index.idx
+        for flow, stats in self.net._flow_traffic.items():
+            sent = self._flow_sent.get(flow)
+            if sent is None:
+                sent = self._flow_sent[flow] = [0.0, 0, {}]
+            dbh = stats.bytes_hops - sent[0]
+            dmsgs = stats.messages - sent[1]
+            if dbh == 0.0 and dmsgs == 0:
+                continue
+            dl = {}
+            prev = sent[2]
+            for key, val in stats.per_link.items():
+                delta = val - prev.get(key, 0.0)
+                if delta:
+                    li = int(link_ids(
+                        np.asarray([idx[key[0]]]), np.asarray([idx[key[1]]])
+                    )[0])
+                    dl[li] = delta
+            sent[0] = stats.bytes_hops
+            sent[1] = stats.messages
+            sent[2] = dict(stats.per_link)
+            flows[self.enc_by_flow[flow]] = (dbh, dmsgs, dl)
+        if bh == 0.0 and msgs == 0 and not flows:
+            return None
+        self._bh_sent = traffic.bytes_hops
+        self._msgs_sent = traffic.messages
+        return (bh, msgs, flows)
+
+    def flush(self) -> tuple:
+        return ("fr", self.link_flush(), self.busy_state(), self.sim.now)
+
+    def recall(self) -> tuple:
+        idx = self.index.idx
+        hop = self.net._hop
+        rearm = self.net._rearm
+        arrivals = []
+        for entry in self.sim._heap:
+            cb = entry[_CALLBACK]
+            if cb is None:
+                continue
+            if cb == hop:
+                msg, node = entry[_ARGS]
+                arrivals.append(
+                    (entry[_TIME], entry[_SEQ], msg.mid, idx[node])
+                )
+            elif cb == rearm:
+                continue  # re-derived from queue state
+            else:  # pragma: no cover - protocol drift guard
+                raise RuntimeError(f"unexpected worker event {cb!r}")
+        queues = []
+        for (a, b), queue in self.net._queues.items():
+            if not queue.heap:
+                continue
+            tags = {
+                self.enc_by_flow[f]: tag
+                for f, tag in queue.finish_tag.items()
+            }
+            entries = [
+                (start, seq, msg.mid, idx[node])
+                for (start, seq, msg, node) in queue.heap
+            ]
+            queues.append((idx[a], idx[b], queue.vtime, tags, entries))
+        return (
+            "rcr", arrivals, queues, self._stats_delta(), self.link_flush(),
+            self.busy_state(), self.sim.now,
+        )
+
+
+def _deliveries_to_batch(rows: list[tuple]):
+    """(time, mid, node) bounce batches."""
+    if not rows:
+        return None
+    t, mid, node = zip(*rows)
+    return (
+        np.asarray(t, dtype=np.float64),
+        np.asarray(mid, dtype=np.int64),
+        np.asarray(node, dtype=np.int64),
+    )
+
+
+class _ShardNet(NetworkSimulator):
+    """Worker-side event simulator: owns one region of the fabric."""
+
+    runtime: _EventWorker  # attached right after construction
+
+    def _schedule_hop(self, time: float, msg: Message, node: NodeId) -> None:
+        rt = self.runtime
+        idx = rt.index.idx
+        if rt.owner[idx[node]] != rt.shard:
+            rt.outbox.append((
+                time, msg.mid, idx[node], idx[msg.src], idx[msg.dst],
+                msg.nbytes, rt.enc_by_flow[msg.flow],
+            ))
+            return
+        super()._schedule_hop(time, msg, node)
+
+    def _hop(self, msg: Message, node: NodeId) -> None:
+        if node == msg.dst:
+            rt = self.runtime
+            if (node, msg.flow) in rt.cb_keys or (node, None) in rt.cb_keys:
+                rt.deliveries.append(
+                    (self.sim.now, msg.mid, rt.index.idx[node])
+                )
+            return
+        super()._hop(msg, node)
+
+
+class _VectorWorker(_WorkerBase):
+    """Vectorized worker shard (FIFO arbitration).
+
+    The single-hop-per-window invariant means a window's work is: take
+    every pending arrival with ``time < stop``, route it one hop,
+    chain the per-link serializations, and emit the next-hop arrivals.
+    All of that runs as numpy array operations — the shard needs no
+    event heap at all, which is where the order-of-magnitude event
+    throughput over the per-event engine comes from.
+
+    Bitwise parity with ``Link.transmit``: a link visited by exactly
+    one arrival this window computes ``max(t, busy) + nbytes/rate``
+    elementwise (identical IEEE operations to the scalar path); links
+    with several arrivals run the same scalar ``max``/``+`` chain in a
+    Python loop over the (time, mid)-sorted segment.
+    """
+
+    def __init__(self, coord: ShardedNetworkSimulator, shard: int) -> None:
+        super().__init__(coord, shard)
+        index = self.index
+        self.now = coord.sim.now
+        self.events = 0
+        self.rate = index.link_rate.copy()
+        self.latency = index.link_latency
+        self.busy = self.snap_busy.copy()
+        self.acc_bytes = np.zeros(index.n_links, np.float64)
+        self.acc_msgs = np.zeros(index.n_links, np.int64)
+        self.pend: tuple | None = None
+        self.outbox: list[tuple] = []
+        self.deliveries: list[tuple] = []
+        self.has_cb = np.zeros(index.n_nodes, np.bool_)
+        self._rebuild_cb()
+        self.vec_routing = (
+            index.kind is not None and self.router.name == "updown"
+        )
+        self.salt = getattr(self.router, "_salt", 0)
+        self.route_memo: dict = {}
+        self.dead_encs: set = {
+            self.enc_by_flow[f]
+            for f in coord._dead_flows
+            if f in self.enc_by_flow
+        }
+        # Per-flow accounting [bytes_hops, messages, {link: bytes}].
+        self.flow_acc: dict = {}
+        self._bh = 0.0
+        self._nmsg = 0
+
+    # -- control hooks -------------------------------------------------
+    def _rebuild_cb(self) -> None:
+        self.has_cb[:] = False
+        idx = self.index.idx
+        for node, _flow in self.cb_keys:
+            self.has_cb[idx[node]] = True
+
+    def on_cb_change(self) -> None:
+        self._rebuild_cb()
+
+    def on_topology_ctl(self) -> None:
+        self.route_memo.clear()
+
+    def on_rate_ctl(self, a: NodeId, b: NodeId) -> None:
+        idx = self.index.idx
+        for sa, sb in ((a, b), (b, a)):
+            li = int(self.index.link_ids(
+                np.asarray([idx[sa]]), np.asarray([idx[sb]])
+            )[0])
+            self.rate[li] = self.links[li].bytes_per_ns
+
+    def abandon_local(self, flow) -> None:
+        self.dead_encs.add(self.enc_by_flow[flow])
+
+    # -- window execution ----------------------------------------------
+    def window(self, stop: float, batch, ctl) -> tuple:
+        self.apply_controls(ctl)
+        if batch is not None:
+            self.pend = _concat_batches([self.pend, batch])
+        start_events = self.events
+        while self.pend is not None:
+            take = self.pend[0] < stop
+            if not take.any():
+                break
+            rows = _mask_batch(self.pend, take)
+            rest = ~take
+            self.pend = _mask_batch(self.pend, rest) if rest.any() else None
+            self._process(rows)
+        out = _concat_batches(self.outbox) if self.outbox else None
+        self.outbox = []
+        dels = _concat_batches(self.deliveries) if self.deliveries else None
+        self.deliveries = []
+        if self.pend is not None:
+            next_t = float(self.pend[0].min())
+            npend = int(self.pend[0].size)
+        else:
+            next_t, npend = None, 0
+        return (
+            "r", out, dels, self._stats_delta(), next_t, self.now,
+            self.events - start_events, npend,
+        )
+
+    def _process(self, rows: tuple) -> None:
+        t, mid, node, src, dst, nb, fl = rows
+        self.events += int(t.size)
+        last = float(t.max())
+        if last > self.now:
+            self.now = last
+        if self.dead_encs:
+            alive = ~np.isin(
+                fl, np.fromiter(self.dead_encs, np.int64, len(self.dead_encs))
+            )
+            if not alive.all():
+                t, mid, node, src, dst, nb, fl = (
+                    c[alive] for c in (t, mid, node, src, dst, nb, fl)
+                )
+                if t.size == 0:
+                    return
+        deliver = node == dst
+        if deliver.any():
+            bounce = deliver & self.has_cb[node]
+            nbounce = int(bounce.sum())
+            if nbounce:
+                self.deliveries.append((t[bounce], mid[bounce], node[bounce]))
+                self.events -= nbounce  # executed coordinator-side
+            keep = ~deliver
+            if not keep.any():
+                return
+            t, mid, node, src, dst, nb, fl = (
+                c[keep] for c in (t, mid, node, src, dst, nb, fl)
+            )
+        nxt = self._route(node, dst)
+        li = self.index.link_ids(node, nxt)
+        ser = nb / self.rate[li]
+        order = np.lexsort((mid, t, li))
+        li_s = li[order]
+        t_s = t[order]
+        ser_s = ser[order]
+        fin = np.empty_like(t_s)
+        starts = np.ones(li_s.size, np.bool_)
+        starts[1:] = li_s[1:] != li_s[:-1]
+        seg_start = np.nonzero(starts)[0]
+        seg_end = np.append(seg_start[1:], li_s.size)
+        single = (seg_end - seg_start) == 1
+        if single.any():
+            pos = seg_start[single]
+            lids = li_s[pos]
+            fin[pos] = np.maximum(t_s[pos], self.busy[lids]) + ser_s[pos]
+            self.busy[lids] = fin[pos]
+        if not single.all():
+            busy = self.busy
+            for s, e in zip(seg_start[~single], seg_end[~single]):
+                lid = li_s[s]
+                b = busy[lid]
+                for i in range(s, e):
+                    when = t_s[i]
+                    b = (when if when > b else b) + ser_s[i]
+                    fin[i] = b
+                busy[lid] = b
+        np.add.at(self.acc_bytes, li, nb)
+        np.add.at(self.acc_msgs, li, 1)
+        self._bh += float(nb.sum())
+        self._nmsg += int(nb.size)
+        if (fl != 0).any():
+            self._account_flows(li, nb, fl)
+        arr = np.empty_like(fin)
+        arr[order] = fin + self.latency[li_s]
+        ow = self.owner[nxt]
+        mine = ow == self.shard
+        out_rows = (arr, mid, nxt, src, dst, nb, fl)
+        if mine.any():
+            self.pend = _concat_batches(
+                [self.pend, _mask_batch(out_rows, mine)]
+            )
+        away = ~mine
+        if away.any():
+            self.outbox.append(_mask_batch(out_rows, away))
+
+    def _route(self, node: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        if self.vec_routing:
+            return updown_next_hop_vec(self.index, node, dst, self.salt)
+        # Scalar fallback: route each unique (node, dst) pair once.
+        nn = np.int64(self.index.n_nodes)
+        uniq, inverse = np.unique(node * nn + dst, return_inverse=True)
+        memo = self.route_memo
+        names = self.names
+        idx = self.index.idx
+        next_hop = self.router.next_hop
+        table = np.empty(uniq.size, np.int64)
+        for i, key in enumerate(uniq):
+            key = int(key)
+            hop = memo.get(key)
+            if hop is None:
+                a, b = divmod(key, int(nn))
+                hop = memo[key] = idx[next_hop(names[a], names[b])]
+            table[i] = hop
+        return table[inverse]
+
+    def _account_flows(self, li, nb, fl) -> None:
+        acc = self.flow_acc
+        for i in np.nonzero(fl)[0]:
+            enc = int(fl[i])
+            stats = acc.get(enc)
+            if stats is None:
+                stats = acc[enc] = [0.0, 0, {}]
+            nbytes = float(nb[i])
+            stats[0] += nbytes
+            stats[1] += 1
+            key = int(li[i])
+            stats[2][key] = stats[2].get(key, 0.0) + nbytes
+
+    def _stats_delta(self):
+        bh, nmsg = self._bh, self._nmsg
+        flows = {
+            enc: (fbh, fmsgs, links)
+            for enc, (fbh, fmsgs, links) in self.flow_acc.items()
+        }
+        self.flow_acc = {}
+        self._bh = 0.0
+        self._nmsg = 0
+        if bh == 0.0 and nmsg == 0 and not flows:
+            return None
+        return (bh, nmsg, flows)
+
+    # -- quiescence / recall -------------------------------------------
+    def link_flush(self):
+        nz = np.nonzero((self.acc_bytes != 0) | (self.acc_msgs != 0))[0]
+        if nz.size == 0:
+            return None
+        out = (nz.astype(np.int64), self.acc_bytes[nz], self.acc_msgs[nz])
+        self.acc_bytes = np.zeros_like(self.acc_bytes)
+        self.acc_msgs = np.zeros_like(self.acc_msgs)
+        return out
+
+    def busy_state(self):
+        changed = np.nonzero(
+            (self.busy != self.snap_busy) & (self.link_owner == self.shard)
+        )[0]
+        self.snap_busy = self.busy.copy()
+        if changed.size == 0:
+            return None
+        return (changed.astype(np.int64), self.busy[changed])
+
+    def flush(self) -> tuple:
+        return ("fr", self.link_flush(), self.busy_state(), self.now)
+
+    def recall(self) -> tuple:
+        arrivals = []
+        if self.pend is not None:
+            t, mid, node = self.pend[0], self.pend[1], self.pend[2]
+            order = np.lexsort((mid, t))
+            # mid is creation order — it stands in for the heap seq.
+            for i in order:
+                arrivals.append(
+                    (float(t[i]), int(mid[i]), int(mid[i]), int(node[i]))
+                )
+        return (
+            "rcr", arrivals, [], self._stats_delta(), self.link_flush(),
+            self.busy_state(), self.now,
+        )

@@ -22,9 +22,39 @@ routes are loop-free under all policies.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.network.links import Link
-from repro.network.topology import NodeId, Topology
+from repro.network.topology import FatTreeTopology, NodeId, Topology
 from repro.utils.rngtools import ecmp_salt, stable_hash
+
+_M64 = (1 << 64) - 1
+
+
+def mix64(x: int) -> int:
+    """splitmix64 finalizer over a 64-bit integer key.
+
+    The up-down router's spine selection must be computable both one
+    message at a time (sequential engine) and over whole numpy batches
+    (sharded engine's vectorized windows) with *identical* results —
+    which rules out the string-based :func:`stable_hash`.  This scalar
+    form and :func:`mix64_np` implement the same wrapping arithmetic.
+    """
+    x &= _M64
+    x = (x + 0x9E3779B97F4A7C15) & _M64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _M64
+    return x ^ (x >> 31)
+
+
+def mix64_np(x: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`mix64` (uint64 in, uint64 out, bit-identical)."""
+    x = x.astype(np.uint64, copy=True)
+    with np.errstate(over="ignore"):
+        x += np.uint64(0x9E3779B97F4A7C15)
+        x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return x ^ (x >> np.uint64(31))
 
 
 class Router:
@@ -128,10 +158,77 @@ class AdaptiveRouter(Router):
         )[1]
 
 
+class UpDownRouter(Router):
+    """Closed-form up-down routing for two-level fat trees.
+
+    ``paths()``-based policies BFS the whole graph per source — fine at
+    64 hosts, catastrophic at 100k.  This policy computes each hop in
+    O(1) from the tree structure: climb to the leaf, cross one spine
+    when the endpoints sit under different leaves, descend.  The spine
+    is picked by salting the (current leaf, destination) pair through
+    :func:`mix64`, so the *same* selection runs vectorized over numpy
+    batches inside sharded workers (see ``repro.network.shard``).
+
+    Structural/oblivious: like real up-down tables it does not consult
+    failure state — use ``shortest``/``ecmp``/``adaptive`` for
+    fault-rerouting studies.  On non-fat-tree topologies it falls back
+    to the topology's own canonical route.
+    """
+
+    name = "updown"
+    cacheable = True
+
+    def __init__(self, topology: Topology, seed: int = 0) -> None:
+        super().__init__(topology, seed)
+        self._salt = ecmp_salt(seed)
+
+    def spine_index(self, leaf_idx: int, dst: NodeId) -> int:
+        """Deterministic spine pick for traffic at leaf ``l<leaf_idx>``
+        headed to ``dst`` (a host or a leaf)."""
+        topo = self.topology
+        dst_num = int(dst[1:])
+        # Disambiguate host vs switch destinations in the key space.
+        kind_bit = 0 if dst.startswith("h") else 1
+        key = (leaf_idx << 34) ^ (kind_bit << 33) ^ dst_num ^ self._salt
+        return mix64(key) % topo.n_spines
+
+    def route(self, src: NodeId, dst: NodeId) -> list[NodeId]:
+        topo = self.topology
+        if not isinstance(topo, FatTreeTopology):
+            return topo.route(src, dst)
+        if src == dst:
+            return [src]
+        path = [src]
+        at = src
+        if src.startswith("h"):
+            at = topo.leaf_of(src)
+            path.append(at)
+        dst_leaf = topo.leaf_of(dst) if dst.startswith("h") else dst
+        if at.startswith("l"):
+            if dst.startswith("s"):
+                path.append(dst)
+                return path
+            if at != dst_leaf:
+                path.append(f"s{self.spine_index(int(at[1:]), dst)}")
+                path.append(dst_leaf)
+        elif at.startswith("s"):
+            if dst_leaf.startswith("s"):
+                raise ValueError(f"no spine-to-spine path ({src} -> {dst})")
+            path.append(dst_leaf)
+        if dst.startswith("h"):
+            path.append(dst)
+        deduped = [path[0]]
+        for node in path[1:]:
+            if node != deduped[-1]:
+                deduped.append(node)
+        return deduped
+
+
 ROUTERS: dict[str, type[Router]] = {
     ShortestPathRouter.name: ShortestPathRouter,
     EcmpRouter.name: EcmpRouter,
     AdaptiveRouter.name: AdaptiveRouter,
+    UpDownRouter.name: UpDownRouter,
 }
 
 

@@ -65,6 +65,13 @@ class Message:
     #: protocol — otherwise dropped duplicates would feed back into
     #: retransmission storms and burn the retry budget).
     ephemeral: bool = False
+    #: Sharded-engine message id (0 = unassigned).  The coordinator
+    #: assigns one the first time a message crosses a shard boundary;
+    #: it keys the parked original (payload, tag, callbacks stay in the
+    #: coordinator process) while the workers move only numeric
+    #: metadata, and doubles as the deterministic tie-break for
+    #: same-timestamp cross-shard arrivals.
+    mid: int = 0
 
 
 @dataclass
@@ -207,6 +214,14 @@ class NetworkSimulator:
         #: Flows whose collectives were abandoned (e.g. replanned after
         #: a failure): their in-flight chunks are dropped on sight.
         self._dead_flows: set = set()
+        # Invalidate the next-hop memo at the mutation site: a direct
+        # ``topology.fail_link()`` (no armed fault injector) used to
+        # leave the memo stale.  The sharded engine extends this hook
+        # to fan mutations out to worker shards.
+        topology.add_change_listener(self._topology_changed)
+
+    def _topology_changed(self, event: str, *args) -> None:
+        self.on_topology_change()
 
     # ------------------------------------------------------------------
     # Registration
@@ -304,7 +319,18 @@ class NetworkSimulator:
     def send(self, msg: Message, at: float = 0.0) -> None:
         """Inject a message at its source at absolute time ``at``."""
         now = self.sim.now
-        self.sim.schedule_fast(at if at > now else now, self._hop, (msg, msg.src))
+        self._schedule_hop(at if at > now else now, msg, msg.src)
+
+    def _schedule_hop(self, time: float, msg: Message, node: NodeId) -> None:
+        """Schedule ``msg`` to arrive (or start) at ``node`` at ``time``.
+
+        The single seam every arrival-scheduling site funnels through.
+        The sharded engine overrides it: arrivals at nodes owned by
+        another shard are diverted into cross-shard event batches at
+        *scheduling* time — interception at execution time would be too
+        late to meet the conservative lookahead deadline.
+        """
+        self.sim.schedule_fast(time, self._hop, (msg, node))
 
     def send_burst(self, msgs: list[Message], at: float = 0.0) -> None:
         """Inject a burst of messages at one time under ONE event.
@@ -414,7 +440,7 @@ class NetworkSimulator:
             return
         arrival = link.transmit(msg.nbytes, self.sim.now)
         self._record(node, next_node, msg)
-        self.sim.schedule_fast(arrival, self._hop, (msg, next_node))
+        self._schedule_hop(arrival, msg, next_node)
 
     # ------------------------------------------------------------------
     # Reliability (fault-injection runs only)
@@ -446,10 +472,8 @@ class NetworkSimulator:
                     msg.src, msg.dst, msg.nbytes, msg.tag, msg.payload,
                     msg.flow, ephemeral=True,
                 )
-                self.sim.schedule_fast(
-                    arrival + link.latency_ns, self._hop, (dup, next_node)
-                )
-        self.sim.schedule_fast(arrival, self._hop, (msg, next_node))
+                self._schedule_hop(arrival + link.latency_ns, dup, next_node)
+        self._schedule_hop(arrival, msg, next_node)
 
     def _count(self, msg: Message, counter: str) -> None:
         setattr(self.traffic, counter, getattr(self.traffic, counter) + 1)
@@ -506,7 +530,7 @@ class NetworkSimulator:
                 queue.vtime = start
             arrival = link.transmit(msg.nbytes, now)
             self._record(node, next_node, msg)
-            self.sim.schedule_fast(arrival, self._hop, (msg, next_node))
+            self._schedule_hop(arrival, msg, next_node)
             return
         queue.push(msg, next_node, weight, self._queue_seq)
         self._queue_seq += 1
@@ -527,7 +551,7 @@ class NetworkSimulator:
                 continue
             arrival = link.transmit(msg.nbytes, now)
             self._record(key[0], next_node, msg)
-            self.sim.schedule_fast(arrival, self._hop, (msg, next_node))
+            self._schedule_hop(arrival, msg, next_node)
         if queue.heap and not queue.drain_scheduled:
             queue.drain_scheduled = True
             # priority 0: the link must free before same-instant arrivals.

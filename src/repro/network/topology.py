@@ -65,6 +65,12 @@ class Topology:
         self._paths_cache: dict[tuple[NodeId, NodeId], list[list[NodeId]]] = {}
         self._failed_links: set[tuple[NodeId, NodeId]] = set()
         self._failed_switches: set[NodeId] = set()
+        #: Weak listeners notified of every structural mutation
+        #: (fail/repair link/switch, rate changes).  Simulators register
+        #: here so derived caches — next-hop memos, per-shard link-rate
+        #: tables — are invalidated *at the mutation site* instead of
+        #: relying on every caller to remember ``on_topology_change()``.
+        self._change_listeners: list = []
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -204,6 +210,59 @@ class Topology:
         return list(self._links.values())
 
     # ------------------------------------------------------------------
+    # Change listeners (cache invalidation across simulators/shards)
+    # ------------------------------------------------------------------
+    def add_change_listener(self, listener) -> None:
+        """Register ``listener(event, *args)`` for structural mutations.
+
+        Events: ``("fail_link", a, b)``, ``("repair_link", a, b)``,
+        ``("fail_switch", s)``, ``("repair_switch", s)``,
+        ``("set_link_rate", a, b, gbps)``.  Held via weakref when
+        possible so a topology never keeps a simulator alive.
+        """
+        import weakref
+
+        if hasattr(listener, "__self__"):  # bound method: weak-ref the owner
+            ref = weakref.WeakMethod(listener)
+        else:
+            try:
+                ref = weakref.ref(listener)
+            except TypeError:  # e.g. a builtin without __weakref__
+                ref = lambda _l=listener: _l  # noqa: E731
+        self._change_listeners.append(ref)
+
+    def _notify(self, event: str, *args) -> None:
+        listeners = self._change_listeners
+        if not listeners:
+            return
+        live = []
+        for ref in listeners:
+            cb = ref()
+            if cb is None:
+                continue
+            live.append(ref)
+            cb(event, *args)
+        if len(live) != len(listeners):
+            self._change_listeners = live
+
+    def set_link_rate(self, a: NodeId, b: NodeId, gbps: float) -> None:
+        """Re-rate the duplex link ``a <-> b`` (both directions).
+
+        Goes through :meth:`Link.set_gbps` so the cached bytes/ns
+        divisor is rebuilt, and notifies change listeners so per-shard
+        rate tables pick the new value up across process boundaries.
+        """
+        found = False
+        for key in ((a, b), (b, a)):
+            link = self._links.get(key)
+            if link is not None:
+                link.set_gbps(gbps)
+                found = True
+        if not found:
+            raise ValueError(f"no link {a} <-> {b}")
+        self._notify("set_link_rate", a, b, gbps)
+
+    # ------------------------------------------------------------------
     # Failure state (chaos/fault injection)
     # ------------------------------------------------------------------
     def _invalidate_path_caches(self) -> None:
@@ -228,6 +287,7 @@ class Topology:
         if not found:
             raise ValueError(f"no link {a} <-> {b}")
         self._invalidate_path_caches()
+        self._notify("fail_link", a, b)
 
     def repair_link(self, a: NodeId, b: NodeId) -> None:
         """Return the duplex link ``a <-> b`` to service."""
@@ -238,6 +298,7 @@ class Topology:
                 link.failed = False
                 link.fault = None
         self._invalidate_path_caches()
+        self._notify("repair_link", a, b)
 
     def fail_switch(self, switch: NodeId) -> None:
         """Take a whole switch out of service: every attached link goes
@@ -250,6 +311,7 @@ class Topology:
                 self._failed_links.add(key)
                 link.failed = True
         self._invalidate_path_caches()
+        self._notify("fail_switch", switch)
 
     def repair_switch(self, switch: NodeId) -> None:
         """Return a switch (and its links, unless independently failed)
@@ -264,6 +326,7 @@ class Topology:
                 link.failed = False
                 link.fault = None
         self._invalidate_path_caches()
+        self._notify("repair_switch", switch)
 
     def failed_links(self) -> set[tuple[NodeId, NodeId]]:
         """Directed link keys currently out of service."""

@@ -219,6 +219,51 @@ class Simulator:
         self._events_processed += processed
         return self.stop_requested
 
+    def peek_time(self) -> float | None:
+        """Timestamp of the earliest pending event (None when idle).
+
+        Lazily discards cancelled heap heads, so repeated peeks stay
+        O(1) amortized.  This is the conservative-PDES probe: a shard
+        advertises its next event time so the coordinator can compute a
+        global safe window.
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[_CALLBACK] is None:
+                heappop(heap)
+                continue
+            return entry[_TIME]
+        return None
+
+    def run_window(self, stop: float) -> int:
+        """Run every event with ``time < stop`` (strict); return count.
+
+        The workhorse of window-synchronized conservative PDES: a shard
+        granted the window ``[now, stop)`` may execute exactly the
+        events strictly before ``stop`` — events *at* ``stop`` belong
+        to the next window (they may race with cross-shard arrivals
+        carrying the same timestamp, whose tie-break lives with the
+        coordinator).  ``self.now`` is left at the last executed event,
+        never advanced to ``stop``: the clock must not outrun a
+        cross-shard arrival at ``stop`` itself.
+        """
+        heap = self._heap
+        processed = 0
+        while heap:
+            entry = heap[0]
+            if entry[_CALLBACK] is None:
+                heappop(heap)
+                continue
+            if entry[_TIME] >= stop:
+                break
+            heappop(heap)
+            self.now = entry[_TIME]
+            entry[_CALLBACK](*entry[_ARGS])
+            processed += 1
+        self._events_processed += processed
+        return processed
+
     @property
     def pending(self) -> int:
         """Number of queued (non-cancelled) events."""

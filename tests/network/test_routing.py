@@ -21,7 +21,7 @@ def _oversubscribed():
 
 
 def test_available_routers():
-    assert available_routers() == ("adaptive", "ecmp", "shortest")
+    assert available_routers() == ("adaptive", "ecmp", "shortest", "updown")
     with pytest.raises(ValueError, match="unknown routing policy"):
         build_router("valiant", _oversubscribed())
 

@@ -1,0 +1,150 @@
+"""Shard planning and the flat-index layer under the parallel engine.
+
+Covers the partitioner's invariants (ownership, lookahead, cut
+accounting, coordinator-hosts mode), the vectorized link lookup, and
+bit-identity of the vectorized up-down next-hop against the scalar
+router — the property the FIFO vector workers' bitwise parity with the
+sequential engine rests on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.network import FatTreeTopology, build_topology
+from repro.network.routing import build_router
+from repro.network.shard import (
+    COORDINATOR,
+    ShardingError,
+    build_index,
+    plan_shards,
+    updown_next_hop_vec,
+)
+
+
+def _fat_tree():
+    return FatTreeTopology(n_hosts=64, hosts_per_leaf=8, n_spines=4)
+
+
+# ----------------------------------------------------------------------
+# plan_shards
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n_shards", [1, 2, 4])
+def test_every_node_gets_exactly_one_owner(n_shards):
+    topo = _fat_tree()
+    plan = plan_shards(topo, n_shards, coordinator_hosts=False)
+    assert plan.n_shards == n_shards
+    owners = plan.index.owner
+    assert owners.min() >= 0 and owners.max() == n_shards - 1
+    seen = [n for nodes in plan.shard_nodes for n in nodes]
+    assert sorted(seen) == sorted(plan.index.names)
+    for shard, nodes in enumerate(plan.shard_nodes):
+        for node in nodes:
+            assert plan.owner_of(node) == shard
+
+
+def test_coordinator_hosts_mode_keeps_hosts_on_the_coordinator():
+    topo = _fat_tree()
+    plan = plan_shards(topo, 2, coordinator_hosts=True)
+    for h in topo.hosts:
+        assert plan.owner_of(h) == COORDINATOR
+    for s in topo.switches:
+        assert plan.owner_of(s) >= 0
+
+
+def test_hosts_follow_their_leaf():
+    topo = _fat_tree()
+    plan = plan_shards(topo, 2, coordinator_hosts=False)
+    for h in topo.hosts:
+        assert plan.owner_of(h) == plan.owner_of(topo.leaf_of(h))
+
+
+def test_lookahead_is_the_minimum_link_latency():
+    topo = _fat_tree()
+    plan = plan_shards(topo, 2)
+    latencies = [ln.latency_ns for ln in topo.links()]
+    assert plan.lookahead == min(latencies)
+    assert plan.lookahead > 0
+
+
+def test_cut_links_counted():
+    topo = _fat_tree()
+    plan = plan_shards(topo, 2, coordinator_hosts=False)
+    index = plan.index
+    cuts = sum(
+        1
+        for li in range(index.n_links)
+        if index.owner[index.link_src[li]] != index.owner[index.link_dst[li]]
+    )
+    assert plan.cut_links == cuts > 0
+
+
+def test_more_shards_than_edge_switches_is_a_sharding_error():
+    topo = FatTreeTopology(n_hosts=16, hosts_per_leaf=8, n_spines=2)
+    with pytest.raises(ShardingError, match="edge switch"):
+        plan_shards(topo, 4)
+
+
+def test_non_fat_tree_families_still_plan():
+    topo = build_topology("torus", dim_x=4, dim_y=4, hosts_per_switch=2)
+    plan = plan_shards(topo, 2, coordinator_hosts=False)
+    assert plan.n_shards == 2
+    assert plan.index.kind is None  # no closed-form routing tables
+
+
+# ----------------------------------------------------------------------
+# Flat index
+# ----------------------------------------------------------------------
+def test_link_ids_roundtrip_every_link():
+    topo = _fat_tree()
+    index = build_index(topo)
+    src = index.link_src
+    dst = index.link_dst
+    ids = index.link_ids(src, dst)
+    assert np.array_equal(ids, np.arange(index.n_links))
+    for li in (0, index.n_links // 2, index.n_links - 1):
+        a, b = index.link_keys[li]
+        assert index.names[int(src[li])] == a
+        assert index.names[int(dst[li])] == b
+
+
+def test_link_ids_raises_on_missing_link():
+    topo = _fat_tree()
+    index = build_index(topo)
+    h0, h1 = index.idx["h0"], index.idx["h1"]
+    with pytest.raises(KeyError):
+        index.link_ids(np.asarray([h0]), np.asarray([h1]))
+
+
+def test_link_arrays_match_live_links():
+    topo = _fat_tree()
+    index = build_index(topo)
+    for li, ln in enumerate(topo.links()):
+        assert index.link_rate[li] == ln.bytes_per_ns
+        assert index.link_latency[li] == ln.latency_ns
+
+
+# ----------------------------------------------------------------------
+# Vectorized up-down routing == scalar router, bit for bit
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [0, 7, 42])
+def test_updown_vec_matches_scalar_router(seed):
+    topo = _fat_tree()
+    index = build_index(topo)
+    router = build_router("updown", topo, seed=seed)
+    rng = np.random.default_rng(seed)
+    n = index.n_nodes
+    at = rng.integers(0, n, size=512)
+    dst_hosts = rng.integers(0, len(topo.hosts), size=512)
+    # Keep only pairs the scalar router accepts (not spine->spine, not
+    # self) and that are actually en route.
+    pairs = [
+        (int(a), int(d)) for a, d in zip(at, dst_hosts) if int(a) != int(d)
+    ]
+    node = np.asarray([a for a, _ in pairs], dtype=np.int64)
+    dst = np.asarray([d for _, d in pairs], dtype=np.int64)
+    vec = updown_next_hop_vec(index, node, dst, router._salt)
+    for i in range(node.size):
+        scalar = router.next_hop(
+            index.names[int(node[i])], index.names[int(dst[i])]
+        )
+        assert index.names[int(vec[i])] == scalar
