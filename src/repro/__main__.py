@@ -162,7 +162,11 @@ def _cmd_multi_tenant_bench(args: argparse.Namespace, topology) -> int:
         n_hosts=args.hosts,
         routing=args.routing,
         routing_seed=args.seed,
+        provenance_db=args.provenance_db,
+        run_label=f"bench/{args.algorithm}/{args.size}",
     )
+    if args.provenance_db:
+        print(f"[provenance: run {fabric.run_id} -> {args.provenance_db}]")
     if args.faults:
         try:
             schedule = fabric.load_faults(args.faults, seed=args.fault_seed)
@@ -232,6 +236,34 @@ def _cmd_multi_tenant_bench(args: argparse.Namespace, topology) -> int:
     if args.timeline_out:
         fabric.timeline_json(path=args.timeline_out)
         print(f"[timeline written to {args.timeline_out}]")
+    if args.perf_json:
+        import json
+
+        from repro.provenance.identity import run_identity
+
+        payload = {
+            "benchmark": "bench",
+            "algorithm": args.algorithm,
+            "size": args.size,
+            "hosts": args.hosts,
+            "tenants": args.tenants,
+            # Shares the fabric's run id, so this report joins against
+            # the provenance database (when one was recorded).
+            "identity": run_identity(
+                seed=args.seed,
+                engine={"algorithm": args.algorithm, "hosts": args.hosts,
+                        "tenants": args.tenants, "repeat": args.repeat,
+                        "routing": args.routing},
+                run_id=fabric.run_id,
+            ),
+            "provenance_db": args.provenance_db,
+            "tenant_stats": stats,
+        }
+        with open(args.perf_json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"[perf JSON written to {args.perf_json}]")
+    fabric.shutdown()       # flushes provenance (no-op otherwise)
     return 0
 
 
@@ -337,7 +369,11 @@ def _cmd_service(args: argparse.Namespace, topology) -> int:
         max_allreduces_per_switch=args.max_per_switch,
         switch_memory_bytes=args.switch_memory,
         tenant_quota=args.quota,
+        provenance_db=args.provenance_db,
+        run_label=f"service/{args.placement}/{args.queue}",
     )
+    if args.provenance_db:
+        print(f"[provenance: run {fabric.run_id} -> {args.provenance_db}]")
     if args.faults:
         try:
             schedule = fabric.load_faults(args.faults, seed=args.fault_seed)
@@ -395,6 +431,7 @@ def _cmd_service(args: argparse.Namespace, topology) -> int:
     if args.timeline_out:
         fabric.timeline_json(path=args.timeline_out)
         print(f"[timeline written to {args.timeline_out}]")
+    fabric.shutdown()       # flushes provenance (no-op otherwise)
     return 0
 
 
@@ -420,10 +457,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    if args.tenants > 1 or args.faults:
-        # Chaos runs need the persistent shared fabric (faults live on
-        # its links and clock), so --faults routes through it even for
-        # a single tenant.
+    if args.tenants > 1 or args.faults or args.provenance_db:
+        # Chaos and provenance runs need the persistent shared fabric
+        # (faults live on its links and clock; the provenance recorder
+        # hangs off it), so --faults/--provenance-db route through it
+        # even for a single tenant.
         return _cmd_multi_tenant_bench(args, topology)
 
     comm = Communicator(
@@ -470,11 +508,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.perf_json:
         import json
 
+        from repro.provenance.identity import run_identity
+
         payload = {
             "benchmark": "bench",
             "algorithm": args.algorithm,
             "size": args.size,
             "hosts": args.hosts,
+            "identity": run_identity(
+                seed=args.seed,
+                engine={"algorithm": args.algorithm, "hosts": args.hosts,
+                        "repeat": args.repeat},
+            ),
             "runs": runs,
         }
         with open(args.perf_json, "w") as fh:
@@ -558,6 +603,10 @@ def main(argv: list[str] | None = None) -> int:
     bench.add_argument("--workers", type=int, default=None, metavar="N",
                        help="(simcore) cap the sharded parallel-engine sweep "
                        "at N worker processes (default: 1/2/4/8; 0 skips it)")
+    bench.add_argument("--provenance-db", default=None, metavar="PATH",
+                       help="record this run (identity, per-switch/per-link "
+                       "counters, energy) into a sqlite provenance database; "
+                       "read it back with 'flare-repro prov list|show|diff'")
 
     service = sub.add_parser(
         "service",
@@ -604,9 +653,20 @@ def main(argv: list[str] | None = None) -> int:
     service.add_argument("--faults", default=None, metavar="SPEC.json",
                          help="arm a declarative fault schedule")
     service.add_argument("--fault-seed", type=int, default=None)
+    service.add_argument("--provenance-db", default=None, metavar="PATH",
+                         help="stream incremental provenance rows on every "
+                         "SLO snapshot tick into a sqlite database")
+
+    from repro.provenance.cli import add_prov_parser
+
+    add_prov_parser(sub)
 
     args = parser.parse_args(argv)
 
+    if args.command == "prov":
+        from repro.provenance.cli import run_prov
+
+        return run_prov(args)
     if args.command == "list":
         return _cmd_list()
     if args.command == "algorithms":

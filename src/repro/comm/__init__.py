@@ -27,7 +27,12 @@ from repro.comm.communicator import (
     EXECUTE_KEYS,
     resolve_topology_hosts,
 )
-from repro.comm.fabric import Fabric, FabricError
+from repro.comm.fabric import (
+    TIMELINE_SCHEMA_VERSION,
+    Fabric,
+    FabricError,
+    load_timeline,
+)
 from repro.comm.future import (
     CollectiveError,
     CollectiveFuture,
@@ -110,6 +115,8 @@ __all__ = [
     "CollectiveFuture",
     "Fabric",
     "FabricError",
+    "TIMELINE_SCHEMA_VERSION",
+    "load_timeline",
     "FaultSpec",
     "FaultSchedule",
     "IssueContext",

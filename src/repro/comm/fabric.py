@@ -68,7 +68,10 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Version of the JSON envelope emitted by :meth:`Fabric.timeline_json`
 #: and reused by the service-mode SLO snapshots (see README "Timeline &
 #: snapshot schema").  Bump on any backwards-incompatible field change.
-TIMELINE_SCHEMA_VERSION = 2
+#: Version 3 adds run identity: a ``run_id`` every envelope carries and
+#: an optional ``provenance_db`` pointer when a provenance recorder was
+#: attached; :func:`load_timeline` still reads version-2 documents.
+TIMELINE_SCHEMA_VERSION = 3
 
 
 class FabricError(CommError):
@@ -151,6 +154,8 @@ class Fabric:
         fallback: bool = True,
         retransmit_timeout_ns: float = 50_000.0,
         workers: int = 0,
+        provenance_db: Optional[str] = None,
+        run_label: Optional[str] = None,
     ) -> None:
         if isinstance(topology, Topology):
             topo = topology
@@ -196,6 +201,14 @@ class Fabric:
         self._inflight: dict[object, _Inflight] = {}
         self._implicit = False      # created by a lone Communicator
         self._default_root: Optional[str] = None
+        #: Run identity: every fabric mints a run id at construction so
+        #: timelines are attributable even without a provenance store.
+        from repro.provenance.identity import new_run_id
+
+        self.run_id = new_run_id(self.topology.family, routing_seed, workers)
+        self.provenance = None
+        if provenance_db is not None:
+            self.attach_provenance(provenance_db, label=run_label)
 
     # ------------------------------------------------------------------
     # Tenants
@@ -690,6 +703,12 @@ class Fabric:
         if entry["recoveries"]:
             result.extra["recoveries"] = list(entry["recoveries"])
             result.time_ns = duration    # end-to-end, including re-runs
+        if self.provenance is not None:
+            raw = getattr(result, "raw", None)
+            counters = getattr(raw, "provenance", None)
+            if counters:
+                switch = rec.plan.setup.get("tree_root") or "switch"
+                self.provenance.add_switch_counters(switch, counters)
         self._pending.discard(rec.future)
         rec.future._settle(result=result)
 
@@ -728,15 +747,55 @@ class Fabric:
         return len(self._pending)
 
     def shutdown(self) -> None:
-        """Stop sharded-engine worker processes, if any.  Safe to call
-        on a sequential fabric (no-op); call at quiescence."""
+        """Stop sharded-engine worker processes (if any) and flush the
+        attached provenance recorder.  Safe to call on a sequential
+        fabric (no-op); call at quiescence.
+
+        Provenance flushes *after* engine shutdown: the sharded
+        engine's quiescence barrier has already merged worker-side link
+        tables by then, so the recorder reads final, engine-independent
+        counters."""
         stop = getattr(self.net, "shutdown", None)
         if stop is not None:
             stop()
+        if self.provenance is not None:
+            self.provenance.close()
 
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
+    def attach_provenance(
+        self,
+        store,
+        *,
+        label: Optional[str] = None,
+        energy_model=None,
+    ):
+        """Attach a provenance recorder to this fabric.
+
+        ``store`` is a database path or an open
+        :class:`~repro.provenance.store.ProvenanceStore`.  The recorder
+        reuses the fabric's ``run_id``, accumulates per-switch counters
+        as collectives settle, and flushes links + energy on
+        :meth:`shutdown` (or an explicit ``flush_provenance``).
+        Returns the recorder.
+        """
+        from repro.provenance.recorder import ProvenanceRecorder
+
+        if self.provenance is not None:
+            raise FabricError("a provenance recorder is already attached")
+        self.provenance = ProvenanceRecorder(
+            store, self, run_id=self.run_id, label=label,
+            energy_model=energy_model,
+        )
+        return self.provenance
+
+    def flush_provenance(self) -> None:
+        """Flush the attached recorder now (idempotent; no-op when none
+        is attached).  Use when the fabric keeps running after a
+        measurement window ends."""
+        if self.provenance is not None:
+            self.provenance.flush()
     def timeline(self) -> list[dict]:
         """Per-collective trace, issue order: tenant, algorithm, start/
         finish, bytes, achieved goodput, hot links, fallbacks, and any
@@ -747,6 +806,7 @@ class Fabric:
         """The timeline as JSON; optionally written to ``path``."""
         payload = {
             "schema_version": TIMELINE_SCHEMA_VERSION,
+            "run_id": self.run_id,
             "topology": {k: str(v) for k, v in self.topology.describe().items()},
             "routing": self.net.router.name,
             "arbitration": self.net.arbitration,
@@ -755,6 +815,8 @@ class Fabric:
             "utilization": self.manager.utilization(),
             "events": self.timeline(),
         }
+        if self.provenance is not None:
+            payload["provenance_db"] = self.provenance.store.path
         if self.net.faults is not None:
             traffic = self.net.traffic
             payload["faults"] = self.fault_log()
@@ -800,3 +862,28 @@ class Fabric:
                 s["wire_bytes"] += e["wire_bytes"] or 0.0
                 s["busy_ns"] += e["duration_ns"] or 0.0
         return out
+
+
+def load_timeline(source: str) -> dict:
+    """Read a timeline envelope (version 2 or 3) back into a dict.
+
+    ``source`` is a file path or a JSON string.  Version-2 documents
+    (pre run-identity) are normalized to the version-3 shape: ``run_id``
+    and ``provenance_db`` are added as None, so consumers can index the
+    keys unconditionally; the original ``schema_version`` is preserved.
+    Unknown versions raise :class:`ValueError`.
+    """
+    text = source
+    if "{" not in source:
+        with open(source) as fh:
+            text = fh.read()
+    payload = json.loads(text)
+    version = payload.get("schema_version")
+    if version not in (2, TIMELINE_SCHEMA_VERSION):
+        raise ValueError(
+            f"unsupported timeline schema_version {version!r}; this build "
+            f"reads versions 2 and {TIMELINE_SCHEMA_VERSION}"
+        )
+    payload.setdefault("run_id", None)
+    payload.setdefault("provenance_db", None)
+    return payload

@@ -36,6 +36,7 @@ from repro.core.manager import NetworkManager, ReductionTree
 from repro.core.ops import ReductionOp, get_op
 from repro.core.policy import AlgorithmChoice, select_algorithm
 from repro.core.staggered import arrival_arrays
+from repro.provenance.collect import collect_switch
 from repro.pspin.costs import CostModel, get_dtype
 from repro.pspin.switch import PsPINSwitch, SwitchConfig
 from repro.pspin.train import PacketTrain
@@ -97,6 +98,11 @@ class SwitchAllreduceResult:
     #: True when the packet-train fast path simulated the whole run
     #: analytically (bitwise/makespan-identical to the per-packet DES).
     fast_path_used: bool = False
+    #: Provenance counter snapshot (:func:`repro.provenance.collect
+    #: .collect_switch`), captured here because the simulated switch is
+    #: per-execution and gone once this result exists.  Engine-
+    #: independent: the fast path commits identical telemetry.
+    provenance: dict = field(default_factory=dict)
 
     def summary(self) -> str:
         return (
@@ -265,6 +271,7 @@ class SwitchAllreducePlan:
             blocks_completed=handler.blocks_completed,
             outputs=outputs,
             fast_path_used=fast_path_used,
+            provenance=collect_switch(switch),
         )
 
 

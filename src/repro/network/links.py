@@ -127,3 +127,20 @@ class Link:
     @property
     def key(self) -> tuple[str, str]:
         return (self.src, self.dst)
+
+    @property
+    def busy_ns(self) -> float:
+        """Serialization occupancy: time this link spent transmitting.
+
+        Derived from ``bytes_carried / rate`` rather than accumulated
+        per message, for two reasons: the sharded engine merges
+        ``bytes_carried`` deltas bitwise-identically to the sequential
+        run, so a single division of identical operands keeps busy time
+        bitwise engine-independent too (float accumulation would be
+        summation-order-dependent); and it costs nothing on the
+        transmit hot path.  Under a mid-run ``slow`` fault this is an
+        estimate at the healthy line rate.
+        """
+        if not self._rate:
+            return 0.0
+        return self.bytes_carried / self._rate

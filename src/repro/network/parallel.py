@@ -164,6 +164,10 @@ class ShardedNetworkSimulator(NetworkSimulator):
         self._worker_pending: list[int] = []
         self._remote_events = 0
         self._flushed = True
+        # Provenance: WFQ queue-depth peaks reported by workers at
+        # flush/recall, max-merged (integer maxima are order-free, so
+        # this matches a sequential run bitwise).
+        self._shard_queue_peaks: dict[tuple, int] = {}
         # Control-op log broadcast with each grant.
         self._ctl: list[tuple] = []
         self._ctl_sent = 0
@@ -410,22 +414,48 @@ class ShardedNetworkSimulator(NetworkSimulator):
         for i in range(len(idx)):
             links[keys[int(idx[i])]].busy_until = float(values[i])
 
+    def _merge_queue_peaks(self, peaks: list) -> None:
+        names = self._index.names
+        table = self._shard_queue_peaks
+        for a_idx, b_idx, peak in peaks:
+            key = (names[int(a_idx)], names[int(b_idx)])
+            if peak > table.get(key, 0):
+                table[key] = peak
+
+    def queue_depth_peaks(self) -> dict:
+        """Coordinator-local peaks max-merged with worker-reported ones
+        (each (a, b) queue lives wholly on node ``a``'s shard, so the
+        merge reproduces the sequential run's high-water marks)."""
+        out = NetworkSimulator.queue_depth_peaks(self)
+        for key, peak in self._shard_queue_peaks.items():
+            if peak > out.get(key, 0):
+                out[key] = peak
+        return out
+
+    def _flush_workers(self) -> None:
+        """Pull every worker's link/busy/peak deltas into the
+        coordinator-side tables (idempotent between windows)."""
+        if not self._forked or self._flushed:
+            return
+        for conn in self._conns:
+            conn.send(("f",))
+        for w, conn in enumerate(self._conns):
+            reply = conn.recv()
+            if reply[0] == "err":
+                raise RuntimeError(f"shard worker {w} failed:\n{reply[1]}")
+            _, flush, busy, peaks, last_t = reply
+            if flush is not None:
+                self._merge_link_flush(flush)
+            if busy is not None:
+                self._apply_busy(busy)
+            if peaks:
+                self._merge_queue_peaks(peaks)
+            self._worker_last[w] = last_t
+        self._flushed = True
+
     def _quiesce(self) -> None:
         """Global idle: merge per-link tables, settle the clock."""
-        if self._forked and not self._flushed:
-            for conn in self._conns:
-                conn.send(("f",))
-            for w, conn in enumerate(self._conns):
-                reply = conn.recv()
-                if reply[0] == "err":
-                    raise RuntimeError(f"shard worker {w} failed:\n{reply[1]}")
-                _, flush, busy, last_t = reply
-                if flush is not None:
-                    self._merge_link_flush(flush)
-                if busy is not None:
-                    self._apply_busy(busy)
-                self._worker_last[w] = last_t
-            self._flushed = True
+        self._flush_workers()
         self._parked.clear()
         last = max(self._worker_last, default=0.0)
         if last > self.sim.now:
@@ -500,7 +530,7 @@ class ShardedNetworkSimulator(NetworkSimulator):
             reply = conn.recv()
             if reply[0] == "err":
                 raise RuntimeError(f"shard worker {w} failed:\n{reply[1]}")
-            _, arr, qs, stats, flush, busy, last_t = reply
+            _, arr, qs, stats, flush, busy, peaks, last_t = reply
             arrivals.extend(arr)
             queues.extend(qs)
             if stats is not None:
@@ -509,6 +539,8 @@ class ShardedNetworkSimulator(NetworkSimulator):
                 self._merge_link_flush(flush)
             if busy is not None:
                 self._apply_busy(busy)
+            if peaks:
+                self._merge_queue_peaks(peaks)
             self._worker_last[w] = last_t
         self._shutdown_procs()
         self.engaged = False
@@ -574,8 +606,14 @@ class ShardedNetworkSimulator(NetworkSimulator):
 
     def shutdown(self) -> None:
         """Stop worker processes (call at quiescence; in-flight state
-        on the workers is not recovered)."""
+        on the workers is not recovered).
+
+        Worker-side traffic deltas ARE recovered: a driver that stops
+        on a settled future (``Fabric.run_until``) never reaches the
+        quiescence barrier, so the final flush happens here — the
+        provenance recorder reads links after this returns."""
         if self._forked:
+            self._flush_workers()
             self._shutdown_procs()
         self.engaged = False
 
@@ -836,8 +874,24 @@ class _EventWorker(_WorkerBase):
         self._msgs_sent = traffic.messages
         return (bh, msgs, flows)
 
+    def queue_peaks(self):
+        """WFQ queue-depth peaks on this shard as ``(a_idx, b_idx,
+        peak)`` rows (None when no queue ever held a message).  Not
+        reset after reporting: the coordinator max-merges, which is
+        idempotent."""
+        idx = self.index.idx
+        peaks = [
+            (idx[a], idx[b], queue.depth_peak)
+            for (a, b), queue in self.net._queues.items()
+            if queue.depth_peak
+        ]
+        return peaks or None
+
     def flush(self) -> tuple:
-        return ("fr", self.link_flush(), self.busy_state(), self.sim.now)
+        return (
+            "fr", self.link_flush(), self.busy_state(), self.queue_peaks(),
+            self.sim.now,
+        )
 
     def recall(self) -> tuple:
         idx = self.index.idx
@@ -872,7 +926,7 @@ class _EventWorker(_WorkerBase):
             queues.append((idx[a], idx[b], queue.vtime, tags, entries))
         return (
             "rcr", arrivals, queues, self._stats_delta(), self.link_flush(),
-            self.busy_state(), self.sim.now,
+            self.busy_state(), self.queue_peaks(), self.sim.now,
         )
 
 
@@ -1156,7 +1210,9 @@ class _VectorWorker(_WorkerBase):
         return (changed.astype(np.int64), self.busy[changed])
 
     def flush(self) -> tuple:
-        return ("fr", self.link_flush(), self.busy_state(), self.now)
+        # FIFO arbitration never materializes WFQ queues, so the peaks
+        # slot is always empty — matching a sequential FIFO run.
+        return ("fr", self.link_flush(), self.busy_state(), None, self.now)
 
     def recall(self) -> tuple:
         arrivals = []
@@ -1170,5 +1226,5 @@ class _VectorWorker(_WorkerBase):
                 )
         return (
             "rcr", arrivals, [], self._stats_delta(), self.link_flush(),
-            self.busy_state(), self.now,
+            self.busy_state(), None, self.now,
         )

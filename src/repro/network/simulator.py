@@ -86,6 +86,13 @@ class TrafficStats:
     drops: int = 0
     duplicates: int = 0
     retransmits: int = 0
+    #: Per-link reliability attribution (fault-injection runs):
+    #: (src, dst) -> count.  Dead-switch swallows have no link and stay
+    #: in the run-level ``drops`` only, so ``sum(link_drops.values())
+    #: <= drops``.  Fault runs always recall shards to the sequential
+    #: engine, so these never need cross-shard merging.
+    link_drops: dict = field(default_factory=dict)
+    link_duplicates: dict = field(default_factory=dict)
 
     @property
     def gib(self) -> float:
@@ -127,7 +134,9 @@ class _LinkQueue:
     contend.  A lone flow's tags are monotone in enqueue order — FIFO.
     """
 
-    __slots__ = ("vtime", "finish_tag", "heap", "drain_scheduled", "link")
+    __slots__ = (
+        "vtime", "finish_tag", "heap", "drain_scheduled", "link", "depth_peak"
+    )
 
     def __init__(self, link) -> None:
         self.vtime = 0.0
@@ -135,11 +144,19 @@ class _LinkQueue:
         self.heap: list = []          # (start_tag, seq, msg, node)
         self.drain_scheduled = False
         self.link = link              # cached Link (stable per key)
+        #: Provenance: most messages ever waiting at once (counted after
+        #: each push, so a transient lone occupant registers as 1).  The
+        #: uncontended fast-path bypass never pushes, so under
+        #: ``REPRO_FASTPATH`` only genuinely contended instants count —
+        #: consistently so across sequential and sharded engines.
+        self.depth_peak = 0
 
     def push(self, msg: Message, node: NodeId, weight: float, seq: int) -> None:
         start = max(self.vtime, self.finish_tag.get(msg.flow, 0.0))
         self.finish_tag[msg.flow] = start + msg.nbytes / max(weight, 1e-9)
         heapq.heappush(self.heap, (start, seq, msg, node))
+        if len(self.heap) > self.depth_peak:
+            self.depth_peak = len(self.heap)
 
     def pop(self) -> tuple[Message, NodeId]:
         start, _seq, msg, node = heapq.heappop(self.heap)
@@ -454,6 +471,7 @@ class NetworkSimulator:
         per-message decision; slow links stretch serialization inside
         :meth:`Link.transmit`."""
         if link.failed:
+            self._count_link(msg, self.traffic.link_drops, link)
             self._lose(msg)
             return
         fault = link.fault
@@ -462,11 +480,13 @@ class NetworkSimulator:
         if fault is not None and fault.kind == "lossy":
             faults = self.faults
             if fault.loss_rate and faults.roll(link, "drop", fault.loss_rate):
+                self._count_link(msg, self.traffic.link_drops, link)
                 self._lose(msg)
                 return
             if fault.duplicate_rate and faults.roll(
                 link, "dup", fault.duplicate_rate
             ):
+                self._count_link(msg, self.traffic.link_duplicates, link)
                 self._count(msg, "duplicates")
                 dup = Message(
                     msg.src, msg.dst, msg.nbytes, msg.tag, msg.payload,
@@ -474,6 +494,15 @@ class NetworkSimulator:
                 )
                 self._schedule_hop(arrival + link.latency_ns, dup, next_node)
         self._schedule_hop(arrival, msg, next_node)
+
+    def _count_link(self, msg: Message, table: dict, link) -> None:
+        """Per-link reliability attribution, mirroring :meth:`_lose`'s
+        dead-flow guard so ``link_drops`` stays consistent with
+        ``drops``."""
+        if self._dead_flows and msg.flow in self._dead_flows:
+            return
+        key = link.key
+        table[key] = table.get(key, 0) + 1
 
     def _count(self, msg: Message, counter: str) -> None:
         setattr(self.traffic, counter, getattr(self.traffic, counter) + 1)
@@ -572,6 +601,18 @@ class NetworkSimulator:
     @property
     def now(self) -> float:
         return self.sim.now
+
+    def queue_depth_peaks(self) -> dict:
+        """Provenance: ``{(src, dst): peak}`` high-water marks of the
+        WFQ link queues (empty under FIFO arbitration, which never
+        materializes queues).  Peaks are integer maxima, so the sharded
+        engine's override max-merges worker peaks order-independently
+        — bitwise-equal to a sequential run."""
+        return {
+            key: queue.depth_peak
+            for key, queue in self._queues.items()
+            if queue.depth_peak
+        }
 
     def traffic_extra(self, n_hot: int = 3, flow: object = None) -> dict:
         """Congestion fields for ``CollectiveResult.extra``.

@@ -60,11 +60,18 @@ def _make_trace(n_tenants: int) -> dict:
     }
 
 
-def _scale_point(n_tenants: int, queue_policy: str) -> dict:
+def _scale_point(
+    n_tenants: int, queue_policy: str, provenance_db: Optional[str] = None
+) -> dict:
     from repro.comm.fabric import Fabric
     from repro.service import FabricService, TraceWorkload
 
-    fabric = Fabric(n_hosts=FABRIC_HOSTS, max_allreduces_per_switch=MAX_PER_SWITCH)
+    fabric = Fabric(
+        n_hosts=FABRIC_HOSTS,
+        max_allreduces_per_switch=MAX_PER_SWITCH,
+        provenance_db=provenance_db,
+        run_label=f"service-bench/{n_tenants}t/{queue_policy}",
+    )
     service = FabricService(
         fabric,
         TraceWorkload(_make_trace(n_tenants)),
@@ -74,11 +81,13 @@ def _scale_point(n_tenants: int, queue_policy: str) -> dict:
     t0 = time.perf_counter()
     report = service.run()
     wall = time.perf_counter() - t0
+    fabric.shutdown()
     queue = report["queue"]
     cache = report["plan_cache"]
     return {
         "tenants": n_tenants,
         "queue_policy": queue_policy,
+        "run_id": fabric.run_id,
         "wall_s": wall,
         "sim_ms": report["now_ns"] / 1e6,
         "events": fabric.sim.events_processed,
@@ -149,13 +158,17 @@ def _first_saturating_resource(points: list[dict]) -> dict:
 
 
 def run_service_bench(
-    scales: tuple = SCALE_POINTS, queue_policies: tuple = ("wfq", "fifo")
+    scales: tuple = SCALE_POINTS,
+    queue_policies: tuple = ("wfq", "fifo"),
+    provenance_db: Optional[str] = None,
 ) -> dict:
     """Run the sweep; returns the JSON-serializable report."""
+    from repro.provenance.identity import run_identity
+
     points = []
     for n in scales:
         for policy in queue_policies:
-            points.append(_scale_point(n, policy))
+            points.append(_scale_point(n, policy, provenance_db))
     wfq_points = [p for p in points if p["queue_policy"] == "wfq"]
     return {
         "benchmark": "service",
@@ -165,6 +178,12 @@ def run_service_bench(
             "python": platform.python_version(),
         },
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        # Run identity: every perf artifact is attributable to the
+        # exact tree and configuration that produced it.
+        "identity": run_identity(
+            engine={"scales": list(scales), "queues": list(queue_policies)},
+        ),
+        "provenance_db": provenance_db,
         "config": {
             "fabric_hosts": FABRIC_HOSTS,
             "max_allreduces_per_switch": MAX_PER_SWITCH,
@@ -213,6 +232,9 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--check", action="store_true",
                         help="fail (exit 1) on starvation, lost jobs, or "
                         "fairness below the floor")
+    parser.add_argument("--provenance-db", default=None, metavar="PATH",
+                        help="record every scale point into this sqlite "
+                        "provenance database (flare-repro prov ... to read)")
     args = parser.parse_args(argv)
 
     scales = (
@@ -220,7 +242,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         if args.scales else SCALE_POINTS
     )
     policies = tuple(q.strip() for q in args.queues.split(",") if q.strip())
-    report = run_service_bench(scales, policies)
+    report = run_service_bench(scales, policies, provenance_db=args.provenance_db)
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")

@@ -401,6 +401,8 @@ def run_simcore_bench(
     """Run all scenarios; returns the JSON-serializable report."""
     if full is None:
         full = bench_full_mode()
+    from repro.provenance.identity import run_identity
+
     report = {
         "benchmark": "simcore",
         "version": 2,
@@ -411,6 +413,15 @@ def run_simcore_bench(
             "python": platform.python_version(),
         },
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        # Run identity: git SHA + dirty flag, seed-free engine config —
+        # makes every BENCH_simcore.json attributable to its tree.
+        "identity": run_identity(
+            engine={
+                "mode": "full" if full else "fast",
+                "reps": reps,
+                "workers": list(worker_counts or ()),
+            },
+        ),
         "dense_sweep": _run_dense_sweep(reps, full),
         "overlap": _run_overlap(reps),
     }

@@ -1,0 +1,121 @@
+"""Energy model layered over the provenance counters.
+
+Energy is derived, never measured: the simulator already accounts every
+HPU cycle (:mod:`repro.pspin.costs` prices handler work in cycles at
+the paper's 1 GHz clock) and every byte a link carried, so a per-run
+energy estimate is a weighted sum over counters the provenance layer
+records anyway.  Three components:
+
+* **HPU active energy** — busy cycles x ``hpu_pj_per_cycle``.  Default
+  10 pJ/cycle: the PsPIN cluster's RI5CY cores in 22 nm FD-SOI run
+  near 1 GHz at tens of mW (Di Girolamo et al., "A RISC-V in-network
+  accelerator for flexible high-performance low-power packet
+  processing", ISCA'21 — the hardware the paper's Sec. 3 switch model
+  is built on); 30 mW at 1 GHz ≙ 30 pJ/cycle for a whole cluster
+  sharing L1/DMA, of which we attribute ~a third to the active core.
+* **Link transfer energy** — bytes carried x ``link_pj_per_byte``.
+  Default 40 pJ/byte (= 5 pJ/bit): the commonly cited electrical
+  SerDes + switch-traversal cost per bit for 100 Gb/s-class datacenter
+  links (Abts et al., "Energy proportional datacenter networks",
+  ISCA'10 order of magnitude, refreshed by modern 56G SerDes surveys).
+* **Switch static energy** — ``switch_static_watts`` x makespan x
+  switch count.  Default 25 W: the idle floor of a ToR-class ASIC plus
+  the PsPIN unit's ~6 W envelope (ISCA'21, Table 5 scale).
+
+All three constants are deliberate *model defaults*, overridable per
+:class:`EnergyModel` instance; README "Observability & provenance"
+documents them next to their sources.  Per-tenant energy attributes the
+link component by each tenant's recorded wire bytes (HPU and static
+energy are fabric-shared and reported at run scope only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Energy table rows are (scope, component, joules); these are the
+#: component names every consumer (CLI diff, CI gate) can rely on.
+ENERGY_COMPONENTS = ("hpu_active_j", "link_transfer_j", "switch_static_j", "total_j")
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-op energy costs (see module docstring for sources)."""
+
+    hpu_pj_per_cycle: float = 10.0
+    link_pj_per_byte: float = 40.0
+    switch_static_watts: float = 25.0
+
+    # ------------------------------------------------------------------
+    def hpu_energy_j(self, busy_cycles: float) -> float:
+        """Active energy of ``busy_cycles`` of handler execution."""
+        return busy_cycles * self.hpu_pj_per_cycle * 1e-12
+
+    def link_energy_j(self, nbytes: float) -> float:
+        """Transfer energy for ``nbytes`` carried over links."""
+        return nbytes * self.link_pj_per_byte * 1e-12
+
+    def static_energy_j(self, makespan_ns: float, n_switches: int) -> float:
+        """Static switch power integrated over the run's makespan."""
+        return self.switch_static_watts * (makespan_ns * 1e-9) * n_switches
+
+    # ------------------------------------------------------------------
+    def run_energy(
+        self,
+        switch_counters: dict,
+        link_counters: dict,
+        makespan_ns: float,
+        n_switches: int,
+    ) -> dict:
+        """Run-scope energy components from provenance counter tables.
+
+        ``switch_counters`` is ``{switch: {counter: value}}`` and
+        ``link_counters`` ``{(src, dst): {counter: value}}`` — the
+        shapes :class:`~repro.provenance.store.ProvenanceStore` reads
+        back and :mod:`~repro.provenance.collect` produces.
+        """
+        busy_cycles = sum(
+            c.get("hpu_busy_cycles", 0.0) for c in switch_counters.values()
+        )
+        nbytes = sum(c.get("bytes", 0.0) for c in link_counters.values())
+        hpu = self.hpu_energy_j(busy_cycles)
+        link = self.link_energy_j(nbytes)
+        static = self.static_energy_j(makespan_ns, n_switches)
+        return {
+            "hpu_active_j": hpu,
+            "link_transfer_j": link,
+            "switch_static_j": static,
+            "total_j": hpu + link + static,
+        }
+
+    def tenant_energy(self, wire_bytes: float) -> dict:
+        """Tenant-scope energy: the link transfer attributable to one
+        tenant's recorded wire bytes.  HPU and static energy are shared
+        fabric costs reported at run scope."""
+        link = self.link_energy_j(wire_bytes)
+        return {"link_transfer_j": link, "total_j": link}
+
+
+def energy_rows(
+    model: EnergyModel,
+    switch_counters: dict,
+    link_counters: dict,
+    makespan_ns: float,
+    n_switches: int,
+    tenant_wire_bytes: dict | None = None,
+) -> list[tuple]:
+    """Flatten run + per-tenant energy into store rows
+    ``(scope, component, joules)``."""
+    rows = [
+        ("run", component, joules)
+        for component, joules in model.run_energy(
+            switch_counters, link_counters, makespan_ns, n_switches
+        ).items()
+    ]
+    for tenant, wire in sorted((tenant_wire_bytes or {}).items()):
+        scope = f"tenant:{tenant}"
+        rows.extend(
+            (scope, component, joules)
+            for component, joules in model.tenant_energy(wire).items()
+        )
+    return rows

@@ -126,16 +126,22 @@ class FabricService:
             }
             for q in self.queue.waiting()
         ]
+        # Final provenance flush (energy needs the settled makespan).
+        self.fabric.flush_provenance()
+        extra = {
+            "run_id": self.fabric.run_id,
+            "placement": self.scheduler.name,
+            "starved_jobs": starved,
+            "utilization": self.fabric.manager.utilization(),
+            "faults": self.fabric.fault_log(),
+        }
+        if self.fabric.provenance is not None:
+            extra["provenance_db"] = self.fabric.provenance.store.path
         report = self.stats.report(
             self.fabric.now,
             queue=self.queue,
             cache_info=self.cache_info(),
-            extra={
-                "placement": self.scheduler.name,
-                "starved_jobs": starved,
-                "utilization": self.fabric.manager.utilization(),
-                "faults": self.fabric.fault_log(),
-            },
+            extra=extra,
         )
         if slo_out is not None:
             with open(slo_out, "w") as fh:
@@ -252,6 +258,12 @@ class FabricService:
             job.nbytes,
             fell_back=bool(result.extra.get("fell_back")),
             recoveries=len(result.extra.get("recoveries") or ()),
+            # Per-flow reliability counters (present on fault-injection
+            # runs via NetworkSimulator.traffic_extra): what the chaos
+            # cost this class, surfaced in every SLO snapshot.
+            drops=int(result.extra.get("drops") or 0),
+            duplicates=int(result.extra.get("duplicates") or 0),
+            retransmits=int(result.extra.get("retransmits") or 0),
         )
         if job.iterations_done < job.iterations:
             self.fabric.sim.schedule_at(
@@ -300,6 +312,10 @@ class FabricService:
             cache_info=self.cache_info(),
             extra={"in_flight": self.fabric.in_flight},
         )
+        # Stream incremental provenance on each snapshot tick, so a
+        # long service run's DB is queryable while it is still going.
+        if self.fabric.provenance is not None:
+            self.fabric.provenance.tick()
         # Reschedule only while progress is still possible; a tick that
         # kept rescheduling past the last completion would hold the
         # event loop open forever.

@@ -49,6 +49,12 @@ class SLOStats:
         self._iterations: dict[str, int] = {}
         self._fallbacks: dict[str, int] = {}
         self._recoveries: dict[str, int] = {}
+        #: Per-class reliability counters from fault-injection runs
+        #: (each flow's drops/duplicates/retransmits, attributed to the
+        #: owning tenant class as its iterations settle).
+        self._drops: dict[str, int] = {}
+        self._duplicates: dict[str, int] = {}
+        self._retransmits: dict[str, int] = {}
         self.jobs_completed = 0
         self.jobs_arrived = 0
         self.snapshots: list[dict] = []
@@ -65,6 +71,9 @@ class SLOStats:
         *,
         fell_back: bool = False,
         recoveries: int = 0,
+        drops: int = 0,
+        duplicates: int = 0,
+        retransmits: int = 0,
     ) -> None:
         self._iteration_ns.setdefault(tenant_class, []).append(duration_ns)
         self._bytes[tenant_class] = self._bytes.get(tenant_class, 0.0) + nbytes
@@ -74,6 +83,16 @@ class SLOStats:
         if recoveries:
             self._recoveries[tenant_class] = (
                 self._recoveries.get(tenant_class, 0) + recoveries
+            )
+        if drops:
+            self._drops[tenant_class] = self._drops.get(tenant_class, 0) + drops
+        if duplicates:
+            self._duplicates[tenant_class] = (
+                self._duplicates.get(tenant_class, 0) + duplicates
+            )
+        if retransmits:
+            self._retransmits[tenant_class] = (
+                self._retransmits.get(tenant_class, 0) + retransmits
             )
 
     def record_job_done(self, job) -> None:
@@ -93,6 +112,9 @@ class SLOStats:
                 "goodput_gbps": goodput,
                 "fell_back": self._fallbacks.get(cls, 0),
                 "recoveries": self._recoveries.get(cls, 0),
+                "drops": self._drops.get(cls, 0),
+                "duplicates": self._duplicates.get(cls, 0),
+                "retransmits": self._retransmits.get(cls, 0),
                 **_percentiles(samples),
             }
         return out

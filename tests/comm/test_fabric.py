@@ -251,7 +251,7 @@ def test_timeline_json_schema_version_leads_the_envelope():
 
     _, _, fabric = _two_tenant_times(1.0, 1.0)
     payload = json.loads(fabric.timeline_json())
-    assert payload["schema_version"] == TIMELINE_SCHEMA_VERSION == 2
+    assert payload["schema_version"] == TIMELINE_SCHEMA_VERSION == 3
     # Service-mode SLO snapshots reuse the same versioned envelope.
     from repro.service import SLOStats
 

@@ -1,0 +1,112 @@
+"""Sqlite provenance store: round-trips, prefixes, schema migration."""
+
+import pytest
+
+from repro.provenance.store import (
+    SCHEMA_VERSION,
+    ProvenanceStore,
+    create_v1_database,
+)
+
+
+def _run_row(run_id="run-abc123def456", **over):
+    row = {
+        "run_id": run_id,
+        "created_utc": "2026-08-08T12:00:00Z",
+        "git_sha": "0123456789abcdef",
+        "git_dirty": False,
+        "seed": 7,
+        "workers": 2,
+        "arbitration": "wfq",
+        "routing": "ecmp",
+        "topology": "('fat-tree', ...)",
+        "topology_family": "fat-tree",
+        "n_hosts": 64,
+        "algorithm": "ring",
+        "makespan_ns": 12345.5,
+        "label": "unit",
+        "config_json": {"engine": {"workers": 2}},
+    }
+    row.update(over)
+    return row
+
+
+def test_full_run_round_trip(tmp_path):
+    db = tmp_path / "prov.db"
+    switch_rows = [("s0", "hpu_busy_cycles", 100.0), ("s0", "l1_peak_bytes", 64.0)]
+    link_rows = [("h0", "l0", "bytes", 4096.0), ("h0", "l0", "busy_ns", 32.0)]
+    energy = [("run", "total_j", 1.5), ("tenant:t0", "link_transfer_j", 0.25)]
+    with ProvenanceStore(str(db)) as store:
+        store.record_run(_run_row(), switch_rows, link_rows, energy)
+    with ProvenanceStore(str(db)) as store:
+        assert store.schema_version == SCHEMA_VERSION
+        run = store.run("run-abc123def456")
+        assert run["seed"] == 7
+        assert run["git_dirty"] is False
+        assert run["makespan_ns"] == 12345.5
+        assert run["config"]["engine"]["workers"] == 2
+        assert store.switch_counters(run["run_id"]) == {
+            "s0": {"hpu_busy_cycles": 100.0, "l1_peak_bytes": 64.0}
+        }
+        assert store.link_counters(run["run_id"]) == {
+            ("h0", "l0"): {"bytes": 4096.0, "busy_ns": 32.0}
+        }
+        assert store.energy(run["run_id"]) == {
+            "run": {"total_j": 1.5},
+            "tenant:t0": {"link_transfer_j": 0.25},
+        }
+
+
+def test_upserts_are_idempotent(tmp_path):
+    """Streaming tick-then-flush re-writes the same rows; no dupes."""
+    with ProvenanceStore(str(tmp_path / "p.db")) as store:
+        for value in (1.0, 2.0):
+            store.upsert_run(_run_row(makespan_ns=value))
+            store.upsert_switch_counters(
+                "run-abc123def456", [("s0", "busy_cycles", value)]
+            )
+            store.upsert_link_counters(
+                "run-abc123def456", [("a", "b", "bytes", value)]
+            )
+        assert len(store.runs()) == 1
+        assert store.runs()[0]["makespan_ns"] == 2.0
+        assert store.switch_counters("run-abc123def456") == {
+            "s0": {"busy_cycles": 2.0}
+        }
+        assert store.link_counters("run-abc123def456") == {
+            ("a", "b"): {"bytes": 2.0}
+        }
+
+
+def test_run_id_prefix_lookup(tmp_path):
+    with ProvenanceStore(str(tmp_path / "p.db")) as store:
+        store.upsert_run(_run_row("run-aaaa11112222"))
+        store.upsert_run(_run_row("run-aaaa33334444"))
+        store.upsert_run(_run_row("run-bbbb55556666"))
+        assert store.run("run-bbbb")["run_id"] == "run-bbbb55556666"
+        assert store.run("run-aaaa1")["run_id"] == "run-aaaa11112222"
+        with pytest.raises(ValueError, match="ambiguous"):
+            store.run("run-aaaa")
+        assert store.run("run-zzzz") is None
+
+
+def test_v1_database_migrates_in_place(tmp_path):
+    db = tmp_path / "old.db"
+    create_v1_database(str(db))
+    with ProvenanceStore(str(db)) as store:
+        # The 1 -> 2 migration added the energy table.
+        assert store.schema_version == SCHEMA_VERSION
+        store.upsert_energy("run-x", [("run", "total_j", 3.0)])
+        assert store.energy("run-x") == {"run": {"total_j": 3.0}}
+
+
+def test_newer_schema_is_rejected(tmp_path):
+    db = tmp_path / "future.db"
+    with ProvenanceStore(str(db)) as store:
+        store._conn.execute(
+            "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+            (str(SCHEMA_VERSION + 1),),
+        )
+        store._conn.commit()
+    with pytest.raises(ValueError, match="upgrade the code"):
+        ProvenanceStore(str(db))
