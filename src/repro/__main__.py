@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import os
 import sys
 import time
 
@@ -136,6 +137,20 @@ def _parse_topo_params(text: str) -> dict:
     return out
 
 
+def _reliability_kwargs(args: argparse.Namespace) -> dict:
+    """Fabric kwargs for the host reliability knobs (``--ack-timeout``
+    maps to the end-to-end retransmission timer).  Only explicitly set
+    flags appear, so Fabric's own defaults stay authoritative."""
+    from repro.utils.units import parse_time_ns
+
+    out: dict = {}
+    if args.max_retransmits is not None:
+        out["max_retransmits"] = args.max_retransmits
+    if args.ack_timeout is not None:
+        out["retransmit_timeout_ns"] = parse_time_ns(args.ack_timeout)
+    return out
+
+
 def _cmd_multi_tenant_bench(args: argparse.Namespace, topology) -> int:
     """N communicators on one shared fabric, overlapped or sequential."""
     from repro.comm import CommError, Fabric, wait_all
@@ -162,9 +177,13 @@ def _cmd_multi_tenant_bench(args: argparse.Namespace, topology) -> int:
         n_hosts=args.hosts,
         routing=args.routing,
         routing_seed=args.seed,
+        workers=args.workers or 0,
         provenance_db=args.provenance_db,
         run_label=f"bench/{args.algorithm}/{args.size}",
+        **_reliability_kwargs(args),
     )
+    if args.workers:
+        print(f"[sharded engine: {args.workers} worker process(es)]")
     if args.provenance_db:
         print(f"[provenance: run {fabric.run_id} -> {args.provenance_db}]")
     if args.faults:
@@ -233,6 +252,10 @@ def _cmd_multi_tenant_bench(args: argparse.Namespace, topology) -> int:
             target = event.get("switch") or event.get("link")
             print(f"  t={event['at_ns']:.0f}ns {event['event']} "
                   f"{event['kind']} {target}")
+    degradations = getattr(fabric.net, "degradations", None) or []
+    for event in degradations:
+        print(f"[degraded t={event['sim_time_ns']:.0f}ns "
+              f"{event['event']}: {event['reason']}]")
     if args.timeline_out:
         fabric.timeline_json(path=args.timeline_out)
         print(f"[timeline written to {args.timeline_out}]")
@@ -371,6 +394,7 @@ def _cmd_service(args: argparse.Namespace, topology) -> int:
         tenant_quota=args.quota,
         provenance_db=args.provenance_db,
         run_label=f"service/{args.placement}/{args.queue}",
+        **_reliability_kwargs(args),
     )
     if args.provenance_db:
         print(f"[provenance: run {fabric.run_id} -> {args.provenance_db}]")
@@ -384,19 +408,39 @@ def _cmd_service(args: argparse.Namespace, topology) -> int:
     snapshot_ns = (
         parse_time_ns(args.snapshot_interval) if args.snapshot_interval else None
     )
-    service = FabricService(
-        fabric,
-        workload,
-        scheduler=args.placement,
-        queue_policy=args.queue,
-        snapshot_interval_ns=snapshot_ns,
-    )
+    try:
+        service = FabricService(
+            fabric,
+            workload,
+            scheduler=args.placement,
+            queue_policy=args.queue,
+            snapshot_interval_ns=snapshot_ns,
+            checkpoint_path=args.checkpoint,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(f"service: {source} on {fabric.topology.family} "
           f"({fabric.topology.n_hosts} hosts), placement={args.placement}, "
           f"queue={args.queue}")
+    if args.checkpoint:
+        mode = "resuming from" if (
+            args.resume and os.path.exists(args.checkpoint)
+        ) else "checkpointing to"
+        print(f"[{mode} {args.checkpoint}]")
+    if args.kill_at:
+        # Crash drill: hard-kill the process at a simulated instant
+        # (CI's crash-smoke job resumes from the surviving checkpoint).
+        kill_ns = parse_time_ns(args.kill_at)
+
+        def _die() -> None:
+            print(f"[crash drill: hard exit at t={kill_ns:g}ns]", flush=True)
+            os._exit(13)
+
+        fabric.sim.schedule_at(kill_ns, _die)
     try:
-        report = service.run(slo_out=args.slo_out)
-    except CommError as exc:
+        report = service.run(slo_out=args.slo_out, resume=args.resume)
+    except (CommError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     jobs = report["jobs"]
@@ -428,6 +472,9 @@ def _cmd_service(args: argparse.Namespace, topology) -> int:
               "recoveries recorded per class above")
     if args.slo_out:
         print(f"[SLO report written to {args.slo_out}]")
+    if args.checkpoint:
+        print(f"[{service.checkpoints_written} checkpoint(s) written to "
+              f"{args.checkpoint}]")
     if args.timeline_out:
         fabric.timeline_json(path=args.timeline_out)
         print(f"[timeline written to {args.timeline_out}]")
@@ -457,11 +504,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    if args.tenants > 1 or args.faults or args.provenance_db:
-        # Chaos and provenance runs need the persistent shared fabric
-        # (faults live on its links and clock; the provenance recorder
-        # hangs off it), so --faults/--provenance-db route through it
-        # even for a single tenant.
+    if (
+        args.tenants > 1 or args.faults or args.provenance_db
+        or args.workers or _reliability_kwargs(args)
+    ):
+        # Chaos, provenance, sharded-engine, and reliability-knob runs
+        # need the persistent shared fabric (faults, worker processes,
+        # and retransmission timers live on its links and clock; the
+        # provenance recorder hangs off it), so those flags route
+        # through it even for one tenant.
         return _cmd_multi_tenant_bench(args, topology)
 
     comm = Communicator(
@@ -601,8 +652,20 @@ def main(argv: list[str] | None = None) -> int:
                        help="(simcore) fail on >30%% perf regression vs a "
                        "checked-in baseline report")
     bench.add_argument("--workers", type=int, default=None, metavar="N",
-                       help="(simcore) cap the sharded parallel-engine sweep "
-                       "at N worker processes (default: 1/2/4/8; 0 skips it)")
+                       help="run the bench on the sharded parallel engine "
+                       "with N worker processes (routes through the shared "
+                       "fabric; degradation events are printed). With the "
+                       "'simcore' pseudo-algorithm: cap its shard sweep at "
+                       "N workers (default 1/2/4/8; 0 skips it)")
+    bench.add_argument("--max-retransmits", type=int, default=None,
+                       metavar="N",
+                       help="end-to-end retransmission budget per message "
+                       "under injected faults (default 64; exhausting it "
+                       "surfaces the partition as an error)")
+    bench.add_argument("--ack-timeout", default=None, metavar="TIME",
+                       help="host ack timeout before a chunk lost to a "
+                       "fault is retransmitted end to end, e.g. 50us "
+                       "(default 50us)")
     bench.add_argument("--provenance-db", default=None, metavar="PATH",
                        help="record this run (identity, per-switch/per-link "
                        "counters, energy) into a sqlite provenance database; "
@@ -653,6 +716,26 @@ def main(argv: list[str] | None = None) -> int:
     service.add_argument("--faults", default=None, metavar="SPEC.json",
                          help="arm a declarative fault schedule")
     service.add_argument("--fault-seed", type=int, default=None)
+    service.add_argument("--max-retransmits", type=int, default=None,
+                         metavar="N",
+                         help="end-to-end retransmission budget per message "
+                         "under injected faults (default 64)")
+    service.add_argument("--ack-timeout", default=None, metavar="TIME",
+                         help="host ack timeout before a fault-lost chunk "
+                         "is retransmitted, e.g. 50us (default 50us)")
+    service.add_argument("--checkpoint", default=None, metavar="PATH",
+                         help="atomically rewrite PATH with a crash-"
+                         "consistent service checkpoint at every quiescent "
+                         "SLO snapshot tick (requires --snapshot-interval)")
+    service.add_argument("--resume", action="store_true",
+                         help="restart from the --checkpoint file if it "
+                         "exists (a missing file degrades to a fresh run, "
+                         "so the same command line works before and after "
+                         "a crash)")
+    service.add_argument("--kill-at", default=None, metavar="TIME",
+                         help="crash drill: hard-exit the process (code 13) "
+                         "at this simulated instant, e.g. 1ms; resume with "
+                         "--resume afterwards")
     service.add_argument("--provenance-db", default=None, metavar="PATH",
                          help="stream incremental provenance rows on every "
                          "SLO snapshot tick into a sqlite database")

@@ -135,6 +135,10 @@ class Fabric:
     retransmit_timeout_ns:
         Host timeout before a chunk lost to an injected fault is
         retransmitted end to end (paper Sec. 4.1).
+    max_retransmits:
+        End-to-end retransmission budget per message under injected
+        faults; exhausting it raises ``UnreachableError`` (surfacing a
+        partition instead of retrying forever).
     """
 
     def __init__(
@@ -153,6 +157,7 @@ class Fabric:
         tenant_quota: Optional[int] = None,
         fallback: bool = True,
         retransmit_timeout_ns: float = 50_000.0,
+        max_retransmits: int = 64,
         workers: int = 0,
         provenance_db: Optional[str] = None,
         run_label: Optional[str] = None,
@@ -188,6 +193,7 @@ class Fabric:
             arbitration=arbitration,
         )
         self.net.retransmit_timeout_ns = retransmit_timeout_ns
+        self.net.max_retransmits = max_retransmits
         self.manager = NetworkManager(
             max_allreduces_per_switch,
             switch_memory_bytes=switch_memory_bytes,

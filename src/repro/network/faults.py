@@ -187,6 +187,10 @@ class FaultInjector:
         self._salt = stable_hash("fault-injector", seed)
         #: Log of applied fault/repair events (dicts), application order.
         self.applied: list[dict] = []
+        #: Every spec ever armed via :meth:`inject`, arming order.  The
+        #: sharded engine replays this list inside each worker shard so
+        #: shard-local links roll their own faults.
+        self.specs: list[FaultSpec] = []
         self._listeners: list[Callable[[dict], None]] = []
         self._pending = 0
 
@@ -200,6 +204,7 @@ class FaultInjector:
     def inject(self, spec: FaultSpec) -> None:
         """Arm one fault (applied at ``max(spec.at, now)``)."""
         sim = self.net.sim
+        self.specs.append(spec)
         self._pending += 1
         sim.schedule_at(max(spec.at, sim.now), self._apply, spec, priority=0)
 

@@ -44,11 +44,33 @@ Design in five invariants
    that might read it.  Global per-link tables are merged lazily at
    quiescence from nonzero numpy deltas.
 
-5. **Anything exotic recalls the shards.**  Fault injection and
-   interceptors need live cross-shard link state; arming them recalls
-   every worker's in-flight arrivals, WFQ queue contents, and absolute
-   link state into the coordinator, which continues sequentially.
-   Workers never see faults, so their windows stay deterministic.
+5. **Faults replay inside their owning shard.**  ``LinkFault`` rolls
+   are seeded on the link's monotone message counter, so they are a
+   pure function of per-link event order — deterministic wherever the
+   link executes.  Each worker arms its own injector over its private
+   topology copy from the coordinator's armed spec list, fires
+   apply/repair transitions at the exact simulated instants, and rolls
+   loss/duplication locally; end-to-end retransmissions are handed to
+   the shard owning the source host through the regular crossing
+   batches (an extra ``meta`` column carries the retry count,
+   duplicate flag, and retransmit-event flag).  Only the genuinely
+   non-replayable cases recall the shards to the sequential engine:
+   interceptors, mid-run arming, retransmit timeouts shorter than the
+   lookahead, and outage schedules with live recovery listeners (their
+   reactions mutate cross-shard state at window granularity).
+
+6. **The engine supervises its own workers.**  Barrier receives poll
+   with a heartbeat instead of blocking forever.  Under the default
+   ``checkpoint`` supervision mode each window's reply carries the
+   worker's post-window in-flight state (pending arrivals, WFQ queue
+   contents, link-counter deltas), which the coordinator folds into a
+   per-shard mirror — windows are natural checkpoint boundaries.  When
+   a worker dies or wedges, surviving shards' mirrors are current
+   through the completed window, the dead shard is restored from its
+   last completed window plus the undelivered grant, and the run
+   continues sequentially with identical results, recording a
+   degradation event instead of hanging.  ``REPRO_SUPERVISE=detect``
+   keeps detection but fails fast; ``off`` restores blocking receives.
 
 Determinism: batches are sorted by ``(time, mid)`` before scheduling
 (mid is the coordinator-assigned creation order), worker replies are
@@ -62,26 +84,39 @@ from __future__ import annotations
 
 import heapq
 import math
+import os
+import time as _walltime
 import traceback
 import warnings
 from multiprocessing import get_context
 
 import numpy as np
 
+from repro.network.faults import _HASH_SPAN, FaultInjector
 from repro.network.routing import Router
 from repro.network.shard import ShardPlan, updown_next_hop_vec
-from repro.network.simulator import Message, NetworkSimulator, _LinkQueue
+from repro.network.simulator import (
+    Message, NetworkSimulator, UnreachableError, _LinkQueue,
+)
 from repro.network.topology import NodeId, Topology
 from repro.pspin.engine import _ARGS, _CALLBACK, _SEQ, _TIME, Simulator
+from repro.utils.rngtools import stable_hash
 
 _INF = float("inf")
 
 # Crossing-batch column order (struct of arrays):
-# time f8, mid i8, node i8, src i8, dst i8, nbytes f8, flow i8.
-# Delivery batches reuse the first three columns only.
+# time f8, mid i8, node i8, src i8, dst i8, nbytes f8, flow i8, meta i8.
+# ``meta`` packs reliability state: bit 0 = ephemeral duplicate, bit 1 =
+# retransmit event (fires at the source host), bits 2+ = retry count.
+# It is all zeros outside fault runs.  Delivery batches carry
+# (time, mid, node, meta) only.
 _BATCH_DTYPES = (
-    np.float64, np.int64, np.int64, np.int64, np.int64, np.float64, np.int64,
+    np.float64, np.int64, np.int64, np.int64, np.int64, np.float64,
+    np.int64, np.int64,
 )
+
+_META_EPHEMERAL = 1
+_META_RETRANSMIT = 2
 
 
 def _rows_to_batch(rows: list[tuple]) -> tuple | None:
@@ -111,6 +146,56 @@ def _sort_batch(batch: tuple) -> tuple:
     return tuple(col[order] for col in batch)
 
 
+def _msg_meta(msg: Message) -> int:
+    return (msg.retries << 2) | (_META_EPHEMERAL if msg.ephemeral else 0)
+
+
+class _WorkerDied(Exception):
+    """A worker process exited or wedged at the barrier."""
+
+    def __init__(self, worker: int, reason: str) -> None:
+        super().__init__(f"shard worker {worker}: {reason}")
+        self.worker = worker
+        self.reason = reason
+
+
+class _CoordinatorFaultInjector(FaultInjector):
+    """Coordinator-side injector for the sharded engine.
+
+    Arming stays sharded: every injected spec is noted so the worker
+    shards (forked later) arm identical local injectors and roll their
+    own per-link fault decisions at the exact simulated instants.  The
+    coordinator still applies every spec to its own topology copy —
+    but the topology mutations its applications trigger are *muted*
+    from the control-op broadcast: each worker fires the same
+    transition itself, and a broadcast ctl op would arrive one window
+    late.  Specs injected after the shards forked recall the engine to
+    the sequential path (graceful degradation, not an error).
+    """
+
+    def inject(self, spec) -> None:
+        net = self.net
+        if net._forked:
+            net._request_recall("fault injected mid-run")
+        super().inject(spec)
+
+    def _apply(self, spec) -> None:
+        net = self.net
+        net._ctl_mute += 1
+        try:
+            super()._apply(spec)
+        finally:
+            net._ctl_mute -= 1
+
+    def _repair(self, spec) -> None:
+        net = self.net
+        net._ctl_mute += 1
+        try:
+            super()._repair(spec)
+        finally:
+            net._ctl_mute -= 1
+
+
 class ShardedNetworkSimulator(NetworkSimulator):
     """Coordinator-side network simulator for the sharded engine.
 
@@ -118,6 +203,8 @@ class ShardedNetworkSimulator(NetworkSimulator):
     the shards and handles graceful fallback); ``sim`` must be a
     :class:`~repro.pspin.pdes.ShardedSimulator`.
     """
+
+    _fault_injector_cls = _CoordinatorFaultInjector
 
     def __init__(
         self,
@@ -174,6 +261,46 @@ class ShardedNetworkSimulator(NetworkSimulator):
         # Flow <-> integer encoding shared with workers.
         self._flow_enc_map: dict = {None: 0}
         self._flow_by_enc: dict = {0: None}
+        # Nonzero while the coordinator's own fault applications mutate
+        # the topology: those transitions replay inside each worker, so
+        # broadcasting them as ctl ops would double-apply one window
+        # late.
+        self._ctl_mute = 0
+        #: Degradation log: every recall, pre-fork disengage, and
+        #: worker-crash recovery, as dicts with ``event``, ``reason``,
+        #: ``sim_time_ns`` (provenance records these per run).
+        self.degradations: list[dict] = []
+        #: Worker supervision at the barrier: ``checkpoint`` (default)
+        #: ships per-window state mirrors and recovers crashed workers
+        #: sequentially; ``detect`` fails fast on a dead/wedged worker;
+        #: ``off`` restores plain blocking receives.
+        self.supervision = os.environ.get("REPRO_SUPERVISE", "checkpoint")
+        if self.supervision not in ("checkpoint", "detect", "off"):
+            raise ValueError(
+                f"REPRO_SUPERVISE={self.supervision!r}; "
+                "use 'checkpoint', 'detect' or 'off'"
+            )
+        self.worker_timeout_s = float(
+            os.environ.get("REPRO_WORKER_TIMEOUT", "30")
+        )
+        # Per-shard state mirrors (checkpoint supervision): the shard's
+        # post-window in-flight state, and the last grant batch not yet
+        # folded into it.  FIFO mirrors accumulate as batch *lists*
+        # (appending is O(1) per window) and compact lazily — the
+        # delivered-row filter is monotone in the window stop, so one
+        # filter at compaction/crash time equals filtering every
+        # window.
+        self._mirror: list = []
+        self._mirror_stop: list = []
+        self._last_batch: list = []
+        # Per-window link-counter deltas accumulate into flat numpy
+        # arrays (fancy-indexed add) and materialize into the per-link
+        # tables only at handover points (quiescence, recall, crash) or
+        # every 64th window — the Python merge loop per window was the
+        # dominant supervision cost.
+        self._ck_bytes = None
+        self._ck_msgs = None
+        self._ck_windows = 0
         self.sim.attach_coupler(self)
 
     # ------------------------------------------------------------------
@@ -213,13 +340,52 @@ class ShardedNetworkSimulator(NetworkSimulator):
         super().intercept(node, interceptor)
 
     def arm_faults(self, schedule=None, seed=None):
-        self._request_recall("fault injection armed")
+        # Sharded fault replay: arming no longer recalls.  Specs are
+        # noted (the injector subclass tracks them) and re-armed inside
+        # each worker at fork; whether the schedule can actually stay
+        # sharded is classified at fork time (_fault_recall_reason).
+        if self.faults is not None and seed is not None and self._forked:
+            # Workers captured the old salt in their fork snapshot.
+            self._request_recall("fault injector re-seeded mid-run")
         return super().arm_faults(schedule, seed)
+
+    def _fault_recall_reason(self) -> str | None:
+        """Classify the armed fault state at fork time: None when the
+        schedule replays sharded, else the recall reason."""
+        faults = self.faults
+        if faults is None:
+            return None
+        if faults.applied:
+            # Transitions already fired pre-fork (e.g. during a
+            # sequential free-run): the workers' replay would
+            # double-apply them.
+            return "faults applied before shards engaged"
+        if self.retransmit_timeout_ns < self.window:
+            # A retransmission must land at or after the window stop to
+            # respect the conservative lookahead.
+            return "retransmit timeout shorter than the lookahead window"
+        outage = any(
+            s.switch is not None or s.kind == "down" for s in faults.specs
+        )
+        if outage and faults._listeners:
+            # Recovery listeners (e.g. the fabric's replan-on-outage)
+            # mutate cross-shard state the moment a link dies; their
+            # reactions cannot be replayed at window granularity.
+            return "fault listeners on an outage schedule"
+        return None
 
     def _topology_changed(self, event: str, *args) -> None:
         super()._topology_changed(event, *args)
-        if self.engaged:
+        if self.engaged and not self._ctl_mute:
             self._ctl.append((event, *args))
+
+    def _record_degradation(self, event: str, reason: str, **detail) -> None:
+        self.degradations.append({
+            "event": event,
+            "reason": reason,
+            "sim_time_ns": float(self.sim.now),
+            **detail,
+        })
 
     # ------------------------------------------------------------------
     # Hot-path overrides: divert work owned by other shards
@@ -242,11 +408,16 @@ class ShardedNetworkSimulator(NetworkSimulator):
         if mid == 0:
             mid = msg.mid = self._next_mid
             self._next_mid += 1
-        self._parked[mid] = msg
+            self._parked[mid] = msg
+        elif not msg.ephemeral:
+            self._parked[mid] = msg
+        # else: an ephemeral duplicate of an already-parked original —
+        # the parked entry stays the original; the duplicate is
+        # reconstructed from the row's meta bits on resume.
         idx = self._index.idx
         self._pending_rows.append((
             time, mid, idx[node], idx[msg.src], idx[msg.dst],
-            msg.nbytes, self._flow_enc(msg.flow),
+            msg.nbytes, self._flow_enc(msg.flow), _msg_meta(msg),
         ))
         self._pending_count += 1
         if time < self._pending_min:
@@ -254,9 +425,33 @@ class ShardedNetworkSimulator(NetworkSimulator):
         if time < self.sim.local_bound:
             self.sim.local_bound = time
 
-    def _resume_parked(self, mid: int, node: NodeId) -> None:
+    def _materialize(self, mid: int, meta: int) -> Message:
+        """The live message for a crossing row: the parked original
+        with its authoritative retry count restored, or a reconstructed
+        ephemeral duplicate (duplicates share the original's mid but
+        must not mutate its retransmission state)."""
         msg = self._parked[mid]
-        if node == msg.dst:
+        if meta & _META_EPHEMERAL and not msg.ephemeral:
+            return Message(
+                msg.src, msg.dst, msg.nbytes, msg.tag, msg.payload,
+                msg.flow, ephemeral=True, mid=mid,
+            )
+        if meta:
+            msg.retries = meta >> 2
+        return msg
+
+    def _resume_parked(self, mid: int, node: NodeId, meta: int = 0) -> None:
+        msg = self._materialize(mid, meta)
+        if meta & _META_RETRANSMIT:
+            # The host's retransmission timeout fires here (the row's
+            # time already includes it); _retransmit counts and re-hops
+            # from the source.
+            NetworkSimulator._retransmit(self, msg)
+            return
+        if node == msg.dst and self.faults is None:
+            # Under faults a late duplicate may still reference the
+            # parked original after delivery; entries clear at
+            # quiescence instead.
             del self._parked[mid]
         NetworkSimulator._hop(self, msg, node)
 
@@ -284,6 +479,23 @@ class ShardedNetworkSimulator(NetworkSimulator):
             return None
         if until is not None and t0 > until:
             return None
+        if (
+            not self._forked
+            and self.faults is not None
+            and self.faults.specs
+            and not self.faults.applied
+        ):
+            # An armed-but-unapplied fault schedule: fork *now*, before
+            # the free-run below executes the first ``_apply`` in the
+            # coordinator.  Once a transition has fired pre-fork the
+            # workers' shard-local replay would double-apply it and the
+            # only safe answer is to disengage — forking first keeps
+            # pure link-fault schedules sharded.
+            reason = self._fault_recall_reason()
+            if reason is not None:
+                self._request_recall(reason)
+                return None
+            self._fork()
         if worker_min == _INF and self._pending_min == _INF:
             # Workers idle and nothing queued for them: free-run the
             # coordinator until it next crosses a shard boundary
@@ -295,6 +507,10 @@ class ShardedNetworkSimulator(NetworkSimulator):
             # inclusive, window stops are exclusive.
             return math.nextafter(until, _INF)
         if not self._forked:
+            reason = self._fault_recall_reason()
+            if reason is not None:
+                self._request_recall(reason)
+                return None
             self._fork()
         stop = t0 + self.window
         if until is not None and until < stop:
@@ -308,15 +524,27 @@ class ShardedNetworkSimulator(NetworkSimulator):
         ctl = self._ctl[self._ctl_sent:]
         self._ctl_sent = len(self._ctl)
         shard_batches = self._split_pending()
-        for conn, batch in zip(self._conns, shard_batches):
-            conn.send(("w", stop, batch, ctl))
+        dead: dict[int, str] = {}
+        for w, (conn, batch) in enumerate(zip(self._conns, shard_batches)):
+            if self.supervision == "checkpoint":
+                self._last_batch[w] = batch
+            try:
+                conn.send(("w", stop, batch, ctl))
+            except (BrokenPipeError, OSError):
+                dead[w] = "worker process died"
         inbound: list = []
         deliveries: list = []
         for w, conn in enumerate(self._conns):
-            reply = conn.recv()
-            if reply[0] == "err":
-                raise RuntimeError(f"shard worker {w} failed:\n{reply[1]}")
-            (_, outbox, dels, stats, next_t, last_t, events, npend) = reply
+            if w in dead:
+                continue
+            try:
+                reply = self._recv(w, conn)
+            except _WorkerDied as exc:
+                dead[exc.worker] = exc.reason
+                continue
+            (_, outbox, dels, stats, next_t, last_t, events, npend, ck) = (
+                reply
+            )
             if outbox is not None:
                 ow = self._owner_arr[outbox[2]]
                 coord = ow < 0
@@ -334,6 +562,8 @@ class ShardedNetworkSimulator(NetworkSimulator):
                 deliveries.append(dels)
             if stats is not None:
                 self._merge_stats(stats)
+            if ck is not None:
+                self._absorb_ck(w, ck, stop)
             self._worker_next[w] = next_t if next_t is not None else _INF
             self._worker_last[w] = last_t
             self._worker_pending[w] = npend
@@ -343,16 +573,208 @@ class ShardedNetworkSimulator(NetworkSimulator):
         for batch in (_concat_batches(deliveries), _concat_batches(inbound)):
             if batch is not None:
                 self._schedule_batch(_sort_batch(batch))
+        if dead:
+            self._crash_recover(dead, stop)
+
+    def _recv(self, w: int, conn):
+        """One barrier receive with heartbeat supervision.  Raises
+        :class:`_WorkerDied` when the worker exited or stayed silent
+        past the timeout (supervision 'checkpoint'/'detect' only)."""
+        if self.supervision == "off":
+            reply = conn.recv()
+        else:
+            proc = self._procs[w]
+            deadline = _walltime.monotonic() + self.worker_timeout_s
+            while True:
+                try:
+                    if conn.poll(0.05):
+                        reply = conn.recv()
+                        break
+                except (EOFError, OSError):
+                    raise _WorkerDied(w, "worker process died") from None
+                if not proc.is_alive():
+                    # Drain a reply written just before death.
+                    try:
+                        if conn.poll(0):
+                            reply = conn.recv()
+                            break
+                    except (EOFError, OSError):
+                        pass
+                    raise _WorkerDied(w, "worker process died")
+                if _walltime.monotonic() >= deadline:
+                    raise _WorkerDied(
+                        w,
+                        "worker wedged at the barrier "
+                        f"(> {self.worker_timeout_s:.0f}s)",
+                    )
+        if reply[0] == "err":
+            if len(reply) > 2 and reply[2] == "UnreachableError":
+                raise UnreachableError(
+                    f"shard worker {w}:\n{reply[1]}"
+                )
+            raise RuntimeError(f"shard worker {w} failed:\n{reply[1]}")
+        return reply
+
+    def _absorb_ck(self, w: int, ck: tuple, stop: float) -> None:
+        """Fold one worker's per-window checkpoint into its mirror.
+
+        Link-counter deltas and busy times merge into the coordinator
+        tables immediately (each link is owned by exactly one shard, so
+        mid-run merging is exact and the final flush sees empty
+        deltas); the in-flight state replaces/extends the mirror.
+        """
+        state, queues, flush, busy, peaks = ck
+        if flush is not None:
+            idx, byts, msgs = flush
+            if self._ck_bytes is None:
+                n = len(self._index.link_keys)
+                self._ck_bytes = np.zeros(n)
+                self._ck_msgs = np.zeros(n, np.int64)
+            # nz indices from the worker's flush are unique, so plain
+            # fancy-indexed add is exact (and far cheaper than add.at).
+            self._ck_bytes[idx] += byts
+            self._ck_msgs[idx] += msgs
+            self._ck_windows += 1
+            if self._ck_windows % 64 == 0:
+                # Keep mid-run readers (streaming provenance ticks)
+                # loosely fresh without paying the merge every window.
+                self._drain_ck_flush()
+        if busy is not None:
+            self._apply_busy(busy)
+        if peaks:
+            self._merge_queue_peaks(peaks)
+        if self.arbitration == "fifo":
+            # state = every arrival generated inside the shard this
+            # window; post-window pend is exactly the t >= stop subset
+            # of (previous pend | every grant | everything generated) —
+            # append now, filter at compaction.
+            bucket = self._mirror[w]
+            if bucket is None:
+                bucket = self._mirror[w] = []
+            if self._last_batch[w] is not None:
+                bucket.append(self._last_batch[w])
+            if state is not None:
+                bucket.append(state)
+            self._mirror_stop[w] = stop
+            if len(bucket) > 16:
+                self._mirror[w] = self._compact_mirror(w)
+        else:
+            # Event workers dump their live heap/queues; the grant is
+            # already inside the heap.
+            self._mirror[w] = (state, queues)
+        self._last_batch[w] = None
+
+    def _compact_mirror(self, w: int) -> list:
+        """Concat shard ``w``'s accumulated FIFO mirror batches and
+        drop rows its worker already delivered (``t`` before the last
+        completed window stop)."""
+        bucket = self._mirror[w]
+        if not bucket:
+            return []
+        batch = _concat_batches(bucket)
+        keep = batch[0] >= self._mirror_stop[w]
+        if not keep.all():
+            batch = _mask_batch(batch, keep) if keep.any() else None
+        return [batch] if batch is not None else []
+
+    def _drain_ck_flush(self) -> None:
+        """Materialize the accumulated per-window link-counter deltas
+        into the per-link tables (exactness point: handover to the
+        sequential engine, quiescence, or a provenance read)."""
+        if self._ck_bytes is None:
+            return
+        nz = np.nonzero((self._ck_bytes != 0) | (self._ck_msgs != 0))[0]
+        if nz.size:
+            self._merge_link_flush(
+                (nz, self._ck_bytes[nz], self._ck_msgs[nz])
+            )
+        self._ck_bytes = None
+        self._ck_msgs = None
+
+    def _crash_recover(self, dead: dict[int, str], stop: float) -> None:
+        """A worker died or wedged mid-window: restore its shard from
+        the last completed window and continue sequentially.
+
+        Surviving shards completed this window — their mirrors, stats,
+        and link tables are current.  The dead shard's window never
+        happened (no reply, no visible effects), so its mirror (post
+        previous window) plus the undelivered grant batch is exactly
+        its live state; re-executing from there sequentially reproduces
+        the uninterrupted run bitwise.
+        """
+        if self.supervision != "checkpoint":
+            raise RuntimeError(
+                "shard worker(s) died at the barrier: "
+                + "; ".join(
+                    f"worker {w}: {reason}" for w, reason in dead.items()
+                )
+            )
+        for w, reason in dead.items():
+            self._record_degradation(
+                "worker_crash", reason, worker=w, window_stop=float(stop),
+            )
+            proc = self._procs[w]
+            if proc.is_alive():  # wedged, not dead: put it down hard
+                proc.kill()
+        warnings.warn(
+            "sharded engine lost worker(s) "
+            f"{sorted(dead)} ({'; '.join(set(dead.values()))}); "
+            "recovered from the last completed window, continuing "
+            "sequentially",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        self._drain_ck_flush()
+        arrivals: list[tuple] = []
+        queues: list[tuple] = []
+        for w in range(self._plan.n_shards):
+            mirror = self._mirror[w]
+            if self.arbitration == "fifo":
+                batch = _concat_batches(
+                    self._compact_mirror(w) + [self._last_batch[w]]
+                )
+                if batch is not None:
+                    t, mid, node, meta = (
+                        batch[0], batch[1], batch[2], batch[7]
+                    )
+                    for i in range(t.size):
+                        arrivals.append((
+                            float(t[i]), int(mid[i]), int(mid[i]),
+                            int(node[i]), int(meta[i]),
+                        ))
+            else:
+                if mirror is not None:
+                    arr, qs = mirror
+                    arrivals.extend(arr)
+                    queues.extend(qs)
+                last = self._last_batch[w]
+                if last is not None:
+                    t, mid, node, meta = last[0], last[1], last[2], last[7]
+                    for i in range(t.size):
+                        arrivals.append((
+                            float(t[i]), int(mid[i]), int(mid[i]),
+                            int(node[i]), int(meta[i]),
+                        ))
+        self._shutdown_procs()
+        self.engaged = False
+        self._flushed = True
+        n = self._plan.n_shards
+        self._worker_next = [_INF] * n
+        self._worker_pending = [0] * n
+        self._restore_recalled(arrivals, queues)
 
     def _schedule_batch(self, batch: tuple) -> None:
         names = self._index.names
         schedule = self.sim.schedule_fast
         resume = self._resume_parked
         t_col, mid_col, node_col = batch[0], batch[1], batch[2]
+        # Crossing batches carry meta in column 7, delivery bounces in
+        # column 3.
+        meta_col = batch[7] if len(batch) > 4 else batch[3]
         for i in range(t_col.size):
             schedule(
                 float(t_col[i]), resume,
-                (int(mid_col[i]), names[int(node_col[i])]),
+                (int(mid_col[i]), names[int(node_col[i])], int(meta_col[i])),
             )
 
     def _split_pending(self) -> list:
@@ -380,19 +802,42 @@ class ShardedNetworkSimulator(NetworkSimulator):
     # Stats merging
     # ------------------------------------------------------------------
     def _merge_stats(self, delta: tuple) -> None:
-        bh, msgs, flows = delta
+        if len(delta) == 3:
+            bh, msgs, flows = delta
+            rel = None
+        else:
+            bh, msgs, flows, rel = delta
         self.traffic.bytes_hops += bh
         self.traffic.messages += msgs
         if flows:
             keys = self._index.link_keys
-            for enc, (fbh, fmsgs, links) in flows.items():
+            for enc, fdelta in flows.items():
                 stats = self.flow_stats(self._flow_by_enc[enc])
+                fbh, fmsgs, links = fdelta[0], fdelta[1], fdelta[2]
                 stats.bytes_hops += fbh
                 stats.messages += fmsgs
                 per_link = stats.per_link
                 for li, val in links.items():
                     key = keys[li]
                     per_link[key] = per_link.get(key, 0.0) + val
+                if len(fdelta) > 3:
+                    stats.drops += fdelta[3]
+                    stats.duplicates += fdelta[4]
+                    stats.retransmits += fdelta[5]
+        if rel is not None:
+            keys = self._index.link_keys
+            traffic = self.traffic
+            drops, dups, retx, ldrops, ldups = rel
+            traffic.drops += drops
+            traffic.duplicates += dups
+            traffic.retransmits += retx
+            for table, deltas in (
+                (traffic.link_drops, ldrops),
+                (traffic.link_duplicates, ldups),
+            ):
+                for li, n in deltas.items():
+                    key = keys[li]
+                    table[key] = table.get(key, 0) + n
 
     def _merge_link_flush(self, flush: tuple) -> None:
         idx, byts, msgs = flush
@@ -435,14 +880,23 @@ class ShardedNetworkSimulator(NetworkSimulator):
     def _flush_workers(self) -> None:
         """Pull every worker's link/busy/peak deltas into the
         coordinator-side tables (idempotent between windows)."""
+        self._drain_ck_flush()
         if not self._forked or self._flushed:
             return
-        for conn in self._conns:
-            conn.send(("f",))
+        dead: dict[int, str] = {}
         for w, conn in enumerate(self._conns):
-            reply = conn.recv()
-            if reply[0] == "err":
-                raise RuntimeError(f"shard worker {w} failed:\n{reply[1]}")
+            try:
+                conn.send(("f",))
+            except (BrokenPipeError, OSError):
+                dead[w] = "worker process died"
+        for w, conn in enumerate(self._conns):
+            if w in dead:
+                continue
+            try:
+                reply = self._recv(w, conn)
+            except _WorkerDied as exc:
+                dead[exc.worker] = exc.reason
+                continue
             _, flush, busy, peaks, last_t = reply
             if flush is not None:
                 self._merge_link_flush(flush)
@@ -452,6 +906,20 @@ class ShardedNetworkSimulator(NetworkSimulator):
                 self._merge_queue_peaks(peaks)
             self._worker_last[w] = last_t
         self._flushed = True
+        if dead:
+            # At a flush barrier every shard is idle (quiescence) or
+            # its in-flight state is intentionally dropped (shutdown
+            # mid-run); under checkpoint supervision the counters were
+            # already merged per window, so only record the loss.
+            if self.supervision != "checkpoint":
+                raise RuntimeError(
+                    "shard worker(s) died at the flush barrier: "
+                    + "; ".join(
+                        f"worker {w}: {r}" for w, r in dead.items()
+                    )
+                )
+            for w, reason in dead.items():
+                self._record_degradation("worker_crash", reason, worker=w)
 
     def _quiesce(self) -> None:
         """Global idle: merge per-link tables, settle the clock."""
@@ -482,6 +950,9 @@ class ShardedNetworkSimulator(NetworkSimulator):
         self._worker_next = [_INF] * n
         self._worker_last = [self.sim.now] * n
         self._worker_pending = [0] * n
+        self._mirror = [None] * n
+        self._mirror_stop = [-_INF] * n
+        self._last_batch = [None] * n
         for shard in range(n):
             parent, child = ctx.Pipe()
             proc = ctx.Process(
@@ -504,6 +975,11 @@ class ShardedNetworkSimulator(NetworkSimulator):
                 stacklevel=3,
             )
             self.engaged = False
+            self._record_degradation("disengaged", reason)
+            # Rows offloaded for the (never-started) workers rejoin
+            # the sequential heap — dropping them would strand their
+            # parked messages and drain the event loop mid-collective.
+            self._restore_recalled([], [])
             return
         self._suspend_reason = reason
 
@@ -522,14 +998,24 @@ class ShardedNetworkSimulator(NetworkSimulator):
             RuntimeWarning,
             stacklevel=2,
         )
+        self._record_degradation("recall", reason)
+        self._drain_ck_flush()
         arrivals: list[tuple] = []
         queues: list[tuple] = []
-        for conn in self._conns:
-            conn.send(("rc",))
+        dead: dict[int, str] = {}
         for w, conn in enumerate(self._conns):
-            reply = conn.recv()
-            if reply[0] == "err":
-                raise RuntimeError(f"shard worker {w} failed:\n{reply[1]}")
+            try:
+                conn.send(("rc",))
+            except (BrokenPipeError, OSError):
+                dead[w] = "worker process died"
+        for w, conn in enumerate(self._conns):
+            if w in dead:
+                continue
+            try:
+                reply = self._recv(w, conn)
+            except _WorkerDied as exc:
+                dead[exc.worker] = exc.reason
+                continue
             _, arr, qs, stats, flush, busy, peaks, last_t = reply
             arrivals.extend(arr)
             queues.extend(qs)
@@ -542,8 +1028,57 @@ class ShardedNetworkSimulator(NetworkSimulator):
             if peaks:
                 self._merge_queue_peaks(peaks)
             self._worker_last[w] = last_t
+        if dead:
+            if self.supervision != "checkpoint":
+                raise RuntimeError(
+                    "shard worker(s) died during recall: "
+                    + "; ".join(f"worker {w}: {r}" for w, r in dead.items())
+                )
+            # Restore the dead shard(s) from their mirrors (state as of
+            # the last completed window — exact: a recall happens
+            # between windows, when every effect through the last
+            # window has already been absorbed).
+            for w, reason_ in dead.items():
+                self._record_degradation("worker_crash", reason_, worker=w)
+                mirror = self._mirror[w]
+                if self.arbitration == "fifo":
+                    batch = _concat_batches(
+                        self._compact_mirror(w) + [self._last_batch[w]]
+                    )
+                    if batch is not None:
+                        t, mid, node, meta = (
+                            batch[0], batch[1], batch[2], batch[7]
+                        )
+                        for i in range(t.size):
+                            arrivals.append((
+                                float(t[i]), int(mid[i]), int(mid[i]),
+                                int(node[i]), int(meta[i]),
+                            ))
+                else:
+                    if mirror is not None:
+                        arr, qs = mirror
+                        arrivals.extend(arr)
+                        queues.extend(qs)
+                    last = self._last_batch[w]
+                    if last is not None:
+                        t, mid, node, meta = (
+                            last[0], last[1], last[2], last[7]
+                        )
+                        for i in range(t.size):
+                            arrivals.append((
+                                float(t[i]), int(mid[i]), int(mid[i]),
+                                int(node[i]), int(meta[i]),
+                            ))
         self._shutdown_procs()
         self.engaged = False
+        self._restore_recalled(arrivals, queues)
+
+    def _restore_recalled(
+        self, arrivals: list[tuple], queues: list[tuple]
+    ) -> None:
+        """Re-schedule recovered worker state into the coordinator's
+        own heap/queues (the shared tail of recall and crash
+        recovery)."""
         names = self._index.names
         # Rows queued for relay but never dispatched rejoin the heap.
         batch = _concat_batches(
@@ -557,9 +1092,9 @@ class ShardedNetworkSimulator(NetworkSimulator):
         self._pending_count = 0
         # In-flight arrivals recovered from worker heaps, in their
         # original (time, seq) order.
-        for t, _seq, mid, node_idx in sorted(arrivals):
+        for t, _seq, mid, node_idx, meta in sorted(arrivals):
             self.sim.schedule_fast(
-                t, self._resume_parked, (mid, names[node_idx])
+                t, self._resume_parked, (mid, names[node_idx], meta)
             )
         # WFQ queue contents: rebuild coordinator-side queues with the
         # same service order and re-arm their drains.
@@ -572,12 +1107,15 @@ class ShardedNetworkSimulator(NetworkSimulator):
             queue.vtime = vtime
             for enc, tag in tags.items():
                 queue.finish_tag[self._flow_by_enc[enc]] = tag
-            for start, _seq, mid, node_idx in sorted(
+            for start, _seq, mid, node_idx, meta in sorted(
                 entries, key=lambda e: (e[0], e[1])
             ):
                 heapq.heappush(
                     queue.heap,
-                    (start, self._queue_seq, self._parked[mid], names[node_idx]),
+                    (
+                        start, self._queue_seq,
+                        self._materialize(mid, meta), names[node_idx],
+                    ),
                 )
                 self._queue_seq += 1
             if queue.heap and not queue.drain_scheduled:
@@ -598,6 +1136,9 @@ class ShardedNetworkSimulator(NetworkSimulator):
             proc.join(timeout=5)
             if proc.is_alive():  # pragma: no cover - hang safety
                 proc.terminate()
+                proc.join(timeout=1)
+                if proc.is_alive():  # e.g. SIGSTOPped: SIGTERM pends
+                    proc.kill()
         for conn in self._conns:
             conn.close()
         self._conns = []
@@ -650,9 +1191,9 @@ def _worker_main(conn, shard: int, coord: ShardedNetworkSimulator) -> None:
                 return
     except EOFError:  # pragma: no cover - parent died
         return
-    except Exception:  # surface the traceback to the coordinator
+    except Exception as exc:  # surface the traceback to the coordinator
         try:
-            conn.send(("err", traceback.format_exc()))
+            conn.send(("err", traceback.format_exc(), type(exc).__name__))
         except Exception:  # pragma: no cover
             pass
 
@@ -685,6 +1226,13 @@ class _WorkerBase:
         self.snap_msgs = np.fromiter(
             (ln.messages_carried for ln in links), np.int64, len(links)
         )
+        # Checkpoint supervision: ship post-window in-flight state with
+        # every barrier reply so the coordinator can recover this shard
+        # if the process later dies.
+        self.ship_ck = coord.supervision == "checkpoint"
+        self.link_index = {
+            key: i for i, key in enumerate(self.index.link_keys)
+        }
 
     # -- control ops ---------------------------------------------------
     def apply_controls(self, ctl: list[tuple]) -> None:
@@ -800,6 +1348,20 @@ class _EventWorker(_WorkerBase):
         self._bh_sent = 0.0
         self._msgs_sent = 0
         self._flow_sent: dict = {}
+        # Reliability-counter snapshots (fault runs).
+        self._rel_sent = [0, 0, 0, {}, {}]
+        self._applied_sent = 0
+        if coord.faults is not None:
+            # Sharded fault replay: arm an identical local injector
+            # over this process's topology copy.  Nothing has executed
+            # pre-fork (classification guarantees it), so every spec
+            # re-arms at the same simulated instant the coordinator
+            # armed it.
+            self.net.retransmit_timeout_ns = coord.retransmit_timeout_ns
+            self.net.max_retransmits = coord.max_retransmits
+            inj = self.net.arm_faults(seed=coord.faults.seed)
+            for spec in coord.faults.specs:
+                inj.inject(spec)
 
     def set_weight(self, flow, w: float) -> None:
         self.net._flow_weight[flow] = w
@@ -818,60 +1380,115 @@ class _EventWorker(_WorkerBase):
         # A bounced delivery executes as a coordinator event; don't
         # count its worker-side arrival too.
         events -= len(self.deliveries)
+        faults = self.net.faults
+        if faults is not None:
+            # Fault apply/repair transitions fire in every process; the
+            # coordinator's own copies are the counted ones.
+            applied = len(faults.applied)
+            events -= applied - self._applied_sent
+            self._applied_sent = applied
         out = _rows_to_batch(self.outbox)
         self.outbox = []
         dels = _deliveries_to_batch(self.deliveries)
         self.deliveries = []
+        if self.ship_ck:
+            arrivals, queues = self._live_state()
+            ck = (
+                arrivals, queues, self.link_flush(), self.busy_state(),
+                self.queue_peaks(),
+            )
+        else:
+            ck = None
         return (
             "r", out, dels, self._stats_delta(), self.sim.peek_time(),
-            self.sim.now, events, self.sim.pending,
+            self.sim.now, events, self.sim.pending, ck,
         )
 
     def _schedule_batch(self, batch: tuple) -> None:
         names = self.names
-        t, mid, node, src, dst, nb, fl = batch
+        t, mid, node, src, dst, nb, fl, meta = batch
         hop = self.net._hop
+        retransmit = self.net._retransmit
         schedule = self.sim.schedule_fast
         flow_by_enc = self.flow_by_enc
         for i in range(t.size):
+            m = int(meta[i])
             msg = Message(
                 names[int(src[i])], names[int(dst[i])], float(nb[i]),
                 flow=flow_by_enc[int(fl[i])], mid=int(mid[i]),
+                retries=m >> 2, ephemeral=bool(m & _META_EPHEMERAL),
             )
-            schedule(float(t[i]), hop, (msg, names[int(node[i])]))
+            if m & _META_RETRANSMIT:
+                # The host timeout fires here, at the source.
+                schedule(float(t[i]), retransmit, (msg,))
+            else:
+                schedule(float(t[i]), hop, (msg, names[int(node[i])]))
 
     def _stats_delta(self):
         traffic = self.net.traffic
+        faulty = self.net.faults is not None
         bh = traffic.bytes_hops - self._bh_sent
         msgs = traffic.messages - self._msgs_sent
         flows = {}
-        link_ids = self.index.link_ids
-        idx = self.index.idx
+        link_index = self.link_index
         for flow, stats in self.net._flow_traffic.items():
             sent = self._flow_sent.get(flow)
             if sent is None:
-                sent = self._flow_sent[flow] = [0.0, 0, {}]
+                sent = self._flow_sent[flow] = [0.0, 0, {}, 0, 0, 0]
             dbh = stats.bytes_hops - sent[0]
             dmsgs = stats.messages - sent[1]
-            if dbh == 0.0 and dmsgs == 0:
+            fdrops = stats.drops - sent[3]
+            fdups = stats.duplicates - sent[4]
+            fretx = stats.retransmits - sent[5]
+            if dbh == 0.0 and dmsgs == 0 and not (fdrops or fdups or fretx):
                 continue
             dl = {}
             prev = sent[2]
             for key, val in stats.per_link.items():
                 delta = val - prev.get(key, 0.0)
                 if delta:
-                    li = int(link_ids(
-                        np.asarray([idx[key[0]]]), np.asarray([idx[key[1]]])
-                    )[0])
-                    dl[li] = delta
+                    dl[link_index[key]] = delta
             sent[0] = stats.bytes_hops
             sent[1] = stats.messages
             sent[2] = dict(stats.per_link)
-            flows[self.enc_by_flow[flow]] = (dbh, dmsgs, dl)
-        if bh == 0.0 and msgs == 0 and not flows:
+            sent[3] = stats.drops
+            sent[4] = stats.duplicates
+            sent[5] = stats.retransmits
+            if faulty:
+                flows[self.enc_by_flow[flow]] = (
+                    dbh, dmsgs, dl, fdrops, fdups, fretx,
+                )
+            else:
+                flows[self.enc_by_flow[flow]] = (dbh, dmsgs, dl)
+        rel = None
+        if faulty:
+            rs = self._rel_sent
+            drops = traffic.drops - rs[0]
+            dups = traffic.duplicates - rs[1]
+            retx = traffic.retransmits - rs[2]
+            ldrops = {}
+            for key, val in traffic.link_drops.items():
+                d = val - rs[3].get(key, 0)
+                if d:
+                    ldrops[link_index[key]] = d
+            ldups = {}
+            for key, val in traffic.link_duplicates.items():
+                d = val - rs[4].get(key, 0)
+                if d:
+                    ldups[link_index[key]] = d
+            if drops or dups or retx or ldrops or ldups:
+                rel = (drops, dups, retx, ldrops, ldups)
+                rs[0] = traffic.drops
+                rs[1] = traffic.duplicates
+                rs[2] = traffic.retransmits
+                rs[3] = dict(traffic.link_drops)
+                rs[4] = dict(traffic.link_duplicates)
+        if bh == 0.0 and msgs == 0 and not flows and rel is None:
             return None
         self._bh_sent = traffic.bytes_hops
         self._msgs_sent = traffic.messages
+        if rel is not None:
+            return (bh, msgs, flows, rel)
         return (bh, msgs, flows)
 
     def queue_peaks(self):
@@ -893,10 +1510,17 @@ class _EventWorker(_WorkerBase):
             self.sim.now,
         )
 
-    def recall(self) -> tuple:
+    def _live_state(self) -> tuple[list, list]:
+        """In-flight arrivals and WFQ queue contents as numeric rows
+        (the shared core of recall and per-window checkpoints)."""
         idx = self.index.idx
-        hop = self.net._hop
-        rearm = self.net._rearm
+        net = self.net
+        hop = net._hop
+        rearm = net._rearm
+        retransmit = net._retransmit
+        faults = net.faults
+        fault_apply = faults._apply if faults is not None else None
+        fault_repair = faults._repair if faults is not None else None
         arrivals = []
         for entry in self.sim._heap:
             cb = entry[_CALLBACK]
@@ -904,15 +1528,26 @@ class _EventWorker(_WorkerBase):
                 continue
             if cb == hop:
                 msg, node = entry[_ARGS]
-                arrivals.append(
-                    (entry[_TIME], entry[_SEQ], msg.mid, idx[node])
-                )
+                arrivals.append((
+                    entry[_TIME], entry[_SEQ], msg.mid, idx[node],
+                    _msg_meta(msg),
+                ))
             elif cb == rearm:
                 continue  # re-derived from queue state
+            elif cb == retransmit:
+                # Pending host timeout: fires at the source with the
+                # already-bumped retry count.
+                (msg,) = entry[_ARGS]
+                arrivals.append((
+                    entry[_TIME], entry[_SEQ], msg.mid, idx[msg.src],
+                    _META_RETRANSMIT | (msg.retries << 2),
+                ))
+            elif cb == fault_apply or cb == fault_repair:
+                continue  # the coordinator applies its own copies
             else:  # pragma: no cover - protocol drift guard
                 raise RuntimeError(f"unexpected worker event {cb!r}")
         queues = []
-        for (a, b), queue in self.net._queues.items():
+        for (a, b), queue in net._queues.items():
             if not queue.heap:
                 continue
             tags = {
@@ -920,10 +1555,14 @@ class _EventWorker(_WorkerBase):
                 for f, tag in queue.finish_tag.items()
             }
             entries = [
-                (start, seq, msg.mid, idx[node])
+                (start, seq, msg.mid, idx[node], _msg_meta(msg))
                 for (start, seq, msg, node) in queue.heap
             ]
             queues.append((idx[a], idx[b], queue.vtime, tags, entries))
+        return arrivals, queues
+
+    def recall(self) -> tuple:
+        arrivals, queues = self._live_state()
         return (
             "rcr", arrivals, queues, self._stats_delta(), self.link_flush(),
             self.busy_state(), self.queue_peaks(), self.sim.now,
@@ -931,14 +1570,15 @@ class _EventWorker(_WorkerBase):
 
 
 def _deliveries_to_batch(rows: list[tuple]):
-    """(time, mid, node) bounce batches."""
+    """(time, mid, node, meta) bounce batches."""
     if not rows:
         return None
-    t, mid, node = zip(*rows)
+    t, mid, node, meta = zip(*rows)
     return (
         np.asarray(t, dtype=np.float64),
         np.asarray(mid, dtype=np.int64),
         np.asarray(node, dtype=np.int64),
+        np.asarray(meta, dtype=np.int64),
     )
 
 
@@ -953,7 +1593,7 @@ class _ShardNet(NetworkSimulator):
         if rt.owner[idx[node]] != rt.shard:
             rt.outbox.append((
                 time, msg.mid, idx[node], idx[msg.src], idx[msg.dst],
-                msg.nbytes, rt.enc_by_flow[msg.flow],
+                msg.nbytes, rt.enc_by_flow[msg.flow], _msg_meta(msg),
             ))
             return
         super()._schedule_hop(time, msg, node)
@@ -963,10 +1603,42 @@ class _ShardNet(NetworkSimulator):
             rt = self.runtime
             if (node, msg.flow) in rt.cb_keys or (node, None) in rt.cb_keys:
                 rt.deliveries.append(
-                    (self.sim.now, msg.mid, rt.index.idx[node])
+                    (self.sim.now, msg.mid, rt.index.idx[node],
+                     _msg_meta(msg))
                 )
             return
         super()._hop(msg, node)
+
+    def _lose(self, msg: Message) -> None:
+        rt = self.runtime
+        if rt.owner[rt.index.idx[msg.src]] == rt.shard:
+            # Local source host: the retransmission timeout fires in
+            # this shard's own event loop.
+            super()._lose(msg)
+            return
+        # Non-local source: replicate the host bookkeeping exactly,
+        # then hand the timeout event to the source's owner through the
+        # outbox (it fires at now + timeout >= now + lookahead, so it
+        # is never late).
+        if self._dead_flows and msg.flow in self._dead_flows:
+            return
+        self._count(msg, "drops")
+        if msg.ephemeral:
+            return      # a lost duplicate; the original recovers itself
+        if msg.retries >= self.max_retransmits:
+            raise UnreachableError(
+                f"chunk {msg.src} -> {msg.dst} (flow {msg.flow!r}) lost "
+                f"{msg.retries} retransmissions in a row; destination "
+                "unreachable (persistent failure or partition)"
+            )
+        msg.retries += 1
+        idx = rt.index.idx
+        rt.outbox.append((
+            self.sim.now + self.retransmit_timeout_ns, msg.mid,
+            idx[msg.src], idx[msg.src], idx[msg.dst], msg.nbytes,
+            rt.enc_by_flow[msg.flow],
+            _META_RETRANSMIT | (msg.retries << 2),
+        ))
 
 
 class _VectorWorker(_WorkerBase):
@@ -1011,10 +1683,59 @@ class _VectorWorker(_WorkerBase):
             for f in coord._dead_flows
             if f in self.enc_by_flow
         }
-        # Per-flow accounting [bytes_hops, messages, {link: bytes}].
+        # Per-flow accounting [bytes_hops, messages, {link: bytes},
+        # drops, duplicates, retransmits].
         self.flow_acc: dict = {}
         self._bh = 0.0
         self._nmsg = 0
+        # Checkpoint supervision: every mine-generated row this window.
+        self.ck_mine: list = []
+        # -- fault replay state (armed schedules only) ------------------
+        faults = coord.faults
+        self.faulty = faults is not None
+        if self.faulty:
+            self.fsalt = faults._salt
+            self.retx_timeout = coord.retransmit_timeout_ns
+            self.max_retx = coord.max_retransmits
+            # Absolute per-link message counters: the roll key.  Rolls
+            # read the post-increment counter, exactly like
+            # ``Link.transmit`` + ``FaultInjector.roll``.
+            self.nmsg_roll = self.snap_msgs.copy()
+            self.link_fault: dict[int, object] = {}
+            self.link_down = np.fromiter(
+                (ln.failed for ln in self.links), np.bool_, len(self.links)
+            )
+            self.node_failed = np.zeros(index.n_nodes, np.bool_)
+            for s in self.topology._failed_switches:
+                self.node_failed[index.idx[s]] = True
+            # Apply/repair timeline, fired lazily before the next row at
+            # or past each transition (priority-0 semantics: an event at
+            # t beats a row at t).  Applies sort before repairs at equal
+            # instants, matching the coordinator's schedule order.
+            now0 = coord.sim.now
+            timeline: list[tuple] = []
+            for i, spec in enumerate(faults.specs):
+                at = max(spec.at, now0)
+                timeline.append((at, 0, (0.0, i), spec))
+                if spec.duration_ns is not None:
+                    # Repairs at equal instants fire in the order their
+                    # applies did — the sequential heap assigns a repair
+                    # its sequence number when the apply executes.
+                    timeline.append(
+                        (at + spec.duration_ns, 1, (at, i), spec)
+                    )
+            timeline.sort(key=lambda e: (e[0], e[1], e[2]))
+            self.fault_timeline = timeline
+            self.fault_i = 0
+            # Scalar event loop state: a (t, mid, ...) row heap for the
+            # current window plus the rows parked past it.
+            self._fheap: list = []
+            self._frest: list = []
+            self._fdels: list = []
+            self._fout: list = []
+            # Reliability counters since last delta:
+            # [drops, dups, retransmits, {li: drops}, {li: dups}].
+            self.rel = [0, 0, 0, {}, {}]
 
     # -- control hooks -------------------------------------------------
     def _rebuild_cb(self) -> None:
@@ -1046,14 +1767,19 @@ class _VectorWorker(_WorkerBase):
         if batch is not None:
             self.pend = _concat_batches([self.pend, batch])
         start_events = self.events
-        while self.pend is not None:
-            take = self.pend[0] < stop
-            if not take.any():
-                break
-            rows = _mask_batch(self.pend, take)
-            rest = ~take
-            self.pend = _mask_batch(self.pend, rest) if rest.any() else None
-            self._process(rows)
+        if self.faulty:
+            self._window_faulty(stop)
+        else:
+            while self.pend is not None:
+                take = self.pend[0] < stop
+                if not take.any():
+                    break
+                rows = _mask_batch(self.pend, take)
+                rest = ~take
+                self.pend = (
+                    _mask_batch(self.pend, rest) if rest.any() else None
+                )
+                self._process(rows)
         out = _concat_batches(self.outbox) if self.outbox else None
         self.outbox = []
         dels = _concat_batches(self.deliveries) if self.deliveries else None
@@ -1063,13 +1789,21 @@ class _VectorWorker(_WorkerBase):
             npend = int(self.pend[0].size)
         else:
             next_t, npend = None, 0
+        if self.ship_ck:
+            ck = (
+                _concat_batches(self.ck_mine) if self.ck_mine else None,
+                None, self.link_flush(), self.busy_state(), None,
+            )
+            self.ck_mine = []
+        else:
+            ck = None
         return (
             "r", out, dels, self._stats_delta(), next_t, self.now,
-            self.events - start_events, npend,
+            self.events - start_events, npend, ck,
         )
 
     def _process(self, rows: tuple) -> None:
-        t, mid, node, src, dst, nb, fl = rows
+        t, mid, node, src, dst, nb, fl, meta = rows
         self.events += int(t.size)
         last = float(t.max())
         if last > self.now:
@@ -1079,8 +1813,8 @@ class _VectorWorker(_WorkerBase):
                 fl, np.fromiter(self.dead_encs, np.int64, len(self.dead_encs))
             )
             if not alive.all():
-                t, mid, node, src, dst, nb, fl = (
-                    c[alive] for c in (t, mid, node, src, dst, nb, fl)
+                t, mid, node, src, dst, nb, fl, meta = (
+                    c[alive] for c in (t, mid, node, src, dst, nb, fl, meta)
                 )
                 if t.size == 0:
                     return
@@ -1089,13 +1823,15 @@ class _VectorWorker(_WorkerBase):
             bounce = deliver & self.has_cb[node]
             nbounce = int(bounce.sum())
             if nbounce:
-                self.deliveries.append((t[bounce], mid[bounce], node[bounce]))
+                self.deliveries.append(
+                    (t[bounce], mid[bounce], node[bounce], meta[bounce])
+                )
                 self.events -= nbounce  # executed coordinator-side
             keep = ~deliver
             if not keep.any():
                 return
-            t, mid, node, src, dst, nb, fl = (
-                c[keep] for c in (t, mid, node, src, dst, nb, fl)
+            t, mid, node, src, dst, nb, fl, meta = (
+                c[keep] for c in (t, mid, node, src, dst, nb, fl, meta)
             )
         nxt = self._route(node, dst)
         li = self.index.link_ids(node, nxt)
@@ -1135,14 +1871,254 @@ class _VectorWorker(_WorkerBase):
         arr[order] = fin + self.latency[li_s]
         ow = self.owner[nxt]
         mine = ow == self.shard
-        out_rows = (arr, mid, nxt, src, dst, nb, fl)
+        out_rows = (arr, mid, nxt, src, dst, nb, fl, meta)
         if mine.any():
-            self.pend = _concat_batches(
-                [self.pend, _mask_batch(out_rows, mine)]
-            )
+            mine_rows = _mask_batch(out_rows, mine)
+            if self.ship_ck:
+                self.ck_mine.append(mine_rows)
+            self.pend = _concat_batches([self.pend, mine_rows])
         away = ~mine
         if away.any():
             self.outbox.append(_mask_batch(out_rows, away))
+
+    # -- fault replay: scalar per-row engine ----------------------------
+    def _window_faulty(self, stop: float) -> None:
+        """Window execution under an armed fault schedule.
+
+        Faults break the batch model (each row may roll loss or
+        duplication, and the rolls consume per-link counters in event
+        order), so the window runs as a scalar mini event loop over a
+        ``(t, mid)``-ordered row heap — the same order the batch path's
+        lexsort established, so fault-free prefixes stay bitwise
+        identical.  Apply/repair transitions fire lazily before the
+        first row at or past their instant (priority-0 semantics).
+        """
+        self._fstop = stop
+        heap = self._fheap
+        if self.pend is not None:
+            take = self.pend[0] < stop
+            if take.any():
+                rows = _mask_batch(self.pend, take)
+                rest = ~take
+                self.pend = (
+                    _mask_batch(self.pend, rest) if rest.any() else None
+                )
+                cols = tuple(
+                    col.tolist() for col in rows
+                )
+                for row in zip(*cols):
+                    heapq.heappush(heap, row)
+        timeline = self.fault_timeline
+        ntl = len(timeline)
+        while heap:
+            t = heap[0][0]
+            while self.fault_i < ntl and timeline[self.fault_i][0] <= t:
+                self._fire_fault(timeline[self.fault_i])
+                self.fault_i += 1
+            self._exec_row(*heapq.heappop(heap))
+        if self._frest:
+            rest = _rows_to_batch(self._frest)
+            self._frest = []
+            if self.ship_ck:
+                self.ck_mine.append(rest)
+            self.pend = _concat_batches([self.pend, rest])
+        if self._fdels:
+            self.deliveries.append(_deliveries_to_batch(self._fdels))
+            self._fdels = []
+        if self._fout:
+            self.outbox.append(_rows_to_batch(self._fout))
+            self._fout = []
+
+    def _exec_row(
+        self, t: float, mid: int, node: int, src: int, dst: int,
+        nb: float, fl: int, meta: int,
+    ) -> None:
+        if t > self.now:
+            self.now = t
+        self.events += 1
+        if fl in self.dead_encs:
+            return
+        if meta & _META_RETRANSMIT:
+            # Host timeout firing at the source: count, then hop.
+            meta &= ~_META_RETRANSMIT
+            self._count_rel(fl, 2)
+        if node == dst:
+            if self.has_cb[node]:
+                self._fdels.append((t, mid, node, meta))
+                self.events -= 1  # executed coordinator-side
+            return
+        if node != src and self.node_failed[node]:
+            # Dead switch swallows the chunk (no link attribution).
+            self._lose_row(t, mid, src, dst, nb, fl, meta)
+            return
+        nxt = self._route_one(node, dst)
+        li = self.link_index[(self.names[node], self.names[nxt])]
+        if self.link_down[li]:
+            self._count_link_rel(li, 3)
+            self._lose_row(t, mid, src, dst, nb, fl, meta)
+            return
+        fault = self.link_fault.get(li)
+        # Mirror Link.transmit's float chain (and counter bumps) bit
+        # for bit.
+        rate = self.rate[li]
+        if fault is not None and fault.kind == "slow":
+            rate = rate / fault.slow_factor
+        busy = self.busy[li]
+        start = t if t > busy else busy
+        fin = start + nb / rate
+        self.busy[li] = fin
+        self.nmsg_roll[li] += 1
+        self.acc_bytes[li] += nb
+        self.acc_msgs[li] += 1
+        self._bh += nb
+        self._nmsg += 1
+        if fl:
+            stats = self._flow_entry(fl)
+            stats[0] += nb
+            stats[1] += 1
+            stats[2][li] = stats[2].get(li, 0.0) + nb
+        arr = fin + self.latency[li]
+        if fault is not None and fault.kind == "lossy":
+            if fault.loss_rate and self._roll(li, "drop", fault.loss_rate):
+                self._count_link_rel(li, 3)
+                self._lose_row(t, mid, src, dst, nb, fl, meta)
+                return
+            if fault.duplicate_rate and self._roll(
+                li, "dup", fault.duplicate_rate
+            ):
+                self._count_link_rel(li, 4)
+                self._count_rel(fl, 1)
+                self._emit_row(
+                    arr + self.latency[li], mid, nxt, src, dst, nb, fl,
+                    meta | _META_EPHEMERAL,
+                )
+        self._emit_row(arr, mid, nxt, src, dst, nb, fl, meta)
+
+    def _lose_row(
+        self, t: float, mid: int, src: int, dst: int, nb: float,
+        fl: int, meta: int,
+    ) -> None:
+        self._count_rel(fl, 0)
+        if meta & _META_EPHEMERAL:
+            return      # a lost duplicate; the original recovers itself
+        retries = meta >> 2
+        if retries >= self.max_retx:
+            raise UnreachableError(
+                f"chunk {self.names[src]} -> {self.names[dst]} (flow enc "
+                f"{fl}) lost {retries} retransmissions in a row; "
+                "destination unreachable (persistent failure or partition)"
+            )
+        self._emit_row(
+            t + self.retx_timeout, mid, src, src, dst, nb, fl,
+            _META_RETRANSMIT | ((retries + 1) << 2),
+        )
+
+    def _emit_row(
+        self, t: float, mid: int, node: int, src: int, dst: int,
+        nb: float, fl: int, meta: int,
+    ) -> None:
+        if self.owner[node] == self.shard:
+            row = (t, mid, node, src, dst, nb, fl, meta)
+            if t < self._fstop:
+                # Executes this window; the checkpoint mirror only needs
+                # rows that survive past the stop (``_frest``).
+                heapq.heappush(self._fheap, row)
+            else:
+                self._frest.append(row)
+        else:
+            self._fout.append((t, mid, node, src, dst, nb, fl, meta))
+
+    def _count_rel(self, fl: int, slot: int) -> None:
+        """Run-level reliability counter bump (slot 0 drops, 1
+        duplicates, 2 retransmits) with per-flow attribution."""
+        self.rel[slot] += 1
+        if fl:
+            self._flow_entry(fl)[3 + slot] += 1
+
+    def _count_link_rel(self, li: int, slot: int) -> None:
+        """Per-link attribution (slot 3 link_drops, 4 link_dups)."""
+        table = self.rel[slot]
+        table[li] = table.get(li, 0) + 1
+
+    def _flow_entry(self, fl: int) -> list:
+        stats = self.flow_acc.get(fl)
+        if stats is None:
+            stats = self.flow_acc[fl] = [0.0, 0, {}, 0, 0, 0]
+        return stats
+
+    def _roll(self, li: int, what: str, rate: float) -> bool:
+        a, b = self.index.link_keys[li]
+        return stable_hash(
+            a, b, int(self.nmsg_roll[li]), what, salt=self.fsalt
+        ) < rate * _HASH_SPAN
+
+    def _route_one(self, node: int, dst: int) -> int:
+        key = node * self.index.n_nodes + dst
+        hop = self.route_memo.get(key)
+        if hop is None:
+            names = self.names
+            try:
+                hop = self.index.idx[
+                    self.router.next_hop(names[node], names[dst])
+                ]
+            except ValueError as exc:
+                raise UnreachableError(
+                    f"no route {names[node]} -> {names[dst]}: the "
+                    "injected failures partitioned the network "
+                    f"({exc})"
+                ) from exc
+            self.route_memo[key] = hop
+        return hop
+
+    def _spec_link_ids(self, spec) -> list[int]:
+        if spec.link == "*":
+            return list(range(len(self.links)))
+        a, b = spec.link
+        out = []
+        for key in ((a, b), (b, a)):
+            li = self.link_index.get(key)
+            if li is not None:
+                out.append(li)
+        return out
+
+    def _fire_fault(self, ev: tuple) -> None:
+        _at, phase, _n, spec = ev
+        topo = self.topology
+        if phase == 0:
+            if spec.switch is not None:
+                topo.fail_switch(spec.switch)
+                self._sync_topology_state()
+            elif spec.kind == "down":
+                topo.fail_link(*spec.link)
+                self._sync_topology_state()
+            else:
+                fault = spec.link_fault()
+                for li in self._spec_link_ids(spec):
+                    self.link_fault[li] = fault
+        else:
+            if spec.switch is not None:
+                topo.repair_switch(spec.switch)
+                self._sync_topology_state()
+            elif spec.kind == "down":
+                topo.repair_link(*spec.link)
+                self._sync_topology_state()
+            else:
+                for li in self._spec_link_ids(spec):
+                    fault = self.link_fault.get(li)
+                    if fault is not None and fault.kind == spec.kind:
+                        del self.link_fault[li]
+
+    def _sync_topology_state(self) -> None:
+        """Recompute failure masks from the (just mutated) topology
+        copy and drop the route memo — outage transitions are rare, so
+        a full refresh keeps the hot path branch-free."""
+        self.link_down = np.fromiter(
+            (ln.failed for ln in self.links), np.bool_, len(self.links)
+        )
+        self.node_failed[:] = False
+        for s in self.topology._failed_switches:
+            self.node_failed[self.index.idx[s]] = True
+        self.route_memo.clear()
 
     def _route(self, node: np.ndarray, dst: np.ndarray) -> np.ndarray:
         if self.vec_routing:
@@ -1179,16 +2155,21 @@ class _VectorWorker(_WorkerBase):
 
     def _stats_delta(self):
         bh, nmsg = self._bh, self._nmsg
-        flows = {
-            enc: (fbh, fmsgs, links)
-            for enc, (fbh, fmsgs, links) in self.flow_acc.items()
-        }
+        flows = {enc: tuple(stats) for enc, stats in self.flow_acc.items()}
         self.flow_acc = {}
         self._bh = 0.0
         self._nmsg = 0
-        if bh == 0.0 and nmsg == 0 and not flows:
+        rel = None
+        if self.faulty:
+            drops, dups, retx, ldrops, ldups = self.rel
+            if drops or dups or retx or ldrops or ldups:
+                rel = (drops, dups, retx, ldrops, ldups)
+                self.rel = [0, 0, 0, {}, {}]
+        if bh == 0.0 and nmsg == 0 and not flows and rel is None:
             return None
-        return (bh, nmsg, flows)
+        if rel is None:
+            return (bh, nmsg, flows)
+        return (bh, nmsg, flows, rel)
 
     # -- quiescence / recall -------------------------------------------
     def link_flush(self):
@@ -1217,13 +2198,16 @@ class _VectorWorker(_WorkerBase):
     def recall(self) -> tuple:
         arrivals = []
         if self.pend is not None:
-            t, mid, node = self.pend[0], self.pend[1], self.pend[2]
+            t, mid, node, meta = (
+                self.pend[0], self.pend[1], self.pend[2], self.pend[7]
+            )
             order = np.lexsort((mid, t))
             # mid is creation order — it stands in for the heap seq.
             for i in order:
-                arrivals.append(
-                    (float(t[i]), int(mid[i]), int(mid[i]), int(node[i]))
-                )
+                arrivals.append((
+                    float(t[i]), int(mid[i]), int(mid[i]), int(node[i]),
+                    int(meta[i]),
+                ))
         return (
             "rcr", arrivals, [], self._stats_delta(), self.link_flush(),
             self.busy_state(), None, self.now,

@@ -89,8 +89,8 @@ class TrafficStats:
     #: Per-link reliability attribution (fault-injection runs):
     #: (src, dst) -> count.  Dead-switch swallows have no link and stay
     #: in the run-level ``drops`` only, so ``sum(link_drops.values())
-    #: <= drops``.  Fault runs always recall shards to the sequential
-    #: engine, so these never need cross-shard merging.
+    #: <= drops``.  Sharded fault runs merge these from worker deltas
+    #: (integer counts keyed per link, so the merge is order-free).
     link_drops: dict = field(default_factory=dict)
     link_duplicates: dict = field(default_factory=dict)
 
@@ -177,6 +177,12 @@ class NetworkSimulator:
     arrival-order serialization) or ``"wfq"`` (weighted start-time-fair
     queueing across flows).
     """
+
+    #: Injector class :meth:`arm_faults` instantiates.  The sharded
+    #: engine substitutes a coordinator-aware subclass that mirrors
+    #: armed specs into the worker shards and mutes the coordinator's
+    #: redundant topology broadcasts.
+    _fault_injector_cls = FaultInjector
 
     def __init__(
         self,
@@ -313,7 +319,7 @@ class NetworkSimulator:
         path where loss, duplication and retransmission are exact.
         """
         if self.faults is None:
-            self.faults = FaultInjector(self, seed=seed or 0)
+            self.faults = self._fault_injector_cls(self, seed=seed or 0)
             self.fast_path = False
             self._next_hop_cache = None
         elif seed is not None:
@@ -490,7 +496,7 @@ class NetworkSimulator:
                 self._count(msg, "duplicates")
                 dup = Message(
                     msg.src, msg.dst, msg.nbytes, msg.tag, msg.payload,
-                    msg.flow, ephemeral=True,
+                    msg.flow, ephemeral=True, mid=msg.mid,
                 )
                 self._schedule_hop(arrival + link.latency_ns, dup, next_node)
         self._schedule_hop(arrival, msg, next_node)

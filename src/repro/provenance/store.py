@@ -12,7 +12,7 @@ streaming incremental rows) stays queryable after every process exits::
     flare-repro prov list --db provenance.db
     flare-repro prov diff run-ab12 run-cd34 --db provenance.db
 
-Schema (version 2)
+Schema (version 3)
 ------------------
 * ``meta(key, value)`` — schema version and bookkeeping.
 * ``runs`` — one row per recorded run: identity (run id, git SHA,
@@ -26,6 +26,12 @@ Schema (version 2)
 * ``energy(run_id, scope, component, joules)`` — the energy model's
   output per run (scope ``"run"``) and per tenant (``"tenant:<name>"``);
   added by the version 1 → 2 migration.
+* ``degradations(run_id, seq, sim_time_ns, event, reason,
+  detail_json)`` — engine degradation events (a sharded run losing a
+  worker and recovering sequentially, a fault schedule recalled to the
+  coordinator): results stay bitwise identical, so this table is the
+  only record that a run did not execute the way it was configured to.
+  Added by the version 2 → 3 migration.
 
 Writes are idempotent upserts keyed on the run id, which is what lets
 :class:`~repro.provenance.recorder.ProvenanceRecorder` stream the same
@@ -38,9 +44,10 @@ import json
 import sqlite3
 from typing import Iterable, Optional
 
-#: Current schema version.  Version 1 lacked the ``energy`` table;
-#: :data:`_MIGRATIONS` upgrades older files in place on open.
-SCHEMA_VERSION = 2
+#: Current schema version.  Version 1 lacked the ``energy`` table,
+#: version 2 the ``degradations`` table; :data:`_MIGRATIONS` upgrades
+#: older files in place on open.
+SCHEMA_VERSION = 3
 
 _DDL_V1 = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -91,6 +98,18 @@ CREATE TABLE IF NOT EXISTS energy (
 );
 """
 
+_DDL_DEGRADATIONS = """
+CREATE TABLE IF NOT EXISTS degradations (
+    run_id      TEXT NOT NULL,
+    seq         INTEGER NOT NULL,
+    sim_time_ns REAL,
+    event       TEXT NOT NULL,
+    reason      TEXT,
+    detail_json TEXT,
+    PRIMARY KEY (run_id, seq)
+);
+"""
+
 #: Column order of the ``runs`` table (minus the primary key), used by
 #: the upsert; values default to None when a run row omits them.
 _RUN_COLUMNS = (
@@ -105,7 +124,12 @@ def _migrate_1_to_2(conn: sqlite3.Connection) -> None:
     conn.executescript(_DDL_ENERGY)
 
 
-_MIGRATIONS = {1: _migrate_1_to_2}
+def _migrate_2_to_3(conn: sqlite3.Connection) -> None:
+    """Version 2 predates degradation events: add their table."""
+    conn.executescript(_DDL_DEGRADATIONS)
+
+
+_MIGRATIONS = {1: _migrate_1_to_2, 2: _migrate_2_to_3}
 
 
 class ProvenanceStore:
@@ -134,6 +158,7 @@ class ProvenanceStore:
         if row is None:
             # Fresh database: write the full current schema.
             conn.executescript(_DDL_ENERGY)
+            conn.executescript(_DDL_DEGRADATIONS)
             conn.execute(
                 "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
                 (str(SCHEMA_VERSION),),
@@ -217,12 +242,31 @@ class ProvenanceStore:
         )
         self._conn.commit()
 
+    def upsert_degradations(self, run_id: str, rows: Iterable[tuple]) -> None:
+        """``rows`` are ``(seq, sim_time_ns, event, reason,
+        detail_json)`` tuples, idempotent per (run, seq)."""
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO degradations "
+            "(run_id, seq, sim_time_ns, event, reason, detail_json) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            [
+                (
+                    run_id, int(seq),
+                    None if t is None else float(t),
+                    event, reason, detail,
+                )
+                for seq, t, event, reason, detail in rows
+            ],
+        )
+        self._conn.commit()
+
     def record_run(
         self,
         run_row: dict,
         switch_rows: Iterable[tuple] = (),
         link_rows: Iterable[tuple] = (),
         energy_rows: Iterable[tuple] = (),
+        degradation_rows: Iterable[tuple] = (),
     ) -> None:
         """Write one complete run (row + all counter families) at once."""
         self.upsert_run(run_row)
@@ -230,6 +274,7 @@ class ProvenanceStore:
         self.upsert_switch_counters(run_id, switch_rows)
         self.upsert_link_counters(run_id, link_rows)
         self.upsert_energy(run_id, energy_rows)
+        self.upsert_degradations(run_id, degradation_rows)
 
     # ------------------------------------------------------------------
     # Reading
@@ -302,6 +347,27 @@ class ProvenanceStore:
             "WHERE run_id = ? ORDER BY scope, component", (run_id,)
         ):
             out.setdefault(row["scope"], {})[row["component"]] = row["joules"]
+        return out
+
+    def degradations(self, run_id: str) -> list[dict]:
+        """Recorded degradation events for one run, in order."""
+        out = []
+        for row in self._conn.execute(
+            "SELECT seq, sim_time_ns, event, reason, detail_json "
+            "FROM degradations WHERE run_id = ? ORDER BY seq", (run_id,)
+        ):
+            entry = {
+                "seq": row["seq"],
+                "sim_time_ns": row["sim_time_ns"],
+                "event": row["event"],
+                "reason": row["reason"],
+            }
+            if row["detail_json"]:
+                try:
+                    entry["detail"] = json.loads(row["detail_json"])
+                except (TypeError, ValueError):
+                    entry["detail"] = None
+            out.append(entry)
         return out
 
     # ------------------------------------------------------------------

@@ -32,6 +32,7 @@ service mode bitwise/makespan-identical in the single-tenant limit
 from __future__ import annotations
 
 import json
+import os
 from typing import Optional
 
 from repro.comm.fabric import Fabric
@@ -45,6 +46,16 @@ from repro.service.workload import Job
 #: running collectives finish).  ``switch_down`` is not one: the fabric
 #: replans or falls back immediately rather than waiting for repair.
 QUEUEABLE_RESOURCES = frozenset({"slots", "memory", "quota"})
+
+#: Version of the service-checkpoint file schema.  Bump on changes.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+#: The mutable :class:`~repro.service.workload.Job` fields a checkpoint
+#: carries (everything else is re-derived from the workload source).
+_JOB_STATE_FIELDS = (
+    "hosts", "iterations_done", "status", "queue_waits_ns",
+    "iteration_times_ns", "first_issue_ns", "finish_ns",
+)
 
 
 class FabricService:
@@ -66,6 +77,12 @@ class FabricService:
         Admission-queue discipline, ``"wfq"`` (default) or ``"fifo"``.
     snapshot_interval_ns:
         Period of rolling SLO snapshots (None = final report only).
+    checkpoint_path:
+        When set, every *quiescent* snapshot tick (no collective in
+        flight) atomically rewrites this file with a crash-consistent
+        checkpoint; ``run(resume=True)`` restarts a killed run from it
+        and reproduces the uninterrupted run's remaining SLO snapshots
+        (requires ``snapshot_interval_ns``).
     """
 
     def __init__(
@@ -76,12 +93,25 @@ class FabricService:
         scheduler="pack",
         queue_policy: str = "wfq",
         snapshot_interval_ns: Optional[float] = None,
+        checkpoint_path: Optional[str] = None,
     ) -> None:
         self.fabric = fabric
         self.workload = workload
         self.scheduler = build_scheduler(scheduler)
         self.queue = AdmissionQueue(queue_policy)
         self.snapshot_interval_ns = snapshot_interval_ns
+        if checkpoint_path is not None and not snapshot_interval_ns:
+            raise ValueError(
+                "checkpointing piggybacks on snapshot ticks; set "
+                "snapshot_interval_ns"
+            )
+        self.checkpoint_path = checkpoint_path
+        self.checkpoints_written = 0
+        #: job_id -> absolute fire time of a pending inter-iteration
+        #: gap timer (the only service-owned events besides arrivals
+        #: and ticks — a checkpoint must re-arm them).
+        self._gap_timers: dict[int, float] = {}
+        self._jobs_by_id: dict[int, Job] = {}
         self.stats = SLOStats(
             {name: cls.weight for name, cls in workload.classes.items()}
         )
@@ -93,28 +123,170 @@ class FabricService:
         }
         self._open_jobs = 0
         self._arrivals_remaining = 0
+        #: Iterations issued but not yet settled.  ``fabric.in_flight``
+        #: cannot stand in for this: closed-form plans execute
+        #: atomically at issue time (the completion callback fires via
+        #: a *scheduled* event), so the fabric's pending set is empty
+        #: while a modeled collective is still occupying wire time.
+        self._inflight_iterations = 0
         self._draining = False
         fabric.on_pool_release(self._on_pool_release)
 
     # ------------------------------------------------------------------
     # Run
     # ------------------------------------------------------------------
-    def run(self, slo_out: Optional[str] = None) -> dict:
+    def run(
+        self, slo_out: Optional[str] = None, *, resume: bool = False
+    ) -> dict:
         """Replay the workload to completion; returns the SLO report.
 
         Jobs that can never be admitted (demand exceeding the total
         pool) are reported under ``starved_jobs`` instead of hanging
         the loop — the CI smoke gate fails on any.
+
+        With ``resume=True`` and an existing :attr:`checkpoint_path`
+        file, the run restarts from the last checkpoint instead of the
+        beginning (a missing file degrades to a fresh run, so the same
+        command line works before and after a crash).
         """
         jobs = self.workload.jobs()
-        self._arrivals_remaining = len(jobs)
+        self._jobs_by_id = {job.job_id: job for job in jobs}
         sim = self.fabric.sim
-        for job in jobs:
-            sim.schedule_at(job.arrival_ns, self._on_arrival, job)
-        if self.snapshot_interval_ns:
-            sim.schedule_at(self.snapshot_interval_ns, self._tick)
+        state = None
+        if resume:
+            if self.checkpoint_path is None:
+                raise ValueError("resume=True needs a checkpoint_path")
+            if os.path.exists(self.checkpoint_path):
+                with open(self.checkpoint_path) as fh:
+                    state = json.load(fh)
+                version = state.get("schema_version")
+                if version != CHECKPOINT_SCHEMA_VERSION:
+                    raise ValueError(
+                        f"checkpoint schema_version {version!r} "
+                        f"unsupported; this engine speaks version "
+                        f"{CHECKPOINT_SCHEMA_VERSION}"
+                    )
+        if state is None:
+            self._arrivals_remaining = len(jobs)
+            for job in jobs:
+                sim.schedule_at(job.arrival_ns, self._on_arrival, job)
+            if self.snapshot_interval_ns:
+                sim.schedule_at(self.snapshot_interval_ns, self._tick)
+        else:
+            self._restore(state)
         self.fabric.run()
         return self._final_report(slo_out)
+
+    # ------------------------------------------------------------------
+    # Crash-consistent checkpoints
+    # ------------------------------------------------------------------
+    def _write_checkpoint(self) -> None:
+        """Atomically rewrite the checkpoint file (tmp + rename).
+
+        Called only at quiescent ticks (``in_flight == 0``), where the
+        service's entire future is: undelivered arrivals (re-derived
+        from the workload), pending gap timers, queued iterations, and
+        the accumulated stats — all of it JSON-serializable.
+        """
+        tr = self.fabric.net.traffic
+        state = {
+            "schema_version": CHECKPOINT_SCHEMA_VERSION,
+            "now_ns": self.fabric.now,
+            "workload_seed": getattr(self.workload, "seed", None),
+            "open_jobs": self._open_jobs,
+            "arrivals_remaining": self._arrivals_remaining,
+            "occupancy": dict(self.occupancy),
+            "gap_timers": {
+                str(job_id): t for job_id, t in self._gap_timers.items()
+            },
+            "jobs": {
+                str(job.job_id): {
+                    field: (
+                        list(getattr(job, field))
+                        if isinstance(getattr(job, field), (list, tuple))
+                        else getattr(job, field)
+                    )
+                    for field in _JOB_STATE_FIELDS
+                }
+                for job in self._jobs_by_id.values()
+                if job.status != "pending"
+            },
+            "queue": self.queue.to_state(),
+            "stats": self.stats.to_state(),
+            "traffic": {
+                "bytes_hops": tr.bytes_hops,
+                "messages": tr.messages,
+                "drops": tr.drops,
+                "duplicates": tr.duplicates,
+                "retransmits": tr.retransmits,
+                "per_link": [
+                    [a, b, v] for (a, b), v in tr.per_link.items()
+                ],
+                "link_drops": [
+                    [a, b, v] for (a, b), v in tr.link_drops.items()
+                ],
+                "link_duplicates": [
+                    [a, b, v] for (a, b), v in tr.link_duplicates.items()
+                ],
+            },
+        }
+        tmp = f"{self.checkpoint_path}.tmp"
+        with open(tmp, "w") as fh:
+            json.dump(state, fh)
+        os.replace(tmp, self.checkpoint_path)
+        self.checkpoints_written += 1
+
+    def _restore(self, state: dict) -> None:
+        """Rebuild service + job state from a checkpoint and fast-
+        forward the fabric clock to the checkpointed tick."""
+        sim = self.fabric.sim
+        t0 = float(state["now_ns"])
+        sim.now = t0
+        arrived: set[int] = set()
+        for job_id_s, jstate in state["jobs"].items():
+            job = self._jobs_by_id[int(job_id_s)]
+            arrived.add(job.job_id)
+            for field in _JOB_STATE_FIELDS:
+                value = jstate[field]
+                if field == "hosts" and value is not None:
+                    value = tuple(value)
+                elif field in ("queue_waits_ns", "iteration_times_ns"):
+                    value = [float(x) for x in value]
+                setattr(job, field, value)
+        self._open_jobs = int(state["open_jobs"])
+        self._arrivals_remaining = int(state["arrivals_remaining"])
+        self.occupancy = {
+            h: int(n) for h, n in state["occupancy"].items()
+        }
+        for job in self._jobs_by_id.values():
+            if job.job_id not in arrived:
+                sim.schedule_at(job.arrival_ns, self._on_arrival, job)
+        for job_id_s, t in state["gap_timers"].items():
+            job = self._jobs_by_id[int(job_id_s)]
+            self._gap_timers[job.job_id] = float(t)
+            sim.schedule_at(float(t), self._start_iteration, job)
+        self.queue.from_state(
+            state["queue"], lambda job_id: self._jobs_by_id[job_id]
+        )
+        self.stats.from_state(state["stats"])
+        tr = self.fabric.net.traffic
+        ts = state["traffic"]
+        tr.bytes_hops = float(ts["bytes_hops"])
+        tr.messages = int(ts["messages"])
+        tr.drops = int(ts["drops"])
+        tr.duplicates = int(ts["duplicates"])
+        tr.retransmits = int(ts["retransmits"])
+        tr.per_link.update(
+            {(a, b): float(v) for a, b, v in ts["per_link"]}
+        )
+        tr.link_drops.update(
+            {(a, b): int(v) for a, b, v in ts["link_drops"]}
+        )
+        tr.link_duplicates.update(
+            {(a, b): int(v) for a, b, v in ts["link_duplicates"]}
+        )
+        if self.snapshot_interval_ns:
+            sim.schedule_at(t0 + self.snapshot_interval_ns, self._tick)
 
     def _final_report(self, slo_out: Optional[str]) -> dict:
         starved = [
@@ -193,6 +365,7 @@ class FabricService:
 
     def _start_iteration(self, job: Job) -> None:
         """An iteration is ready: admit now or park in the queue."""
+        self._gap_timers.pop(job.job_id, None)
         comm = self._comms[job.tenant_class]
         kwargs = self._request_kwargs(job)
         plan = comm.plan(nbytes=job.nbytes, **kwargs)
@@ -243,11 +416,13 @@ class FabricService:
                 reason=getattr(exc, "resource", "unknown"),
             )
             return
+        self._inflight_iterations += 1
         future.add_done_callback(
             lambda fut: self._on_iteration_done(job, ready_ns, fut.result())
         )
 
     def _on_iteration_done(self, job: Job, ready_ns: float, result) -> None:
+        self._inflight_iterations -= 1
         now = self.fabric.now
         duration = now - ready_ns           # queue wait + execution
         job.iteration_times_ns.append(duration)
@@ -266,6 +441,7 @@ class FabricService:
             retransmits=int(result.extra.get("retransmits") or 0),
         )
         if job.iterations_done < job.iterations:
+            self._gap_timers[job.job_id] = now + job.gap_ns
             self.fabric.sim.schedule_at(
                 now + job.gap_ns, self._start_iteration, job
             )
@@ -310,16 +486,25 @@ class FabricService:
             self.fabric.now,
             queue=self.queue,
             cache_info=self.cache_info(),
-            extra={"in_flight": self.fabric.in_flight},
+            extra={"in_flight": self._inflight_iterations},
         )
         # Stream incremental provenance on each snapshot tick, so a
         # long service run's DB is queryable while it is still going.
         if self.fabric.provenance is not None:
             self.fabric.provenance.tick()
+        # Quiescent tick: no iteration holds wire time, so every open
+        # job is either queued or parked on a gap timer — the service
+        # state is a closed JSON-serializable set.  Checkpoint it.
+        if (
+            self.checkpoint_path is not None
+            and self._inflight_iterations == 0
+            and self.fabric.in_flight == 0
+        ):
+            self._write_checkpoint()
         # Reschedule only while progress is still possible; a tick that
         # kept rescheduling past the last completion would hold the
         # event loop open forever.
-        if self._arrivals_remaining > 0 or self.fabric.in_flight > 0:
+        if self._arrivals_remaining > 0 or self._open_jobs > 0:
             self.fabric.sim.schedule_at(
                 self.fabric.now + self.snapshot_interval_ns, self._tick
             )

@@ -115,3 +115,60 @@ class AdmissionQueue:
 
     def waiting(self) -> list[QueuedJob]:
         return list(self._items)
+
+    # ------------------------------------------------------------------
+    # Crash-consistent checkpointing (JSON-safe state)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Queue contents and fairness state, keyed by job id (the
+        jobs themselves are re-derived from the workload on resume)."""
+        return {
+            "policy": self.policy,
+            "seq": self._seq,
+            "vnow": self._vnow,
+            "class_vft": dict(self._class_vft),
+            "entries": [
+                {
+                    "job_id": q.job.job_id,
+                    "tenant_class": q.tenant_class,
+                    "weight": q.weight,
+                    "enqueued_ns": q.enqueued_ns,
+                    "vft": q.vft,
+                    "seq": q.seq,
+                    "reason": q.reason,
+                }
+                for q in self._items
+            ],
+            "enqueued": self.enqueued,
+            "dequeued": self.dequeued,
+            "wait_samples_ns": list(self.wait_samples_ns),
+            "depth_samples": list(self.depth_samples),
+            "reason_counts": dict(self.reason_counts),
+        }
+
+    def from_state(self, state: dict, job_by_id) -> None:
+        if state["policy"] != self.policy:
+            raise ValueError(
+                f"checkpoint queue policy {state['policy']!r} != "
+                f"configured {self.policy!r}"
+            )
+        self._seq = int(state["seq"])
+        self._vnow = float(state["vnow"])
+        self._class_vft = {
+            k: float(v) for k, v in state["class_vft"].items()
+        }
+        self._items = [
+            QueuedJob(
+                job_by_id(int(e["job_id"])), e["tenant_class"],
+                float(e["weight"]), float(e["enqueued_ns"]),
+                float(e["vft"]), int(e["seq"]), e["reason"],
+            )
+            for e in state["entries"]
+        ]
+        self.enqueued = int(state["enqueued"])
+        self.dequeued = int(state["dequeued"])
+        self.wait_samples_ns = [float(x) for x in state["wait_samples_ns"]]
+        self.depth_samples = [int(x) for x in state["depth_samples"]]
+        self.reason_counts = {
+            k: int(v) for k, v in state["reason_counts"].items()
+        }

@@ -99,6 +99,43 @@ class SLOStats:
         self.jobs_completed += 1
 
     # ------------------------------------------------------------------
+    # Crash-consistent checkpointing (JSON-safe state)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Everything accumulated so far, JSON-serializable."""
+        return {
+            "iteration_ns": {k: list(v) for k, v in self._iteration_ns.items()},
+            "bytes": dict(self._bytes),
+            "iterations": dict(self._iterations),
+            "fallbacks": dict(self._fallbacks),
+            "recoveries": dict(self._recoveries),
+            "drops": dict(self._drops),
+            "duplicates": dict(self._duplicates),
+            "retransmits": dict(self._retransmits),
+            "jobs_completed": self.jobs_completed,
+            "jobs_arrived": self.jobs_arrived,
+            "snapshots": list(self.snapshots),
+        }
+
+    def from_state(self, state: dict) -> None:
+        self._iteration_ns = {
+            k: [float(x) for x in v]
+            for k, v in state["iteration_ns"].items()
+        }
+        self._bytes = {k: float(v) for k, v in state["bytes"].items()}
+        self._iterations = {k: int(v) for k, v in state["iterations"].items()}
+        self._fallbacks = {k: int(v) for k, v in state["fallbacks"].items()}
+        self._recoveries = {k: int(v) for k, v in state["recoveries"].items()}
+        self._drops = {k: int(v) for k, v in state["drops"].items()}
+        self._duplicates = {k: int(v) for k, v in state["duplicates"].items()}
+        self._retransmits = {
+            k: int(v) for k, v in state["retransmits"].items()
+        }
+        self.jobs_completed = int(state["jobs_completed"])
+        self.jobs_arrived = int(state["jobs_arrived"])
+        self.snapshots = list(state["snapshots"])
+
+    # ------------------------------------------------------------------
     def per_class(self, now_ns: float) -> dict:
         out: dict[str, dict] = {}
         for cls in sorted(set(self._iteration_ns) | set(self.class_weights)):

@@ -1,0 +1,89 @@
+"""Degradation events flow from the engine into the provenance DB.
+
+A sharded run that loses a worker recovers sequentially with
+bitwise-identical results — which means the provenance record is the
+*only* durable trace that the run did not execute as configured.
+These tests pin the whole pipeline: engine event -> recorder ->
+sqlite -> ``prov show`` / ``prov diff`` (silent-degradation flag).
+"""
+
+import os
+import signal
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.comm import Fabric
+from repro.provenance.cli import diff_runs, main
+from repro.provenance.store import ProvenanceStore
+
+
+def _sharded_run(db, label, crash=False):
+    fab = Fabric(n_hosts=32, hosts_per_leaf=8, n_spines=2,
+                 routing="updown", workers=2, provenance_db=db,
+                 run_label=label)
+    if crash:
+        def boom():
+            if getattr(fab.net, "_procs", None):
+                os.kill(fab.net._procs[0].pid, signal.SIGKILL)
+
+        fab.sim.schedule_at(5000.0, boom)
+    comm = fab.communicator(name="t0")
+    rng = np.random.default_rng(5)
+    data = rng.integers(-8, 8, size=(32, 4096)).astype(np.float32)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        fut = comm.iallreduce(data, algorithm="ring")
+        fab.run_until(fut)
+    out = np.asarray(fut.result().extra["output"]).ravel()
+    makespan = fab.now
+    run_id = fab.run_id
+    fab.shutdown()
+    return run_id, out, makespan
+
+
+@pytest.fixture(scope="module")
+def crash_db(tmp_path_factory):
+    db = str(tmp_path_factory.mktemp("prov") / "prov.db")
+    clean = _sharded_run(db, "clean")
+    degraded = _sharded_run(db, "degraded", crash=True)
+    return db, clean, degraded
+
+
+def test_worker_crash_lands_in_the_database(crash_db):
+    db, (clean_id, clean_out, clean_ms), (degr_id, degr_out, degr_ms) = (
+        crash_db
+    )
+    # Same answer, same makespan — the degradation is silent...
+    np.testing.assert_array_equal(degr_out, clean_out)
+    assert degr_ms == clean_ms
+    with ProvenanceStore(db) as store:
+        # ...except in provenance.
+        assert store.degradations(clean_id) == []
+        events = store.degradations(degr_id)
+        assert [e["event"] for e in events] == ["worker_crash"]
+        assert "died" in events[0]["reason"]
+        assert events[0]["detail"]["worker"] == 0
+
+
+def test_prov_show_lists_degradations(crash_db, capsys):
+    db, _, (degr_id, _, _) = crash_db
+    assert main(["prov", "show", degr_id, "--db", db]) == 0
+    out = capsys.readouterr().out
+    assert "degradations:" in out
+    assert "worker_crash" in out
+
+
+def test_prov_diff_flags_silent_degradation(crash_db, capsys):
+    db, (clean_id, _, _), (degr_id, _, _) = crash_db
+    with ProvenanceStore(db) as store:
+        doc = diff_runs(store, clean_id, degr_id)
+    assert doc["degradations"]["a"] == []
+    assert [e["event"] for e in doc["degradations"]["b"]] == ["worker_crash"]
+    assert any("silent degradation" in r for r in doc["regressions"])
+
+    assert main(["prov", "diff", clean_id, degr_id, "--db", db]) == 0
+    out = capsys.readouterr().out
+    assert "silent degradation" in out
+    assert "worker_crash" in out

@@ -90,14 +90,37 @@ def test_run_id_prefix_lookup(tmp_path):
         assert store.run("run-zzzz") is None
 
 
+def test_degradations_round_trip(tmp_path):
+    rows = [
+        (0, 5000.0, "worker_crash", "worker 0 died at the barrier",
+         '{"worker": 0}'),
+        (1, None, "fault_recall", "armed mid-run", None),
+    ]
+    with ProvenanceStore(str(tmp_path / "p.db")) as store:
+        store.record_run(_run_row(), degradation_rows=rows)
+        got = store.degradations("run-abc123def456")
+        assert [e["event"] for e in got] == ["worker_crash", "fault_recall"]
+        assert got[0]["sim_time_ns"] == 5000.0
+        assert got[0]["detail"] == {"worker": 0}
+        assert got[1]["sim_time_ns"] is None and "detail" not in got[1]
+        # Idempotent like every other family.
+        store.upsert_degradations("run-abc123def456", rows)
+        assert len(store.degradations("run-abc123def456")) == 2
+
+
 def test_v1_database_migrates_in_place(tmp_path):
     db = tmp_path / "old.db"
     create_v1_database(str(db))
     with ProvenanceStore(str(db)) as store:
-        # The 1 -> 2 migration added the energy table.
+        # The 1 -> 2 migration added the energy table; 2 -> 3 added
+        # degradations.
         assert store.schema_version == SCHEMA_VERSION
         store.upsert_energy("run-x", [("run", "total_j", 3.0)])
         assert store.energy("run-x") == {"run": {"total_j": 3.0}}
+        store.upsert_degradations(
+            "run-x", [(0, 1.0, "worker_crash", "died", None)]
+        )
+        assert store.degradations("run-x")[0]["event"] == "worker_crash"
 
 
 def test_newer_schema_is_rejected(tmp_path):

@@ -3,8 +3,9 @@
 The sequential :class:`~repro.pspin.engine.Simulator` is the parity
 oracle for the sharded engine (``repro.pspin.pdes.build_engine`` with
 ``workers >= 1``): same arrivals bit for bit, same makespans, same
-merged traffic tables, across worker counts, arbitration modes, and
-the fault-recall path.  These tests pin that contract.
+merged traffic tables, across worker counts, arbitration modes,
+sharded fault replay, and the recall path.  These tests pin that
+contract.
 
 Worker processes fork lazily on the first dispatched window, so every
 sharded run here spins real subprocesses; keep the fabrics small.
@@ -82,6 +83,11 @@ def _storm(workers, arbitration="fifo", flows=False, faults=None,
         "events": sim.events_processed,
         "bytes_hops": net.traffic.bytes_hops,
         "messages": net.traffic.messages,
+        "drops": net.traffic.drops,
+        "duplicates": net.traffic.duplicates,
+        "retransmits": net.traffic.retransmits,
+        "link_drops": dict(net.traffic.link_drops),
+        "link_duplicates": dict(net.traffic.link_duplicates),
         "flows": flow_stats,
     }
     if hasattr(net, "shutdown"):
@@ -115,17 +121,44 @@ def test_event_counts_and_traffic_totals_merge_exactly():
 
 
 # ----------------------------------------------------------------------
-# Fault schedules: recall-to-sequential keeps the oracle's answers
+# Fault schedules: pre-armed schedules replay sharded, bitwise
 # ----------------------------------------------------------------------
 _FAULTS = [{"kind": "down", "link": "l0-s0", "at": 500.0,
             "duration_ns": 8500.0}]
+_LOSSY = [{"kind": "lossy", "link": "*", "at": 0.0, "loss_rate": 0.05,
+           "duplicate_rate": 0.03}]
+_MIXED = _LOSSY + _FAULTS + [
+    {"kind": "slow", "link": "l1-s1", "at": 200.0, "slow_factor": 4.0,
+     "duration_ns": 50000.0},
+]
 
 
 def test_fault_schedule_armed_before_start_matches_oracle():
-    """Arming faults before the first window disengages sharding (with
-    a warning) and must reproduce the sequential chaos run exactly."""
+    """A schedule armed before the first window replays *inside* the
+    worker shards (the module-level RuntimeWarning-as-error mark proves
+    no recall/disengage fires) and reproduces the sequential chaos run
+    exactly — outage, host retransmissions and all."""
     seq = _storm(0, faults=_FAULTS)
     par = _storm(2, faults=_FAULTS)
+    assert par == seq
+
+
+@pytest.mark.parametrize("arbitration", ["fifo", "wfq"])
+def test_pure_link_fault_schedule_runs_sharded(arbitration):
+    """Loss/dup on every link, sharded: the seeded per-link rolls fire
+    identically inside the owning workers; payload arrival order,
+    makespan, and the merged drop/duplicate/retransmit counters are all
+    bitwise vs the oracle."""
+    seq = _storm(0, arbitration=arbitration, faults=_LOSSY)
+    par = _storm(2, arbitration=arbitration, faults=_LOSSY)
+    assert seq["drops"] > 0 and seq["duplicates"] > 0  # schedule bites
+    assert par == seq
+
+
+def test_mixed_fault_schedule_sharded_parity():
+    """Lossy everywhere + a link outage + a slow link, together."""
+    seq = _storm(0, faults=_MIXED)
+    par = _storm(2, faults=_MIXED)
     assert par == seq
 
 
