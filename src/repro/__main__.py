@@ -196,7 +196,8 @@ def _cmd_multi_tenant_bench(args: argparse.Namespace, topology) -> int:
               f"seed {schedule.seed}]")
     comms = [
         fabric.communicator(name=f"tenant{i}", weight=weights[i],
-                            n_clusters=args.clusters)
+                            n_clusters=args.clusters,
+                            auto_mode=args.auto_mode)
         for i in range(args.tenants)
     ]
     kwargs = dict(
@@ -521,6 +522,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         topology=topology,
         routing=args.routing,
         routing_seed=args.seed,
+        auto_mode=args.auto_mode,
     )
     kwargs = dict(
         op=args.op,
@@ -626,6 +628,12 @@ def main(argv: list[str] | None = None) -> int:
     bench.add_argument("--routing", default=None,
                        choices=("shortest", "ecmp", "adaptive"),
                        help="path-selection policy (default: ecmp)")
+    bench.add_argument("--auto-mode", default=None,
+                       choices=("static", "cost"),
+                       help="selection strategy for algorithm 'auto': "
+                       "'static' keeps the priority ladder, 'cost' prices "
+                       "candidates with the fitted planner model "
+                       "(default: static)")
     bench.add_argument("--tenants", type=int, default=1,
                        help="communicators sharing one fabric (>1 enables "
                        "the multi-tenant bench)")
@@ -740,6 +748,29 @@ def main(argv: list[str] | None = None) -> int:
                          help="stream incremental provenance rows on every "
                          "SLO snapshot tick into a sqlite database")
 
+    planner = sub.add_parser(
+        "planner",
+        help="the cost-model auto-tuning planner: offline calibration "
+        "and the acceptance bench grid",
+    )
+    planner_sub = planner.add_subparsers(dest="planner_command", required=True)
+    fit = planner_sub.add_parser(
+        "fit", help="fit the cost model against the simulator and write "
+        "coefficients.json"
+    )
+    fit.add_argument("--out", default=None, metavar="PATH",
+                     help="coefficients file (default: the committed "
+                     "src/repro/comm/planner/coefficients.json)")
+    pbench = planner_sub.add_parser(
+        "bench", help="run the acceptance grid: cost auto vs every fixed "
+        "algorithm vs the static baseline (exit 1 on gate failure)"
+    )
+    pbench.add_argument("--hosts", type=int, default=16)
+    pbench.add_argument("--out", default=None, metavar="PATH",
+                        help="write rows + verdict JSON")
+    pbench.add_argument("--no-check", action="store_true",
+                        help="measure only; skip the acceptance gate")
+
     from repro.provenance.cli import add_prov_parser
 
     add_prov_parser(sub)
@@ -750,6 +781,24 @@ def main(argv: list[str] | None = None) -> int:
         from repro.provenance.cli import run_prov
 
         return run_prov(args)
+    if args.command == "planner":
+        if args.planner_command == "fit":
+            from repro.comm.planner.calibrate import (
+                calibrate, write_coefficients,
+            )
+
+            table = calibrate(log=print)
+            path = write_coefficients(table, args.out)
+            print(f"[coefficients written to {path}]")
+            return 0
+        from repro.perf.planner import main as planner_bench_main
+
+        argv_out = ["--hosts", str(args.hosts)]
+        if args.out:
+            argv_out += ["--out", args.out]
+        if args.no_check:
+            argv_out += ["--no-check"]
+        return planner_bench_main(argv_out)
     if args.command == "list":
         return _cmd_list()
     if args.command == "algorithms":

@@ -1,0 +1,371 @@
+"""Event-driven halving/doubling allreduces on the network simulator.
+
+One engine, two partner schedules:
+
+* ``butterfly`` — the classic recursive halving/doubling: at step *s*
+  rank *i* exchanges with ``i XOR 2**s``, halving the responsibility
+  set every step (log2(P) reduce-scatter steps + log2(P) allgather
+  steps, each host moving 2 Z (P-1)/P bytes total — the bandwidth-
+  optimal volume of Rabenseifner's algorithm, expressed as a network
+  schedule instead of an in-memory reduction).
+
+* ``swing`` — the torus-friendly variant (Swing, arXiv 2401.09356):
+  the step-*s* partner sits at logical distance
+  ``|1 - (-2)**(s+1)| / 3`` (1, 1, 3, 5, 11, 21, ...), even ranks
+  hopping forward and odd ranks backward.  On a ring/torus rank
+  mapping this keeps *every* exchange short — distance ``2**s`` of the
+  butterfly becomes distance ``~2**s / 3`` — which is exactly why
+  Swing beats halving/doubling on torus fabrics while moving the same
+  byte volume.
+
+Both schedules are expressed through *block sets*: ``T(j, s)`` is the
+set of vector blocks rank *j* is responsible for before reduce-scatter
+step *s*, defined by the recursion ``T(j, L) = {j}``;
+``T(j, s) = T(j, s+1) ∪ T(partner(j, s), s+1)``.  At reduce-scatter
+step *s* rank *i* ships the blocks its partner keeps
+(``T(partner, s+1)``) and retains ``T(i, s+1)``; the allgather replays
+the steps in reverse with the same partners, shipping the blocks rank
+*i* has fully reduced so far.  The engine validates the partition
+properties of the recursion at plan time, so a partner function that
+does not form a perfect exchange schedule fails loudly instead of
+silently corrupting sums.
+
+Payload execution mirrors :mod:`repro.collectives.ring`: pass
+``payloads`` and the messages carry real block data, combined in a
+fixed structural order — the outputs are bitwise identical on every
+host and stable under fault-injected duplicates (per-step dedup
+bitmap, Sec. 4.1 of the paper).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.collectives.result import CollectiveResult
+from repro.collectives.ring import combine_payloads, split_slices
+from repro.network.simulator import Message, NetworkSimulator
+from repro.network.topology import Topology
+
+
+# ----------------------------------------------------------------------
+# Partner schedules
+# ----------------------------------------------------------------------
+def butterfly_partner(rank: int, step: int, n_ranks: int) -> int:
+    """Hypercube exchange: flip bit ``step``."""
+    return rank ^ (1 << step)
+
+
+def swing_distance(step: int) -> int:
+    """Swing's *signed* step-``s`` partner distance
+    ``(1 - (-2)**(s+1)) / 3``: +1, -1, +3, -5, +11, -21, ...
+
+    The alternating sign is essential — it is what swings consecutive
+    exchanges to opposite sides of the logical ring so the distances
+    compose into full coverage (an unsigned 1, 1, 3, 5, ... would pair
+    the same ranks twice and never mix the halves).
+    """
+    return (1 - (-2) ** (step + 1)) // 3
+
+
+def swing_partner(rank: int, step: int, n_ranks: int) -> int:
+    """Swing exchange: even ranks hop ``+delta``, odd ranks ``-delta``.
+
+    ``delta`` is always odd, so an even rank's partner is always odd
+    and vice versa — every step is a perfect matching.
+    """
+    delta = swing_distance(step)
+    if rank % 2 == 0:
+        return (rank + delta) % n_ranks
+    return (rank - delta) % n_ranks
+
+
+PARTNER_FUNCTIONS = {
+    "butterfly": butterfly_partner,
+    "swing": swing_partner,
+}
+
+
+def block_sets(partner_fn, n_ranks: int) -> list[list[frozenset]]:
+    """``T[s][j]`` — blocks rank ``j`` owns before reduce-scatter step
+    ``s`` — for ``s`` in ``0..L`` (``L = log2(n_ranks)``).
+
+    Validates the schedule: every step must be a perfect matching
+    (``partner(partner(i)) == i``, never self), partners' level-``s+1``
+    sets must be disjoint (no double-counted contributions), and
+    ``T[0]`` must be the full block set (every contribution reaches
+    every block).  Raises ``ValueError`` otherwise.
+    """
+    if n_ranks < 2 or n_ranks & (n_ranks - 1):
+        raise ValueError(f"halving/doubling needs a power-of-two rank count, got {n_ranks}")
+    L = int(math.log2(n_ranks))
+    T: list[list[frozenset]] = [[frozenset()] * n_ranks for _ in range(L + 1)]
+    T[L] = [frozenset({j}) for j in range(n_ranks)]
+    for s in range(L - 1, -1, -1):
+        for j in range(n_ranks):
+            p = partner_fn(j, s, n_ranks)
+            if p == j or not 0 <= p < n_ranks:
+                raise ValueError(f"step {s}: rank {j} pairs with {p}")
+            if partner_fn(p, s, n_ranks) != j:
+                raise ValueError(f"step {s}: pairing {j}<->{p} is not symmetric")
+            if T[s + 1][j] & T[s + 1][p]:
+                raise ValueError(
+                    f"step {s}: ranks {j} and {p} both own blocks "
+                    f"{sorted(T[s + 1][j] & T[s + 1][p])}"
+                )
+            T[s][j] = T[s + 1][j] | T[s + 1][p]
+    full = frozenset(range(n_ranks))
+    for j in range(n_ranks):
+        if T[0][j] != full:
+            raise ValueError(
+                f"rank {j} only reaches blocks {sorted(T[0][j])}; the "
+                "partner schedule does not cover all ranks"
+            )
+    return T
+
+
+# ----------------------------------------------------------------------
+# Simulation entry points
+# ----------------------------------------------------------------------
+def _simulate_halving_allreduce(
+    topology: Topology,
+    vector_bytes: float,
+    *,
+    variant: str,
+    sub_chunk_bytes: float = 128 * 1024,
+    host_reduce_bytes_per_ns: float = 0.0,
+    router=None,
+    routing_seed: int = 0,
+    payloads=None,
+    op="sum",
+    hosts=None,
+) -> CollectiveResult:
+    """One halving/doubling allreduce on a private simulator."""
+    net = NetworkSimulator(topology, router=router, routing_seed=routing_seed)
+    done: list[CollectiveResult] = []
+    issue_halving_allreduce(
+        net,
+        vector_bytes,
+        variant=variant,
+        sub_chunk_bytes=sub_chunk_bytes,
+        host_reduce_bytes_per_ns=host_reduce_bytes_per_ns,
+        payloads=payloads,
+        op=op,
+        hosts=hosts,
+        on_complete=done.append,
+    )
+    net.run()
+    if not done:
+        raise RuntimeError(f"{variant} incomplete: not all hosts finished")
+    return done[0]
+
+
+def issue_halving_allreduce(
+    net: NetworkSimulator,
+    vector_bytes: float,
+    *,
+    variant: str,
+    sub_chunk_bytes: float = 128 * 1024,
+    host_reduce_bytes_per_ns: float = 0.0,
+    flow: object = None,
+    base_time: float = 0.0,
+    payloads=None,
+    op="sum",
+    hosts=None,
+    on_complete,
+) -> None:
+    """Issue one swing/butterfly allreduce into a (possibly shared)
+    simulator.
+
+    2 log2(P) steps: reduce-scatter halves each rank's block
+    responsibility per step (step-``s`` messages carry ``Z / 2**(s+1)``
+    bytes), then the allgather replays the steps in reverse with the
+    same partners.  A rank sends its step-``k+1`` message only after
+    receiving *all* sub-chunks of step ``k`` — the per-step dependency
+    real (unpipelined) halving/doubling has — while sub-chunks within a
+    step pipeline over multi-hop paths.
+
+    ``variant`` names a partner schedule from ``PARTNER_FUNCTIONS``
+    (``"swing"`` or ``"butterfly"``).  The remaining contract —
+    ``flow``/``base_time`` issue semantics, payload carriage with
+    dedup under fault injection, ``hosts`` placement subsets,
+    ``on_complete(result)`` from inside the event loop — matches
+    :func:`repro.collectives.ring.issue_ring_allreduce`.
+    """
+    partner_fn = PARTNER_FUNCTIONS[variant]
+    topology = net.topology
+    if hosts is None:
+        hosts = topology.hosts
+    else:
+        hosts = list(hosts)
+        known = set(topology.hosts)
+        for h in hosts:
+            if h not in known:
+                raise ValueError(f"unknown host {h}")
+    P = len(hosts)
+    T = block_sets(partner_fn, P)          # validates P and the schedule
+    L = int(math.log2(P))
+    total_steps = 2 * L
+    block_bytes = vector_bytes / P
+
+    #: Unified step index k: reduce-scatter steps are k = 0..L-1
+    #: (s = k), allgather steps are k = L..2L-1 replaying s = 2L-1-k.
+    def rs_level(k: int) -> int:
+        return k if k < L else 2 * L - 1 - k
+
+    #: Blocks rank i *receives* at unified step k (what it sends is the
+    #: mirror: the partner's receive set).
+    def recv_blocks(i: int, k: int) -> tuple:
+        s = rs_level(k)
+        if k < L:                          # reduce-scatter: keep T[s+1][i]
+            return tuple(sorted(T[s + 1][i]))
+        p = partner_fn(i, s, P)            # allgather: partner's done set
+        return tuple(sorted(T[s + 1][p]))
+
+    step_bytes = [block_bytes * len(T[rs_level(k) + 1][0]) for k in range(total_steps)]
+    n_sub = [
+        max(1, int(round(b / sub_chunk_bytes))) if sub_chunk_bytes > 0 else 1
+        for b in step_bytes
+    ]
+
+    state = {"done_hosts": 0, "finish": base_time}
+    expected = sum(n_sub)
+    recv_count = {h: 0 for h in hosts}
+    #: Per-(rank, step) sub-chunk assembly: distinct subs seen so far,
+    #: and their payload parts when data is carried.
+    step_subs: dict[tuple, set] = {}
+    step_parts: dict[tuple, dict] = {}
+    dedup: set = set()
+
+    # ------------------------------------------------------------------
+    # Payload plumbing (None = size-only timing simulation)
+    # ------------------------------------------------------------------
+    carry = payloads is not None
+    if carry:
+        arrays = [
+            np.ascontiguousarray(np.asarray(p)).ravel().copy() for p in payloads
+        ]
+        if len(arrays) != P:
+            raise ValueError(f"got {len(arrays)} payloads for {P} hosts")
+        n_elements = arrays[0].size
+        shape = np.asarray(payloads[0]).shape
+        blk_slices = split_slices(n_elements, P)
+
+        def gather(i: int, blocks: tuple) -> np.ndarray:
+            return np.concatenate([arrays[i][blk_slices[b]] for b in blocks])
+
+        def scatter(i: int, blocks: tuple, data: np.ndarray, fold: bool) -> None:
+            off = 0
+            for b in blocks:
+                sl = blk_slices[b]
+                width = sl.stop - sl.start
+                part = data[off:off + width]
+                if fold:
+                    arrays[i][sl] = combine_payloads(op, part, arrays[i][sl])
+                else:
+                    arrays[i][sl] = part
+                off += width
+
+    rank_of = {h: i for i, h in enumerate(hosts)}
+
+    def send_step(i: int, k: int, at: float) -> None:
+        """Ship rank i's step-k message (as n_sub[k] sub-chunks)."""
+        s = rs_level(k)
+        p = partner_fn(i, s, P)
+        blocks = recv_blocks(p, k)         # what the partner receives
+        sub_bytes = step_bytes[k] / n_sub[k]
+        if carry:
+            data = gather(i, blocks)
+            parts = split_slices(data.size, n_sub[k])
+        for sub in range(n_sub[k]):
+            net.send(
+                Message(
+                    src=hosts[i],
+                    dst=hosts[p],
+                    nbytes=sub_bytes,
+                    tag=(variant, k, sub),
+                    payload=data[parts[sub]] if carry else None,
+                    flow=flow,
+                ),
+                at=at,
+            )
+
+    def finished() -> CollectiveResult:
+        stats = net.flow_stats(flow)
+        extra = {
+            "steps": total_steps,
+            "step_bytes": list(step_bytes),
+            **net.traffic_extra(flow=flow),
+        }
+        if carry:
+            for other in arrays[1:]:
+                if not np.array_equal(arrays[0], other):
+                    raise AssertionError(
+                        f"{variant} allreduce diverged: hosts disagree on "
+                        "the reduced vector"
+                    )
+            extra["output"] = arrays[0].reshape(shape)
+        return CollectiveResult(
+            name=f"host-dense ({variant})",
+            n_hosts=P,
+            vector_bytes=vector_bytes,
+            time_ns=state["finish"] - base_time,
+            traffic_bytes_hops=stats.bytes_hops,
+            sent_bytes_per_host=sum(step_bytes),
+            extra=extra,
+        )
+
+    #: Next step each rank may *process*.  Ranks progress at different
+    #: rates (no global barrier), so a fast partner's step-k message
+    #: can arrive before this rank finished step k-1; it buffers until
+    #: the rank's own pipeline catches up — processing out of order
+    #: would gather/fold partials that miss earlier contributions.
+    progress = {i: 0 for i in range(P)}
+
+    def _drain(i: int, now: float) -> None:
+        t = now
+        while progress[i] < total_steps:
+            k = progress[i]
+            if len(step_subs.get((i, k), ())) < n_sub[k]:
+                return
+            compute = 0.0
+            if host_reduce_bytes_per_ns > 0 and k < L:
+                compute = step_bytes[k] / host_reduce_bytes_per_ns
+            t += compute
+            if carry:
+                parts = step_parts.pop((i, k))
+                data = np.concatenate([parts[j] for j in range(n_sub[k])])
+                scatter(i, recv_blocks(i, k), data, fold=k < L)
+            progress[i] = k + 1
+            if k + 1 < total_steps:
+                send_step(i, k + 1, t)
+        state["done_hosts"] += 1
+        state["finish"] = max(state["finish"], t)
+        if state["done_hosts"] == P:
+            on_complete(finished())
+
+    def on_deliver(msg: Message, now: float) -> None:
+        _kind, k, sub = msg.tag
+        receiver = msg.dst
+        if net.faults is not None:
+            key = (receiver, k, sub)
+            if key in dedup:
+                return                     # spurious duplicate (Sec. 4.1 bitmap)
+            dedup.add(key)
+        i = rank_of[receiver]
+        seen = step_subs.setdefault((i, k), set())
+        if sub in seen:
+            return                         # duplicate outside fault mode too
+        seen.add(sub)
+        if carry:
+            step_parts.setdefault((i, k), {})[sub] = msg.payload
+        recv_count[receiver] += 1
+        if recv_count[receiver] == expected or k == progress[i]:
+            _drain(i, now)
+
+    for h in hosts:
+        net.on_deliver(h, on_deliver, flow=flow)
+    # Every rank's step-0 exchange leaves at the issue instant.
+    for i in range(P):
+        send_step(i, 0, base_time)

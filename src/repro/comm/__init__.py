@@ -54,12 +54,15 @@ from repro.comm.registry import (
     AlgorithmEntry,
     CapabilityError,
     CommError,
+    DEFAULT_AUTO_MODE,
     UnknownAlgorithmError,
     available_algorithms,
+    available_auto_modes,
     get_algorithm,
     iter_algorithms,
     match_algorithms,
     register_algorithm,
+    register_auto_selector,
     rejection_reasons,
     resolve,
     unregister_algorithm,
@@ -67,8 +70,10 @@ from repro.comm.registry import (
 from repro.comm.request import CollectiveRequest
 from repro.core.ops import ReductionOp
 
-# Importing the backends populates the registry with the built-ins.
+# Importing the backends populates the registry with the built-ins;
+# the planner registers the "cost" auto_mode selector on top of them.
 import repro.comm.backends  # noqa: F401  (import for side effect)
+import repro.comm.planner   # noqa: F401  (import for side effect)
 
 
 def legacy_execute(
@@ -129,6 +134,9 @@ __all__ = [
     "UnknownAlgorithmError",
     "CapabilityError",
     "register_algorithm",
+    "register_auto_selector",
+    "available_auto_modes",
+    "DEFAULT_AUTO_MODE",
     "unregister_algorithm",
     "get_algorithm",
     "available_algorithms",

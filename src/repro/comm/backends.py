@@ -37,6 +37,10 @@ from repro.collectives.flare_sparse import (
     issue_flare_sparse_allreduce,
     sparse_tree_bytes,
 )
+from repro.collectives.halving import (
+    _simulate_halving_allreduce,
+    issue_halving_allreduce,
+)
 from repro.collectives.result import CollectiveResult
 from repro.collectives.ring import _simulate_ring_allreduce, issue_ring_allreduce
 from repro.collectives.sparcml import (
@@ -457,6 +461,100 @@ def _plan_ring(request: CollectiveRequest) -> PlannedExecution:
             "steps": 2 * (request.n_hosts - 1),
         },
     )
+
+
+def _plan_halving(request: CollectiveRequest, variant: str) -> PlannedExecution:
+    """Shared planner for the halving/doubling network schedules."""
+    source = _TopologySource(request)
+    p = request.params
+    sub_chunk_bytes = p.get("sub_chunk_bytes", 128 * 1024)
+    host_reduce = p.get("host_reduce_bytes_per_ns", 0.0)
+    op = request.op
+    steps = 2 * int(math.log2(request.n_hosts))
+
+    def runner(payloads, overrides) -> CollectiveResult:
+        return _simulate_halving_allreduce(
+            source.fresh(),
+            request.nbytes,
+            variant=variant,
+            sub_chunk_bytes=sub_chunk_bytes,
+            host_reduce_bytes_per_ns=host_reduce,
+            router=source.routing,
+            routing_seed=source.routing_seed,
+            payloads=payloads,
+            op=op,
+            hosts=source.hosts,
+        )
+
+    def issuer(ctx: IssueContext, payloads, overrides) -> None:
+        source.check_fabric(ctx.net)
+        issue_halving_allreduce(
+            ctx.net,
+            request.nbytes,
+            variant=variant,
+            sub_chunk_bytes=sub_chunk_bytes,
+            host_reduce_bytes_per_ns=host_reduce,
+            flow=ctx.flow,
+            base_time=ctx.net.now,
+            payloads=payloads,
+            op=op,
+            hosts=source.hosts,
+            on_complete=ctx.finish,
+        )
+
+    return PlannedExecution(
+        runner=runner,
+        issuer=issuer,
+        setup={
+            "topology": source.describe(),
+            "variant": variant,
+            "steps": steps,
+            "bytes_per_host": 2.0
+            * (request.n_hosts - 1)
+            / request.n_hosts
+            * request.nbytes,
+        },
+    )
+
+
+@register_algorithm(
+    "butterfly",
+    payload_rejects=_network_payload_rejects,
+    caps=AlgorithmCaps(
+        dense=True,
+        reproducible=True,
+        ops=("*",),
+        power_of_two_hosts=True,
+        min_hosts=2,
+        priority=13,
+        description="host-based recursive halving/doubling as a network "
+        "schedule (2 log2(P) latency-short steps at ring byte volume; any "
+        "topology; carries and bitwise-reduces real payloads when "
+        "explicitly named)",
+    ),
+)
+def _plan_butterfly(request: CollectiveRequest) -> PlannedExecution:
+    return _plan_halving(request, "butterfly")
+
+
+@register_algorithm(
+    "swing",
+    payload_rejects=_network_payload_rejects,
+    caps=AlgorithmCaps(
+        dense=True,
+        reproducible=True,
+        ops=("*",),
+        power_of_two_hosts=True,
+        min_hosts=2,
+        priority=12,
+        description="Swing allreduce (arXiv 2401.09356): halving/doubling "
+        "with |1-(-2)^(s+1)|/3 partner distances, keeping every exchange "
+        "short on torus-like fabrics; carries and bitwise-reduces real "
+        "payloads when explicitly named",
+    ),
+)
+def _plan_swing(request: CollectiveRequest) -> PlannedExecution:
+    return _plan_halving(request, "swing")
 
 
 @register_algorithm(

@@ -109,6 +109,11 @@ class Communicator:
     name, weight:
         Tenant identity and QoS share in the fabric's link arbitration
         (only meaningful with a shared fabric).
+    auto_mode:
+        Default selection strategy for ``algorithm="auto"`` requests:
+        ``"static"`` (the priority ladder) or ``"cost"`` (the fitted
+        cost model of :mod:`repro.comm.planner`, congestion-aware when
+        fabric-attached).  Per-call ``auto_mode=...`` overrides.
     """
 
     def __init__(
@@ -127,6 +132,7 @@ class Communicator:
         fabric=None,
         name: Optional[str] = None,
         weight: float = 1.0,
+        auto_mode: Optional[str] = None,
     ) -> None:
         if n_hosts < 1:
             raise ValueError("n_hosts must be >= 1")
@@ -163,6 +169,8 @@ class Communicator:
             self._defaults["routing_seed"] = routing_seed
         if hosts_per_leaf is not None:
             self._defaults["hosts_per_leaf"] = hosts_per_leaf
+        if auto_mode is not None:
+            self._defaults["auto_mode"] = auto_mode
         self._cache = PlanCache(plan_cache_size)
         self.plans_built = 0
         self._fabric = fabric
@@ -281,6 +289,19 @@ class Communicator:
             request, inferred = self.make_request(data, **kwargs)
             if payloads is None:
                 payloads = inferred
+        if (
+            request.algorithm == "auto"
+            and request.params.get("auto_mode") == "cost"
+            and "congestion" not in request.params
+            and self._fabric is not None
+        ):
+            # Online re-tuning: fold the fabric's live load regime into
+            # the cost model's contention term.  The level is quantized
+            # (see planner.tuner), so the cache key only changes when
+            # the regime does.
+            from repro.comm.planner.tuner import congestion_level
+
+            request.params["congestion"] = congestion_level(self._fabric)
         entry = resolve(request, payloads)
 
         def factory() -> CollectivePlan:

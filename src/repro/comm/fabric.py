@@ -752,6 +752,18 @@ class Fabric:
         """Collectives issued but not yet completed."""
         return len(self._pending)
 
+    def tuner(self):
+        """An :class:`~repro.comm.planner.tuner.OnlineTuner` over this
+        fabric's live telemetry (in-flight count, hot links, WFQ queue
+        depths) — what ``auto_mode="cost"`` consults between issues."""
+        from repro.comm.planner.tuner import OnlineTuner
+
+        return OnlineTuner(self)
+
+    def congestion_level(self) -> int:
+        """Quantized live congestion level (see :meth:`tuner`)."""
+        return self.tuner().level()
+
     def shutdown(self) -> None:
         """Stop sharded-engine worker processes (if any) and flush the
         attached provenance recorder.  Safe to call on a sequential

@@ -1,0 +1,150 @@
+"""Cost-model-driven auto-tuning planner.
+
+Registers the ``"cost"`` auto-selection mode: instead of the static
+priority ladder, ``algorithm="auto"`` requests with
+``params["auto_mode"] = "cost"`` are priced by a fitted alpha-beta +
+congestion model (:mod:`repro.comm.planner.model`) and the cheapest
+candidate wins, with its chunking knobs tuned to the request size
+(written back into ``request.params`` so they key the plan cache).
+
+Scope: the cost mode ranks the candidates that run as *network
+schedules on the shared fabric* — ring, swing, butterfly and
+flare_dense for dense requests; sparcml and flare_sparse for sparse
+ones — because those are the algorithms whose completion time the
+model prices and that actually contend for links when issued
+together.  The atomic switch-level backends (flare_switch) model a
+single switch with no wire time; comparing their timings against
+fabric schedules would be meaningless, so when only atomic candidates
+survive capability matching the cost mode falls back to the static
+priority order unchanged.
+
+The congestion input comes from ``params["congestion"]`` — a small
+quantized level the :class:`~repro.comm.planner.tuner.OnlineTuner`
+derives from live fabric telemetry between issues (fabric-attached
+communicators wire this automatically under ``auto_mode="cost"``).
+
+Offline calibration (:mod:`repro.comm.planner.calibrate`, CLI
+``python -m repro planner fit``) fits the model's coefficients against
+the event-driven simulator and commits them as ``coefficients.json``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.comm.registry import (
+    AlgorithmEntry,
+    register_auto_selector,
+)
+from repro.comm.request import CollectiveRequest
+from repro.comm.planner.model import (
+    FEATURES,
+    PlannerModel,
+    default_model,
+    load_coefficients,
+    reset_default_model,
+)
+from repro.comm.planner.tuner import OnlineTuner, congestion_level
+
+#: Algorithms the cost mode ranks: network schedules that issue into a
+#: shared fabric (and that the model knows how to price).
+ISSUABLE = frozenset(
+    {"ring", "swing", "butterfly", "flare_dense", "sparcml", "flare_sparse"}
+)
+
+_KIB = 1024
+
+
+def _pow2_clamp(value: float, lo: int, hi: int) -> int:
+    """Nearest power of two, clamped — quantized so tuned knobs do not
+    churn the plan-cache key between near-identical requests."""
+    value = max(lo, min(hi, value))
+    return 1 << int(round(math.log2(max(1.0, value))))
+
+
+def tune_knobs(algorithm: str, request: CollectiveRequest) -> None:
+    """Write size-matched chunking knobs into ``request.params``.
+
+    Explicit user knobs are never overridden.  Targets: ~4 sub-chunks
+    per step message for the host schedules (enough intra-step
+    pipelining over multi-hop paths without per-event overhead), ~16
+    pipelined chunks through the aggregation tree for flare_dense.
+    """
+    p = request.params
+    Z = float(request.nbytes)
+    P = max(2, request.n_hosts)
+    if algorithm == "ring" and "sub_chunk_bytes" not in p:
+        p["sub_chunk_bytes"] = _pow2_clamp(Z / (4 * P), 4 * _KIB, 256 * _KIB)
+    elif algorithm in ("swing", "butterfly") and "sub_chunk_bytes" not in p:
+        p["sub_chunk_bytes"] = _pow2_clamp(Z / 8, 4 * _KIB, 256 * _KIB)
+    elif algorithm == "flare_dense" and "chunk_bytes" not in p:
+        p["chunk_bytes"] = _pow2_clamp(Z / 16, 64 * _KIB, 4096 * _KIB)
+
+
+def steer_tree_root(request: CollectiveRequest) -> None:
+    """Root the aggregation tree away from ``params["avoid_switches"]``.
+
+    Honored on topologies where the tree planner accepts an explicit
+    root (everything except the fat tree's canonical spine embedding).
+    ``avoid_switches`` typically comes from
+    :meth:`OnlineTuner.hot_switches`.
+    """
+    p = request.params
+    avoid = p.get("avoid_switches")
+    topo = p.get("topology")
+    if (
+        not avoid
+        or "tree_root" in p
+        or "tree" in p
+        or topo is None
+        or isinstance(topo, str)
+        or request.topology_family == "fat-tree"
+        or not getattr(topo, "supports_aggregation", False)
+    ):
+        return
+    for root in sorted(topo.aggregating_switches()):
+        if root not in avoid:
+            p["tree_root"] = root
+            return
+
+
+def cost_select(
+    request: CollectiveRequest, candidates: list[AlgorithmEntry]
+) -> AlgorithmEntry:
+    """The ``auto_mode="cost"`` selector.
+
+    Ranks the fabric-issuable candidates by modeled cost (congestion-
+    adjusted), tunes the winner's knobs, and records the decision in
+    ``params["planned_costs"]``-free form (the plan setup carries the
+    knobs).  Falls back to the static pick when no candidate is
+    priceable (e.g. only atomic switch backends survived).
+    """
+    congestion = float(request.params.get("congestion", 0) or 0)
+    model = default_model()
+    names = [e.name for e in candidates if e.name in ISSUABLE]
+    ranked = model.rank(names, request, congestion)
+    if not ranked:
+        return candidates[0]          # static fallback: atomic-only pool
+    best_name = ranked[0][1]
+    tune_knobs(best_name, request)
+    if best_name in ("flare_dense", "flare_sparse"):
+        steer_tree_root(request)
+    by_name = {e.name: e for e in candidates}
+    return by_name[best_name]
+
+
+register_auto_selector("cost", cost_select)
+
+__all__ = [
+    "FEATURES",
+    "ISSUABLE",
+    "OnlineTuner",
+    "PlannerModel",
+    "congestion_level",
+    "cost_select",
+    "default_model",
+    "load_coefficients",
+    "reset_default_model",
+    "steer_tree_root",
+    "tune_knobs",
+]

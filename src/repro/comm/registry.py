@@ -201,14 +201,42 @@ def rejection_reasons(request: CollectiveRequest) -> dict[str, str]:
     return out
 
 
+#: Auto-selection strategies.  ``request.params["auto_mode"]`` names
+#: one; ``"static"`` (the default, built in) is the original priority
+#: sort.  A selector receives the request plus the capability- and
+#: payload-accepted candidates in static priority order (never empty)
+#: and returns its pick; it may write tuned knobs (chunk sizes, tree
+#: root) into ``request.params`` — the plan-cache key is computed from
+#: the request *after* resolution, so tuned knobs key the cache.
+DEFAULT_AUTO_MODE = "static"
+_AUTO_SELECTORS: dict[str, Callable] = {}
+
+
+def register_auto_selector(
+    name: str,
+    selector: Callable[[CollectiveRequest, list[AlgorithmEntry]], AlgorithmEntry],
+) -> None:
+    """Register an ``auto_mode`` selection strategy under ``name``."""
+    if name == DEFAULT_AUTO_MODE or name in _AUTO_SELECTORS:
+        raise ValueError(f"auto_mode {name!r} is already registered")
+    _AUTO_SELECTORS[name] = selector
+
+
+def available_auto_modes() -> tuple[str, ...]:
+    return tuple(sorted({DEFAULT_AUTO_MODE, *_AUTO_SELECTORS}))
+
+
 def resolve(
     request: CollectiveRequest, payloads: Optional[object] = None
 ) -> AlgorithmEntry:
     """Pick the algorithm serving ``request``.
 
     An explicit ``request.algorithm`` is validated against its declared
-    capabilities; ``"auto"`` runs capability matching and returns the
-    highest-priority candidate.  When concrete ``payloads`` accompany
+    capabilities; ``"auto"`` runs capability matching and hands the
+    surviving candidates to the selection strategy named by
+    ``request.params["auto_mode"]`` (default ``"static"``: the
+    highest-priority candidate; ``"cost"``: the fitted cost model of
+    :mod:`repro.comm.planner`).  When concrete ``payloads`` accompany
     the request, each candidate's ``payload_rejects`` hook is consulted
     too, so auto selection never lands on an algorithm that cannot
     execute the actual data (wrong shape/dtype, or simulation-only).
@@ -223,6 +251,12 @@ def resolve(
                 f"algorithm {entry.name!r} cannot serve this request: {reason}"
             )
         return entry
+    mode = request.params.get("auto_mode", DEFAULT_AUTO_MODE)
+    if mode != DEFAULT_AUTO_MODE and mode not in _AUTO_SELECTORS:
+        raise CommError(
+            f"unknown auto_mode {mode!r}; available: {available_auto_modes()}"
+        )
+    candidates: list[AlgorithmEntry] = []
     payload_rejected: dict[str, str] = {}
     for entry in match_algorithms(request):
         if payloads is not None and entry.payload_rejects:
@@ -230,7 +264,20 @@ def resolve(
             if reason is not None:
                 payload_rejected[entry.name] = reason
                 continue
-        return entry
-    reasons = {**rejection_reasons(request), **payload_rejected}
+        candidates.append(entry)
+    if candidates:
+        if mode == DEFAULT_AUTO_MODE:
+            return candidates[0]
+        return _AUTO_SELECTORS[mode](request, candidates)
+    # Combined failure detail: a candidate that matched capabilities
+    # but refused the concrete payloads must report its payload
+    # verdict — the more specific diagnosis — never be shadowed by (or
+    # merged with) a capability line for the same algorithm.
+    reasons = {
+        name: reason
+        for name, reason in rejection_reasons(request).items()
+        if name not in payload_rejected
+    }
+    reasons.update(payload_rejected)
     detail = "; ".join(f"{n}: {r}" for n, r in sorted(reasons.items()))
     raise CapabilityError(f"no registered algorithm supports this request ({detail})")

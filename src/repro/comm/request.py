@@ -146,9 +146,12 @@ def _freeze(value: Any) -> Any:
     """Recursively convert ``value`` into something hashable.
 
     Containers become tuples.  Objects exposing a ``fingerprint()``
-    (topologies) freeze to it, so two equal-but-distinct topology
-    objects key the *same* cached plan — the plan cache is keyed on
-    what the fabric *is*, not which Python object described it.
+    (topologies) freeze to it — preferring ``live_fingerprint()`` when
+    offered, which additionally folds in the current failure state —
+    so two equal-but-distinct topology objects key the *same* cached
+    plan, while ``fail_link``/``fail_switch`` mutations change the key
+    and force a replan over the live (wounded) topology instead of
+    serving a stale plan that routes through dead hardware.
     Everything else without a natural hash key (cost models,
     workloads) degrades to identity, which keeps the cache correct
     (same object -> same plan) at the price of a miss when an
@@ -160,7 +163,9 @@ def _freeze(value: Any) -> Any:
         return tuple(_freeze(v) for v in value)
     if isinstance(value, (str, bytes, int, float, bool)) or value is None:
         return value
-    fingerprint = getattr(value, "fingerprint", None)
+    fingerprint = getattr(value, "live_fingerprint", None) or getattr(
+        value, "fingerprint", None
+    )
     if callable(fingerprint):
         return fingerprint()
     return (type(value).__name__, id(value))

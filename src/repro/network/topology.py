@@ -426,9 +426,30 @@ class Topology:
 
         Two topologies with equal fingerprints wire identical fabrics,
         which is what lets the plan cache reuse a plan across distinct
-        but equal topology objects.
+        but equal topology objects.  Structural only — live failure
+        state is deliberately excluded (issue-time fabric checks and
+        provenance identity key on what the fabric *is*); cache keys
+        that must react to failures use :meth:`live_fingerprint`.
         """
         return (self.family, tuple(sorted(self.describe().items())))
+
+    def live_fingerprint(self) -> tuple:
+        """:meth:`fingerprint` plus the live failure state.
+
+        The plan-cache key (:meth:`CollectiveRequest.signature
+        <repro.comm.request.CollectiveRequest.signature>`) freezes
+        topology objects to this, so a plan built *before*
+        :meth:`fail_link`/:meth:`fail_switch` is never served *after*
+        the mutation (it could route through dead hardware until
+        issue-time recovery noticed).  Repairing back to a previous
+        state restores the previous key, so healthy cached plans are
+        reused again after a repair.
+        """
+        return (
+            self.fingerprint(),
+            tuple(sorted(self._failed_links)),
+            tuple(sorted(self._failed_switches)),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         params = ", ".join(f"{k}={v}" for k, v in sorted(self.describe().items()))

@@ -74,15 +74,17 @@ def parse_size(text: str | int | float) -> int:
 
     >>> parse_size("1KiB"), parse_size("1 MiB"), parse_size(42)
     (1024, 1048576, 42)
+    >>> parse_size(1.9), parse_size("1.9")
+    (2, 2)
     """
     if isinstance(text, (int, float)):
-        return int(text)
+        return int(round(text))
     s = text.strip().upper().replace(" ", "")
     for suffix in sorted(_SIZE_SUFFIXES, key=len, reverse=True):
         if s.endswith(suffix):
             num = s[: -len(suffix)]
-            return int(float(num) * _SIZE_SUFFIXES[suffix])
-    return int(float(s))
+            return int(round(float(num) * _SIZE_SUFFIXES[suffix]))
+    return int(round(float(s)))
 
 
 _TIME_SUFFIXES = {

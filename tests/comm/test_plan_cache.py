@@ -107,6 +107,72 @@ def test_plan_cache_direct():
         PlanCache(maxsize=0)
 
 
+def test_live_fingerprint_folds_failure_state():
+    """``fingerprint()`` is structural (provenance identity, fabric
+    matching); ``live_fingerprint()`` additionally keys on the current
+    failure set — the plan-cache key must change when hardware dies."""
+    from repro.network.topology import build_topology
+
+    topo = build_topology("fat-tree", n_hosts=8, hosts_per_leaf=4, n_spines=2)
+    structural = topo.fingerprint()
+    healthy = topo.live_fingerprint()
+    topo.fail_link("s0", "l0")
+    assert topo.fingerprint() == structural
+    assert topo.live_fingerprint() != healthy
+    wounded = topo.live_fingerprint()
+    topo.fail_switch("s1")
+    assert topo.live_fingerprint() not in (healthy, wounded)
+    topo.repair_switch("s1")
+    assert topo.live_fingerprint() == wounded
+    topo.repair_link("s0", "l0")
+    assert topo.live_fingerprint() == healthy
+
+
+def test_failed_switch_between_cached_calls_forces_replan():
+    """Regression: the plan cache used to key on the *structural*
+    topology fingerprint only, so failing a switch between two
+    identical allreduces served the stale cached plan — whose
+    aggregation tree routed through the dead switch.  The live
+    fingerprint must force a replan that avoids it."""
+    from repro.comm.fabric import Fabric
+
+    # 3-level XGFT: hosts reach their leaf uniquely, but each leaf has
+    # two mid-level parents — a mid switch can die without partitioning
+    # anything, which is exactly the case a stale plan gets wrong.
+    fabric = Fabric(
+        topology="xgft",
+        topology_params=dict(down=(2, 2, 2), up=(1, 2, 2)),
+        n_hosts=8,
+    )
+    comm = fabric.communicator(name="t0")
+    first = comm.allreduce("256KiB", algorithm="flare_dense")
+    plan = comm.plan(nbytes="256KiB", algorithm="flare_dense")
+    comm.allreduce("256KiB", algorithm="flare_dense")
+    assert comm.cache_info().misses == 1   # second call was a pure hit
+
+    victim = next(
+        s for s in plan.setup["tree_switches"]
+        if s.startswith("sw2_") and s != plan.setup["tree_root"]
+    )
+    fabric.topology.fail_switch(victim)
+
+    replanned = comm.plan(nbytes="256KiB", algorithm="flare_dense")
+    assert comm.cache_info().misses == 2   # stale plan NOT served
+    assert victim not in replanned.setup["tree_switches"]
+    result = comm.allreduce("256KiB", algorithm="flare_dense")
+    assert result.time_ns > 0
+
+    # Repair restores the original key: the healthy plan is still
+    # cached and is hit again, not rebuilt.
+    fabric.topology.repair_switch(victim)
+    misses_before = comm.cache_info().misses
+    again = comm.allreduce("256KiB", algorithm="flare_dense")
+    assert comm.cache_info().misses == misses_before
+    # Same plan, same schedule: identical duration up to float noise
+    # from the later base time in the shared fabric loop.
+    assert again.time_ns == pytest.approx(first.time_ns, rel=1e-9)
+
+
 def test_switch_plan_reuse_is_consistent():
     """Re-executing a cached switch-level plan reproduces the result."""
     comm = Communicator(n_hosts=4, n_clusters=1)

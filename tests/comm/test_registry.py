@@ -5,9 +5,11 @@ import pytest
 from repro.comm import (
     AlgorithmCaps,
     CapabilityError,
+    CommError,
     PlannedExecution,
     UnknownAlgorithmError,
     available_algorithms,
+    available_auto_modes,
     get_algorithm,
     match_algorithms,
     register_algorithm,
@@ -115,6 +117,73 @@ def test_resolve_no_candidate_reports_reasons():
     # Sparse + reproducible: nothing declares both today.
     with pytest.raises(CapabilityError, match="no registered algorithm"):
         resolve(_request(sparse=True, density=0.5, reproducible=True))
+
+
+def test_resolve_auto_all_matches_payload_rejected_combines_reasons():
+    """auto + payloads, every capability match payload-rejected: the
+    error lists capability reasons for non-matches AND the payload
+    verdicts for the matches that refused the concrete data."""
+    import numpy as np
+
+    # reproducible + 6 hosts + float64: the capability matches are ring
+    # (payload-rejects under auto: simulation-only) and flare_switch
+    # (payload-rejects: no float64 cost); rabenseifner & co are
+    # capability-rejected (power-of-two hosts).
+    payloads = np.ones((6, 16), dtype=np.float64)
+    request = _request(n_hosts=6, dtype="float64", reproducible=True)
+    with pytest.raises(CapabilityError) as exc_info:
+        resolve(request, payloads)
+    detail = str(exc_info.value)
+    assert "ring: " in detail and "timing/traffic simulation" in detail
+    assert "flare_switch: " in detail and "float64" in detail
+    assert "rabenseifner: " in detail and "power-of-two" in detail
+
+
+def test_resolve_payload_reason_wins_over_capability_reason():
+    """When an algorithm lands in *both* reason dicts (a capability
+    probe that flips after matching), the payload verdict — the more
+    specific diagnosis — must win in the combined message."""
+    import numpy as np
+
+    class FlakyCaps(AlgorithmCaps):
+        calls = 0
+
+        def rejects(self, request):
+            FlakyCaps.calls += 1
+            # Match once (so the payload hook runs and rejects), then
+            # claim a capability reason on the rejection_reasons pass.
+            return None if FlakyCaps.calls == 1 else "stale capability reason"
+
+    @register_algorithm(
+        "test_flaky",
+        caps=FlakyCaps(dense=True, reproducible=True),
+        payload_rejects=lambda req, p: "the payload verdict",
+    )
+    def plan_flaky(request):
+        return PlannedExecution(runner=lambda payloads, overrides: None)
+
+    try:
+        payloads = np.ones((6, 16), dtype=np.float64)
+        request = _request(n_hosts=6, dtype="float64", reproducible=True)
+        with pytest.raises(CapabilityError) as exc_info:
+            resolve(request, payloads)
+        detail = str(exc_info.value)
+        assert "test_flaky: the payload verdict" in detail
+        assert "stale capability reason" not in detail
+    finally:
+        unregister_algorithm("test_flaky")
+
+
+def test_resolve_unknown_auto_mode_raises():
+    with pytest.raises(CommError, match="unknown auto_mode 'nope'"):
+        resolve(_request(params={"auto_mode": "nope"}))
+
+
+def test_auto_modes_catalog_and_static_default():
+    modes = available_auto_modes()
+    assert "static" in modes and "cost" in modes
+    explicit = resolve(_request(params={"auto_mode": "static"}))
+    assert explicit.name == resolve(_request()).name == "flare_switch"
 
 
 def test_request_validation():

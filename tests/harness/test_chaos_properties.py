@@ -46,7 +46,7 @@ def _clean_reference(algorithm: str, data) -> np.ndarray:
     loss_rate=st.floats(min_value=0.0005, max_value=0.01),
     duplicate_rate=st.floats(min_value=0.0, max_value=0.01),
     link=st.sampled_from(LINK_TARGETS),
-    algorithm=st.sampled_from(["ring", "flare_dense"]),
+    algorithm=st.sampled_from(["ring", "flare_dense", "swing", "butterfly"]),
 )
 def test_random_loss_never_changes_payloads(
     fault_seed, loss_rate, duplicate_rate, link, algorithm
@@ -64,14 +64,16 @@ def test_random_loss_never_changes_payloads(
     assert result.extra["retransmits"] >= 0
 
 
+@pytest.mark.parametrize("algorithm", ["ring", "swing", "butterfly"])
 @settings(max_examples=8, deadline=None)
 @given(
     fault_seed=st.integers(min_value=0, max_value=2**16),
     loss_rate=st.floats(min_value=0.001, max_value=0.01),
 )
-def test_fault_runs_are_process_stable(fault_seed, loss_rate):
+def test_fault_runs_are_process_stable(algorithm, fault_seed, loss_rate):
     """Same schedule + seed -> identical makespan, traffic, and
-    counters (the determinism contract chaos CI relies on)."""
+    counters (the determinism contract chaos CI relies on), for the
+    ring and both halving/doubling host schedules."""
 
     def run():
         data, _ = make_payloads("int32", seed=2)
@@ -79,7 +81,7 @@ def test_fault_runs_are_process_stable(fault_seed, loss_rate):
         comm = fabric.communicator(name="t")
         fabric.inject(link="*", kind="lossy", loss_rate=loss_rate,
                       seed=fault_seed)
-        result = comm.iallreduce(data, algorithm="ring").result()
+        result = comm.iallreduce(data, algorithm=algorithm).result()
         stats = fabric.net.traffic
         return (result.time_ns, stats.drops, stats.retransmits,
                 stats.bytes_hops)
@@ -125,6 +127,7 @@ def test_fastpath_toggle_is_invisible_under_faults(fault_seed, loss_rate):
     np.testing.assert_array_equal(out_fast, out_slow)
 
 
+@pytest.mark.parametrize("algorithm", ["ring", "swing", "butterfly"])
 @pytest.mark.filterwarnings("error::RuntimeWarning")
 @settings(max_examples=5, deadline=None)
 @given(
@@ -133,7 +136,7 @@ def test_fastpath_toggle_is_invisible_under_faults(fault_seed, loss_rate):
     duplicate_rate=st.floats(min_value=0.0, max_value=0.01),
 )
 def test_sharded_fault_replay_matches_sequential(
-    fault_seed, loss_rate, duplicate_rate
+    algorithm, fault_seed, loss_rate, duplicate_rate
 ):
     """Pure link-fault schedules replay *inside* the worker shards
     (``workers=2``): payloads, makespan, and reliability counters are
@@ -147,7 +150,7 @@ def test_sharded_fault_replay_matches_sequential(
         comm = fabric.communicator(name="t")
         fabric.inject(link="*", kind="lossy", loss_rate=loss_rate,
                       duplicate_rate=duplicate_rate, seed=fault_seed)
-        result = comm.iallreduce(data, algorithm="ring").result()
+        result = comm.iallreduce(data, algorithm=algorithm).result()
         # Per-link tables settle at shutdown (the provenance contract:
         # worker deltas are recovered there for drivers that stop on a
         # settled future); read them after.

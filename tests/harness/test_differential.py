@@ -128,14 +128,17 @@ def test_differential_outputs_agree_across_hosts():
     comm = _communicator("fat-tree")
     results = {
         algo: output_of(comm.allreduce(data, algorithm=algo))
-        for algo in ("ring", "flare_dense", "rabenseifner", "flare_switch")
+        for algo in ("ring", "flare_dense", "rabenseifner", "flare_switch",
+                     "swing", "butterfly")
     }
     baseline = results.pop("ring")
     for algo, out in results.items():
         np.testing.assert_array_equal(baseline, out, err_msg=algo)
 
 
-@pytest.mark.parametrize("algorithm", ["ring", "flare_dense", "rabenseifner"])
+@pytest.mark.parametrize(
+    "algorithm", ["ring", "flare_dense", "rabenseifner", "swing", "butterfly"]
+)
 def test_differential_sharded_fabric_matches_sequential(algorithm):
     """The sharded parallel engine (``Fabric(workers=2)``) is a pure
     execution substitution: the same network schedules must produce

@@ -1,0 +1,56 @@
+"""The acceptance-bench harness: gate logic on synthetic rows, plus one
+cheap real grid point (the full grid is CI's planner-smoke job)."""
+
+from repro.perf.planner import (
+    check,
+    measure_cost_auto,
+    run_point,
+    static_issuable_pick,
+)
+
+
+def _row(cost, best, static, family="fat-tree", size="64KiB", tenants=1):
+    return {
+        "family": family, "size": size, "tenants": tenants,
+        "cost_ns": cost, "best_fixed": "x", "best_fixed_ns": best,
+        "static_algorithm": "flare_dense", "static_ns": static,
+    }
+
+
+def test_check_passes_within_slack_and_enough_wins():
+    rows = [_row(90, 100, 100), _row(104, 100, 110), _row(50, 50, 60)]
+    ok, problems, wins = check(rows, min_wins=3)
+    assert ok and not problems and wins == 3
+
+
+def test_check_flags_slack_violations():
+    ok, problems, wins = check([_row(120, 100, 200)], min_wins=1)
+    assert not ok
+    assert any("1.20x" in p for p in problems)
+    assert wins == 1                      # still beat static
+
+
+def test_check_requires_min_static_wins():
+    rows = [_row(100, 100, 100)] * 5      # all ties: no strict win
+    ok, problems, _ = check(rows, min_wins=3)
+    assert not ok
+    assert any("only 0 grid points" in p for p in problems)
+
+
+def test_static_pick_is_the_issuable_priority_winner():
+    assert static_issuable_pick("fat-tree", 16, "64KiB") == "flare_dense"
+
+
+def test_one_real_grid_point():
+    row = run_point("fat-tree", "64KiB", tenants=1, n_hosts=8)
+    assert row["cost_ns"] > 0
+    assert row["cost_ns"] <= 1.05 * row["best_fixed_ns"]
+    assert set(row["fixed_ns"]) == {"ring", "swing", "butterfly",
+                                    "flare_dense"}
+    assert row["cost_picks"]              # the planner recorded its choice
+
+
+def test_cost_auto_picks_are_deterministic():
+    a = measure_cost_auto("fat-tree", 8, "64KiB", tenants=2)
+    b = measure_cost_auto("fat-tree", 8, "64KiB", tenants=2)
+    assert a == b

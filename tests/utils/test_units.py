@@ -23,7 +23,32 @@ def test_parse_size_variants():
     assert parse_size("1kb") == 1000
     assert parse_size("512") == 512
     assert parse_size(4096) == 4096
+    assert parse_size(2.5) == 2          # round-half-even, not truncation
+
+
+def test_parse_size_rounds_instead_of_truncating():
+    """The docstring promises floats are *rounded*; int() truncation
+    used to turn 1.9 bytes into 1 (regression pin)."""
+    assert parse_size(1.9) == 2
+    assert parse_size(0.6) == 1
+    assert parse_size("1.9") == 2
+    # Suffix arithmetic rounds too: 0.0009765625 KiB is 0.9999... B.
+    assert parse_size("0.0009765620 KiB") == 1
+    # Round-half-even on the numeric passthrough (Python round()).
+    assert parse_size(3.5) == 4
     assert parse_size(2.5) == 2
+
+
+def test_parse_time_ns_passes_floats_through_exactly():
+    """Mirror check of the parse_size rounding bug: durations are
+    float ns end to end, so no rounding (or truncation) may happen."""
+    from repro.utils.units import parse_time_ns
+
+    assert parse_time_ns(1.9) == 1.9
+    assert parse_time_ns("1.9") == 1.9
+    assert parse_time_ns("2.5us") == 2500.0
+    assert parse_time_ns(250) == 250.0
+    assert isinstance(parse_time_ns(250), float)
 
 
 def test_format_size():
